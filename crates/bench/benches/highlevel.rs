@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks behind Figure 6: compiler-stage cost and the
+//! per-iteration cost of the unoptimized vs optimized training loops on
+//! the interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifaq_engine::interp::{Env, Interpreter};
+use ifaq_ir::{Catalog, Expr, Sym};
+use ifaq_storage::{Dict, Value};
+use ifaq_transform::highlevel::{linear_regression_program, optimize_program};
+
+fn tiny_q(rows: usize) -> Value {
+    let mut d = Dict::new();
+    for i in 0..rows {
+        let rec = Value::record([
+            ("a", Value::real(i as f64 % 7.0)),
+            ("b", Value::real(i as f64 % 3.0)),
+            ("y", Value::real(i as f64)),
+        ]);
+        d.insert_add(rec, Value::Int(1)).unwrap();
+    }
+    Value::Dict(d)
+}
+
+fn bench_highlevel(c: &mut Criterion) {
+    let prog = linear_regression_program(&["a", "b"], "y", Expr::var("QD"), 1e-4, 5);
+    let catalog = Catalog::new();
+
+    c.bench_function("optimize_program_lr", |b| {
+        b.iter(|| optimize_program(&prog, &catalog))
+    });
+
+    let (opt, _) = optimize_program(&prog, &catalog);
+    let mut env = Env::new();
+    env.insert(Sym::new("QD"), tiny_q(500));
+    let interp = Interpreter::default();
+    c.bench_function("interpret_unoptimized_5it_500rows", |b| {
+        b.iter(|| interp.run(&env, &prog).unwrap())
+    });
+    c.bench_function("interpret_optimized_5it_500rows", |b| {
+        b.iter(|| interp.run(&env, &opt).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_highlevel);
+criterion_main!(benches);

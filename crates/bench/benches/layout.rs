@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks behind Figure 7b: the data-layout ladder on
+//! a fixed covar workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifaq_datagen::favorita;
+use ifaq_engine::layout::{execute, prepare};
+use ifaq_engine::Layout;
+use ifaq_query::batch::covar_batch;
+use ifaq_query::{JoinTree, ViewPlan};
+
+fn bench_layouts(c: &mut Criterion) {
+    let ds = favorita(50_000, 42);
+    let features = ds.feature_refs();
+    let batch = covar_batch(&features, &ds.label);
+    let cat = ds.db.catalog();
+    let tree = JoinTree::build(&cat, &ds.relation_names()).unwrap();
+    let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+    let mut group = c.benchmark_group("layout_50k");
+    // The boxed engines are orders of magnitude slower; keep samples low.
+    group.sample_size(10);
+    for &layout in Layout::fig7b() {
+        let prep = prepare(layout, &plan, &ds.db);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layout:?}")),
+            &prep,
+            |b, prep| b.iter(|| execute(layout, &plan, &ds.db, prep)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §5 "Compilation Overhead": time `g++ -O3` on the C++ code generated for
+//! the linear-regression (covar) workloads of both datasets, plus a
+//! tree-node (filtered variance) workload.
+//!
+//! The paper reports 4.3s/8.3s (Retailer LR/tree) and 9.7s/2.4s (Favorita);
+//! absolute times depend on the g++ version, but the overhead should stay
+//! in single-digit seconds.
+//!
+//! Run: `cargo run -p ifaq-bench --bin compile_overhead --release`
+
+use ifaq_bench::{print_header, print_row};
+use ifaq_codegen::cpp::{compile_with_gpp, emit_covar_program};
+use ifaq_datagen::{favorita, retailer};
+use ifaq_query::batch::{covar_batch, variance_batch};
+use ifaq_query::{JoinTree, Predicate, PredOp, ViewPlan};
+
+fn main() {
+    let dir = std::env::temp_dir().join("ifaq_codegen");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    print_header("Compilation overhead (g++ -O3), seconds", &["linreg", "tree-node"]);
+    for (name, ds) in [("favorita", favorita(1_000, 1)), ("retailer", retailer(1_000, 2))] {
+        let features = ds.feature_refs();
+        let cat = ds.db.catalog();
+        let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
+
+        let lr_plan =
+            ViewPlan::plan(&covar_batch(&features, &ds.label), &tree, &cat).expect("plan");
+        let mut lr_prog = emit_covar_program(&lr_plan, &features, &ds.label);
+        lr_prog.name = format!("covar_{name}");
+        let lr_time = compile_with_gpp(&lr_prog, &dir).expect("compile");
+
+        let delta = vec![Predicate::new(features[0], PredOp::Le, 1.0)];
+        let tree_plan =
+            ViewPlan::plan(&variance_batch(&ds.label, &delta), &tree, &cat).expect("plan");
+        let mut tree_prog = emit_covar_program(&tree_plan, &features, &ds.label);
+        tree_prog.name = format!("treenode_{name}");
+        let tree_time = compile_with_gpp(&tree_prog, &dir).expect("compile");
+
+        let cell = |t: Option<std::time::Duration>| {
+            t.map_or("no g++".to_string(), |d| format!("{:.2}", d.as_secs_f64()))
+        };
+        print_row(name, &[cell(lr_time), cell(tree_time)]);
+    }
+    println!("\ngenerated sources left in {}", dir.display());
+}

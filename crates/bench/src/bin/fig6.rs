@@ -1,0 +1,146 @@
+//! Figure 6: impact of the §4.1 high-level optimizations on D-IFAQ
+//! programs, measured on the interpreter.
+//!
+//! Three series, as in the paper:
+//! * **Join** — materializing the training dictionary Q (identical for
+//!   both programs);
+//! * **Unoptimized** — the input program: every BGD iteration re-scans Q;
+//! * **After high-level optimizations** — the covar matrix is memoized and
+//!   hoisted, so iterations cost O(|F|²) and the data is scanned once.
+//!
+//! Left sweep: input tuples at fixed iterations. Right sweep: iterations
+//! at fixed tuples. Expected shape: the optimized series is dominated by
+//! the join/aggregate time, nearly flat in the iteration count; the
+//! unoptimized series grows linearly in both.
+//!
+//! Run: `cargo run -p ifaq-bench --bin fig6 --release [-- --sweep tuples|iters] [--paper]`
+
+use ifaq_bench::{print_header, print_row, secs, time_once, HarnessArgs};
+use ifaq_datagen::favorita;
+use ifaq_engine::interp::{Env, Interpreter};
+use ifaq_engine::TrainMatrix;
+use ifaq_ir::{Catalog, Expr, Program, Sym};
+use ifaq_storage::{Dict, Value};
+use ifaq_transform::highlevel::{linear_regression_program, optimize_program};
+
+const FEATURES: [&str; 3] = ["onpromotion", "perishable", "cluster"];
+const LABEL: &str = "unit_sales";
+
+/// Boxes a materialized matrix into the §2.1 dictionary representation.
+fn matrix_to_dict(m: &TrainMatrix) -> Value {
+    let mut d = Dict::new();
+    let attrs: Vec<Sym> = m.attrs.clone();
+    for i in 0..m.rows {
+        let row = m.row(i);
+        let rec = Value::record(
+            attrs
+                .iter()
+                .cloned()
+                .zip(row.iter().map(|v| Value::real(*v)))
+                .collect::<Vec<_>>(),
+        );
+        d.insert_add(rec, Value::Int(1)).expect("row insert");
+    }
+    Value::Dict(d)
+}
+
+fn programs(iters: i64) -> (Program, Program) {
+    let unopt =
+        linear_regression_program(&FEATURES, LABEL, Expr::var("QDATA"), 1e-6, iters);
+    // The query is an opaque, data-sized variable for the optimizer.
+    let catalog = Catalog::new().with_var_size("Q", 1 << 20);
+    let (opt, report) = optimize_program(&unopt, &catalog);
+    assert!(report.memoized >= 1, "covar must be memoized for figure 6");
+    (unopt, opt)
+}
+
+fn run_point(n_tuples: usize, iters: i64) -> (f64, f64, f64) {
+    let ds = favorita(n_tuples, 11);
+    let (matrix, t_join) = time_once(|| ds.db.materialize());
+    let (q, t_box) = time_once(|| matrix_to_dict(&matrix));
+    let join_time = t_join + t_box;
+    let (unopt, opt) = programs(iters);
+    let mut env = Env::new();
+    env.insert(Sym::new("Q"), q.clone());
+    // The unoptimized program references QDATA through the program binding
+    // `Q`; bind both names so either shape resolves.
+    env.insert(Sym::new("QDATA"), q);
+    let interp = Interpreter::default();
+    let (r1, t_unopt) = time_once(|| interp.run(&env, &unopt).expect("unopt run"));
+    let (r2, t_opt) = time_once(|| interp.run(&env, &opt).expect("opt run"));
+    assert_eq!(values_close(&r1, &r2), true, "programs must agree");
+    (
+        join_time.as_secs_f64(),
+        join_time.as_secs_f64() + t_unopt.as_secs_f64(),
+        join_time.as_secs_f64() + t_opt.as_secs_f64(),
+    )
+}
+
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Record(x), Value::Record(y)) => x
+            .iter()
+            .zip(y)
+            .all(|((n1, v1), (n2, v2))| n1 == n2 && values_close(v1, v2)),
+        (Value::Dict(x), Value::Dict(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((k1, v1), (k2, v2))| k1 == k2 && values_close(v1, v2))
+        }
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())),
+            _ => a == b,
+        },
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let sweep = std::env::args()
+        .skip_while(|a| a != "--sweep")
+        .nth(1)
+        .unwrap_or_else(|| "both".into());
+
+    if sweep == "tuples" || sweep == "both" {
+        let (lo, hi, step, iters) = if args.paper {
+            (2_000, 14_000, 2_000, 50)
+        } else {
+            (500, 2_500, 500, 10)
+        };
+        print_header(
+            &format!("Figure 6 (left): vary tuples, {iters} iterations, seconds"),
+            &["join", "unoptimized", "optimized"],
+        );
+        let mut n = lo;
+        while n <= hi {
+            let (j, u, o) = run_point(args.rows(n), iters);
+            print_row(
+                &n.to_string(),
+                &[format!("{j:.3}"), format!("{u:.3}"), format!("{o:.3}")],
+            );
+            n += step;
+        }
+    }
+    if sweep == "iters" || sweep == "both" {
+        let (tuples, iter_points): (usize, Vec<i64>) = if args.paper {
+            (10_000, vec![10, 30, 50, 70, 90, 110, 130])
+        } else {
+            (1_500, vec![5, 10, 20, 30])
+        };
+        print_header(
+            &format!("Figure 6 (right): vary iterations, {tuples} tuples, seconds"),
+            &["join", "unoptimized", "optimized"],
+        );
+        for iters in iter_points {
+            let (j, u, o) = run_point(args.rows(tuples), iters);
+            print_row(
+                &iters.to_string(),
+                &[format!("{j:.3}"), format!("{u:.3}"), format!("{o:.3}")],
+            );
+        }
+        println!("\nshape check: 'optimized' is flat in the iteration count and");
+        println!("close to the join time; 'unoptimized' grows linearly (Fig. 6).");
+    }
+    let _ = secs; // silence unused when sweeps change
+}

@@ -1,0 +1,52 @@
+//! Figure 7b: impact of the low-level data-layout optimizations (§4.4) on
+//! the covar-matrix computation — boxed "Scala-like" execution, record
+//! removal, native compilation with manual memory management, dictionary
+//! to array, and the sorted trie.
+//!
+//! Expected shape (paper: 1.1×, 2×, 1.4×, 5×): going native and sorting
+//! are the two big steps.
+//!
+//! Run: `cargo run -p ifaq-bench --bin fig7b --release [-- --paper] [--scale f]`
+
+use ifaq_bench::{print_header, print_row, secs, time_best_of, HarnessArgs};
+use ifaq_datagen::favorita;
+use ifaq_engine::layout::{execute, prepare};
+use ifaq_engine::Layout;
+use ifaq_query::batch::covar_batch;
+use ifaq_query::{JoinTree, ViewPlan};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let rows = args.rows(if args.paper { 1_000_000 } else { 200_000 });
+    let ds = favorita(rows, 42);
+    let features = ds.feature_refs();
+    let batch = covar_batch(&features, &ds.label);
+    let cat = ds.db.catalog();
+    let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
+    let plan = ViewPlan::plan(&batch, &tree, &cat).expect("plan");
+    println!("covar batch over {rows} tuples: {} aggregates", batch.len());
+
+    print_header("Figure 7b: low-level optimizations, seconds", &["time", "speedup"]);
+    let mut reference: Option<Vec<f64>> = None;
+    let mut prev: Option<f64> = None;
+    for &layout in Layout::fig7b() {
+        let prep = prepare(layout, &plan, &ds.db);
+        let (result, t) = time_best_of(3, || execute(layout, &plan, &ds.db, &prep));
+        match &reference {
+            None => reference = Some(result),
+            Some(r) => {
+                for (a, b) in r.iter().zip(&result) {
+                    assert!(
+                        (a - b).abs() <= 1e-6 * (1.0 + a.abs()),
+                        "engines disagree: {a} vs {b}"
+                    );
+                }
+            }
+        }
+        let speedup = prev.map_or("-".to_string(), |p| format!("{:.1}x", p / t.as_secs_f64()));
+        print_row(layout.label(), &[secs(t), speedup]);
+        prev = Some(t.as_secs_f64());
+    }
+    println!("\nshape check: native memory management and the sorted trie are");
+    println!("the two largest steps (paper: ~2x and ~5x).");
+}

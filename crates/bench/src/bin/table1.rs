@@ -1,0 +1,60 @@
+//! Table 1: characteristics of the Retailer and Favorita datasets —
+//! tuples/size of the database, tuples/size of the join result, and
+//! relation / continuous-attribute counts.
+//!
+//! Run: `cargo run -p ifaq-bench --bin table1 --release [-- --scale f]`
+
+use ifaq_bench::{print_header, print_row, HarnessArgs};
+use ifaq_datagen::{favorita, retailer};
+
+fn mb(bytes: usize) -> String {
+    format!("{:.1}MB", bytes as f64 / 1e6)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let fav = favorita(args.rows(if args.paper { 2_000_000 } else { 200_000 }), 42);
+    let ret = retailer(args.rows(if args.paper { 1_500_000 } else { 150_000 }), 43);
+
+    print_header(
+        "Table 1: dataset characteristics",
+        &["Retailer", "Favorita"],
+    );
+    let (fm, rm) = (fav.db.materialize(), ret.db.materialize());
+    print_row(
+        "Tuples of Database",
+        &[ret.db.total_tuples().to_string(), fav.db.total_tuples().to_string()],
+    );
+    print_row(
+        "Size of Database",
+        &[mb(ret.db.total_bytes()), mb(fav.db.total_bytes())],
+    );
+    print_row(
+        "Tuples of Join Result",
+        &[rm.rows.to_string(), fm.rows.to_string()],
+    );
+    print_row("Size of Join Result", &[mb(rm.bytes()), mb(fm.bytes())]);
+    print_row(
+        "Relations",
+        &[
+            ret.relation_names().len().to_string(),
+            fav.relation_names().len().to_string(),
+        ],
+    );
+    print_row(
+        "Continuous Attrs",
+        &[
+            (ret.features.len() + 1).to_string(),
+            (fav.features.len() + 1).to_string(),
+        ],
+    );
+    println!(
+        "\njoin/database size ratio: retailer {:.1}x, favorita {:.1}x",
+        rm.bytes() as f64 / ret.db.total_bytes() as f64,
+        fm.bytes() as f64 / fav.db.total_bytes() as f64
+    );
+    println!(
+        "(paper: Retailer join is ~11x its database size; Favorita ~1x — the \
+         wide Retailer schema is what blows up its join result)"
+    );
+}

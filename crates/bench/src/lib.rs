@@ -1,0 +1,161 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every table and figure of the paper's §5 has a binary in `src/bin/`:
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 (dataset characteristics) |
+//! | `fig5` | Figure 5 (end-to-end learning, IFAQ vs baselines) |
+//! | `fig6` | Figure 6 (impact of high-level optimizations) |
+//! | `fig7a` | Figure 7a (aggregate optimizations ladder) |
+//! | `fig7b` | Figure 7b (low-level optimizations ladder) |
+//! | `compile_overhead` | §5 "Compilation Overhead" |
+//! | `accuracy` | §5 RMSE comparisons |
+//!
+//! All binaries accept `--scale <f>` to grow or shrink the synthetic
+//! datasets (default 1.0, laptop-friendly) and print machine-readable
+//! rows. Absolute times differ from the paper (different hardware and a
+//! simulated substrate); the *shape* — orderings and speedup factors — is
+//! what EXPERIMENTS.md records.
+
+use ifaq_datagen::{favorita, retailer, Dataset};
+use std::time::{Duration, Instant};
+
+/// Times one call.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs `f` `n` times and returns the last result with the *minimum*
+/// duration — the usual noise-robust point estimate for microbenchmarks.
+pub fn time_best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(n > 0);
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..n {
+        let (v, d) = time_once(&mut f);
+        if d < best {
+            best = d;
+        }
+        out = Some(v);
+    }
+    (out.unwrap(), best)
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Parses `--scale <f>` (and `--paper`, which implies the paper-sized
+/// workload where supported) from the process arguments.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    /// Multiplier on default dataset sizes.
+    pub scale: f64,
+    /// Use the paper's workload sizes (large; minutes of runtime).
+    pub paper: bool,
+}
+
+impl HarnessArgs {
+    /// Parses the current process's arguments.
+    pub fn parse() -> HarnessArgs {
+        let mut scale = 1.0;
+        let mut paper = false;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    scale = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a number"));
+                    i += 2;
+                }
+                "--paper" => {
+                    paper = true;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        HarnessArgs { scale, paper }
+    }
+
+    /// Scales a base row count.
+    pub fn rows(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).max(100.0) as usize
+    }
+}
+
+/// The four dataset variants of Figure 5: {Favorita, Retailer} × {small,
+/// large}; "small" is 25% of the large fact table, exactly as in §5.
+pub struct Variants {
+    /// (name, dataset) pairs in presentation order.
+    pub entries: Vec<(&'static str, Dataset)>,
+}
+
+/// Builds the Figure 5 dataset variants at the harness scale. Base sizes
+/// are laptop-scale stand-ins for the paper's 125M/87M-tuple datasets.
+pub fn fig5_variants(args: &HarnessArgs) -> Variants {
+    let fav_large = args.rows(if args.paper { 4_000_000 } else { 1_000_000 });
+    let ret_large = args.rows(if args.paper { 3_000_000 } else { 600_000 });
+    let mut entries = Vec::new();
+    let fav = favorita(fav_large, 42);
+    let ret = retailer(ret_large, 43);
+    let fav_small = Dataset { db: fav.db.take_fact(fav_large / 4), ..fav.clone() };
+    let ret_small = Dataset { db: ret.db.take_fact(ret_large / 4), ..ret.clone() };
+    entries.push(("favorita-small", fav_small));
+    entries.push(("favorita-large", fav));
+    entries.push(("retailer-small", ret_small));
+    entries.push(("retailer-large", ret));
+    Variants { entries }
+}
+
+/// Prints a row of a results table: label column then value columns.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<28}");
+    for c in cells {
+        print!(" {c:>14}");
+    }
+    println!();
+}
+
+/// Prints a table header.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    print_row("", &columns.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_best_of_returns_minimum() {
+        let mut calls = 0;
+        let (_, d) = time_best_of(3, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 3);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn variants_have_expected_ratio() {
+        let args = HarnessArgs { scale: 0.05, paper: false };
+        let v = fig5_variants(&args);
+        assert_eq!(v.entries.len(), 4);
+        let small = v.entries[0].1.db.fact_rows();
+        let large = v.entries[1].1.db.fact_rows();
+        assert_eq!(large / small, 4);
+    }
+
+    #[test]
+    fn secs_formats_millis() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+}

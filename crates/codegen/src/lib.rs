@@ -1,0 +1,21 @@
+//! Data-layout synthesis and C++ code generation (§4.4, the last stage of
+//! Figure 3).
+//!
+//! * [`layout`] — the synthesis *decisions*: for each record, dictionary,
+//!   and collection of the specialized program, choose a physical
+//!   representation (static struct, mutable accumulator, scalar-replaced
+//!   field, dense array, sorted trie) and report why. The decisions drive
+//!   both the C++ emitter and the native executors in `ifaq-engine`.
+//! * [`cpp`] — emits a self-contained C++17 translation unit implementing
+//!   the planned aggregate batch (merged views + fused fact scan) and the
+//!   moment-space gradient-descent loop, specialized to the workload: one
+//!   struct per view payload, dense arrays for compact keys, stack-local
+//!   accumulators. [`cpp::compile_with_gpp`] times `g++ -O3` on the result
+//!   when a compiler is available — the paper's "compilation overhead"
+//!   measurement (§5).
+
+pub mod cpp;
+pub mod layout;
+
+pub use cpp::{emit_covar_program, CppProgram};
+pub use layout::{synthesize, LayoutDecision, LayoutReport};

@@ -1,0 +1,52 @@
+//! IFAQ — Iterative Functional Aggregate Queries.
+//!
+//! A Rust reproduction of *"Multi-layer Optimizations for End-to-End Data
+//! Analytics"* (CGO 2020): a compiler framework that takes a relational
+//! learning program — feature-extraction query **and** training loop in
+//! one — and optimizes it through the stages of the paper's Figure 3:
+//!
+//! ```text
+//! D-IFAQ program
+//!   │  high-level optimizations      (§4.1: normalize, schedule,
+//!   │                                 factorize, memoize, hoist)
+//!   ▼
+//! D-IFAQ program (covar matrix hoisted out of the training loop)
+//!   │  schema specialization         (§4.2: records, static fields)
+//!   ▼
+//! S-IFAQ program  ── type checked; errors reported to the user
+//!   │  aggregate extraction          (§4.3: batch over dom(Q))
+//!   ▼
+//! residual program + aggregate batch
+//!   │  join tree + view plan         (§4.3: pushdown, merge views,
+//!   │                                 multi-aggregate iteration)
+//!   ▼
+//! factorized execution / C++ emission (§4.4 data-layout synthesis)
+//! ```
+//!
+//! The [`Pipeline`] type drives all stages and records per-stage
+//! [`snapshots`](Compiled::stages); [`Compiled::execute`] runs the result
+//! directly over a star database without materializing the join.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ifaq::{Pipeline, CompileOptions};
+//! use ifaq_engine::star::running_example_star;
+//! use ifaq_transform::highlevel::linear_regression_program;
+//! use ifaq_ir::Expr;
+//!
+//! let db = running_example_star();
+//! // The §3 linear-regression program over Q(city, price, units).
+//! let program = linear_regression_program(
+//!     &["city", "price"], "units", Expr::var("Q"), 0.05, 50);
+//! let opts = CompileOptions::for_star_db(&db);
+//! let compiled = Pipeline::new(db.catalog()).compile(&program, &opts).unwrap();
+//! // The training loop no longer scans the data:
+//! assert!(compiled.batch.len() > 0);
+//! let theta = compiled.execute(&db, ifaq_engine::Layout::MergedHash).unwrap();
+//! println!("trained parameters: {theta}");
+//! ```
+
+pub mod pipeline;
+
+pub use pipeline::{Compiled, CompileOptions, Pipeline, PipelineError, StageSnapshots};

@@ -1,0 +1,485 @@
+//! The staged compilation pipeline (Figure 3).
+
+use ifaq_engine::interp::{Env, Interpreter};
+use ifaq_engine::star::StarDb;
+use ifaq_engine::{layout, Layout};
+use ifaq_ir::types::TypeEnv;
+use ifaq_ir::vars::occurs_free;
+use ifaq_ir::{Catalog, Program, ScalarType, Sym, Type, TypeChecker};
+use ifaq_query::extract::{extract_aggregates, Extraction};
+use ifaq_query::{AggBatch, JoinTree, ViewPlan};
+use ifaq_storage::Value;
+use ifaq_transform::highlevel::{optimize_program, HighLevelReport};
+use ifaq_transform::specialize::specialize_program;
+use std::fmt;
+
+/// Options controlling compilation.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// The variable naming the feature-extraction query result.
+    pub q_var: Sym,
+    /// Schema of `Q`'s tuples: attribute name and scalar type. Used to
+    /// type-check the S-IFAQ program.
+    pub q_attrs: Vec<(Sym, ScalarType)>,
+    /// Relations joined by `Q`, for join-tree construction. When empty,
+    /// every catalog relation participates.
+    pub relations: Vec<Sym>,
+}
+
+impl CompileOptions {
+    /// Builds options for a star database: `Q` is the natural join of the
+    /// fact table with every dimension, exposing all attributes.
+    pub fn for_star_db(db: &StarDb) -> CompileOptions {
+        let mut q_attrs: Vec<(Sym, ScalarType)> = Vec::new();
+        let mut push = |rel: &ifaq_storage::ColRelation| {
+            for (a, c) in rel.attrs.iter().zip(&rel.columns) {
+                if q_attrs.iter().all(|(n, _)| n != a) {
+                    let ty = match c {
+                        ifaq_storage::Column::I64(_) => ScalarType::Int,
+                        ifaq_storage::Column::F64(_) => ScalarType::Real,
+                    };
+                    q_attrs.push((a.clone(), ty));
+                }
+            }
+        };
+        push(&db.fact);
+        for d in &db.dims {
+            push(&d.rel);
+        }
+        let mut relations = vec![db.fact.name.clone()];
+        relations.extend(db.dims.iter().map(|d| d.rel.name.clone()));
+        CompileOptions { q_var: Sym::new("Q"), q_attrs, relations }
+    }
+}
+
+/// A compilation error, reported to the user as Figure 1 prescribes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// The specialized program does not satisfy the S-IFAQ typing rules.
+    Type(ifaq_ir::TypeError),
+    /// Join-tree construction failed.
+    JoinTree(String),
+    /// Planning the aggregate batch failed.
+    Plan(String),
+    /// Runtime evaluation failed.
+    Eval(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Type(e) => write!(f, "{e}"),
+            PipelineError::JoinTree(m) => write!(f, "join tree: {m}"),
+            PipelineError::Plan(m) => write!(f, "plan: {m}"),
+            PipelineError::Eval(m) => write!(f, "evaluation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Intermediate programs captured after each stage, for inspection,
+/// debugging, and the `pipeline_stages` example.
+#[derive(Clone, Debug)]
+pub struct StageSnapshots {
+    /// The input D-IFAQ program.
+    pub input: Program,
+    /// After §4.1 high-level optimizations.
+    pub high_level: Program,
+    /// What fired during §4.1.
+    pub high_level_report: HighLevelReport,
+    /// After §4.2 schema specialization (S-IFAQ, type-checked).
+    pub specialized: Program,
+    /// After §4.3 aggregate extraction: the residual program.
+    pub residual: Program,
+}
+
+/// The result of compiling a program.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// Per-stage snapshots.
+    pub stages: StageSnapshots,
+    /// The residual program; aggregate `i` is the variable `__agg<i>`.
+    pub program: Program,
+    /// The extracted aggregate batch over `Q`.
+    pub batch: AggBatch,
+    /// Compile options used (needed again at execution time).
+    pub options: CompileOptions,
+}
+
+/// The pipeline driver.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    catalog: Catalog,
+}
+
+impl Pipeline {
+    /// Creates a pipeline over a catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        Pipeline { catalog }
+    }
+
+    /// Compiles a D-IFAQ program through every stage of Figure 3 (up to,
+    /// but not including, physical execution).
+    pub fn compile(
+        &self,
+        program: &Program,
+        options: &CompileOptions,
+    ) -> Result<Compiled, PipelineError> {
+        let input = program.clone();
+        // §4.1 high-level optimizations.
+        let (high_level, high_level_report) = optimize_program(program, &self.catalog);
+        // §4.2 schema specialization, then the S-IFAQ type check.
+        let (specialized, _) = specialize_program(&high_level);
+        self.type_check(&specialized, options)?;
+        // §4.3 aggregate extraction, per expression of the program.
+        let mut batch = AggBatch::new();
+        let residual = specialized.map_exprs(|e| {
+            let Extraction { residual, batch: b } =
+                extract_with(e, &options.q_var, batch.clone());
+            batch = b;
+            residual
+        });
+        // Dead bindings (typically the `Q` join definition) drop once no
+        // expression scans the query result any more.
+        let residual = prune_dead_lets(&residual, &options.q_var);
+        Ok(Compiled {
+            stages: StageSnapshots {
+                input,
+                high_level,
+                high_level_report,
+                specialized,
+                residual: residual.clone(),
+            },
+            program: residual,
+            batch,
+            options: options.clone(),
+        })
+    }
+
+    /// Type-checks a specialized program under the S-IFAQ rules, with `Q`
+    /// bound to its dictionary type and relations bound to theirs.
+    fn type_check(
+        &self,
+        program: &Program,
+        options: &CompileOptions,
+    ) -> Result<(), PipelineError> {
+        let checker = TypeChecker::new();
+        let mut env = TypeEnv::new();
+        for rel in self.catalog.relations() {
+            env.insert(
+                rel.name.clone(),
+                Type::dict(
+                    Type::record(
+                        rel.attrs
+                            .iter()
+                            .map(|a| (a.name.clone(), scalar_type(a.ty)))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Type::Int,
+                ),
+            );
+        }
+        // `Q` binds last so a same-named statistics entry cannot shadow it.
+        env.insert(options.q_var.clone(), query_type(&options.q_attrs));
+        // Bindings first, in order.
+        for (name, expr) in &program.lets {
+            let t = checker.infer(&env, expr).map_err(PipelineError::Type)?;
+            env.insert(name.clone(), t);
+        }
+        let t_init = checker.infer(&env, &program.init).map_err(PipelineError::Type)?;
+        let mut loop_env = env.clone();
+        loop_env.insert(program.var.clone(), t_init.clone());
+        loop_env.insert(Sym::new("_iter"), Type::Int);
+        loop_env.insert(Sym::new("_prev"), t_init.clone());
+        let t_cond = checker.infer(&loop_env, &program.cond).map_err(PipelineError::Type)?;
+        if t_cond != Type::Bool {
+            return Err(PipelineError::Type(ifaq_ir::TypeError {
+                message: format!("loop condition has type {t_cond}, expected bool"),
+                expr: program.cond.to_string(),
+            }));
+        }
+        let t_step = checker.infer(&loop_env, &program.step).map_err(PipelineError::Type)?;
+        if t_step != t_init {
+            return Err(PipelineError::Type(ifaq_ir::TypeError {
+                message: format!(
+                    "loop step has type {t_step} but the state has type {t_init}"
+                ),
+                expr: program.step.to_string(),
+            }));
+        }
+        checker.infer(&loop_env, &program.result).map_err(PipelineError::Type)?;
+        Ok(())
+    }
+}
+
+/// Extraction helper that threads an accumulated batch through repeated
+/// calls (one per program expression).
+fn extract_with(e: &ifaq_ir::Expr, q: &Sym, acc: AggBatch) -> Extraction {
+    // `extract_aggregates` starts a fresh batch; re-run with the combined
+    // one by seeding its result. Aggregates are deduplicated by factor
+    // multiset, so re-extraction of an already-seen aggregate reuses its
+    // variable.
+    let mut ext = Extraction { residual: e.clone(), batch: acc };
+    let fresh = extract_aggregates_with_seed(e, q, &mut ext.batch);
+    ext.residual = fresh;
+    ext
+}
+
+fn extract_aggregates_with_seed(
+    e: &ifaq_ir::Expr,
+    q: &Sym,
+    batch: &mut AggBatch,
+) -> ifaq_ir::Expr {
+    // Reuse the public entry point: extract into a local batch, then remap
+    // variable indices onto the accumulated batch.
+    let local = extract_aggregates(e, q);
+    if local.batch.is_empty() {
+        return local.residual;
+    }
+    let mut remap: Vec<Sym> = Vec::with_capacity(local.batch.len());
+    for agg in &local.batch.aggs {
+        let mut sorted = agg.factors.clone();
+        sorted.sort();
+        let existing = batch.aggs.iter().position(|a| {
+            let mut af = a.factors.clone();
+            af.sort();
+            af == sorted && a.filter.is_empty()
+        });
+        let idx = existing.unwrap_or_else(|| {
+            let mut renamed = agg.clone();
+            renamed.name = format!("__agg{}", batch.len());
+            batch.aggs.push(renamed);
+            batch.len() - 1
+        });
+        remap.push(Extraction::agg_var(idx));
+    }
+    // Rename local __agg<i> variables to the accumulated indices. Renaming
+    // must go through temporaries to avoid collisions (e.g. local 0 → 1
+    // while local 1 → 0).
+    let mut out = local.residual;
+    for (i, target) in remap.iter().enumerate() {
+        let tmp = Sym::new(format!("__aggtmp{i}"));
+        out = ifaq_ir::vars::subst(&out, &Extraction::agg_var(i), &ifaq_ir::Expr::Var(tmp));
+        let _ = target;
+    }
+    for (i, target) in remap.iter().enumerate() {
+        let tmp = Sym::new(format!("__aggtmp{i}"));
+        out = ifaq_ir::vars::subst(&out, &tmp, &ifaq_ir::Expr::Var(target.clone()));
+    }
+    out
+}
+
+/// Removes program bindings (front to back) that no later expression uses —
+/// in particular the `Q` join definition once extraction eliminated every
+/// scan of it.
+fn prune_dead_lets(program: &Program, _q: &Sym) -> Program {
+    let mut out = program.clone();
+    loop {
+        let mut removed = false;
+        for i in 0..out.lets.len() {
+            let (name, _) = &out.lets[i];
+            let used_later = out.lets[i + 1..].iter().any(|(_, e)| occurs_free(name, e))
+                || occurs_free(name, &out.init)
+                || occurs_free(name, &out.cond)
+                || occurs_free(name, &out.step)
+                || occurs_free(name, &out.result);
+            if !used_later {
+                out.lets.remove(i);
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            return out;
+        }
+    }
+}
+
+fn scalar_type(t: ScalarType) -> Type {
+    match t {
+        ScalarType::Int => Type::Int,
+        ScalarType::Real => Type::Real,
+        ScalarType::Str => Type::Str,
+        ScalarType::Bool => Type::Bool,
+    }
+}
+
+/// `Q`'s S-IFAQ type: a dictionary from attribute records to integer
+/// multiplicities.
+pub fn query_type(attrs: &[(Sym, ScalarType)]) -> Type {
+    Type::dict(
+        Type::record(
+            attrs
+                .iter()
+                .map(|(n, t)| (n.clone(), scalar_type(*t)))
+                .collect::<Vec<_>>(),
+        ),
+        Type::Int,
+    )
+}
+
+impl Compiled {
+    /// Executes the compiled program over a star database: evaluates the
+    /// aggregate batch with the chosen physical layout (no join
+    /// materialization), binds the results, and interprets the residual
+    /// program (whose loop no longer touches the data).
+    pub fn execute(&self, db: &StarDb, layout_choice: Layout) -> Result<Value, PipelineError> {
+        let results = self.run_batch(db, layout_choice)?;
+        let mut env = Env::new();
+        for (i, v) in results.iter().enumerate() {
+            env.insert(Extraction::agg_var(i), Value::real(*v));
+        }
+        Interpreter::with_max_iterations(1_000_000)
+            .run(&env, &self.program)
+            .map_err(|e| PipelineError::Eval(e.to_string()))
+    }
+
+    /// Evaluates just the aggregate batch over the database.
+    pub fn run_batch(
+        &self,
+        db: &StarDb,
+        layout_choice: Layout,
+    ) -> Result<Vec<f64>, PipelineError> {
+        if self.batch.is_empty() {
+            return Ok(vec![]);
+        }
+        let catalog = db.catalog();
+        let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
+        let tree = JoinTree::build_with_root(&catalog, db.fact.name.as_str(), &dim_names)
+            .map_err(|e| PipelineError::JoinTree(e.to_string()))?;
+        let plan = ViewPlan::plan(&self.batch, &tree, &catalog)
+            .map_err(|e| PipelineError::Plan(e.to_string()))?;
+        let prep = layout::prepare(layout_choice, &plan, db);
+        Ok(layout::execute(layout_choice, &plan, db, &prep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_engine::star::running_example_star;
+    use ifaq_ir::Expr;
+    use ifaq_transform::highlevel::linear_regression_program;
+
+    fn compile_lr(iters: i64) -> (StarDb, Compiled) {
+        let db = running_example_star();
+        let program = linear_regression_program(
+            &["city", "price"],
+            "units",
+            Expr::var("Q"),
+            0.000001,
+            iters,
+        );
+        let opts = CompileOptions::for_star_db(&db);
+        // Q is data-sized; the loop scheduler needs only its cardinality.
+        let catalog = db.catalog().with_var_size("Q", db.fact_rows() as u64);
+        let compiled = Pipeline::new(catalog).compile(&program, &opts).unwrap();
+        (db, compiled)
+    }
+
+    #[test]
+    fn lr_compiles_to_dataless_loop_plus_batch() {
+        let (_, compiled) = compile_lr(10);
+        // The covar aggregates were extracted…
+        assert_eq!(compiled.batch.len(), 5, "covar entries cc, cp, pp + label interactions cu, pu");
+        // …and the program no longer mentions Q anywhere.
+        let all = format!(
+            "{}{}{}{}",
+            compiled
+                .program
+                .lets
+                .iter()
+                .map(|(n, e)| format!("{n}={e};"))
+                .collect::<String>(),
+            compiled.program.init,
+            compiled.program.step,
+            compiled.program.cond
+        );
+        assert!(!all.contains("dom(Q)"), "program still scans Q: {all}");
+        assert!(all.contains("__agg"), "program should reference batch results");
+        // High-level report saw the memoization fire.
+        assert!(compiled.stages.high_level_report.memoized >= 1);
+    }
+
+    #[test]
+    fn lr_executes_end_to_end() {
+        let (db, compiled) = compile_lr(5);
+        let theta = compiled.execute(&db, Layout::MergedHash).unwrap();
+        // θ is a record over the features with finite real entries.
+        match &theta {
+            Value::Record(fs) => {
+                assert_eq!(fs.len(), 2);
+                for (_, v) in fs {
+                    let x = v.as_f64().expect("numeric parameter");
+                    assert!(x.is_finite());
+                }
+            }
+            other => panic!("expected record, got {other}"),
+        }
+    }
+
+    #[test]
+    fn execution_is_layout_independent() {
+        let (db, compiled) = compile_lr(3);
+        let reference = compiled.execute(&db, Layout::Materialized).unwrap();
+        for &l in Layout::all() {
+            assert_eq!(compiled.execute(&db, l).unwrap(), reference, "{l}");
+        }
+    }
+
+    #[test]
+    fn gradient_descent_moves_parameters() {
+        let (db, compiled0) = compile_lr(0);
+        let (_, compiled10) = compile_lr(10);
+        let t0 = compiled0.execute(&db, Layout::MergedHash).unwrap();
+        let t10 = compiled10.execute(&db, Layout::MergedHash).unwrap();
+        assert_ne!(t0, t10, "iterations should change θ");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let db = running_example_star();
+        // A program whose loop step changes the state's type: int → string.
+        let program = ifaq_ir::parser::parse_program(
+            "x := 0;\nwhile (_iter < 2) { x := \"oops\" }\nx",
+        )
+        .unwrap();
+        let opts = CompileOptions::for_star_db(&db);
+        let err = Pipeline::new(db.catalog()).compile(&program, &opts).unwrap_err();
+        match err {
+            PipelineError::Type(e) => assert!(e.message.contains("loop step")),
+            other => panic!("expected type error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn expression_programs_compile_and_run() {
+        let db = running_example_star();
+        let program = ifaq_ir::parser::parse_program(
+            "sum(x in dom(Q)) Q(x) * x.units",
+        )
+        .unwrap();
+        let opts = CompileOptions::for_star_db(&db);
+        let compiled = Pipeline::new(db.catalog()).compile(&program, &opts).unwrap();
+        assert_eq!(compiled.batch.len(), 1);
+        let v = compiled.execute(&db, Layout::MergedHash).unwrap();
+        assert_eq!(v, Value::real(28.0));
+    }
+
+    #[test]
+    fn shared_aggregates_are_extracted_once_across_expressions() {
+        let db = running_example_star();
+        let program = ifaq_ir::parser::parse_program(
+            "let a = sum(x in dom(Q)) Q(x) * x.units;\n\
+             let b = sum(y in dom(Q)) Q(y) * y.units;\n\
+             a + b",
+        )
+        .unwrap();
+        let opts = CompileOptions::for_star_db(&db);
+        let compiled = Pipeline::new(db.catalog()).compile(&program, &opts).unwrap();
+        assert_eq!(compiled.batch.len(), 1, "identical aggregates share");
+        let v = compiled.execute(&db, Layout::MergedHash).unwrap();
+        assert_eq!(v, Value::real(56.0));
+    }
+}

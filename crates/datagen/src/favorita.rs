@@ -1,0 +1,224 @@
+//! Favorita-shaped synthetic dataset.
+//!
+//! Shape (Table 1: 5 relations, 6 continuous attributes):
+//!
+//! ```text
+//! Sales(item, store, date, onpromotion, unit_sales)   -- fact
+//! Items(item, perishable)                             -- dim on item
+//! Stores(store, cluster)                              -- dim on store
+//! Oil(date, oilprice)                                 -- dim on date
+//! Holiday(date, holiday)                              -- dim on date
+//! ```
+//!
+//! `unit_sales` is the label; the five remaining continuous attributes are
+//! the features. Fact rows are generated in date order with skewed
+//! item/store frequencies; the label is a noisy linear function of the
+//! features so regression models have signal to find.
+
+use crate::Dataset;
+use ifaq_engine::{Dim, StarDb};
+use ifaq_storage::{ColRelation, Column};
+use ifaq_ir::Sym;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a skewed index in `0..n` (small indices much more frequent),
+/// approximating the Zipf-like key frequencies of retail data.
+pub(crate) fn skewed_index(rng: &mut StdRng, n: usize) -> i64 {
+    let u: f64 = rng.gen();
+    ((u * u) * n as f64).min(n as f64 - 1.0) as i64
+}
+
+/// Generates the Favorita-shaped dataset with `n_fact` sales rows.
+pub fn favorita(n_fact: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_items = (n_fact / 20).clamp(10, 4_000);
+    let n_stores = (n_fact / 500).clamp(4, 60);
+    // Rows per (store, date) group mirror the real data's ratio (~10³
+    // sales per store-day), which is what the trie layouts exploit.
+    let n_dates = (n_fact / 1_000).clamp(20, 1_700);
+
+    // Dimensions.
+    let perishable: Vec<f64> = (0..n_items).map(|_| rng.gen_range(0..2) as f64).collect();
+    let cluster: Vec<f64> = (0..n_stores).map(|_| rng.gen_range(1..18) as f64).collect();
+    let oilprice: Vec<f64> = {
+        // A slow random walk, like the real WTI price series.
+        let mut p: f64 = 45.0;
+        (0..n_dates)
+            .map(|_| {
+                p += rng.gen_range(-1.0..1.0);
+                p = p.clamp(25.0, 110.0);
+                p
+            })
+            .collect()
+    };
+    let holiday: Vec<f64> = (0..n_dates)
+        .map(|_| if rng.gen_bool(0.08) { 1.0 } else { 0.0 })
+        .collect();
+
+    let items = ColRelation::new(
+        "Items",
+        vec![Sym::new("item"), Sym::new("perishable")],
+        vec![
+            Column::I64((0..n_items as i64).collect()),
+            Column::F64(perishable.clone()),
+        ],
+    );
+    let stores = ColRelation::new(
+        "Stores",
+        vec![Sym::new("store"), Sym::new("cluster")],
+        vec![
+            Column::I64((0..n_stores as i64).collect()),
+            Column::F64(cluster.clone()),
+        ],
+    );
+    let oil = ColRelation::new(
+        "Oil",
+        vec![Sym::new("date"), Sym::new("oilprice")],
+        vec![
+            Column::I64((0..n_dates as i64).collect()),
+            Column::F64(oilprice.clone()),
+        ],
+    );
+    let hol = ColRelation::new(
+        "Holiday",
+        vec![Sym::new("date"), Sym::new("holiday")],
+        vec![
+            Column::I64((0..n_dates as i64).collect()),
+            Column::F64(holiday.clone()),
+        ],
+    );
+
+    // Fact table, in date order (the train/test split cuts the tail).
+    let mut item_col = Vec::with_capacity(n_fact);
+    let mut store_col = Vec::with_capacity(n_fact);
+    let mut date_col = Vec::with_capacity(n_fact);
+    let mut promo_col = Vec::with_capacity(n_fact);
+    let mut sales_col = Vec::with_capacity(n_fact);
+    for row in 0..n_fact {
+        let date = (row * n_dates / n_fact) as i64;
+        let item = skewed_index(&mut rng, n_items);
+        let store = skewed_index(&mut rng, n_stores);
+        let promo = if rng.gen_bool(0.15) { 1.0 } else { 0.0 };
+        let noise: f64 = rng.gen_range(-1.0..1.0);
+        let sales = 4.0 + 6.0 * promo + 1.5 * perishable[item as usize]
+            + 0.2 * cluster[store as usize]
+            + 0.05 * oilprice[date as usize]
+            + 2.0 * holiday[date as usize]
+            + noise;
+        item_col.push(item);
+        store_col.push(store);
+        date_col.push(date);
+        promo_col.push(promo);
+        sales_col.push(sales.max(0.0));
+    }
+    let fact = ColRelation::new(
+        "Sales",
+        vec![
+            Sym::new("item"),
+            Sym::new("store"),
+            Sym::new("date"),
+            Sym::new("onpromotion"),
+            Sym::new("unit_sales"),
+        ],
+        vec![
+            Column::I64(item_col),
+            Column::I64(store_col),
+            Column::I64(date_col),
+            Column::F64(promo_col),
+            Column::F64(sales_col),
+        ],
+    );
+
+    let db = StarDb::new(
+        fact,
+        vec![
+            Dim::new(items, "item"),
+            Dim::new(stores, "store"),
+            Dim::new(oil, "date"),
+            Dim::new(hol, "date"),
+        ],
+    );
+    Dataset {
+        name: "favorita",
+        db,
+        features: vec![
+            "onpromotion".into(),
+            "perishable".into(),
+            "cluster".into(),
+            "oilprice".into(),
+            "holiday".into(),
+        ],
+        label: "unit_sales".into(),
+        test_fraction: 0.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let ds = favorita(10_000, 42);
+        // 5 relations.
+        assert_eq!(ds.relation_names().len(), 5);
+        // 6 continuous attributes: 5 features + label.
+        assert_eq!(ds.features.len() + 1, 6);
+        assert_eq!(ds.db.fact_rows(), 10_000);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = favorita(1_000, 7);
+        let b = favorita(1_000, 7);
+        assert_eq!(a.db.fact, b.db.fact);
+        let c = favorita(1_000, 8);
+        assert_ne!(a.db.fact, c.db.fact);
+    }
+
+    #[test]
+    fn join_is_lossless_for_valid_keys() {
+        let ds = favorita(2_000, 3);
+        // All keys reference existing dimension rows, so the join keeps
+        // every fact row.
+        assert_eq!(ds.db.materialize().rows, 2_000);
+    }
+
+    #[test]
+    fn dates_are_nondecreasing() {
+        let ds = favorita(2_000, 3);
+        let dates = ds.db.fact.column("date").unwrap().as_i64().unwrap();
+        assert!(dates.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn keys_are_skewed() {
+        let ds = favorita(20_000, 1);
+        let items = ds.db.fact.column("item").unwrap().as_i64().unwrap();
+        let n_items = ds.db.dims[0].rel.len() as i64;
+        // The lower quarter of the key space should collect more than
+        // its proportional share of rows (u² skew ⇒ half the mass).
+        let low = items.iter().filter(|&&i| i < n_items / 4).count();
+        assert!(low > items.len() / 3, "low-key rows: {low}");
+    }
+
+    #[test]
+    fn label_correlates_with_promo() {
+        let ds = favorita(20_000, 5);
+        let m = ds.db.materialize();
+        let (promo, sales) = (m.col("onpromotion").unwrap(), m.col("unit_sales").unwrap());
+        let (mut s1, mut n1, mut s0, mut n0) = (0.0, 0, 0.0, 0);
+        for i in 0..m.rows {
+            let row = m.row(i);
+            if row[promo] > 0.5 {
+                s1 += row[sales];
+                n1 += 1;
+            } else {
+                s0 += row[sales];
+                n0 += 1;
+            }
+        }
+        assert!(s1 / n1 as f64 > s0 / n0 as f64 + 3.0);
+    }
+}

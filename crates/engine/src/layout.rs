@@ -1,0 +1,160 @@
+//! Named physical layouts (§4.4 data-layout synthesis) and a uniform
+//! dispatcher, used by the benchmark harness to sweep the optimization
+//! ladders of Figures 7a and 7b.
+
+use crate::physical;
+use crate::star::StarDb;
+use ifaq_query::ViewPlan;
+use std::fmt;
+
+/// A physical execution layout for aggregate batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Materialize the join, then aggregate (the conventional pipeline).
+    Materialized,
+    /// Per-aggregate pushed-down views, repeated scans (Fig. 7a start).
+    Pushdown,
+    /// Boxed records in ordered dictionaries (Fig. 7b "Scala" point).
+    BoxedRecords,
+    /// Boxed keys, unboxed payload vectors (Fig. 7b "Record Removal").
+    BoxedScalars,
+    /// Native hash views, fused multi-aggregate scan (Fig. 7a "Merged
+    /// Views + Multi Aggregate", Fig. 7b "C++ and Mem Mgt").
+    MergedHash,
+    /// Fact-trie grouping with per-group view lookups (Fig. 7a
+    /// "Dictionary to Trie").
+    Trie,
+    /// Dense key-indexed view arrays (Fig. 7b "Dictionary to Array").
+    Array,
+    /// Sorted fact + merge-pointer lookups (Fig. 7b "Sorted Trie").
+    SortedTrie,
+}
+
+impl Layout {
+    /// All layouts, in ladder order.
+    pub fn all() -> &'static [Layout] {
+        &[
+            Layout::Materialized,
+            Layout::Pushdown,
+            Layout::BoxedRecords,
+            Layout::BoxedScalars,
+            Layout::MergedHash,
+            Layout::Trie,
+            Layout::Array,
+            Layout::SortedTrie,
+        ]
+    }
+
+    /// The Figure 7a ladder.
+    pub fn fig7a() -> &'static [Layout] {
+        &[Layout::Pushdown, Layout::MergedHash, Layout::Trie]
+    }
+
+    /// The Figure 7b ladder.
+    pub fn fig7b() -> &'static [Layout] {
+        &[
+            Layout::BoxedRecords,
+            Layout::BoxedScalars,
+            Layout::MergedHash,
+            Layout::Array,
+            Layout::SortedTrie,
+        ]
+    }
+
+    /// Human-readable label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layout::Materialized => "materialize join + aggregate",
+            Layout::Pushdown => "pushed down aggregates",
+            Layout::BoxedRecords => "optimized aggregates, boxed (Scala-like)",
+            Layout::BoxedScalars => "record removal",
+            Layout::MergedHash => "merged views + multi-aggregate (native)",
+            Layout::Trie => "dictionary to trie",
+            Layout::Array => "dictionary to array",
+            Layout::SortedTrie => "sorted trie",
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Preprocessed index state (built outside the measured region, like the
+/// paper's assumption that relations are pre-indexed by join attributes).
+pub struct Prepared {
+    trie: Option<physical::FactTrie>,
+    sorted: Option<physical::SortedStar>,
+}
+
+/// Builds the preprocessing required by `layout` (if any).
+pub fn prepare(layout: Layout, plan: &ViewPlan, db: &StarDb) -> Prepared {
+    Prepared {
+        trie: (layout == Layout::Trie).then(|| physical::build_fact_trie(plan, db)),
+        sorted: (layout == Layout::SortedTrie).then(|| physical::build_sorted(plan, db)),
+    }
+}
+
+/// Executes the batch under the given layout.
+pub fn execute(layout: Layout, plan: &ViewPlan, db: &StarDb, prep: &Prepared) -> Vec<f64> {
+    match layout {
+        Layout::Materialized => physical::exec_materialized(plan, db),
+        Layout::Pushdown => physical::exec_pushdown(plan, db),
+        Layout::BoxedRecords => physical::exec_boxed_records(plan, db),
+        Layout::BoxedScalars => physical::exec_boxed_scalars(plan, db),
+        Layout::MergedHash => physical::exec_merged(plan, db),
+        Layout::Trie => {
+            physical::exec_trie(plan, db, prep.trie.as_ref().expect("prepare(Trie)"))
+        }
+        Layout::Array => physical::exec_array(plan, db),
+        Layout::SortedTrie => {
+            physical::exec_sorted(plan, db, prep.sorted.as_ref().expect("prepare(SortedTrie)"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::running_example_star;
+    use ifaq_query::batch::covar_batch;
+    use ifaq_query::JoinTree;
+
+    #[test]
+    fn every_layout_executes_and_agrees() {
+        let db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat)
+            .unwrap();
+        let reference = execute(
+            Layout::Materialized,
+            &plan,
+            &db,
+            &prepare(Layout::Materialized, &plan, &db),
+        );
+        for &layout in Layout::all() {
+            let prep = prepare(layout, &plan, &db);
+            let got = execute(layout, &plan, &db, &prep);
+            for (a, b) in reference.iter().zip(&got) {
+                assert!((a - b).abs() < 1e-9, "{layout}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ladders_are_subsets_of_all() {
+        for l in Layout::fig7a().iter().chain(Layout::fig7b()) {
+            assert!(Layout::all().contains(l));
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            Layout::all().iter().map(|l| l.label()).collect();
+        assert_eq!(labels.len(), Layout::all().len());
+    }
+}

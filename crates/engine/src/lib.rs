@@ -1,0 +1,35 @@
+//! Execution engines for IFAQ programs and aggregate batches.
+//!
+//! Two execution paths, mirroring the paper's measurement setup:
+//!
+//! * [`interp`] — a tree-walking interpreter for D-IFAQ/S-IFAQ expressions
+//!   and programs over boxed [`ifaq_storage::Value`]s. This is the
+//!   reference semantics: every optimization stage is validated by
+//!   interpreting before/after expressions, and the Figure 6 high-level
+//!   micro-benchmarks run on it.
+//! * [`physical`] — specialized executors for aggregate batches over a
+//!   star-schema columnar database ([`star::StarDb`]), one per rung of the
+//!   paper's optimization ladders:
+//!
+//!   | Executor | Paper point |
+//!   |----------|-------------|
+//!   | [`physical::exec_materialized`] | baseline: materialize the join, then aggregate |
+//!   | [`physical::exec_pushdown`] | Fig. 7a "Pushed Down Aggregates" (one view set per aggregate, repeated scans) |
+//!   | [`physical::exec_boxed_records`] | Fig. 7b "Optimized Aggregates Compiled to Scala" (boxed records in ordered dictionaries) |
+//!   | [`physical::exec_boxed_scalars`] | Fig. 7b "Record Removal" (boxed keys, unboxed payload vectors) |
+//!   | [`physical::exec_merged`] | Fig. 7a "Merged Views + Multi Aggregate" / Fig. 7b "Compilation to C++ and Mem Mgt" (native hash views, fused scan) |
+//!   | [`physical::exec_trie`] | Fig. 7a "Dictionary to Trie" (factorized per-group lookups) |
+//!   | [`physical::exec_array`] | Fig. 7b "Dictionary to Array" (dense key-indexed views) |
+//!   | [`physical::exec_sorted`] | Fig. 7b "Sorted Trie" (sorted fact + merge-pointer view lookups) |
+//!
+//! All executors compute the same batch results; cross-engine equivalence
+//! is property-tested.
+
+pub mod interp;
+pub mod layout;
+pub mod physical;
+pub mod star;
+
+pub use interp::{eval_expr, eval_program, Env, Interpreter};
+pub use layout::Layout;
+pub use star::{Dim, StarDb, TrainMatrix};

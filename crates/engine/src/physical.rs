@@ -1,0 +1,1017 @@
+//! Physical executors for aggregate batches — the paper's optimization
+//! ladders (Figures 7a and 7b) as concrete engines.
+//!
+//! Every executor computes the same batch results (`Vec<f64>` aligned with
+//! the planned batch); they differ in data layout and loop structure. See
+//! the crate docs for the mapping to the paper's measurement points.
+
+use crate::star::{Dim, StarDb};
+use ifaq_query::plan::{DimView, Payload, ViewPlan};
+use ifaq_query::Predicate;
+use ifaq_storage::{Column, Dict, Value};
+use std::collections::HashMap;
+
+/// Resolved references binding a planned dimension view to the physical
+/// dimension relation and the fact table's key column.
+struct BoundDim<'a> {
+    dim: &'a Dim,
+    view: &'a DimView,
+    fact_keys: &'a [i64],
+}
+
+fn bind_dims<'a>(plan: &'a ViewPlan, db: &'a StarDb) -> Vec<BoundDim<'a>> {
+    plan.dims
+        .iter()
+        .map(|view| {
+            assert_eq!(
+                view.key_attrs.len(),
+                1,
+                "physical engines require single-attribute join keys"
+            );
+            let dim = db
+                .dims
+                .iter()
+                .find(|d| d.rel.name == view.relation)
+                .unwrap_or_else(|| panic!("dimension `{}` not in database", view.relation));
+            let fact_keys = db
+                .fact
+                .column(view.key_attrs[0].as_str())
+                .expect("fact join key column")
+                .as_i64()
+                .expect("fact join key must be integer");
+            BoundDim { dim, view, fact_keys }
+        })
+        .collect()
+}
+
+/// Evaluates one payload for dimension row `j`.
+fn payload_value(dim: &Dim, payload: &Payload, j: usize) -> f64 {
+    for p in &payload.filter {
+        let col = dim.rel.column(p.attr.as_str()).expect("filter column");
+        if !p.eval(col.get_f64(j)) {
+            return 0.0;
+        }
+    }
+    let mut v = 1.0;
+    for f in &payload.factors {
+        let col = dim.rel.column(f.as_str()).expect("payload factor column");
+        v *= col.get_f64(j);
+    }
+    v
+}
+
+/// Builds the merged view of one dimension: key → payload vector.
+fn build_merged_view(b: &BoundDim) -> HashMap<i64, Vec<f64>> {
+    let keys = b
+        .dim
+        .rel
+        .column(b.view.key_attrs[0].as_str())
+        .expect("dim key column")
+        .as_i64()
+        .expect("dim key must be integer");
+    let mut out: HashMap<i64, Vec<f64>> = HashMap::with_capacity(keys.len());
+    for (j, &k) in keys.iter().enumerate() {
+        let entry = out
+            .entry(k)
+            .or_insert_with(|| vec![0.0; b.view.payloads.len()]);
+        for (pi, p) in b.view.payloads.iter().enumerate() {
+            entry[pi] += payload_value(b.dim, p, j);
+        }
+    }
+    out
+}
+
+/// Per-row fact factor product with δ filters, shared by all executors.
+#[derive(Clone)]
+struct FactAccess<'a> {
+    factor_cols: Vec<&'a Column>,
+    filter_cols: Vec<(&'a Column, &'a Predicate)>,
+}
+
+impl<'a> FactAccess<'a> {
+    fn bind(plan: &'a ViewPlan, db: &'a StarDb) -> Vec<FactAccess<'a>> {
+        plan.terms
+            .iter()
+            .map(|t| FactAccess {
+                factor_cols: t
+                    .fact_factors
+                    .iter()
+                    .map(|f| db.fact.column(f.as_str()).expect("fact factor column"))
+                    .collect(),
+                filter_cols: t
+                    .fact_filter
+                    .iter()
+                    .map(|p| {
+                        (db.fact.column(p.attr.as_str()).expect("fact filter column"), p)
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn eval(&self, i: usize) -> f64 {
+        for (col, p) in &self.filter_cols {
+            if !p.eval(col.get_f64(i)) {
+                return 0.0;
+            }
+        }
+        let mut v = 1.0;
+        for c in &self.factor_cols {
+            v *= c.get_f64(i);
+        }
+        v
+    }
+}
+
+/// Terms sharing an identical fact-local program (same factors and
+/// filters) evaluate it once per row. In wide covar batches most
+/// aggregates touch only dimension attributes, so their fact-local value
+/// is the constant 1 — deduplication shrinks per-row work dramatically.
+fn signature_map(plan: &ViewPlan) -> (Vec<usize>, Vec<usize>) {
+    // Returns (term → signature index, representative term per signature).
+    let mut sig_of = Vec::with_capacity(plan.terms.len());
+    let mut reps: Vec<usize> = Vec::new();
+    for (t, term) in plan.terms.iter().enumerate() {
+        let found = reps.iter().position(|&r| {
+            plan.terms[r].fact_factors == term.fact_factors
+                && plan.terms[r].fact_filter == term.fact_filter
+        });
+        match found {
+            Some(s) => sig_of.push(s),
+            None => {
+                reps.push(t);
+                sig_of.push(reps.len() - 1);
+            }
+        }
+    }
+    (sig_of, reps)
+}
+
+/// Baseline: materialize the join, then aggregate over the dense matrix.
+pub fn exec_materialized(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    let m = db.materialize();
+    batch_over_matrix(&m, plan)
+}
+
+/// Computes the batch over an already-materialized training matrix. Also
+/// used by the baseline (scikit-like) learners.
+pub fn batch_over_matrix(m: &crate::star::TrainMatrix, plan: &ViewPlan) -> Vec<f64> {
+    let mut results = vec![0.0; plan.terms.len()];
+    // Resolve every factor/filter to a matrix column; a term's factors are
+    // the union of its fact factors and its dimensions' payload factors.
+    struct Cols {
+        factors: Vec<usize>,
+        filters: Vec<(usize, Predicate)>,
+    }
+    let cols: Vec<Cols> = plan
+        .terms
+        .iter()
+        .map(|t| {
+            let mut factors: Vec<usize> = t
+                .fact_factors
+                .iter()
+                .map(|f| m.col(f.as_str()).expect("matrix column"))
+                .collect();
+            let mut filters: Vec<(usize, Predicate)> = t
+                .fact_filter
+                .iter()
+                .map(|p| (m.col(p.attr.as_str()).expect("matrix column"), p.clone()))
+                .collect();
+            for (di, &pi) in t.dim_payload.iter().enumerate() {
+                let payload = &plan.dims[di].payloads[pi];
+                for f in &payload.factors {
+                    factors.push(m.col(f.as_str()).expect("matrix column"));
+                }
+                for p in &payload.filter {
+                    filters.push((m.col(p.attr.as_str()).expect("matrix column"), p.clone()));
+                }
+            }
+            Cols { factors, filters }
+        })
+        .collect();
+    for i in 0..m.rows {
+        let row = m.row(i);
+        'term: for (t, c) in cols.iter().enumerate() {
+            for (ci, p) in &c.filters {
+                if !p.eval(row[*ci]) {
+                    continue 'term;
+                }
+            }
+            let mut v = 1.0;
+            for &ci in &c.factors {
+                v *= row[ci];
+            }
+            results[t] += v;
+        }
+    }
+    results
+}
+
+/// Fig. 7a "Pushed Down Aggregates": one view set *per aggregate*, so each
+/// dimension is scanned once per aggregate and the fact table is scanned
+/// once per aggregate.
+pub fn exec_pushdown(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    let n = db.fact.len();
+    let mut results = vec![0.0; plan.terms.len()];
+    for (t, term) in plan.terms.iter().enumerate() {
+        // Per-aggregate single-payload views (no sharing).
+        let views: Vec<HashMap<i64, f64>> = bounds
+            .iter()
+            .zip(&term.dim_payload)
+            .map(|(b, &pi)| {
+                let keys = b
+                    .dim
+                    .rel
+                    .column(b.view.key_attrs[0].as_str())
+                    .expect("dim key column")
+                    .as_i64()
+                    .expect("dim key");
+                let payload = &b.view.payloads[pi];
+                let mut out: HashMap<i64, f64> = HashMap::with_capacity(keys.len());
+                for (j, &k) in keys.iter().enumerate() {
+                    *out.entry(k).or_insert(0.0) += payload_value(b.dim, payload, j);
+                }
+                out
+            })
+            .collect();
+        let mut acc = 0.0;
+        'row: for i in 0..n {
+            let mut v = fact_access[t].eval(i);
+            if v == 0.0 {
+                continue;
+            }
+            for (b, view) in bounds.iter().zip(&views) {
+                match view.get(&b.fact_keys[i]) {
+                    Some(&p) => v *= p,
+                    None => continue 'row,
+                }
+            }
+            acc += v;
+        }
+        results[t] = acc;
+    }
+    results
+}
+
+/// Fig. 7a "Merged Views + Multi Aggregate" / Fig. 7b "Compilation to C++
+/// and Mem Mgt": one merged view per dimension, one fused fact scan
+/// computing every aggregate.
+pub fn exec_merged(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    let views: Vec<HashMap<i64, Vec<f64>>> = bounds.iter().map(build_merged_view).collect();
+    let n = db.fact.len();
+    let mut results = vec![0.0; plan.terms.len()];
+    let mut payload_refs: Vec<&[f64]> = Vec::with_capacity(bounds.len());
+    'row: for i in 0..n {
+        payload_refs.clear();
+        for (b, view) in bounds.iter().zip(&views) {
+            match view.get(&b.fact_keys[i]) {
+                Some(p) => payload_refs.push(p),
+                None => continue 'row,
+            }
+        }
+        for (t, term) in plan.terms.iter().enumerate() {
+            let mut v = fact_access[t].eval(i);
+            if v == 0.0 {
+                continue;
+            }
+            for (di, &pi) in term.dim_payload.iter().enumerate() {
+                v *= payload_refs[di][pi];
+            }
+            results[t] += v;
+        }
+    }
+    results
+}
+
+/// Level analysis shared by the trie and sorted executors: the distinct
+/// fact key *columns* (several dimensions may join on the same column,
+/// e.g. Oil and Holiday both on `date`), ordered by ascending dimension
+/// cardinality and split into a *hoistable prefix* — levels whose group
+/// count stays well below the row count, so per-group work amortizes —
+/// and a per-row *remainder*.
+struct KeyPlan {
+    /// Prefix levels: (fact key column name, dims served by this level).
+    prefix: Vec<(ifaq_ir::Sym, Vec<usize>)>,
+    /// Dims looked up per row (high-cardinality keys).
+    remainder: Vec<usize>,
+    /// Representative term per signature.
+    sig_reps: Vec<usize>,
+    /// Term → row-program index. A *row program* is the per-row part of a
+    /// term: its fact-local signature plus its payload choices at the
+    /// per-row (remainder) dimensions. In wide covar batches most terms
+    /// differ only in group-constant payloads and share a row program, so
+    /// the per-row inner loop shrinks from |batch| to a few dozen entries
+    /// — this is the factorized computation structure of Example 4.11.
+    rowprog_of: Vec<usize>,
+    /// Distinct row programs: (signature index, remainder payload choices
+    /// parallel to `remainder`).
+    rowprogs: Vec<(usize, Vec<usize>)>,
+}
+
+fn key_plan(plan: &ViewPlan, db: &StarDb) -> KeyPlan {
+    let bounds = bind_dims(plan, db);
+    let rows = db.fact.len().max(1);
+    // Group dims by fact key column.
+    let mut columns: Vec<(ifaq_ir::Sym, usize, Vec<usize>)> = Vec::new(); // (col, card, dims)
+    for (di, b) in bounds.iter().enumerate() {
+        let col = b.view.key_attrs[0].clone();
+        let card = b.dim.rel.len();
+        match columns.iter_mut().find(|(c, ..)| *c == col) {
+            Some((_, existing_card, dims)) => {
+                *existing_card = (*existing_card).min(card);
+                dims.push(di);
+            }
+            None => columns.push((col, card, vec![di])),
+        }
+    }
+    columns.sort_by_key(|(_, card, _)| *card);
+    let mut prefix = Vec::new();
+    let mut remainder = Vec::new();
+    let mut groups: usize = 1;
+    for (col, card, dims) in columns {
+        let next = groups.saturating_mul(card.max(1));
+        if next <= rows / 2 && next > 0 {
+            groups = next;
+            prefix.push((col, dims));
+        } else {
+            remainder.extend(dims);
+        }
+    }
+    let (sig_of, sig_reps) = signature_map(plan);
+    let mut rowprogs: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut rowprog_of = Vec::with_capacity(plan.terms.len());
+    for (t, term) in plan.terms.iter().enumerate() {
+        let rem_payloads: Vec<usize> =
+            remainder.iter().map(|&di| term.dim_payload[di]).collect();
+        let key = (sig_of[t], rem_payloads);
+        match rowprogs.iter().position(|rp| *rp == key) {
+            Some(i) => rowprog_of.push(i),
+            None => {
+                rowprogs.push(key);
+                rowprog_of.push(rowprogs.len() - 1);
+            }
+        }
+    }
+    KeyPlan { prefix, remainder, sig_reps, rowprog_of, rowprogs }
+}
+
+/// A trie over the fact table, grouped by the low-cardinality join-key
+/// columns (the "Dictionary to Trie" representation, Example 4.11): one
+/// level per hoistable key column, with leaves holding the row groups.
+/// Build it once with [`build_fact_trie`]; the paper's setup likewise
+/// assumes relations are indexed by their join attributes beforehand.
+#[derive(Debug)]
+pub struct FactTrie {
+    prefix_cols: Vec<ifaq_ir::Sym>,
+    root: TrieNode,
+}
+
+#[derive(Debug)]
+enum TrieNode {
+    Leaf(Vec<u32>),
+    Node(HashMap<i64, TrieNode>),
+}
+
+/// Builds the fact trie for `plan` over `db`.
+pub fn build_fact_trie(plan: &ViewPlan, db: &StarDb) -> FactTrie {
+    let kp = key_plan(plan, db);
+    let key_cols: Vec<&[i64]> = kp
+        .prefix
+        .iter()
+        .map(|(c, _)| db.fact.column(c.as_str()).expect("key column").as_i64().expect("int key"))
+        .collect();
+    let all: Vec<u32> = (0..db.fact.len() as u32).collect();
+    fn build(rows: &[u32], level: usize, key_cols: &[&[i64]]) -> TrieNode {
+        if level == key_cols.len() {
+            return TrieNode::Leaf(rows.to_vec());
+        }
+        let keys = key_cols[level];
+        let mut groups: HashMap<i64, Vec<u32>> = HashMap::new();
+        for &r in rows {
+            groups.entry(keys[r as usize]).or_default().push(r);
+        }
+        TrieNode::Node(
+            groups
+                .into_iter()
+                .map(|(k, rs)| (k, build(&rs, level + 1, key_cols)))
+                .collect(),
+        )
+    }
+    FactTrie {
+        prefix_cols: kp.prefix.iter().map(|(c, _)| c.clone()).collect(),
+        root: build(&all, 0, &key_cols),
+    }
+}
+
+/// Fig. 7a "Dictionary to Trie": iterate the fact trie level by level,
+/// looking up the payload vectors of every dimension keyed at that level
+/// *once per group* and factorizing them out of the per-row inner loop;
+/// high-cardinality dimensions are looked up per row as before.
+pub fn exec_trie(plan: &ViewPlan, db: &StarDb, trie: &FactTrie) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    let views: Vec<HashMap<i64, Vec<f64>>> = bounds.iter().map(build_merged_view).collect();
+    let kp = key_plan(plan, db);
+    debug_assert_eq!(
+        kp.prefix.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>(),
+        trie.prefix_cols,
+        "trie was built for a different plan"
+    );
+    let nterms = plan.terms.len();
+    let mut results = vec![0.0; nterms];
+    let mut hoisted: Vec<Option<&[f64]>> = vec![None; bounds.len()];
+    let mut local = vec![0.0; kp.rowprogs.len().max(nterms)];
+    walk(
+        &trie.root,
+        0,
+        &kp,
+        &bounds,
+        &views,
+        &fact_access,
+        plan,
+        &mut hoisted,
+        &mut local,
+        &mut results,
+    );
+    return results;
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk<'a>(
+        node: &TrieNode,
+        level: usize,
+        kp: &KeyPlan,
+        bounds: &[BoundDim<'_>],
+        views: &'a [HashMap<i64, Vec<f64>>],
+        fact_access: &[FactAccess<'_>],
+        plan: &ViewPlan,
+        hoisted: &mut Vec<Option<&'a [f64]>>,
+        local: &mut [f64],
+        results: &mut [f64],
+    ) {
+        match node {
+            TrieNode::Node(children) => {
+                let dims = &kp.prefix[level].1;
+                'child: for (k, child) in children {
+                    for &di in dims {
+                        match views[di].get(k) {
+                            Some(p) => hoisted[di] = Some(p),
+                            None => continue 'child, // inner join drops group
+                        }
+                    }
+                    walk(
+                        child, level + 1, kp, bounds, views, fact_access, plan, hoisted,
+                        local, results,
+                    );
+                }
+            }
+            TrieNode::Leaf(rows) => {
+                local.iter_mut().for_each(|v| *v = 0.0);
+                let mut sigval = vec![0.0; kp.sig_reps.len()];
+                'row: for &r in rows {
+                    let i = r as usize;
+                    // Per-row lookups for the high-cardinality dims.
+                    for &di in &kp.remainder {
+                        match views[di].get(&bounds[di].fact_keys[i]) {
+                            Some(p) => hoisted[di] = Some(p),
+                            None => continue 'row,
+                        }
+                    }
+                    // One fact-local evaluation per distinct signature…
+                    for (s, &rep) in kp.sig_reps.iter().enumerate() {
+                        sigval[s] = fact_access[rep].eval(i);
+                    }
+                    // …and one accumulation per distinct row program.
+                    for (rp, (sig, rem)) in kp.rowprogs.iter().enumerate() {
+                        let mut v = sigval[*sig];
+                        if v == 0.0 {
+                            continue;
+                        }
+                        for (ri, &di) in kp.remainder.iter().enumerate() {
+                            v *= hoisted[di].expect("set above")[rem[ri]];
+                        }
+                        local[rp] += v;
+                    }
+                }
+                // Group-constant payloads multiply once per term.
+                for (t, term) in plan.terms.iter().enumerate() {
+                    let mut v = local[kp.rowprog_of[t]];
+                    if v == 0.0 {
+                        continue;
+                    }
+                    for (_, dims) in &kp.prefix {
+                        for &di in dims {
+                            v *= hoisted[di].expect("prefix payload")[term.dim_payload[di]];
+                        }
+                    }
+                    results[t] += v;
+                }
+            }
+        }
+    }
+}
+
+/// A merged view stored as a dense key-indexed array: row-major
+/// `[key * width + payload]` plus a presence mask (the "Dictionary to
+/// Array" layout; valid because the generators produce compact
+/// non-negative integer keys).
+struct DenseView {
+    width: usize,
+    data: Vec<f64>,
+    present: Vec<bool>,
+}
+
+impl DenseView {
+    /// Base offset of `key`'s payload row, or `None` when absent.
+    #[inline]
+    fn base_of(&self, key: i64) -> Option<usize> {
+        if key < 0 || key as usize >= self.present.len() || !self.present[key as usize] {
+            None
+        } else {
+            Some(key as usize * self.width)
+        }
+    }
+}
+
+fn build_dense_view(b: &BoundDim) -> DenseView {
+    let keys = b
+        .dim
+        .rel
+        .column(b.view.key_attrs[0].as_str())
+        .expect("dim key column")
+        .as_i64()
+        .expect("dim key");
+    let max_key = keys.iter().copied().max().unwrap_or(0);
+    assert!(max_key >= 0, "array layout requires non-negative keys");
+    let width = b.view.payloads.len();
+    let mut data = vec![0.0; (max_key as usize + 1) * width];
+    let mut present = vec![false; max_key as usize + 1];
+    for (j, &k) in keys.iter().enumerate() {
+        present[k as usize] = true;
+        for (pi, p) in b.view.payloads.iter().enumerate() {
+            data[k as usize * width + pi] += payload_value(b.dim, p, j);
+        }
+    }
+    DenseView { width, data, present }
+}
+
+/// Fig. 7b "Dictionary to Array": merged views stored as dense
+/// key-indexed arrays, removing hashing from the fact scan entirely.
+pub fn exec_array(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    let views: Vec<DenseView> = bounds.iter().map(build_dense_view).collect();
+    let n = db.fact.len();
+    let mut results = vec![0.0; plan.terms.len()];
+    let mut bases: Vec<usize> = vec![0; bounds.len()];
+    'row: for i in 0..n {
+        for (d, (b, view)) in bounds.iter().zip(&views).enumerate() {
+            match view.base_of(b.fact_keys[i]) {
+                Some(base) => bases[d] = base,
+                None => continue 'row,
+            }
+        }
+        for (t, term) in plan.terms.iter().enumerate() {
+            let mut v = fact_access[t].eval(i);
+            if v == 0.0 {
+                continue;
+            }
+            for (di, &pi) in term.dim_payload.iter().enumerate() {
+                v *= views[di].data[bases[di] + pi];
+            }
+            results[t] += v;
+        }
+    }
+    results
+}
+
+/// Preprocessed state for the sorted-trie executor: the fact table's row
+/// order sorted lexicographically by the hoistable key-column prefix
+/// (analogous to the paper's "relations are indexed by their join
+/// attributes" setup).
+#[derive(Debug)]
+pub struct SortedStar {
+    order: Vec<u32>,
+    prefix_cols: Vec<ifaq_ir::Sym>,
+}
+
+/// Sorts the fact table by the plan's hoistable key columns.
+pub fn build_sorted(plan: &ViewPlan, db: &StarDb) -> SortedStar {
+    let kp = key_plan(plan, db);
+    let key_cols: Vec<&[i64]> = kp
+        .prefix
+        .iter()
+        .map(|(c, _)| db.fact.column(c.as_str()).expect("key column").as_i64().expect("int key"))
+        .collect();
+    let mut order: Vec<u32> = (0..db.fact.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        for col in &key_cols {
+            match col[a as usize].cmp(&col[b as usize]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        a.cmp(&b)
+    });
+    SortedStar { order, prefix_cols: kp.prefix.into_iter().map(|(c, _)| c).collect() }
+}
+
+/// Fig. 7b "Sorted Trie": scan the fact table in key order. Group
+/// boundaries in the sorted prefix replace per-row hashing for the
+/// low-cardinality dimensions — their payloads refresh only when the key
+/// prefix changes and are factorized out of the per-group inner sums —
+/// while the high-cardinality dimensions use dense position-indexed view
+/// arrays. This composes the array layout with trie factorization, the
+/// paper's final and fastest rung.
+pub fn exec_sorted(plan: &ViewPlan, db: &StarDb, sorted: &SortedStar) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    let kp = key_plan(plan, db);
+    debug_assert_eq!(
+        kp.prefix.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>(),
+        sorted.prefix_cols,
+        "sorted order was built for a different plan"
+    );
+    let views: Vec<DenseView> = bounds.iter().map(build_dense_view).collect();
+    let nterms = plan.terms.len();
+    let mut results = vec![0.0; nterms];
+    let mut local = vec![0.0; kp.rowprogs.len().max(nterms)];
+    let mut sigval = vec![0.0; kp.sig_reps.len()];
+    let prefix_key_cols: Vec<&[i64]> = kp
+        .prefix
+        .iter()
+        .map(|(c, _)| db.fact.column(c.as_str()).expect("key column").as_i64().expect("int key"))
+        .collect();
+    let prefix_dims: Vec<usize> =
+        kp.prefix.iter().flat_map(|(_, ds)| ds.iter().copied()).collect();
+    let mut current: Vec<i64> = vec![i64::MIN; prefix_key_cols.len()];
+    let mut bases: Vec<usize> = vec![usize::MAX; bounds.len()];
+    // With no hoistable prefix the whole scan is one live group.
+    let mut group_ok = prefix_key_cols.is_empty();
+    let mut group_live = prefix_key_cols.is_empty();
+
+    let flush = |local: &mut [f64], bases: &[usize], results: &mut [f64]| {
+        for (t, term) in plan.terms.iter().enumerate() {
+            let mut v = local[kp.rowprog_of[t]];
+            if v == 0.0 {
+                continue;
+            }
+            for &di in &prefix_dims {
+                v *= views[di].data[bases[di] + term.dim_payload[di]];
+            }
+            results[t] += v;
+        }
+        local.iter_mut().for_each(|v| *v = 0.0);
+    };
+
+    for &r in &sorted.order {
+        let i = r as usize;
+        let changed = prefix_key_cols
+            .iter()
+            .enumerate()
+            .any(|(l, col)| col[i] != current[l]);
+        if changed {
+            if group_live && group_ok {
+                flush(&mut local, &bases, &mut results);
+            }
+            local.iter_mut().for_each(|v| *v = 0.0);
+            for (l, col) in prefix_key_cols.iter().enumerate() {
+                current[l] = col[i];
+            }
+            group_ok = true;
+            for &di in &prefix_dims {
+                let k = bounds[di].fact_keys[i];
+                match views[di].base_of(k) {
+                    Some(b) => bases[di] = b,
+                    None => {
+                        group_ok = false;
+                        break;
+                    }
+                }
+            }
+            group_live = true;
+        }
+        if !group_ok {
+            continue;
+        }
+        // Per-row dense lookups for the high-cardinality dims.
+        let mut row_ok = true;
+        for &di in &kp.remainder {
+            let k = bounds[di].fact_keys[i];
+            match views[di].base_of(k) {
+                Some(b) => bases[di] = b,
+                None => {
+                    row_ok = false;
+                    break;
+                }
+            }
+        }
+        if !row_ok {
+            continue;
+        }
+        for (s, &rep) in kp.sig_reps.iter().enumerate() {
+            sigval[s] = fact_access[rep].eval(i);
+        }
+        for (rp, (sig, rem)) in kp.rowprogs.iter().enumerate() {
+            let mut v = sigval[*sig];
+            if v == 0.0 {
+                continue;
+            }
+            for (ri, &di) in kp.remainder.iter().enumerate() {
+                v *= views[di].data[bases[di] + rem[ri]];
+            }
+            local[rp] += v;
+        }
+    }
+    if group_live && group_ok {
+        flush(&mut local, &bases, &mut results);
+    }
+    results
+}
+
+/// Fig. 7b "Optimized Aggregates Compiled to Scala": the merged-view
+/// algorithm executed over boxed values — record keys and record payloads
+/// in ordered dictionaries, accumulating through the generic ring
+/// operations. This models a managed-runtime implementation.
+pub fn exec_boxed_records(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    // Payload field names, precomputed per payload index.
+    let max_payloads = plan.dims.iter().map(|d| d.payloads.len()).max().unwrap_or(0);
+    let fields: Vec<ifaq_ir::Sym> =
+        (0..max_payloads).map(|pi| ifaq_ir::Sym::new(format!("p{pi}"))).collect();
+    // Views: Dict from {key_attr = k} records to records {p0 = …, p1 = …}.
+    let views: Vec<Dict> = bounds
+        .iter()
+        .map(|b| {
+            let keys = b
+                .dim
+                .rel
+                .column(b.view.key_attrs[0].as_str())
+                .expect("dim key column")
+                .as_i64()
+                .expect("dim key");
+            let key_attr = b.view.key_attrs[0].clone();
+            let mut view = Dict::new();
+            for (j, &k) in keys.iter().enumerate() {
+                let key = Value::record([(key_attr.clone(), Value::Int(k))]);
+                let payload = Value::record(
+                    b.view
+                        .payloads
+                        .iter()
+                        .enumerate()
+                        .map(|(pi, p)| {
+                            (fields[pi].clone(), Value::real(payload_value(b.dim, p, j)))
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                view.insert_add(key, payload).expect("payload add");
+            }
+            view
+        })
+        .collect();
+    let n = db.fact.len();
+    let mut results: Vec<Value> = vec![Value::real(0.0); plan.terms.len()];
+    'row: for i in 0..n {
+        let mut payload_recs: Vec<&Value> = Vec::with_capacity(bounds.len());
+        for (b, view) in bounds.iter().zip(&views) {
+            let key =
+                Value::record([(b.view.key_attrs[0].clone(), Value::Int(b.fact_keys[i]))]);
+            match view.get(&key) {
+                Some(p) => payload_recs.push(p),
+                None => continue 'row,
+            }
+        }
+        for (t, term) in plan.terms.iter().enumerate() {
+            let mut v = Value::real(fact_access[t].eval(i));
+            for (di, &pi) in term.dim_payload.iter().enumerate() {
+                let pv = payload_recs[di].get_field(&fields[pi]).expect("payload field");
+                v = v.mul(&pv).expect("boxed multiply");
+            }
+            results[t] = results[t].add(&v).expect("boxed add");
+        }
+    }
+    results.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect()
+}
+
+/// Fig. 7b "Record Removal": boxed dictionary keys remain, but the
+/// single-field key records are replaced by their field (scalar
+/// replacement) and payload records by flat `f64` vectors.
+pub fn exec_boxed_scalars(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    let views: Vec<std::collections::BTreeMap<Value, Vec<f64>>> = bounds
+        .iter()
+        .map(|b| {
+            let keys = b
+                .dim
+                .rel
+                .column(b.view.key_attrs[0].as_str())
+                .expect("dim key column")
+                .as_i64()
+                .expect("dim key");
+            let mut view: std::collections::BTreeMap<Value, Vec<f64>> = Default::default();
+            for (j, &k) in keys.iter().enumerate() {
+                let entry = view
+                    .entry(Value::Int(k))
+                    .or_insert_with(|| vec![0.0; b.view.payloads.len()]);
+                for (pi, p) in b.view.payloads.iter().enumerate() {
+                    entry[pi] += payload_value(b.dim, p, j);
+                }
+            }
+            view
+        })
+        .collect();
+    let n = db.fact.len();
+    let mut results = vec![0.0; plan.terms.len()];
+    'row: for i in 0..n {
+        let mut payload_refs: Vec<&[f64]> = Vec::with_capacity(bounds.len());
+        for (b, view) in bounds.iter().zip(&views) {
+            match view.get(&Value::Int(b.fact_keys[i])) {
+                Some(p) => payload_refs.push(p),
+                None => continue 'row,
+            }
+        }
+        for (t, term) in plan.terms.iter().enumerate() {
+            let mut v = fact_access[t].eval(i);
+            if v == 0.0 {
+                continue;
+            }
+            for (di, &pi) in term.dim_payload.iter().enumerate() {
+                v *= payload_refs[di][pi];
+            }
+            results[t] += v;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::running_example_star;
+    use ifaq_query::batch::{covar_batch, variance_batch, PredOp};
+    use ifaq_query::{JoinTree, Predicate, ViewPlan};
+
+    fn setup() -> (StarDb, ViewPlan) {
+        let db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let batch = covar_batch(&["city", "price"], "units");
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        (db, plan)
+    }
+
+    /// Hand-computed covar entries for the running example. Join rows
+    /// (units, city, price): (10,100,1.5) (5,200,1.5) (3,100,2.5)
+    /// (8,200,3.5) (2,200,2.5).
+    fn expected(plan: &ViewPlan) -> Vec<f64> {
+        let rows: [(f64, f64, f64); 5] = [
+            (10.0, 100.0, 1.5),
+            (5.0, 200.0, 1.5),
+            (3.0, 100.0, 2.5),
+            (8.0, 200.0, 3.5),
+            (2.0, 200.0, 2.5),
+        ];
+        let val = |name: &str, (u, c, p): (f64, f64, f64)| -> f64 {
+            match name {
+                "m_city_city" => c * c,
+                "m_city_price" => c * p,
+                "m_city_units" => c * u,
+                "m_price_price" => p * p,
+                "m_price_units" => p * u,
+                "m_units_units" => u * u,
+                "m_city" => c,
+                "m_price" => p,
+                "m_units" => u,
+                "count" => 1.0,
+                other => panic!("unexpected aggregate {other}"),
+            }
+        };
+        // Terms are ordered as in the batch used by setup(); recover names
+        // through the plan ordering assumption: covar_batch(&["city",
+        // "price"], "units") yields that exact order.
+        let names = [
+            "m_city_city",
+            "m_city_price",
+            "m_city_units",
+            "m_price_price",
+            "m_price_units",
+            "m_units_units",
+            "m_city",
+            "m_price",
+            "m_units",
+            "count",
+        ];
+        assert_eq!(plan.terms.len(), names.len());
+        names
+            .iter()
+            .map(|n| rows.iter().map(|r| val(n, *r)).sum())
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                "term {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialized_matches_hand_computation() {
+        let (db, plan) = setup();
+        assert_close(&exec_materialized(&plan, &db), &expected(&plan));
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let (db, plan) = setup();
+        let want = expected(&plan);
+        assert_close(&exec_pushdown(&plan, &db), &want);
+        assert_close(&exec_merged(&plan, &db), &want);
+        assert_close(&exec_boxed_records(&plan, &db), &want);
+        assert_close(&exec_boxed_scalars(&plan, &db), &want);
+        assert_close(&exec_array(&plan, &db), &want);
+        let trie = build_fact_trie(&plan, &db);
+        assert_close(&exec_trie(&plan, &db, &trie), &want);
+        let sorted = build_sorted(&plan, &db);
+        assert_close(&exec_sorted(&plan, &db, &sorted), &want);
+    }
+
+    #[test]
+    fn filtered_batch_respects_delta() {
+        let (db, _) = setup();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        // δ: price <= 2.0 — keeps rows with item 1 (price 1.5): units 10, 5.
+        let delta = vec![Predicate::new("price", PredOp::Le, 2.0)];
+        let batch = variance_batch("units", &delta);
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        let want = vec![100.0 + 25.0, 15.0, 2.0];
+        assert_close(&exec_merged(&plan, &db), &want);
+        assert_close(&exec_materialized(&plan, &db), &want);
+        assert_close(&exec_pushdown(&plan, &db), &want);
+        let trie = build_fact_trie(&plan, &db);
+        assert_close(&exec_trie(&plan, &db, &trie), &want);
+        let sorted = build_sorted(&plan, &db);
+        assert_close(&exec_sorted(&plan, &db, &sorted), &want);
+        assert_close(&exec_array(&plan, &db), &want);
+    }
+
+    #[test]
+    fn fact_filter_on_fact_attr() {
+        let (db, _) = setup();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let delta = vec![Predicate::new("units", PredOp::Gt, 4.0)];
+        let batch = variance_batch("units", &delta);
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        // Rows with units > 4: 10, 5, 8.
+        let want = vec![100.0 + 25.0 + 64.0, 23.0, 3.0];
+        assert_close(&exec_merged(&plan, &db), &want);
+        assert_close(&exec_sorted(&plan, &db, &build_sorted(&plan, &db)), &want);
+    }
+
+    #[test]
+    fn dangling_fact_keys_are_dropped_by_every_engine() {
+        let (mut db, plan) = setup();
+        // Append a fact row with a store key that has no dimension match.
+        db.fact = ifaq_storage::ColRelation::new(
+            "S",
+            db.fact.attrs.clone(),
+            vec![
+                Column::I64(vec![1, 1, 2, 3, 2, 1]),
+                Column::I64(vec![1, 2, 1, 2, 2, 99]),
+                Column::F64(vec![10.0, 5.0, 3.0, 8.0, 2.0, 77.0]),
+            ],
+        );
+        let want = exec_materialized(&plan, &db);
+        assert_close(&exec_merged(&plan, &db), &want);
+        assert_close(&exec_pushdown(&plan, &db), &want);
+        assert_close(&exec_array(&plan, &db), &want);
+        let trie = build_fact_trie(&plan, &db);
+        assert_close(&exec_trie(&plan, &db, &trie), &want);
+        let sorted = build_sorted(&plan, &db);
+        assert_close(&exec_sorted(&plan, &db, &sorted), &want);
+        assert_close(&exec_boxed_records(&plan, &db), &want);
+        assert_close(&exec_boxed_scalars(&plan, &db), &want);
+    }
+
+    #[test]
+    fn empty_fact_table() {
+        let (db, plan) = setup();
+        let db = db.take_fact(0);
+        let want = vec![0.0; plan.terms.len()];
+        assert_close(&exec_merged(&plan, &db), &want);
+        assert_close(&exec_materialized(&plan, &db), &want);
+        let sorted = build_sorted(&plan, &db);
+        assert_close(&exec_sorted(&plan, &db, &sorted), &want);
+    }
+}

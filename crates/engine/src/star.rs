@@ -1,0 +1,310 @@
+//! Star-schema columnar databases and join materialization.
+//!
+//! The physical engines operate on a [`StarDb`]: one columnar fact table
+//! plus dimension tables each joined on a single integer key. This is the
+//! shape of both evaluation datasets (Table 1): a sales/inventory fact
+//! table with item/store/date dimensions.
+//!
+//! [`StarDb::materialize`] computes the full project-join result as a
+//! dense row-major matrix — what the scikit-learn / TensorFlow pipelines
+//! must build before learning, and the input to the baseline learners.
+
+use ifaq_storage::{ColRelation, Column};
+use ifaq_ir::{Attribute, Catalog, RelSchema, ScalarType, Sym};
+use std::collections::HashMap;
+
+/// A dimension table: a columnar relation joined to the fact table on
+/// `key` (an integer attribute present in both).
+#[derive(Clone, Debug)]
+pub struct Dim {
+    /// The dimension relation.
+    pub rel: ColRelation,
+    /// Join key attribute.
+    pub key: Sym,
+}
+
+impl Dim {
+    /// Creates a dimension.
+    pub fn new(rel: ColRelation, key: impl Into<Sym>) -> Self {
+        Dim { rel, key: key.into() }
+    }
+
+    /// Builds a key → row-index map (unique keys assumed; later rows win).
+    pub fn key_index(&self) -> HashMap<i64, usize> {
+        let col = self
+            .rel
+            .column(self.key.as_str())
+            .expect("dimension key column")
+            .as_i64()
+            .expect("dimension key must be an integer column");
+        col.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+    }
+
+    /// Non-key attribute names.
+    pub fn payload_attrs(&self) -> Vec<Sym> {
+        self.rel
+            .attrs
+            .iter()
+            .filter(|a| **a != self.key)
+            .cloned()
+            .collect()
+    }
+}
+
+/// A star-schema database: fact table plus dimensions.
+#[derive(Clone, Debug)]
+pub struct StarDb {
+    /// Fact table.
+    pub fact: ColRelation,
+    /// Dimension tables.
+    pub dims: Vec<Dim>,
+}
+
+/// The materialized training matrix: dense row-major `f64` data over the
+/// listed attributes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainMatrix {
+    /// Column names.
+    pub attrs: Vec<Sym>,
+    /// Number of rows.
+    pub rows: usize,
+    /// Row-major data (`rows * attrs.len()` values).
+    pub data: Vec<f64>,
+}
+
+impl TrainMatrix {
+    /// Column index of `attr`.
+    pub fn col(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.as_str() == attr)
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let w = self.attrs.len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+impl StarDb {
+    /// Creates a star database.
+    pub fn new(fact: ColRelation, dims: Vec<Dim>) -> Self {
+        StarDb { fact, dims }
+    }
+
+    /// Number of fact tuples.
+    pub fn fact_rows(&self) -> usize {
+        self.fact.len()
+    }
+
+    /// Total tuples across all relations (Table 1's "Tuples of Database").
+    pub fn total_tuples(&self) -> usize {
+        self.fact.len() + self.dims.iter().map(|d| d.rel.len()).sum::<usize>()
+    }
+
+    /// Total bytes across all relations (Table 1's "Size of Database").
+    pub fn total_bytes(&self) -> usize {
+        self.fact.bytes() + self.dims.iter().map(|d| d.rel.bytes()).sum::<usize>()
+    }
+
+    /// A catalog describing this database (distinct counts estimated from
+    /// the data), for join-tree construction and planning.
+    pub fn catalog(&self) -> Catalog {
+        let mut cat = Catalog::new();
+        // Distinct counts are estimated from the key range (the generators
+        // use compact surrogate keys), which keeps catalog construction
+        // O(n) without sorting copies of every column.
+        let rel_schema = |rel: &ColRelation| -> RelSchema {
+            let attrs = rel
+                .attrs
+                .iter()
+                .zip(&rel.columns)
+                .map(|(name, col)| {
+                    let (ty, distinct) = match col {
+                        Column::I64(v) => {
+                            let min = v.iter().copied().min().unwrap_or(0);
+                            let max = v.iter().copied().max().unwrap_or(0);
+                            let range = (max - min + 1).max(1) as u64;
+                            (ScalarType::Int, range.min(v.len().max(1) as u64))
+                        }
+                        Column::F64(v) => (ScalarType::Real, v.len() as u64),
+                    };
+                    Attribute::new(name.clone(), ty, distinct.max(1))
+                })
+                .collect();
+            RelSchema::new(rel.name.clone(), attrs, rel.len() as u64)
+        };
+        cat.add_relation(rel_schema(&self.fact));
+        for d in &self.dims {
+            cat.add_relation(rel_schema(&d.rel));
+        }
+        cat
+    }
+
+    /// Restricts the fact table to its first `n` rows (scaled variants).
+    pub fn take_fact(&self, n: usize) -> StarDb {
+        StarDb { fact: self.fact.take(n), dims: self.dims.clone() }
+    }
+
+    /// Materializes the project-join: every fact row joined (inner) with
+    /// its dimension rows, producing all fact attributes followed by all
+    /// dimension payload attributes as dense `f64` columns.
+    pub fn materialize(&self) -> TrainMatrix {
+        let mut attrs: Vec<Sym> = self.fact.attrs.clone();
+        for d in &self.dims {
+            attrs.extend(d.payload_attrs());
+        }
+        let width = attrs.len();
+        let indexes: Vec<HashMap<i64, usize>> =
+            self.dims.iter().map(Dim::key_index).collect();
+        let fact_key_cols: Vec<&[i64]> = self
+            .dims
+            .iter()
+            .map(|d| {
+                self.fact
+                    .column(d.key.as_str())
+                    .expect("fact join key")
+                    .as_i64()
+                    .expect("fact join key must be integer")
+            })
+            .collect();
+        let dim_payload_cols: Vec<Vec<&Column>> = self
+            .dims
+            .iter()
+            .map(|d| {
+                d.payload_attrs()
+                    .iter()
+                    .map(|a| d.rel.column(a.as_str()).expect("payload column"))
+                    .collect()
+            })
+            .collect();
+
+        let n = self.fact.len();
+        let mut data = Vec::with_capacity(n * width);
+        let mut rows = 0;
+        'fact: for i in 0..n {
+            // Resolve all dimension rows first (inner join: skip on miss).
+            let mut dim_rows = Vec::with_capacity(self.dims.len());
+            for (d, keys) in indexes.iter().zip(&fact_key_cols) {
+                match d.get(&keys[i]) {
+                    Some(&j) => dim_rows.push(j),
+                    None => continue 'fact,
+                }
+            }
+            for c in &self.fact.columns {
+                data.push(c.get_f64(i));
+            }
+            for (cols, &j) in dim_payload_cols.iter().zip(&dim_rows) {
+                for c in cols {
+                    data.push(c.get_f64(j));
+                }
+            }
+            rows += 1;
+        }
+        TrainMatrix { attrs, rows, data }
+    }
+}
+
+/// Builds the running-example star database (§3.1) in columnar form:
+/// `S(item, store, units)` ⋈ `R(store, city)` ⋈ `I(item, price)`.
+pub fn running_example_star() -> StarDb {
+    let fact = ColRelation::new(
+        "S",
+        vec![Sym::new("item"), Sym::new("store"), Sym::new("units")],
+        vec![
+            Column::I64(vec![1, 1, 2, 3, 2]),
+            Column::I64(vec![1, 2, 1, 2, 2]),
+            Column::F64(vec![10.0, 5.0, 3.0, 8.0, 2.0]),
+        ],
+    );
+    let r = ColRelation::new(
+        "R",
+        vec![Sym::new("store"), Sym::new("city")],
+        vec![Column::I64(vec![1, 2]), Column::F64(vec![100.0, 200.0])],
+    );
+    let i = ColRelation::new(
+        "I",
+        vec![Sym::new("item"), Sym::new("price")],
+        vec![Column::I64(vec![1, 2, 3]), Column::F64(vec![1.5, 2.5, 3.5])],
+    );
+    StarDb::new(fact, vec![Dim::new(r, "store"), Dim::new(i, "item")])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materializes_running_example() {
+        let db = running_example_star();
+        let m = db.materialize();
+        assert_eq!(m.rows, 5);
+        assert_eq!(
+            m.attrs.iter().map(|a| a.as_str().to_string()).collect::<Vec<_>>(),
+            vec!["item", "store", "units", "city", "price"]
+        );
+        // Row 0: item 1, store 1, units 10, city 100, price 1.5.
+        assert_eq!(m.row(0), &[1.0, 1.0, 10.0, 100.0, 1.5]);
+        // Row 3: item 3, store 2, units 8, city 200, price 3.5.
+        assert_eq!(m.row(3), &[3.0, 2.0, 8.0, 200.0, 3.5]);
+    }
+
+    #[test]
+    fn inner_join_drops_dangling_keys() {
+        let mut db = running_example_star();
+        // Add a fact row referencing a store that does not exist.
+        db.fact = ColRelation::new(
+            "S",
+            db.fact.attrs.clone(),
+            vec![
+                Column::I64(vec![1, 1]),
+                Column::I64(vec![1, 99]),
+                Column::F64(vec![10.0, 4.0]),
+            ],
+        );
+        let m = db.materialize();
+        assert_eq!(m.rows, 1);
+    }
+
+    #[test]
+    fn catalog_reflects_data() {
+        let db = running_example_star();
+        let cat = db.catalog();
+        let s = cat.relation("S").unwrap();
+        assert_eq!(s.cardinality, 5);
+        assert_eq!(s.attr("item").unwrap().distinct, 3);
+        assert_eq!(s.attr("store").unwrap().distinct, 2);
+        assert!(cat.relation("R").is_some() && cat.relation("I").is_some());
+    }
+
+    #[test]
+    fn sizes_and_counts() {
+        let db = running_example_star();
+        assert_eq!(db.fact_rows(), 5);
+        assert_eq!(db.total_tuples(), 5 + 2 + 3);
+        assert_eq!(db.total_bytes(), (5 * 3 + 2 * 2 + 3 * 2) * 8);
+        let m = db.materialize();
+        assert_eq!(m.bytes(), 5 * 5 * 8);
+    }
+
+    #[test]
+    fn take_fact_scales_down() {
+        let db = running_example_star().take_fact(2);
+        assert_eq!(db.fact_rows(), 2);
+        assert_eq!(db.materialize().rows, 2);
+    }
+
+    #[test]
+    fn dim_helpers() {
+        let db = running_example_star();
+        let r = &db.dims[0];
+        assert_eq!(r.payload_attrs(), vec![Sym::new("city")]);
+        let idx = r.key_index();
+        assert_eq!(idx[&1], 0);
+        assert_eq!(idx[&2], 1);
+    }
+}

@@ -1,0 +1,650 @@
+//! Abstract syntax of the IFAQ core language (paper Figure 2).
+//!
+//! A single [`Expr`] type serves both dialects: D-IFAQ (dynamically typed,
+//! heterogeneous collections allowed) and S-IFAQ (statically typed; the
+//! invariants are checked by [`crate::types::TypeChecker`]). A top-level
+//! [`Program`] is a sequence of initialization bindings followed by an
+//! iterative `while` loop, matching the grammar production
+//! `p ::= e | x←e while(e) { x←e } x`.
+
+use crate::sym::Sym;
+
+/// A wrapped `f64` with total ordering, equality, and hashing.
+///
+/// IFAQ constants and runtime dictionary keys may be reals; wrapping gives
+/// us `Eq`/`Ord`/`Hash` via the IEEE-754 total order on bit patterns (after
+/// normalizing `-0.0` to `0.0` and all NaNs to one canonical NaN).
+#[derive(Clone, Copy, Debug)]
+pub struct R(pub f64);
+
+impl R {
+    fn canonical_bits(self) -> u64 {
+        let v = if self.0.is_nan() {
+            f64::NAN
+        } else if self.0 == 0.0 {
+            0.0
+        } else {
+            self.0
+        };
+        let bits = v.to_bits();
+        // Map the sign-magnitude float encoding onto unsigned integers so
+        // that the unsigned order equals the numeric order: negative floats
+        // have all bits flipped, positives get the sign bit set.
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    }
+}
+
+impl PartialEq for R {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bits() == other.canonical_bits()
+    }
+}
+impl Eq for R {}
+impl PartialOrd for R {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for R {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.canonical_bits().cmp(&other.canonical_bits())
+    }
+}
+impl std::hash::Hash for R {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.canonical_bits().hash(state);
+    }
+}
+
+/// Literal constants (`c` in the grammar): field names, strings, integers,
+/// reals, and booleans.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Const {
+    /// A field-name constant, written `` `f` `` in the surface syntax.
+    Field(Sym),
+    /// A string literal.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A real literal.
+    Real(R),
+    /// A boolean literal.
+    Bool(bool),
+}
+
+impl Const {
+    /// Real constant helper.
+    pub fn real(v: f64) -> Self {
+        Const::Real(R(v))
+    }
+}
+
+/// Binary operators other than the ring operations (`+`, `*`, unary `-`),
+/// which get dedicated [`Expr`] variants because the rewrite rules of
+/// Figure 4 pattern-match on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Subtraction (desugars to `a + (-b)` during normalization).
+    Sub,
+    /// Division.
+    Div,
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Binary minimum (a monoid operation, usable as a `Σ` combiner).
+    Min,
+    /// Binary maximum.
+    Max,
+    /// A comparison.
+    Cmp(CmpOp),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The negated comparison (`!op` in the paper's CART formulation).
+    pub fn negate(self) -> Self {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// Unary operators (`uop` in the grammar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation.
+    Not,
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// Natural logarithm.
+    Log,
+    /// Exponential.
+    Exp,
+    /// Logistic sigmoid (used by logistic-regression programs).
+    Sigmoid,
+}
+
+/// An IFAQ core-language expression.
+///
+/// Constructors for every variant are available as methods (e.g.
+/// [`Expr::sum`], [`Expr::record`]) so passes can build terms without
+/// spelling out `Box::new` everywhere.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal constant.
+    Const(Const),
+    /// A variable reference.
+    Var(Sym),
+    /// Ring addition `e + e` (also set/bag union and dictionary merge,
+    /// depending on the operand types).
+    Add(Box<Expr>, Box<Expr>),
+    /// Ring multiplication `e * e` (scalar scaling for collections).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Ring negation `-e`.
+    Neg(Box<Expr>),
+    /// Other binary operations.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operations.
+    Un(UnOp, Box<Expr>),
+    /// `Σ_{x ∈ coll} body` — iterate over a collection combining the body
+    /// values with the addition monoid of the body's type.
+    Sum {
+        /// Bound element variable.
+        var: Sym,
+        /// Collection iterated over.
+        coll: Box<Expr>,
+        /// Summand.
+        body: Box<Expr>,
+    },
+    /// `λ_{x ∈ dom} body` — build a dictionary with key domain `dom` and
+    /// value `body` for each key `x`.
+    DictComp {
+        /// Bound key variable.
+        var: Sym,
+        /// Key domain.
+        dom: Box<Expr>,
+        /// Value expression.
+        body: Box<Expr>,
+    },
+    /// Dictionary literal `{{ k → v, … }}`.
+    DictLit(Vec<(Expr, Expr)>),
+    /// Set literal `[[ e, … ]]`.
+    SetLit(Vec<Expr>),
+    /// `dom(e)` — the key set of a dictionary.
+    Dom(Box<Expr>),
+    /// Dictionary lookup `e0(e1)`.
+    Apply(Box<Expr>, Box<Expr>),
+    /// Record literal `{ f = e, … }`.
+    Record(Vec<(Sym, Expr)>),
+    /// Variant (partial record) literal `< f = e >`.
+    Variant(Sym, Box<Expr>),
+    /// Static field access `e.f`.
+    Field(Box<Expr>, Sym),
+    /// Dynamic field access `e[e]` (D-IFAQ only; specialization rewrites it
+    /// to static access).
+    FieldDyn(Box<Expr>, Box<Expr>),
+    /// `let x = val in body`.
+    Let {
+        /// Bound variable.
+        var: Sym,
+        /// Bound value.
+        val: Box<Expr>,
+        /// Scope of the binding.
+        body: Box<Expr>,
+    },
+    /// `if cond then e1 else e2`.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch.
+        els: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Integer constant.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Const::Int(v))
+    }
+    /// Real constant.
+    pub fn real(v: f64) -> Expr {
+        Expr::Const(Const::real(v))
+    }
+    /// Boolean constant.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Const(Const::Bool(v))
+    }
+    /// String constant.
+    pub fn str(v: impl Into<String>) -> Expr {
+        Expr::Const(Const::Str(v.into()))
+    }
+    /// Field-name constant `` `f` ``.
+    pub fn field_const(f: impl Into<Sym>) -> Expr {
+        Expr::Const(Const::Field(f.into()))
+    }
+    /// Variable reference.
+    pub fn var(name: impl Into<Sym>) -> Expr {
+        Expr::Var(name.into())
+    }
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+    /// `-a`.
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Neg(Box::new(a))
+    }
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+    /// `a / b`.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+    /// Comparison `a op b`.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Cmp(op), Box::new(a), Box::new(b))
+    }
+    /// `a && b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(a), Box::new(b))
+    }
+    /// `a || b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(a), Box::new(b))
+    }
+    /// Unary operation.
+    pub fn un(op: UnOp, a: Expr) -> Expr {
+        Expr::Un(op, Box::new(a))
+    }
+    /// `Σ_{var ∈ coll} body`.
+    pub fn sum(var: impl Into<Sym>, coll: Expr, body: Expr) -> Expr {
+        Expr::Sum {
+            var: var.into(),
+            coll: Box::new(coll),
+            body: Box::new(body),
+        }
+    }
+    /// `λ_{var ∈ dom} body`.
+    pub fn dict_comp(var: impl Into<Sym>, dom: Expr, body: Expr) -> Expr {
+        Expr::DictComp {
+            var: var.into(),
+            dom: Box::new(dom),
+            body: Box::new(body),
+        }
+    }
+    /// Dictionary literal.
+    pub fn dict_lit(entries: Vec<(Expr, Expr)>) -> Expr {
+        Expr::DictLit(entries)
+    }
+    /// A singleton dictionary `{{ k → v }}`.
+    pub fn dict_single(k: Expr, v: Expr) -> Expr {
+        Expr::DictLit(vec![(k, v)])
+    }
+    /// Set literal.
+    pub fn set_lit(items: Vec<Expr>) -> Expr {
+        Expr::SetLit(items)
+    }
+    /// A set literal of field constants — the usual feature set `F`.
+    pub fn field_set<I, S>(fields: I) -> Expr
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Sym>,
+    {
+        Expr::SetLit(
+            fields
+                .into_iter()
+                .map(|f| Expr::field_const(f.into()))
+                .collect(),
+        )
+    }
+    /// `dom(e)`.
+    pub fn dom(e: Expr) -> Expr {
+        Expr::Dom(Box::new(e))
+    }
+    /// Dictionary lookup `f(k)`.
+    pub fn apply(f: Expr, k: Expr) -> Expr {
+        Expr::Apply(Box::new(f), Box::new(k))
+    }
+    /// Record literal.
+    pub fn record<I, S>(fields: I) -> Expr
+    where
+        I: IntoIterator<Item = (S, Expr)>,
+        S: Into<Sym>,
+    {
+        Expr::Record(fields.into_iter().map(|(f, e)| (f.into(), e)).collect())
+    }
+    /// Variant literal.
+    pub fn variant(field: impl Into<Sym>, e: Expr) -> Expr {
+        Expr::Variant(field.into(), Box::new(e))
+    }
+    /// Static field access `e.f`.
+    pub fn get(e: Expr, f: impl Into<Sym>) -> Expr {
+        Expr::Field(Box::new(e), f.into())
+    }
+    /// Dynamic field access `e[k]`.
+    pub fn get_dyn(e: Expr, k: Expr) -> Expr {
+        Expr::FieldDyn(Box::new(e), Box::new(k))
+    }
+    /// `let var = val in body`.
+    pub fn let_(var: impl Into<Sym>, val: Expr, body: Expr) -> Expr {
+        Expr::Let {
+            var: var.into(),
+            val: Box::new(val),
+            body: Box::new(body),
+        }
+    }
+    /// `if cond then t else e`.
+    pub fn if_(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::If {
+            cond: Box::new(cond),
+            then: Box::new(then),
+            els: Box::new(els),
+        }
+    }
+
+    /// True if this expression is a literal constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Expr::Const(_))
+    }
+
+    /// Immediate sub-expressions, in evaluation order.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => vec![],
+            Expr::Neg(a) | Expr::Un(_, a) | Expr::Dom(a) | Expr::Variant(_, a) | Expr::Field(a, _) => {
+                vec![a]
+            }
+            Expr::Add(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Bin(_, a, b)
+            | Expr::Apply(a, b)
+            | Expr::FieldDyn(a, b) => vec![a, b],
+            Expr::Sum { coll, body, .. } | Expr::DictComp { dom: coll, body, .. } => {
+                vec![coll, body]
+            }
+            Expr::DictLit(kvs) => kvs.iter().flat_map(|(k, v)| [k, v]).collect(),
+            Expr::SetLit(es) => es.iter().collect(),
+            Expr::Record(fs) => fs.iter().map(|(_, e)| e).collect(),
+            Expr::Let { val, body, .. } => vec![val, body],
+            Expr::If { cond, then, els } => vec![cond, then, els],
+        }
+    }
+
+    /// Rebuilds this node, applying `f` to every immediate sub-expression.
+    ///
+    /// Binding structure is untouched: `f` sees the raw children, so callers
+    /// that care about scoping (substitution, free-variable analysis) must
+    /// handle binders themselves.
+    pub fn map_children(&self, mut f: impl FnMut(&Expr) -> Expr) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => self.clone(),
+            Expr::Add(a, b) => Expr::add(f(a), f(b)),
+            Expr::Mul(a, b) => Expr::mul(f(a), f(b)),
+            Expr::Neg(a) => Expr::neg(f(a)),
+            Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(f(a)), Box::new(f(b))),
+            Expr::Un(op, a) => Expr::Un(*op, Box::new(f(a))),
+            Expr::Sum { var, coll, body } => Expr::sum(var.clone(), f(coll), f(body)),
+            Expr::DictComp { var, dom, body } => Expr::dict_comp(var.clone(), f(dom), f(body)),
+            Expr::DictLit(kvs) => {
+                Expr::DictLit(kvs.iter().map(|(k, v)| (f(k), f(v))).collect())
+            }
+            Expr::SetLit(es) => Expr::SetLit(es.iter().map(&mut f).collect()),
+            Expr::Dom(a) => Expr::dom(f(a)),
+            Expr::Apply(a, b) => Expr::apply(f(a), f(b)),
+            Expr::Record(fs) => {
+                Expr::Record(fs.iter().map(|(n, e)| (n.clone(), f(e))).collect())
+            }
+            Expr::Variant(n, a) => Expr::variant(n.clone(), f(a)),
+            Expr::Field(a, n) => Expr::get(f(a), n.clone()),
+            Expr::FieldDyn(a, b) => Expr::get_dyn(f(a), f(b)),
+            Expr::Let { var, val, body } => Expr::let_(var.clone(), f(val), f(body)),
+            Expr::If { cond, then, els } => Expr::if_(f(cond), f(then), f(els)),
+        }
+    }
+
+    /// Visits every node of the expression tree in pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Number of AST nodes — a simple size metric used in tests and cost
+    /// heuristics.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+/// Binary arithmetic convenience: `a + b` on owned expressions.
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::add(self, rhs)
+    }
+}
+
+/// Binary arithmetic convenience: `a * b` on owned expressions.
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::mul(self, rhs)
+    }
+}
+
+/// Unary arithmetic convenience: `-a` on owned expressions.
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::neg(self)
+    }
+}
+
+/// A top-level IFAQ program: `lets; x ← init; while(cond) { x ← step }; x`.
+///
+/// The grammar (Figure 2) allows a bare expression or an iteration. A bare
+/// expression is a [`Program`] whose `cond` is the constant `false` (the
+/// loop body never runs and the result is `init`); see
+/// [`Program::expression`].
+///
+/// Inside `cond` and `step`, the loop variable is in scope. Two builtin
+/// variables are additionally bound by the evaluator: `_iter` (the number
+/// of completed iterations, an integer) and `_prev` (the loop variable's
+/// value at the start of the current iteration; equal to `init` on the
+/// first iteration). These are this implementation's concrete rendering of
+/// the paper's informal `not converged` condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Bindings evaluated once before the loop (LICM hoists loop-invariant
+    /// lets here).
+    pub lets: Vec<(Sym, Expr)>,
+    /// Loop variable.
+    pub var: Sym,
+    /// Initial value of the loop variable.
+    pub init: Expr,
+    /// Loop condition (checked before each iteration).
+    pub cond: Expr,
+    /// Loop body: the new value assigned to the loop variable.
+    pub step: Expr,
+    /// Result expression (usually `Var(var)`).
+    pub result: Expr,
+}
+
+impl Program {
+    /// A program that evaluates a single expression (no iteration).
+    pub fn expression(e: Expr) -> Program {
+        let v = Sym::new("_result");
+        Program {
+            lets: vec![],
+            var: v.clone(),
+            init: e,
+            cond: Expr::bool(false),
+            step: Expr::var(v.clone()),
+            result: Expr::Var(v),
+        }
+    }
+
+    /// A loop program without hoisted bindings.
+    pub fn loop_(var: impl Into<Sym>, init: Expr, cond: Expr, step: Expr) -> Program {
+        let var = var.into();
+        Program {
+            lets: vec![],
+            var: var.clone(),
+            init,
+            cond,
+            step,
+            result: Expr::Var(var),
+        }
+    }
+
+    /// Applies `f` to every constituent expression of the program.
+    pub fn map_exprs(&self, mut f: impl FnMut(&Expr) -> Expr) -> Program {
+        Program {
+            lets: self.lets.iter().map(|(s, e)| (s.clone(), f(e))).collect(),
+            var: self.var.clone(),
+            init: f(&self.init),
+            cond: f(&self.cond),
+            step: f(&self.step),
+            result: f(&self.result),
+        }
+    }
+
+    /// Total AST size over all constituent expressions.
+    pub fn node_count(&self) -> usize {
+        self.lets.iter().map(|(_, e)| e.node_count()).sum::<usize>()
+            + self.init.node_count()
+            + self.cond.node_count()
+            + self.step.node_count()
+            + self.result.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_total_order() {
+        assert_eq!(R(0.0), R(-0.0));
+        assert_eq!(R(f64::NAN), R(f64::NAN));
+        assert!(R(-1.0) < R(0.0));
+        assert!(R(0.0) < R(1.0));
+        assert!(R(1.0) < R(2.5));
+        assert!(R(f64::NEG_INFINITY) < R(-1.0));
+        assert!(R(1.0) < R(f64::INFINITY));
+    }
+
+    #[test]
+    fn builders_match_variants() {
+        let e = Expr::add(Expr::int(1), Expr::mul(Expr::var("x"), Expr::real(2.0)));
+        match &e {
+            Expr::Add(a, b) => {
+                assert_eq!(**a, Expr::int(1));
+                assert!(matches!(**b, Expr::Mul(_, _)));
+            }
+            _ => panic!("expected Add"),
+        }
+    }
+
+    #[test]
+    fn operator_overloads() {
+        let e = Expr::var("x") + Expr::var("y") * Expr::int(3);
+        assert_eq!(
+            e,
+            Expr::add(Expr::var("x"), Expr::mul(Expr::var("y"), Expr::int(3)))
+        );
+        assert_eq!(-Expr::var("x"), Expr::neg(Expr::var("x")));
+    }
+
+    #[test]
+    fn children_and_map_children_agree() {
+        let e = Expr::sum(
+            "x",
+            Expr::dom(Expr::var("Q")),
+            Expr::mul(Expr::var("x"), Expr::int(2)),
+        );
+        assert_eq!(e.children().len(), 2);
+        let mapped = e.map_children(|c| c.clone());
+        assert_eq!(e, mapped);
+    }
+
+    #[test]
+    fn node_count_counts_all_nodes() {
+        let e = Expr::add(Expr::int(1), Expr::int(2));
+        assert_eq!(e.node_count(), 3);
+        let nested = Expr::let_("x", Expr::int(1), Expr::var("x"));
+        assert_eq!(nested.node_count(), 3);
+    }
+
+    #[test]
+    fn map_children_rebuilds_every_variant() {
+        let subst_zero = |_: &Expr| Expr::int(0);
+        let cases = vec![
+            Expr::dict_lit(vec![(Expr::int(1), Expr::int(2))]),
+            Expr::set_lit(vec![Expr::int(1), Expr::int(2)]),
+            Expr::record([("a", Expr::int(1))]),
+            Expr::variant("v", Expr::int(1)),
+            Expr::if_(Expr::bool(true), Expr::int(1), Expr::int(2)),
+            Expr::get_dyn(Expr::var("r"), Expr::field_const("f")),
+        ];
+        for c in cases {
+            let mapped = c.map_children(subst_zero);
+            for ch in mapped.children() {
+                assert_eq!(*ch, Expr::int(0));
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_negation_involutive() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn expression_program_runs_zero_iterations() {
+        let p = Program::expression(Expr::int(42));
+        assert_eq!(p.cond, Expr::bool(false));
+        assert_eq!(p.init, Expr::int(42));
+    }
+}

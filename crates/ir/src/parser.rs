@@ -1,0 +1,751 @@
+//! Recursive-descent parser for the IFAQ surface syntax.
+//!
+//! The grammar mirrors the pretty-printer in [`crate::pretty`]:
+//!
+//! ```text
+//! program  := ("let" ident "=" expr ";")*
+//!             ident ":=" expr ";" "while" "(" expr ")" "{" ident ":=" expr "}" expr
+//! expr     := "sum" "(" ident "in" expr ")" expr
+//!           | "dict" "(" ident "in" expr ")" expr
+//!           | "let" ident "=" expr "in" expr
+//!           | "if" expr "then" expr "else" expr
+//!           | or
+//! or       := and ("||" and)*
+//! and      := cmp ("&&" cmp)*
+//! cmp      := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add      := mul (("+"|"-") mul)*
+//! mul      := unary (("*"|"/") unary)*
+//! unary    := "-" unary | postfix
+//! postfix  := atom ("(" expr ")" | "." ident | "[" expr "]")*
+//! atom     := int | real | string | `field` | "true" | "false" | ident
+//!           | "(" expr ")" | "dom" "(" expr ")"
+//!           | uop "(" expr ")" | ("min"|"max") "(" expr "," expr ")"
+//!           | "{" (ident "=" expr),* "}"      -- record
+//!           | "<" ident "=" expr ">"          -- variant
+//!           | "{|" (expr "->" expr),* "|}"    -- dictionary
+//!           | "[|" expr,* "|]"                -- set
+//! ```
+
+use crate::expr::{BinOp, CmpOp, Expr, Program, UnOp};
+use crate::sym::Sym;
+use std::fmt;
+
+/// A parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Field(String),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    "{|", "|}", "[|", "|]", "->", ":=", "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}",
+    "[", "]", "<", ">", ".", ",", ";", "=", "+", "-", "*", "/",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // Line comments: `# ...`
+            if self.pos < self.src.len() && self.src[self.pos] == b'#' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(usize, Tok), ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((start, Tok::Eof));
+        }
+        let c = self.src[self.pos];
+        if c.is_ascii_digit() {
+            let mut end = self.pos;
+            while end < self.src.len() && self.src[end].is_ascii_digit() {
+                end += 1;
+            }
+            let mut is_real = false;
+            if end < self.src.len()
+                && self.src[end] == b'.'
+                && end + 1 < self.src.len()
+                && self.src[end + 1].is_ascii_digit()
+            {
+                is_real = true;
+                end += 1;
+                while end < self.src.len() && self.src[end].is_ascii_digit() {
+                    end += 1;
+                }
+            }
+            if end < self.src.len() && (self.src[end] == b'e' || self.src[end] == b'E') {
+                let mut e = end + 1;
+                if e < self.src.len() && (self.src[e] == b'+' || self.src[e] == b'-') {
+                    e += 1;
+                }
+                if e < self.src.len() && self.src[e].is_ascii_digit() {
+                    is_real = true;
+                    end = e;
+                    while end < self.src.len() && self.src[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+            }
+            let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap();
+            self.pos = end;
+            return if is_real {
+                Ok((start, Tok::Real(text.parse().map_err(|_| self.err(start, "bad real"))?)))
+            } else {
+                Ok((start, Tok::Int(text.parse().map_err(|_| self.err(start, "bad int"))?)))
+            };
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut end = self.pos;
+            while end < self.src.len()
+                && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+            {
+                end += 1;
+            }
+            let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+            self.pos = end;
+            return Ok((start, Tok::Ident(text)));
+        }
+        if c == b'"' {
+            let mut end = self.pos + 1;
+            let mut out = String::new();
+            while end < self.src.len() && self.src[end] != b'"' {
+                if self.src[end] == b'\\' && end + 1 < self.src.len() {
+                    end += 1;
+                    out.push(match self.src[end] {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                } else {
+                    out.push(self.src[end] as char);
+                }
+                end += 1;
+            }
+            if end >= self.src.len() {
+                return Err(self.err(start, "unterminated string"));
+            }
+            self.pos = end + 1;
+            return Ok((start, Tok::Str(out)));
+        }
+        if c == b'`' {
+            let mut end = self.pos + 1;
+            while end < self.src.len() && self.src[end] != b'`' {
+                end += 1;
+            }
+            if end >= self.src.len() {
+                return Err(self.err(start, "unterminated field literal"));
+            }
+            let text = std::str::from_utf8(&self.src[self.pos + 1..end]).unwrap().to_string();
+            self.pos = end + 1;
+            return Ok((start, Tok::Field(text)));
+        }
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                self.pos += p.len();
+                return Ok((start, Tok::Punct(p)));
+            }
+        }
+        Err(self.err(start, &format!("unexpected character {:?}", c as char)))
+    }
+
+    fn err(&self, offset: usize, msg: &str) -> ParseError {
+        ParseError { offset, message: msg.to_string() }
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let mut lex = Lexer::new(src);
+        let mut toks = Vec::new();
+        loop {
+            let t = lex.next()?;
+            let done = t.1 == Tok::Eof;
+            toks.push(t);
+            if done {
+                break;
+            }
+        }
+        Ok(Parser { toks, idx: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].1
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.idx + 1).min(self.toks.len() - 1)].1
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.idx].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.idx].1.clone();
+        if self.idx + 1 < self.toks.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<Sym, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(Sym::new(s)),
+            other => Err(self.error(&format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn error(&self, msg: &str) -> ParseError {
+        ParseError { offset: self.offset(), message: msg.to_string() }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        if self.is_keyword("sum") || self.is_keyword("dict") {
+            let is_sum = self.is_keyword("sum");
+            self.bump();
+            self.eat_punct("(")?;
+            let var = self.ident()?;
+            self.eat_keyword("in")?;
+            let coll = self.expr()?;
+            self.eat_punct(")")?;
+            let body = self.expr()?;
+            return Ok(if is_sum {
+                Expr::sum(var, coll, body)
+            } else {
+                Expr::dict_comp(var, coll, body)
+            });
+        }
+        if self.is_keyword("let") {
+            self.bump();
+            let var = self.ident()?;
+            self.eat_punct("=")?;
+            let val = self.expr()?;
+            self.eat_keyword("in")?;
+            let body = self.expr()?;
+            return Ok(Expr::let_(var, val, body));
+        }
+        if self.is_keyword("if") {
+            self.bump();
+            let cond = self.expr()?;
+            self.eat_keyword("then")?;
+            let then = self.expr()?;
+            self.eat_keyword("else")?;
+            let els = self.expr()?;
+            return Ok(Expr::if_(cond, then, els));
+        }
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while *self.peek() == Tok::Punct("||") {
+            self.bump();
+            e = Expr::or(e, self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.cmp_expr()?;
+        while *self.peek() == Tok::Punct("&&") {
+            self.bump();
+            e = Expr::and(e, self.cmp_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let e = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Punct("==") => Some(CmpOp::Eq),
+            Tok::Punct("!=") => Some(CmpOp::Ne),
+            Tok::Punct("<") => Some(CmpOp::Lt),
+            Tok::Punct("<=") => Some(CmpOp::Le),
+            Tok::Punct(">") => Some(CmpOp::Gt),
+            Tok::Punct(">=") => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::cmp(op, e, rhs))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Punct("+") => {
+                    self.bump();
+                    e = Expr::add(e, self.mul_expr()?);
+                }
+                Tok::Punct("-") => {
+                    self.bump();
+                    e = Expr::sub(e, self.mul_expr()?);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Punct("*") => {
+                    self.bump();
+                    e = Expr::mul(e, self.unary_expr()?);
+                }
+                Tok::Punct("/") => {
+                    self.bump();
+                    e = Expr::div(e, self.unary_expr()?);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if *self.peek() == Tok::Punct("-") {
+            self.bump();
+            Ok(Expr::neg(self.unary_expr()?))
+        } else {
+            self.postfix_expr()
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                Tok::Punct("(") => {
+                    self.bump();
+                    let k = self.expr()?;
+                    self.eat_punct(")")?;
+                    e = Expr::apply(e, k);
+                }
+                Tok::Punct(".") => {
+                    self.bump();
+                    let f = self.ident()?;
+                    e = Expr::get(e, f);
+                }
+                Tok::Punct("[") => {
+                    self.bump();
+                    let k = self.expr()?;
+                    self.eat_punct("]")?;
+                    e = Expr::get_dyn(e, k);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::int(v))
+            }
+            Tok::Real(v) => {
+                self.bump();
+                Ok(Expr::real(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::str(s))
+            }
+            Tok::Field(fld) => {
+                self.bump();
+                Ok(Expr::field_const(fld))
+            }
+            Tok::Ident(id) => match id.as_str() {
+                // Binding and control constructs are also valid in operand
+                // position (`a - sum(x in Q) b` parses the sum as the
+                // subtrahend with a body extending as far right as
+                // possible); delegate back to `expr`.
+                "sum" | "dict" | "let" | "if" => self.expr(),
+                "true" => {
+                    self.bump();
+                    Ok(Expr::bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::bool(false))
+                }
+                "dom" => {
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let e = self.expr()?;
+                    self.eat_punct(")")?;
+                    Ok(Expr::dom(e))
+                }
+                "min" | "max" => {
+                    let op = if id == "min" { BinOp::Min } else { BinOp::Max };
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let a = self.expr()?;
+                    self.eat_punct(",")?;
+                    let b = self.expr()?;
+                    self.eat_punct(")")?;
+                    Ok(Expr::Bin(op, Box::new(a), Box::new(b)))
+                }
+                "not" | "abs" | "sqrt" | "log" | "exp" | "sigmoid" => {
+                    let op = match id.as_str() {
+                        "not" => UnOp::Not,
+                        "abs" => UnOp::Abs,
+                        "sqrt" => UnOp::Sqrt,
+                        "log" => UnOp::Log,
+                        "exp" => UnOp::Exp,
+                        _ => UnOp::Sigmoid,
+                    };
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let e = self.expr()?;
+                    self.eat_punct(")")?;
+                    Ok(Expr::un(op, e))
+                }
+                _ => {
+                    self.bump();
+                    Ok(Expr::Var(Sym::new(id)))
+                }
+            },
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("{") => {
+                self.bump();
+                let mut fields = Vec::new();
+                if *self.peek() != Tok::Punct("}") {
+                    loop {
+                        let name = self.ident()?;
+                        self.eat_punct("=")?;
+                        let val = self.or_expr()?;
+                        fields.push((name, val));
+                        if *self.peek() == Tok::Punct(",") {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct("}")?;
+                Ok(Expr::Record(fields))
+            }
+            Tok::Punct("<") => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat_punct("=")?;
+                // The payload stops at the additive level so that the
+                // closing `>` is not mistaken for a comparison; parenthesize
+                // comparisons inside variants.
+                let val = self.add_expr()?;
+                self.eat_punct(">")?;
+                Ok(Expr::variant(name, val))
+            }
+            Tok::Punct("{|") => {
+                self.bump();
+                let mut kvs = Vec::new();
+                if *self.peek() != Tok::Punct("|}") {
+                    loop {
+                        let k = self.or_expr()?;
+                        self.eat_punct("->")?;
+                        let v = self.or_expr()?;
+                        kvs.push((k, v));
+                        if *self.peek() == Tok::Punct(",") {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct("|}")?;
+                Ok(Expr::DictLit(kvs))
+            }
+            Tok::Punct("[|") => {
+                self.bump();
+                let mut es = Vec::new();
+                if *self.peek() != Tok::Punct("|]") {
+                    loop {
+                        es.push(self.or_expr()?);
+                        if *self.peek() == Tok::Punct(",") {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct("|]")?;
+                Ok(Expr::SetLit(es))
+            }
+            other => Err(self.error(&format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut lets = Vec::new();
+        // `let x = e;` bindings (distinguished from a `let … in` expression
+        // by the trailing semicolon, so we tentatively parse and backtrack).
+        while self.is_keyword("let") {
+            let save = self.idx;
+            self.bump();
+            let var = self.ident()?;
+            self.eat_punct("=")?;
+            let val = self.expr()?;
+            if *self.peek() == Tok::Punct(";") {
+                self.bump();
+                lets.push((var, val));
+            } else {
+                self.idx = save;
+                break;
+            }
+        }
+        if self.is_keyword("while") {
+            return Err(self.error("a program needs `x := init;` before `while`"));
+        }
+        // Either `x := init; while …` or a bare expression program.
+        if matches!(self.peek(), Tok::Ident(_)) && *self.peek2() == Tok::Punct(":=") {
+            let var = self.ident()?;
+            self.eat_punct(":=")?;
+            let init = self.expr()?;
+            self.eat_punct(";")?;
+            self.eat_keyword("while")?;
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            self.eat_punct("{")?;
+            let var2 = self.ident()?;
+            if var2 != var {
+                return Err(self.error(&format!(
+                    "loop variable mismatch: `{var}` initialized but `{var2}` updated"
+                )));
+            }
+            self.eat_punct(":=")?;
+            let step = self.expr()?;
+            self.eat_punct("}")?;
+            let result = self.expr()?;
+            Ok(Program { lets, var, init, cond, step, result })
+        } else {
+            let mut body = self.expr()?;
+            for (var, val) in lets.into_iter().rev() {
+                body = Expr::let_(var, val, body);
+            }
+            Ok(Program::expression(body))
+        }
+    }
+}
+
+/// Parses a single expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.error(&format!("trailing input: {:?}", p.peek())));
+    }
+    Ok(e)
+}
+
+/// Parses a top-level program (bindings + optional `while` loop).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(src)?;
+    let prog = p.program()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.error(&format!("trailing input: {:?}", p.peek())));
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let e = parse_expr(src).unwrap_or_else(|err| panic!("{err} in {src:?}"));
+        let printed = e.to_string();
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("{err} reparsing {printed:?}"));
+        assert_eq!(e, e2, "round-trip mismatch for {src:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e, Expr::add(Expr::int(1), Expr::mul(Expr::int(2), Expr::int(3))));
+    }
+
+    #[test]
+    fn parses_running_example_inner_loop() {
+        // The §3 linear-regression inner loop.
+        let src = "dict(f1 in F) (theta(f1) - sum(x in dom(Q)) \
+                   Q(x) * (sum(f2 in F) theta(f2) * x[f2]) * x[f1])";
+        let e = parse_expr(src).unwrap();
+        match &e {
+            Expr::DictComp { var, .. } => assert_eq!(var.as_str(), "f1"),
+            _ => panic!("expected dict comprehension"),
+        }
+        roundtrip(src);
+    }
+
+    #[test]
+    fn parses_collections() {
+        roundtrip("{|`a` -> 1, `b` -> 2|}");
+        roundtrip("[|`i`, `s`, `c`, `p`|]");
+        roundtrip("dom({|1 -> 2|})");
+        assert_eq!(parse_expr("[||]").unwrap(), Expr::SetLit(vec![]));
+        assert_eq!(parse_expr("{||}").unwrap(), Expr::DictLit(vec![]));
+    }
+
+    #[test]
+    fn parses_records_variants_fields() {
+        roundtrip("{i = 1, s = 2}.i");
+        roundtrip("<tag = 42>");
+        roundtrip("x[`price`]");
+        roundtrip("r.a.b");
+    }
+
+    #[test]
+    fn parses_let_if() {
+        roundtrip("let x = 1 + 2 in x * x");
+        roundtrip("if a < b then a else b");
+        roundtrip("if a == b && c != d then 1 else 0");
+    }
+
+    #[test]
+    fn parses_unops_and_minmax() {
+        roundtrip("sqrt(abs(x))");
+        roundtrip("min(a, max(b, c))");
+        roundtrip("not(a)");
+        roundtrip("sigmoid(x) * exp(y) + log(z)");
+    }
+
+    #[test]
+    fn parses_program_with_while() {
+        let src = "let F = [|`i`, `p`|];\n\
+                   theta := init;\n\
+                   while (_iter < 10) { theta := step(theta) }\n\
+                   theta";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.lets.len(), 1);
+        assert_eq!(p.var.as_str(), "theta");
+        assert_eq!(p.result, Expr::var("theta"));
+        // Program round-trips through Display.
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn bare_expression_program() {
+        let p = parse_program("let x = 2; x * x").unwrap();
+        assert_eq!(p.cond, Expr::bool(false));
+        assert_eq!(
+            p.init,
+            Expr::let_("x", Expr::int(2), Expr::mul(Expr::var("x"), Expr::var("x")))
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_loop_var() {
+        let src = "x := 0; while (true) { y := 1 } x";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("@").is_err());
+        assert!(parse_expr("(1").is_err());
+        assert!(parse_expr("\"unterminated").is_err());
+        assert!(parse_expr("`unterminated").is_err());
+        assert!(parse_expr("1 2").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let e = parse_expr("# header\n1 + # trailing\n2").unwrap();
+        assert_eq!(e, Expr::add(Expr::int(1), Expr::int(2)));
+    }
+
+    #[test]
+    fn nested_collection_literals() {
+        roundtrip("{|{s = 1} -> {vR = 2, vRp = 3}|}");
+        roundtrip("[|[|1, 2|], [|3|]|]");
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse_expr("1 + @").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+}

@@ -1,0 +1,425 @@
+//! Pretty-printing of IFAQ expressions and programs.
+//!
+//! `Display` for [`Expr`] emits the textual surface syntax accepted by
+//! [`crate::parser`]; the round trip `parse(format!("{e}")) == e` is tested
+//! property-style in the parser module.
+
+use crate::expr::{BinOp, CmpOp, Const, Expr, Program, UnOp};
+use std::fmt::{self, Write as _};
+
+const PREC_LAMBDA: u8 = 0; // sum, dict, let, if
+const PREC_OR: u8 = 1;
+const PREC_AND: u8 = 2;
+const PREC_CMP: u8 = 3;
+const PREC_ADD: u8 = 4;
+const PREC_MUL: u8 = 5;
+const PREC_UNARY: u8 = 6;
+const PREC_POSTFIX: u8 = 7;
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Field(s) => write!(f, "`{s}`"),
+            Const::Str(s) => write!(f, "{s:?}"),
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Real(r) => {
+                if r.0.fract() == 0.0 && r.0.is_finite() && r.0.abs() < 1e15 {
+                    write!(f, "{:.1}", r.0)
+                } else {
+                    write!(f, "{}", r.0)
+                }
+            }
+            Const::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Not => "not",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Log => "log",
+            UnOp::Exp => "exp",
+            UnOp::Sigmoid => "sigmoid",
+        })
+    }
+}
+
+fn pp(e: &Expr, prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let paren = |inner: u8| prec > inner;
+    match e {
+        Expr::Const(c) => write!(f, "{c}"),
+        Expr::Var(x) => write!(f, "{x}"),
+        Expr::Add(a, b) => {
+            if paren(PREC_ADD) {
+                f.write_char('(')?;
+            }
+            pp(a, PREC_ADD, f)?;
+            f.write_str(" + ")?;
+            pp(b, PREC_ADD + 1, f)?;
+            if paren(PREC_ADD) {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        Expr::Mul(a, b) => {
+            if paren(PREC_MUL) {
+                f.write_char('(')?;
+            }
+            pp(a, PREC_MUL, f)?;
+            f.write_str(" * ")?;
+            pp(b, PREC_MUL + 1, f)?;
+            if paren(PREC_MUL) {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        Expr::Neg(a) => {
+            if paren(PREC_UNARY) {
+                f.write_char('(')?;
+            }
+            f.write_char('-')?;
+            pp(a, PREC_UNARY, f)?;
+            if paren(PREC_UNARY) {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        Expr::Bin(op, a, b) => match op {
+            BinOp::Sub | BinOp::Div => {
+                let (p, s) = if *op == BinOp::Sub {
+                    (PREC_ADD, " - ")
+                } else {
+                    (PREC_MUL, " / ")
+                };
+                if paren(p) {
+                    f.write_char('(')?;
+                }
+                pp(a, p, f)?;
+                f.write_str(s)?;
+                pp(b, p + 1, f)?;
+                if paren(p) {
+                    f.write_char(')')?;
+                }
+                Ok(())
+            }
+            BinOp::And | BinOp::Or => {
+                let (p, s) = if *op == BinOp::And {
+                    (PREC_AND, " && ")
+                } else {
+                    (PREC_OR, " || ")
+                };
+                if paren(p) {
+                    f.write_char('(')?;
+                }
+                pp(a, p, f)?;
+                f.write_str(s)?;
+                pp(b, p + 1, f)?;
+                if paren(p) {
+                    f.write_char(')')?;
+                }
+                Ok(())
+            }
+            BinOp::Min | BinOp::Max => {
+                f.write_str(if *op == BinOp::Min { "min(" } else { "max(" })?;
+                pp(a, PREC_LAMBDA, f)?;
+                f.write_str(", ")?;
+                pp(b, PREC_LAMBDA, f)?;
+                f.write_char(')')
+            }
+            BinOp::Cmp(c) => {
+                if paren(PREC_CMP) {
+                    f.write_char('(')?;
+                }
+                pp(a, PREC_CMP + 1, f)?;
+                write!(f, " {c} ")?;
+                pp(b, PREC_CMP + 1, f)?;
+                if paren(PREC_CMP) {
+                    f.write_char(')')?;
+                }
+                Ok(())
+            }
+        },
+        Expr::Un(op, a) => {
+            write!(f, "{op}(")?;
+            pp(a, PREC_LAMBDA, f)?;
+            f.write_char(')')
+        }
+        Expr::Sum { var, coll, body } => {
+            if paren(PREC_LAMBDA) {
+                f.write_char('(')?;
+            }
+            write!(f, "sum({var} in ")?;
+            pp(coll, PREC_LAMBDA, f)?;
+            f.write_str(") ")?;
+            pp(body, PREC_LAMBDA, f)?;
+            if paren(PREC_LAMBDA) {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        Expr::DictComp { var, dom, body } => {
+            if paren(PREC_LAMBDA) {
+                f.write_char('(')?;
+            }
+            write!(f, "dict({var} in ")?;
+            pp(dom, PREC_LAMBDA, f)?;
+            f.write_str(") ")?;
+            pp(body, PREC_LAMBDA, f)?;
+            if paren(PREC_LAMBDA) {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        Expr::DictLit(kvs) => {
+            f.write_str("{|")?;
+            for (i, (k, v)) in kvs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                pp(k, PREC_OR, f)?;
+                f.write_str(" -> ")?;
+                pp(v, PREC_OR, f)?;
+            }
+            f.write_str("|}")
+        }
+        Expr::SetLit(es) => {
+            f.write_str("[|")?;
+            for (i, e) in es.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                pp(e, PREC_OR, f)?;
+            }
+            f.write_str("|]")
+        }
+        Expr::Dom(a) => {
+            f.write_str("dom(")?;
+            pp(a, PREC_LAMBDA, f)?;
+            f.write_char(')')
+        }
+        Expr::Apply(a, b) => {
+            pp(a, PREC_POSTFIX, f)?;
+            f.write_char('(')?;
+            pp(b, PREC_LAMBDA, f)?;
+            f.write_char(')')
+        }
+        Expr::Record(fs) => {
+            f.write_str("{")?;
+            for (i, (n, e)) in fs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{n} = ")?;
+                pp(e, PREC_OR, f)?;
+            }
+            f.write_str("}")
+        }
+        Expr::Variant(n, e) => {
+            write!(f, "<{n} = ")?;
+            pp(e, PREC_ADD, f)?;
+            f.write_char('>')
+        }
+        Expr::Field(a, n) => {
+            pp(a, PREC_POSTFIX, f)?;
+            write!(f, ".{n}")
+        }
+        Expr::FieldDyn(a, k) => {
+            pp(a, PREC_POSTFIX, f)?;
+            f.write_char('[')?;
+            pp(k, PREC_LAMBDA, f)?;
+            f.write_char(']')
+        }
+        Expr::Let { var, val, body } => {
+            if paren(PREC_LAMBDA) {
+                f.write_char('(')?;
+            }
+            write!(f, "let {var} = ")?;
+            pp(val, PREC_LAMBDA, f)?;
+            f.write_str(" in ")?;
+            pp(body, PREC_LAMBDA, f)?;
+            if paren(PREC_LAMBDA) {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        Expr::If { cond, then, els } => {
+            if paren(PREC_LAMBDA) {
+                f.write_char('(')?;
+            }
+            f.write_str("if ")?;
+            pp(cond, PREC_LAMBDA, f)?;
+            f.write_str(" then ")?;
+            pp(then, PREC_LAMBDA, f)?;
+            f.write_str(" else ")?;
+            pp(els, PREC_LAMBDA, f)?;
+            if paren(PREC_LAMBDA) {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        pp(self, PREC_LAMBDA, f)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (x, e) in &self.lets {
+            writeln!(f, "let {x} = {e};")?;
+        }
+        writeln!(f, "{} := {};", self.var, self.init)?;
+        writeln!(f, "while ({}) {{", self.cond)?;
+        writeln!(f, "  {} := {}", self.var, self.step)?;
+        writeln!(f, "}}")?;
+        write!(f, "{}", self.result)
+    }
+}
+
+/// Renders an expression as an indented multi-line string, one construct
+/// per line — useful for diffing large terms in stage snapshots.
+pub fn pretty_indented(e: &Expr) -> String {
+    let mut out = String::new();
+    go(e, 0, &mut out);
+    return out;
+
+    fn line(indent: usize, s: &str, out: &mut String) {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        out.push_str(s);
+        out.push('\n');
+    }
+
+    fn go(e: &Expr, ind: usize, out: &mut String) {
+        match e {
+            Expr::Let { var, val, body } => {
+                line(ind, &format!("let {var} ="), out);
+                go(val, ind + 1, out);
+                line(ind, "in", out);
+                go(body, ind, out);
+            }
+            Expr::Sum { var, coll, body } => {
+                line(ind, &format!("sum({var} in {coll})"), out);
+                go(body, ind + 1, out);
+            }
+            Expr::DictComp { var, dom, body } => {
+                line(ind, &format!("dict({var} in {dom})"), out);
+                go(body, ind + 1, out);
+            }
+            Expr::If { cond, then, els } => {
+                line(ind, &format!("if {cond}"), out);
+                line(ind, "then", out);
+                go(then, ind + 1, out);
+                line(ind, "else", out);
+                go(els, ind + 1, out);
+            }
+            Expr::Record(fs) if e.node_count() > 16 => {
+                line(ind, "{", out);
+                for (n, fe) in fs {
+                    line(ind + 1, &format!("{n} ="), out);
+                    go(fe, ind + 2, out);
+                }
+                line(ind, "}", out);
+            }
+            other => line(ind, &other.to_string(), out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = Expr::mul(Expr::add(Expr::var("a"), Expr::var("b")), Expr::var("c"));
+        assert_eq!(e.to_string(), "(a + b) * c");
+        let e2 = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::var("c")));
+        assert_eq!(e2.to_string(), "a + b * c");
+    }
+
+    #[test]
+    fn sub_is_left_associative() {
+        let e = Expr::sub(Expr::sub(Expr::var("a"), Expr::var("b")), Expr::var("c"));
+        assert_eq!(e.to_string(), "a - b - c");
+        let e2 = Expr::sub(Expr::var("a"), Expr::sub(Expr::var("b"), Expr::var("c")));
+        assert_eq!(e2.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn sum_and_lookup() {
+        let e = Expr::sum(
+            "x",
+            Expr::dom(Expr::var("Q")),
+            Expr::mul(
+                Expr::apply(Expr::var("Q"), Expr::var("x")),
+                Expr::get_dyn(Expr::var("x"), Expr::var("f")),
+            ),
+        );
+        assert_eq!(e.to_string(), "sum(x in dom(Q)) Q(x) * x[f]");
+    }
+
+    #[test]
+    fn record_and_field() {
+        let e = Expr::get(
+            Expr::record([("i", Expr::int(1)), ("p", Expr::real(2.5))]),
+            "p",
+        );
+        assert_eq!(e.to_string(), "{i = 1, p = 2.5}.p");
+    }
+
+    #[test]
+    fn dict_and_set_literals() {
+        let e = Expr::dict_single(Expr::field_const("a"), Expr::int(1));
+        assert_eq!(e.to_string(), "{|`a` -> 1|}");
+        let s = Expr::field_set(["i", "s"]);
+        assert_eq!(s.to_string(), "[|`i`, `s`|]");
+    }
+
+    #[test]
+    fn program_display() {
+        let p = Program::loop_(
+            "t",
+            Expr::int(0),
+            Expr::cmp(CmpOp::Lt, Expr::var("_iter"), Expr::int(3)),
+            Expr::add(Expr::var("t"), Expr::int(1)),
+        );
+        let s = p.to_string();
+        assert!(s.contains("t := 0;"));
+        assert!(s.contains("while (_iter < 3)"));
+        assert!(s.ends_with('t'));
+    }
+
+    #[test]
+    fn indented_printer_mentions_all_binders() {
+        let e = Expr::let_(
+            "M",
+            Expr::sum("x", Expr::var("Q"), Expr::var("x")),
+            Expr::var("M"),
+        );
+        let s = pretty_indented(&e);
+        assert!(s.contains("let M ="));
+        assert!(s.contains("sum(x in Q)"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Rule-based rewriting framework.
+//!
+//! Every optimization of the paper's Figure 4 is a [`Rule`]: a named,
+//! side-effect-free partial function on expressions. Rules are grouped in a
+//! [`RuleSet`] and driven to fixpoint either bottom-up or top-down. The
+//! driver records a [`Trace`] of rule firings, which the tests use to
+//! assert that a given optimization actually triggered (and how often), and
+//! the pipeline uses to report per-stage statistics.
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// A single rewrite rule.
+pub trait Rule {
+    /// Rule name used in traces (e.g. `"factorize-sum"`).
+    fn name(&self) -> &str;
+    /// Attempts to rewrite the root of `e`. Returns `None` if the rule does
+    /// not apply. Must not loop: the returned expression should be strictly
+    /// "more normalized" under the rule set's ordering.
+    fn apply(&self, e: &Expr) -> Option<Expr>;
+}
+
+/// A rule built from a closure.
+pub struct FnRule<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&Expr) -> Option<Expr>> FnRule<F> {
+    /// Wraps `f` as a rule named `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnRule { name: name.into(), f }
+    }
+}
+
+impl<F: Fn(&Expr) -> Option<Expr>> Rule for FnRule<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn apply(&self, e: &Expr) -> Option<Expr> {
+        (self.f)(e)
+    }
+}
+
+/// A record of rule firings produced by a rewrite run.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    firings: Vec<(String, usize)>,
+}
+
+impl Trace {
+    fn record(&mut self, name: &str) {
+        if let Some(last) = self.firings.iter_mut().find(|(n, _)| n == name) {
+            last.1 += 1;
+        } else {
+            self.firings.push((name.to_string(), 1));
+        }
+    }
+
+    /// Total number of rule firings.
+    pub fn total(&self) -> usize {
+        self.firings.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Number of firings of the rule named `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.firings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// True if the rule named `name` fired at least once.
+    pub fn fired(&self, name: &str) -> bool {
+        self.count(name) > 0
+    }
+
+    /// Iterates over `(rule name, firing count)` pairs in first-fired order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.firings.iter().map(|(n, c)| (n.as_str(), *c))
+    }
+
+    /// Merges another trace into this one.
+    pub fn absorb(&mut self, other: &Trace) {
+        for (n, c) in &other.firings {
+            for _ in 0..*c {
+                self.record(n);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, count) in &self.firings {
+            writeln!(f, "{name}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of rules driven to fixpoint.
+pub struct RuleSet {
+    name: String,
+    rules: Vec<Box<dyn Rule>>,
+    /// Safety valve: abort (panic in debug, stop rewriting in release)
+    /// after this many firings, to surface non-terminating rule sets.
+    max_firings: usize,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set with the given stage name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RuleSet { name: name.into(), rules: Vec::new(), max_firings: 1_000_000 }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with(mut self, rule: impl Rule + 'static) -> Self {
+        self.rules.push(Box::new(rule));
+        self
+    }
+
+    /// Adds a closure rule (builder style).
+    pub fn with_fn(
+        self,
+        name: impl Into<String>,
+        f: impl Fn(&Expr) -> Option<Expr> + 'static,
+    ) -> Self {
+        self.with(FnRule::new(name, f))
+    }
+
+    /// Stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the rule set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    fn apply_at_root(&self, e: &Expr, trace: &mut Trace) -> Option<Expr> {
+        for rule in &self.rules {
+            if let Some(e2) = rule.apply(e) {
+                debug_assert!(
+                    e2 != *e,
+                    "rule {} returned an identical expression (would loop)",
+                    rule.name()
+                );
+                trace.record(rule.name());
+                return Some(e2);
+            }
+        }
+        None
+    }
+
+    /// One bottom-up pass: children first, then the root, repeating at each
+    /// node until no rule applies there.
+    fn pass_bottom_up(&self, e: &Expr, trace: &mut Trace, fuel: &mut usize) -> Expr {
+        let mut current = e.map_children(|c| self.pass_bottom_up(c, trace, fuel));
+        while *fuel > 0 {
+            match self.apply_at_root(&current, trace) {
+                Some(next) => {
+                    *fuel -= 1;
+                    // The rewrite may expose new redexes below the root.
+                    current = next.map_children(|c| self.pass_bottom_up(c, trace, fuel));
+                }
+                None => break,
+            }
+        }
+        current
+    }
+
+    /// Rewrites `e` bottom-up to fixpoint. Returns the result and the trace
+    /// of firings.
+    pub fn rewrite(&self, e: &Expr) -> (Expr, Trace) {
+        let mut trace = Trace::default();
+        let mut fuel = self.max_firings;
+        let mut current = e.clone();
+        loop {
+            let next = self.pass_bottom_up(&current, &mut trace, &mut fuel);
+            if next == current || fuel == 0 {
+                debug_assert!(fuel > 0, "rule set {} exhausted its fuel", self.name);
+                return (next, trace);
+            }
+            current = next;
+        }
+    }
+
+    /// Rewrites and discards the trace.
+    pub fn rewrite_expr(&self, e: &Expr) -> Expr {
+        self.rewrite(e).0
+    }
+}
+
+/// Applies `f` repeatedly until a fixpoint (at most `limit` iterations).
+pub fn fixpoint(mut e: Expr, limit: usize, f: impl Fn(&Expr) -> Expr) -> Expr {
+    for _ in 0..limit {
+        let next = f(&e);
+        if next == e {
+            return e;
+        }
+        e = next;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Const, Expr};
+
+    fn const_fold_add() -> impl Rule {
+        FnRule::new("const-fold-add", |e: &Expr| match e {
+            Expr::Add(a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Const(Const::Int(x)), Expr::Const(Const::Int(y))) => {
+                    Some(Expr::int(x + y))
+                }
+                _ => None,
+            },
+            _ => None,
+        })
+    }
+
+    fn mul_one() -> impl Rule {
+        FnRule::new("mul-one", |e: &Expr| match e {
+            Expr::Mul(a, b) => {
+                if **a == Expr::int(1) {
+                    Some((**b).clone())
+                } else if **b == Expr::int(1) {
+                    Some((**a).clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn rewrites_to_fixpoint() {
+        let rs = RuleSet::new("fold").with(const_fold_add()).with(mul_one());
+        // ((1 + 2) + 3) * 1  =>  6
+        let e = Expr::mul(
+            Expr::add(Expr::add(Expr::int(1), Expr::int(2)), Expr::int(3)),
+            Expr::int(1),
+        );
+        let (out, trace) = rs.rewrite(&e);
+        assert_eq!(out, Expr::int(6));
+        assert_eq!(trace.count("const-fold-add"), 2);
+        assert_eq!(trace.count("mul-one"), 1);
+        assert_eq!(trace.total(), 3);
+    }
+
+    #[test]
+    fn rewrite_descends_into_binders() {
+        let rs = RuleSet::new("fold").with(const_fold_add());
+        let e = Expr::sum("x", Expr::var("Q"), Expr::add(Expr::int(1), Expr::int(1)));
+        let (out, _) = rs.rewrite(&e);
+        assert_eq!(out, Expr::sum("x", Expr::var("Q"), Expr::int(2)));
+    }
+
+    #[test]
+    fn root_rewrite_exposes_child_redexes() {
+        // A rule that unwraps Neg(Neg(x)) at the root exposes an Add redex
+        // underneath, which the same pass must then fold.
+        let unwrap = FnRule::new("neg-neg", |e: &Expr| match e {
+            Expr::Neg(inner) => match inner.as_ref() {
+                Expr::Neg(x) => Some((**x).clone()),
+                _ => None,
+            },
+            _ => None,
+        });
+        let rs = RuleSet::new("mix").with(unwrap).with(const_fold_add());
+        let e = Expr::neg(Expr::neg(Expr::add(Expr::int(2), Expr::int(3))));
+        let (out, trace) = rs.rewrite(&e);
+        assert_eq!(out, Expr::int(5));
+        assert!(trace.fired("neg-neg"));
+    }
+
+    #[test]
+    fn no_rules_is_identity() {
+        let rs = RuleSet::new("empty");
+        assert!(rs.is_empty());
+        let e = Expr::add(Expr::var("a"), Expr::var("b"));
+        let (out, trace) = rs.rewrite(&e);
+        assert_eq!(out, e);
+        assert_eq!(trace.total(), 0);
+    }
+
+    #[test]
+    fn trace_absorb_accumulates() {
+        let mut t1 = Trace::default();
+        t1.record("r");
+        let mut t2 = Trace::default();
+        t2.record("r");
+        t2.record("s");
+        t1.absorb(&t2);
+        assert_eq!(t1.count("r"), 2);
+        assert_eq!(t1.count("s"), 1);
+    }
+
+    #[test]
+    fn fixpoint_helper_stops_at_limit() {
+        let e = Expr::int(0);
+        // A non-converging function: keeps wrapping in Neg.
+        let out = fixpoint(e, 3, |x| Expr::neg(x.clone()));
+        assert_eq!(out.node_count(), 4);
+    }
+}

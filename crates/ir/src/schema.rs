@@ -1,0 +1,232 @@
+//! Relation schemas and catalog statistics.
+//!
+//! The catalog plays two roles in the compiler, mirroring Figure 3 of the
+//! paper where "Schema" flows into every stage:
+//!
+//! * **Schema specialization** (§4.2) needs the statically-known attribute
+//!   lists to turn dictionaries keyed by `Field` values into records.
+//! * **Loop scheduling** (§4.1) and **join-tree construction** (§4.3) need
+//!   cardinality estimates to order loops and factorize aggregates.
+
+use crate::sym::Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Scalar attribute types of stored relations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 64-bit integer (also used for surrogate keys).
+    Int,
+    /// 64-bit float.
+    Real,
+    /// String (categorical).
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScalarType::Int => "int",
+            ScalarType::Real => "real",
+            ScalarType::Str => "string",
+            ScalarType::Bool => "bool",
+        })
+    }
+}
+
+/// An attribute of a relation: name, scalar type, and an estimate of its
+/// number of distinct values (used by loop scheduling and trie layout).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: Sym,
+    /// Scalar type.
+    pub ty: ScalarType,
+    /// Estimated number of distinct values.
+    pub distinct: u64,
+}
+
+impl Attribute {
+    /// Creates an attribute with a distinct-count estimate.
+    pub fn new(name: impl Into<Sym>, ty: ScalarType, distinct: u64) -> Self {
+        Attribute { name: name.into(), ty, distinct }
+    }
+}
+
+/// Schema and statistics of one stored relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelSchema {
+    /// Relation name.
+    pub name: Sym,
+    /// Attributes in storage order.
+    pub attrs: Vec<Attribute>,
+    /// Estimated (or exact) number of tuples.
+    pub cardinality: u64,
+}
+
+impl RelSchema {
+    /// Creates a relation schema.
+    pub fn new(name: impl Into<Sym>, attrs: Vec<Attribute>, cardinality: u64) -> Self {
+        RelSchema { name: name.into(), attrs, cardinality }
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.attrs.iter().find(|a| a.name.as_str() == name)
+    }
+
+    /// Position of an attribute in storage order.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name.as_str() == name)
+    }
+
+    /// Attribute names in storage order.
+    pub fn attr_names(&self) -> Vec<Sym> {
+        self.attrs.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// True if this relation has an attribute called `name`.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attr(name).is_some()
+    }
+}
+
+/// A catalog: the set of relation schemas visible to a program, plus the
+/// statically-known sizes of set-valued program variables (e.g. the feature
+/// set `F`), which loop scheduling compares against relation cardinalities.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Catalog {
+    relations: BTreeMap<Sym, RelSchema>,
+    /// Size hints for non-relation collection variables.
+    var_sizes: BTreeMap<Sym, u64>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a relation schema (builder style).
+    pub fn with_relation(mut self, rel: RelSchema) -> Self {
+        self.add_relation(rel);
+        self
+    }
+
+    /// Registers a relation schema.
+    pub fn add_relation(&mut self, rel: RelSchema) {
+        self.relations.insert(rel.name.clone(), rel);
+    }
+
+    /// Registers a size hint for a collection-valued variable.
+    pub fn with_var_size(mut self, var: impl Into<Sym>, size: u64) -> Self {
+        self.var_sizes.insert(var.into(), size);
+        self
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&RelSchema> {
+        self.relations.get(name)
+    }
+
+    /// All relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &RelSchema> {
+        self.relations.values()
+    }
+
+    /// Size hint for a variable, if registered.
+    pub fn var_size(&self, var: &str) -> Option<u64> {
+        self.var_sizes.get(var).copied()
+    }
+
+    /// Cardinality of a relation (or a size-hinted variable).
+    pub fn size_of(&self, name: &str) -> Option<u64> {
+        self.relations
+            .get(name)
+            .map(|r| r.cardinality)
+            .or_else(|| self.var_size(name))
+    }
+
+    /// The relations that contain attribute `attr`.
+    pub fn relations_with_attr(&self, attr: &str) -> Vec<&RelSchema> {
+        self.relations.values().filter(|r| r.has_attr(attr)).collect()
+    }
+}
+
+/// Builds the running-example catalog of the paper (§3.1):
+/// `Sales(item, store, units)`, `StoRes(store, city)`, `Items(item, price)`.
+///
+/// `sales` tuples default to 1000 with 100 items and 10 stores; callers can
+/// scale via the parameters.
+pub fn running_example_catalog(n_sales: u64, n_items: u64, n_stores: u64) -> Catalog {
+    Catalog::new()
+        .with_relation(RelSchema::new(
+            "S",
+            vec![
+                Attribute::new("item", ScalarType::Int, n_items),
+                Attribute::new("store", ScalarType::Int, n_stores),
+                Attribute::new("units", ScalarType::Real, n_sales),
+            ],
+            n_sales,
+        ))
+        .with_relation(RelSchema::new(
+            "R",
+            vec![
+                Attribute::new("store", ScalarType::Int, n_stores),
+                Attribute::new("city", ScalarType::Real, n_stores / 2 + 1),
+            ],
+            n_stores,
+        ))
+        .with_relation(RelSchema::new(
+            "I",
+            vec![
+                Attribute::new("item", ScalarType::Int, n_items),
+                Attribute::new("price", ScalarType::Real, n_items),
+            ],
+            n_items,
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_lookup() {
+        let cat = running_example_catalog(1000, 100, 10);
+        let s = cat.relation("S").unwrap();
+        assert_eq!(s.cardinality, 1000);
+        assert_eq!(s.attr_index("store"), Some(1));
+        assert!(s.has_attr("units"));
+        assert!(!s.has_attr("price"));
+        assert_eq!(s.attr("item").unwrap().distinct, 100);
+    }
+
+    #[test]
+    fn size_of_prefers_relations() {
+        let cat = running_example_catalog(1000, 100, 10).with_var_size("F", 4);
+        assert_eq!(cat.size_of("S"), Some(1000));
+        assert_eq!(cat.size_of("F"), Some(4));
+        assert_eq!(cat.size_of("nope"), None);
+    }
+
+    #[test]
+    fn relations_with_attr_finds_join_vars() {
+        let cat = running_example_catalog(1000, 100, 10);
+        let with_item: Vec<_> = cat
+            .relations_with_attr("item")
+            .into_iter()
+            .map(|r| r.name.as_str().to_string())
+            .collect();
+        assert_eq!(with_item, vec!["I", "S"]);
+    }
+
+    #[test]
+    fn relations_iterate_in_name_order() {
+        let cat = running_example_catalog(10, 5, 2);
+        let names: Vec<_> = cat.relations().map(|r| r.name.as_str().to_string()).collect();
+        assert_eq!(names, vec!["I", "R", "S"]);
+    }
+}

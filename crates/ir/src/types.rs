@@ -1,0 +1,595 @@
+//! Types and the S-IFAQ type checker.
+//!
+//! D-IFAQ is dynamically typed: collections may be heterogeneous and field
+//! accesses may be computed at runtime. S-IFAQ (the target of schema
+//! specialization, §4.2) is statically typed: collection elements share one
+//! type, record fields are statically known, and dynamic field access is
+//! only allowed through dictionaries. [`TypeChecker::infer`] implements the
+//! S-IFAQ discipline; type errors at this boundary are reported to the user
+//! exactly as in Figure 1 of the paper.
+
+use crate::expr::{BinOp, Const, Expr, UnOp};
+use crate::sym::Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// S-IFAQ types (grammar `T` in Figure 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// `Z` — integers.
+    Int,
+    /// `R` — reals.
+    Real,
+    /// Booleans.
+    Bool,
+    /// Strings.
+    Str,
+    /// The type of field names (`Field` in the grammar).
+    FieldName,
+    /// Record `{f1: T1, …}` with statically known fields (sorted by name).
+    Record(Vec<(Sym, Type)>),
+    /// Variant `<f1: T1, …>` — a partial record.
+    Variant(Vec<(Sym, Type)>),
+    /// Dictionary `Map[K, V]`.
+    Dict(Box<Type>, Box<Type>),
+    /// Set `Set[T]`.
+    Set(Box<Type>),
+}
+
+impl Type {
+    /// Record type constructor that sorts fields by name.
+    pub fn record<I, S>(fields: I) -> Type
+    where
+        I: IntoIterator<Item = (S, Type)>,
+        S: Into<Sym>,
+    {
+        let mut fs: Vec<(Sym, Type)> =
+            fields.into_iter().map(|(n, t)| (n.into(), t)).collect();
+        fs.sort_by(|a, b| a.0.cmp(&b.0));
+        Type::Record(fs)
+    }
+
+    /// Dictionary type constructor.
+    pub fn dict(k: Type, v: Type) -> Type {
+        Type::Dict(Box::new(k), Box::new(v))
+    }
+
+    /// Set type constructor.
+    pub fn set(t: Type) -> Type {
+        Type::Set(Box::new(t))
+    }
+
+    /// True for `Int` and `Real`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Real)
+    }
+
+    /// True if values of this type form an additive monoid usable as a `Σ`
+    /// combiner: numerics, booleans (or), sets (union), dictionaries
+    /// (pointwise merge, requiring addable values), and records of addable
+    /// fields.
+    pub fn is_addable(&self) -> bool {
+        match self {
+            Type::Int | Type::Real | Type::Bool => true,
+            Type::Set(_) => true,
+            Type::Dict(_, v) => v.is_addable(),
+            Type::Record(fs) => fs.iter().all(|(_, t)| t.is_addable()),
+            _ => false,
+        }
+    }
+
+    /// The join of two numeric types (`Int + Real = Real`).
+    fn numeric_join(&self, other: &Type) -> Option<Type> {
+        match (self, other) {
+            (Type::Int, Type::Int) => Some(Type::Int),
+            (Type::Int, Type::Real) | (Type::Real, Type::Int) | (Type::Real, Type::Real) => {
+                Some(Type::Real)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Real => f.write_str("real"),
+            Type::Bool => f.write_str("bool"),
+            Type::Str => f.write_str("string"),
+            Type::FieldName => f.write_str("field"),
+            Type::Record(fs) => {
+                f.write_str("{")?;
+                for (i, (n, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                f.write_str("}")
+            }
+            Type::Variant(fs) => {
+                f.write_str("<")?;
+                for (i, (n, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                f.write_str(">")
+            }
+            Type::Dict(k, v) => write!(f, "Map[{k}, {v}]"),
+            Type::Set(t) => write!(f, "Set[{t}]"),
+        }
+    }
+}
+
+/// A type error produced by the S-IFAQ checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable description.
+    pub message: String,
+    /// Rendering of the offending expression.
+    pub expr: String,
+}
+
+impl TypeError {
+    fn new(message: impl Into<String>, expr: &Expr) -> Self {
+        TypeError { message: message.into(), expr: expr.to_string() }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {} in `{}`", self.message, self.expr)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Typing environment: variable → type.
+pub type TypeEnv = BTreeMap<Sym, Type>;
+
+/// The S-IFAQ type checker.
+#[derive(Default)]
+pub struct TypeChecker;
+
+impl TypeChecker {
+    /// Creates a checker.
+    pub fn new() -> Self {
+        TypeChecker
+    }
+
+    /// Infers the type of `e` under `env`, enforcing S-IFAQ invariants.
+    pub fn infer(&self, env: &TypeEnv, e: &Expr) -> Result<Type, TypeError> {
+        match e {
+            Expr::Const(c) => Ok(match c {
+                Const::Int(_) => Type::Int,
+                Const::Real(_) => Type::Real,
+                Const::Bool(_) => Type::Bool,
+                Const::Str(_) => Type::Str,
+                Const::Field(_) => Type::FieldName,
+            }),
+            Expr::Var(x) => env
+                .get(x)
+                .cloned()
+                .ok_or_else(|| TypeError::new(format!("unbound variable `{x}`"), e)),
+            Expr::Add(a, b) => {
+                let ta = self.infer(env, a)?;
+                let tb = self.infer(env, b)?;
+                self.add_type(&ta, &tb, e)
+            }
+            Expr::Mul(a, b) => {
+                let ta = self.infer(env, a)?;
+                let tb = self.infer(env, b)?;
+                self.mul_type(&ta, &tb, e)
+            }
+            Expr::Neg(a) => {
+                let t = self.infer(env, a)?;
+                if t.is_numeric() {
+                    Ok(t)
+                } else {
+                    Err(TypeError::new(format!("cannot negate {t}"), e))
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let ta = self.infer(env, a)?;
+                let tb = self.infer(env, b)?;
+                match op {
+                    BinOp::Sub | BinOp::Div | BinOp::Min | BinOp::Max => ta
+                        .numeric_join(&tb)
+                        .map(|t| if *op == BinOp::Div { Type::Real } else { t })
+                        .ok_or_else(|| {
+                            TypeError::new(format!("numeric op on {ta} and {tb}"), e)
+                        }),
+                    BinOp::And | BinOp::Or => {
+                        if ta == Type::Bool && tb == Type::Bool {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(TypeError::new(format!("logical op on {ta} and {tb}"), e))
+                        }
+                    }
+                    BinOp::Cmp(_) => {
+                        if ta == tb || ta.numeric_join(&tb).is_some() {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(TypeError::new(
+                                format!("comparison between {ta} and {tb}"),
+                                e,
+                            ))
+                        }
+                    }
+                }
+            }
+            Expr::Un(op, a) => {
+                let t = self.infer(env, a)?;
+                match op {
+                    UnOp::Not => {
+                        if t == Type::Bool {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(TypeError::new(format!("not() on {t}"), e))
+                        }
+                    }
+                    UnOp::Abs => {
+                        if t.is_numeric() {
+                            Ok(t)
+                        } else {
+                            Err(TypeError::new(format!("abs() on {t}"), e))
+                        }
+                    }
+                    _ => {
+                        if t.is_numeric() {
+                            Ok(Type::Real)
+                        } else {
+                            Err(TypeError::new(format!("{op}() on {t}"), e))
+                        }
+                    }
+                }
+            }
+            Expr::Sum { var, coll, body } => {
+                let elem = self.element_type(env, coll, e)?;
+                let mut env2 = env.clone();
+                env2.insert(var.clone(), elem);
+                let tb = self.infer(&env2, body)?;
+                if tb.is_addable() {
+                    Ok(tb)
+                } else {
+                    Err(TypeError::new(
+                        format!("sum body type {tb} has no addition monoid"),
+                        e,
+                    ))
+                }
+            }
+            Expr::DictComp { var, dom, body } => {
+                let elem = self.element_type(env, dom, e)?;
+                let mut env2 = env.clone();
+                env2.insert(var.clone(), elem.clone());
+                let tv = self.infer(&env2, body)?;
+                Ok(Type::dict(elem, tv))
+            }
+            Expr::DictLit(kvs) => {
+                if kvs.is_empty() {
+                    return Err(TypeError::new(
+                        "cannot infer the type of an empty dictionary literal",
+                        e,
+                    ));
+                }
+                let tk = self.infer(env, &kvs[0].0)?;
+                let tv = self.infer(env, &kvs[0].1)?;
+                for (k, v) in &kvs[1..] {
+                    let tk2 = self.infer(env, k)?;
+                    let tv2 = self.infer(env, v)?;
+                    if tk2 != tk || tv2 != tv {
+                        return Err(TypeError::new(
+                            "heterogeneous dictionary literal in S-IFAQ",
+                            e,
+                        ));
+                    }
+                }
+                Ok(Type::dict(tk, tv))
+            }
+            Expr::SetLit(es) => {
+                if es.is_empty() {
+                    return Err(TypeError::new(
+                        "cannot infer the type of an empty set literal",
+                        e,
+                    ));
+                }
+                let t0 = self.infer(env, &es[0])?;
+                for item in &es[1..] {
+                    if self.infer(env, item)? != t0 {
+                        return Err(TypeError::new("heterogeneous set literal in S-IFAQ", e));
+                    }
+                }
+                Ok(Type::set(t0))
+            }
+            Expr::Dom(a) => match self.infer(env, a)? {
+                Type::Dict(k, _) => Ok(Type::Set(k)),
+                t => Err(TypeError::new(format!("dom() of non-dictionary {t}"), e)),
+            },
+            Expr::Apply(f, k) => {
+                let tf = self.infer(env, f)?;
+                let tk = self.infer(env, k)?;
+                match tf {
+                    Type::Dict(kt, vt) => {
+                        if *kt == tk {
+                            Ok(*vt)
+                        } else {
+                            Err(TypeError::new(
+                                format!("dictionary key type {kt} but lookup with {tk}"),
+                                e,
+                            ))
+                        }
+                    }
+                    t => Err(TypeError::new(format!("application of non-dictionary {t}"), e)),
+                }
+            }
+            Expr::Record(fs) => {
+                let mut out = Vec::with_capacity(fs.len());
+                for (n, fe) in fs {
+                    out.push((n.clone(), self.infer(env, fe)?));
+                }
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                for w in out.windows(2) {
+                    if w[0].0 == w[1].0 {
+                        return Err(TypeError::new(
+                            format!("duplicate record field `{}`", w[0].0),
+                            e,
+                        ));
+                    }
+                }
+                Ok(Type::Record(out))
+            }
+            Expr::Variant(n, a) => {
+                let t = self.infer(env, a)?;
+                Ok(Type::Variant(vec![(n.clone(), t)]))
+            }
+            Expr::Field(a, n) => match self.infer(env, a)? {
+                Type::Record(fs) | Type::Variant(fs) => fs
+                    .iter()
+                    .find(|(f, _)| f == n)
+                    .map(|(_, t)| t.clone())
+                    .ok_or_else(|| TypeError::new(format!("no field `{n}`"), e)),
+                t => Err(TypeError::new(format!("field access on {t}"), e)),
+            },
+            Expr::FieldDyn(..) => Err(TypeError::new(
+                "dynamic field access is not allowed in S-IFAQ \
+                 (schema specialization should have removed it)",
+                e,
+            )),
+            Expr::Let { var, val, body } => {
+                let tv = self.infer(env, val)?;
+                let mut env2 = env.clone();
+                env2.insert(var.clone(), tv);
+                self.infer(&env2, body)
+            }
+            Expr::If { cond, then, els } => {
+                let tc = self.infer(env, cond)?;
+                if tc != Type::Bool {
+                    return Err(TypeError::new(format!("condition has type {tc}"), e));
+                }
+                let tt = self.infer(env, then)?;
+                let te = self.infer(env, els)?;
+                if tt == te {
+                    Ok(tt)
+                } else {
+                    tt.numeric_join(&te).ok_or_else(|| {
+                        TypeError::new(format!("branches have types {tt} and {te}"), e)
+                    })
+                }
+            }
+        }
+    }
+
+    /// The element type an iteration over `coll` binds: set elements, or
+    /// dictionary keys (iterating a relation iterates its tuple domain).
+    fn element_type(&self, env: &TypeEnv, coll: &Expr, ctx: &Expr) -> Result<Type, TypeError> {
+        match self.infer(env, coll)? {
+            Type::Set(t) => Ok(*t),
+            Type::Dict(k, _) => Ok(*k),
+            t => Err(TypeError::new(format!("iteration over non-collection {t}"), ctx)),
+        }
+    }
+
+    fn add_type(&self, ta: &Type, tb: &Type, e: &Expr) -> Result<Type, TypeError> {
+        if let Some(t) = ta.numeric_join(tb) {
+            return Ok(t);
+        }
+        match (ta, tb) {
+            (Type::Set(a), Type::Set(b)) if a == b => Ok(ta.clone()),
+            (Type::Dict(ka, va), Type::Dict(kb, vb)) if ka == kb => {
+                let v = self.add_type(va, vb, e)?;
+                Ok(Type::dict((**ka).clone(), v))
+            }
+            (Type::Record(fa), Type::Record(fb)) if fa.len() == fb.len() => {
+                let mut out = Vec::with_capacity(fa.len());
+                for ((na, ta), (nb, tb)) in fa.iter().zip(fb) {
+                    if na != nb {
+                        return Err(TypeError::new("adding records with different fields", e));
+                    }
+                    out.push((na.clone(), self.add_type(ta, tb, e)?));
+                }
+                Ok(Type::Record(out))
+            }
+            (Type::Bool, Type::Bool) => Ok(Type::Bool),
+            _ => Err(TypeError::new(format!("cannot add {ta} and {tb}"), e)),
+        }
+    }
+
+    fn mul_type(&self, ta: &Type, tb: &Type, e: &Expr) -> Result<Type, TypeError> {
+        if let Some(t) = ta.numeric_join(tb) {
+            return Ok(t);
+        }
+        // Scalar scaling of a collection/record from either side, and
+        // boolean guards multiplying a value (the paper's δ conditions).
+        match (ta, tb) {
+            (s, other) if s.is_numeric() || *s == Type::Bool => self.scale_type(other, s, e),
+            (other, s) if s.is_numeric() || *s == Type::Bool => self.scale_type(other, s, e),
+            _ => Err(TypeError::new(format!("cannot multiply {ta} and {tb}"), e)),
+        }
+    }
+
+    fn scale_type(&self, t: &Type, scalar: &Type, e: &Expr) -> Result<Type, TypeError> {
+        match t {
+            Type::Int if *scalar == Type::Bool => Ok(Type::Int),
+            Type::Real if *scalar == Type::Bool => Ok(Type::Real),
+            Type::Bool if *scalar == Type::Bool => Ok(Type::Bool),
+            Type::Dict(k, v) => Ok(Type::dict((**k).clone(), self.scale_type(v, scalar, e)?)),
+            Type::Record(fs) => {
+                let mut out = Vec::with_capacity(fs.len());
+                for (n, ft) in fs {
+                    out.push((n.clone(), self.scale_type(ft, scalar, e)?));
+                }
+                Ok(Type::Record(out))
+            }
+            Type::Int | Type::Real => t
+                .numeric_join(scalar)
+                .ok_or_else(|| TypeError::new(format!("cannot scale {t} by {scalar}"), e)),
+            _ => Err(TypeError::new(format!("cannot scale {t} by {scalar}"), e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn infer(env: &TypeEnv, src: &str) -> Result<Type, TypeError> {
+        TypeChecker::new().infer(env, &parse_expr(src).unwrap())
+    }
+
+    fn env_with(pairs: &[(&str, Type)]) -> TypeEnv {
+        pairs.iter().map(|(n, t)| (Sym::new(n), t.clone())).collect()
+    }
+
+    #[test]
+    fn scalars_and_arithmetic() {
+        let env = TypeEnv::new();
+        assert_eq!(infer(&env, "1 + 2").unwrap(), Type::Int);
+        assert_eq!(infer(&env, "1 + 2.5").unwrap(), Type::Real);
+        assert_eq!(infer(&env, "1 / 2").unwrap(), Type::Real);
+        assert_eq!(infer(&env, "1 < 2").unwrap(), Type::Bool);
+        assert_eq!(infer(&env, "true && false").unwrap(), Type::Bool);
+        assert!(infer(&env, "true + \"s\"").is_err());
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let err = infer(&TypeEnv::new(), "x").unwrap_err();
+        assert!(err.message.contains("unbound"));
+    }
+
+    #[test]
+    fn sum_over_relation_dict() {
+        // Q : Map[{i: int}, int]  — a relation as tuple→multiplicity.
+        let q = Type::dict(Type::record([("i", Type::Int)]), Type::Int);
+        let env = env_with(&[("Q", q)]);
+        assert_eq!(infer(&env, "sum(x in dom(Q)) Q(x) * x.i").unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn dict_comprehension_types() {
+        let env = env_with(&[("F", Type::set(Type::FieldName))]);
+        assert_eq!(
+            infer(&env, "dict(f in F) 1.0").unwrap(),
+            Type::dict(Type::FieldName, Type::Real)
+        );
+    }
+
+    #[test]
+    fn heterogeneous_collections_rejected() {
+        let env = TypeEnv::new();
+        assert!(infer(&env, "[|1, true|]").is_err());
+        assert!(infer(&env, "{|1 -> 2, true -> 3|}").is_err());
+        assert_eq!(infer(&env, "[|1, 2|]").unwrap(), Type::set(Type::Int));
+    }
+
+    #[test]
+    fn dynamic_field_access_rejected() {
+        let env = env_with(&[("x", Type::record([("a", Type::Int)]))]);
+        let err = infer(&env, "x[`a`]").unwrap_err();
+        assert!(err.message.contains("dynamic field access"));
+        assert_eq!(infer(&env, "x.a").unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn record_addition_is_pointwise() {
+        let r = Type::record([("a", Type::Int), ("b", Type::Real)]);
+        let env = env_with(&[("x", r.clone()), ("y", r.clone())]);
+        assert_eq!(infer(&env, "x + y").unwrap(), r);
+    }
+
+    #[test]
+    fn scalar_scales_dict_and_record() {
+        let d = Type::dict(Type::Int, Type::Real);
+        let env = env_with(&[("d", d.clone()), ("g", Type::Bool)]);
+        assert_eq!(infer(&env, "2 * d").unwrap(), d);
+        assert_eq!(infer(&env, "d * 2").unwrap(), d);
+        // Boolean guard * real — the δ-condition pattern from CART.
+        assert_eq!(infer(&env, "g * 3.0").unwrap(), Type::Real);
+    }
+
+    #[test]
+    fn sum_body_must_be_addable() {
+        let env = env_with(&[("S", Type::set(Type::Str))]);
+        let err = infer(&env, "sum(x in S) x").unwrap_err();
+        assert!(err.message.contains("monoid"));
+    }
+
+    #[test]
+    fn apply_key_type_must_match() {
+        let env = env_with(&[("d", Type::dict(Type::Int, Type::Real))]);
+        assert_eq!(infer(&env, "d(3)").unwrap(), Type::Real);
+        assert!(infer(&env, "d(true)").is_err());
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        let env = TypeEnv::new();
+        assert_eq!(infer(&env, "if true then 1 else 2").unwrap(), Type::Int);
+        assert_eq!(infer(&env, "if true then 1 else 2.0").unwrap(), Type::Real);
+        assert!(infer(&env, "if true then 1 else \"x\"").is_err());
+        assert!(infer(&env, "if 1 then 1 else 2").is_err());
+    }
+
+    #[test]
+    fn duplicate_record_fields_rejected() {
+        let env = TypeEnv::new();
+        assert!(infer(&env, "{a = 1, a = 2}").is_err());
+    }
+
+    #[test]
+    fn variant_and_field() {
+        let env = TypeEnv::new();
+        assert_eq!(
+            infer(&env, "<v = 3>").unwrap(),
+            Type::Variant(vec![(Sym::new("v"), Type::Int)])
+        );
+        assert_eq!(infer(&env, "<v = 3>.v").unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn covar_record_types() {
+        // The specialized covar matrix shape: record of records of reals.
+        let q = Type::dict(
+            Type::record([("c", Type::Real), ("p", Type::Real)]),
+            Type::Int,
+        );
+        let env = env_with(&[("Q", q)]);
+        let t = infer(
+            &env,
+            "{c = {c = sum(x in dom(Q)) Q(x) * x.c * x.c, \
+                   p = sum(x in dom(Q)) Q(x) * x.c * x.p}}",
+        )
+        .unwrap();
+        match t {
+            Type::Record(fs) => {
+                assert_eq!(fs.len(), 1);
+                assert!(matches!(fs[0].1, Type::Record(_)));
+            }
+            _ => panic!("expected record"),
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Free-variable analysis and capture-avoiding substitution.
+
+use crate::expr::Expr;
+use crate::sym::{gensym, Sym};
+use std::collections::BTreeSet;
+
+/// Returns the free variables of `e`.
+///
+/// Binders are `Σ`, `λ` (dictionary comprehension), and `let`.
+///
+/// ```
+/// use ifaq_ir::{Expr, vars::free_vars};
+/// let e = Expr::sum("x", Expr::var("Q"), Expr::mul(Expr::var("x"), Expr::var("y")));
+/// let fv = free_vars(&e);
+/// assert!(fv.contains("Q") && fv.contains("y") && !fv.contains("x"));
+/// ```
+pub fn free_vars(e: &Expr) -> BTreeSet<Sym> {
+    let mut out = BTreeSet::new();
+    collect_free(e, &mut BTreeSet::new(), &mut out);
+    out
+}
+
+/// True if `x` occurs free in `e`.
+pub fn occurs_free(x: &Sym, e: &Expr) -> bool {
+    free_vars(e).contains(x)
+}
+
+fn collect_free(e: &Expr, bound: &mut BTreeSet<Sym>, out: &mut BTreeSet<Sym>) {
+    match e {
+        Expr::Var(x) => {
+            if !bound.contains(x) {
+                out.insert(x.clone());
+            }
+        }
+        Expr::Sum { var, coll, body } | Expr::DictComp { var, dom: coll, body } => {
+            collect_free(coll, bound, out);
+            let fresh = bound.insert(var.clone());
+            collect_free(body, bound, out);
+            if fresh {
+                bound.remove(var);
+            }
+        }
+        Expr::Let { var, val, body } => {
+            collect_free(val, bound, out);
+            let fresh = bound.insert(var.clone());
+            collect_free(body, bound, out);
+            if fresh {
+                bound.remove(var);
+            }
+        }
+        _ => {
+            for c in e.children() {
+                collect_free(c, bound, out);
+            }
+        }
+    }
+}
+
+/// Capture-avoiding substitution: replaces free occurrences of `x` in `e`
+/// with `replacement`, renaming binders that would capture free variables
+/// of `replacement`.
+///
+/// ```
+/// use ifaq_ir::{Expr, vars::subst};
+/// // (x + let y = 1 in x)[x := y]  — the let-bound y must not capture.
+/// let e = Expr::add(Expr::var("x"), Expr::let_("y", Expr::int(1), Expr::var("x")));
+/// let r = subst(&e, &"x".into(), &Expr::var("y"));
+/// // Both occurrences become the *free* y.
+/// assert!(ifaq_ir::vars::free_vars(&r).contains("y"));
+/// ```
+pub fn subst(e: &Expr, x: &Sym, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Var(y) => {
+            if y == x {
+                replacement.clone()
+            } else {
+                e.clone()
+            }
+        }
+        Expr::Sum { var, coll, body } => {
+            let coll2 = subst(coll, x, replacement);
+            if var == x {
+                Expr::sum(var.clone(), coll2, (**body).clone())
+            } else if occurs_free(var, replacement) && occurs_free(x, body) {
+                let fresh = gensym(var.as_str());
+                let body2 = subst(body, var, &Expr::Var(fresh.clone()));
+                Expr::sum(fresh, coll2, subst(&body2, x, replacement))
+            } else {
+                Expr::sum(var.clone(), coll2, subst(body, x, replacement))
+            }
+        }
+        Expr::DictComp { var, dom, body } => {
+            let dom2 = subst(dom, x, replacement);
+            if var == x {
+                Expr::dict_comp(var.clone(), dom2, (**body).clone())
+            } else if occurs_free(var, replacement) && occurs_free(x, body) {
+                let fresh = gensym(var.as_str());
+                let body2 = subst(body, var, &Expr::Var(fresh.clone()));
+                Expr::dict_comp(fresh, dom2, subst(&body2, x, replacement))
+            } else {
+                Expr::dict_comp(var.clone(), dom2, subst(body, x, replacement))
+            }
+        }
+        Expr::Let { var, val, body } => {
+            let val2 = subst(val, x, replacement);
+            if var == x {
+                Expr::let_(var.clone(), val2, (**body).clone())
+            } else if occurs_free(var, replacement) && occurs_free(x, body) {
+                let fresh = gensym(var.as_str());
+                let body2 = subst(body, var, &Expr::Var(fresh.clone()));
+                Expr::let_(fresh, val2, subst(&body2, x, replacement))
+            } else {
+                Expr::let_(var.clone(), val2, subst(body, x, replacement))
+            }
+        }
+        _ => e.map_children(|c| subst(c, x, replacement)),
+    }
+}
+
+/// Renames every bound variable to a fresh name, producing an
+/// alpha-equivalent expression with globally unique binders. Useful before
+/// transformations that move code across scopes.
+pub fn uniquify(e: &Expr) -> Expr {
+    match e {
+        Expr::Sum { var, coll, body } => {
+            let fresh = gensym(var.as_str());
+            let body2 = subst(body, var, &Expr::Var(fresh.clone()));
+            Expr::sum(fresh, uniquify(coll), uniquify(&body2))
+        }
+        Expr::DictComp { var, dom, body } => {
+            let fresh = gensym(var.as_str());
+            let body2 = subst(body, var, &Expr::Var(fresh.clone()));
+            Expr::dict_comp(fresh, uniquify(dom), uniquify(&body2))
+        }
+        Expr::Let { var, val, body } => {
+            let fresh = gensym(var.as_str());
+            let body2 = subst(body, var, &Expr::Var(fresh.clone()));
+            Expr::let_(fresh, uniquify(val), uniquify(&body2))
+        }
+        _ => e.map_children(|c| uniquify(c)),
+    }
+}
+
+/// Structural equality modulo bound-variable names (alpha-equivalence).
+pub fn alpha_eq(a: &Expr, b: &Expr) -> bool {
+    fn go(a: &Expr, b: &Expr, env: &mut Vec<(Sym, Sym)>) -> bool {
+        use Expr::*;
+        match (a, b) {
+            (Var(x), Var(y)) => {
+                for (l, r) in env.iter().rev() {
+                    if l == x || r == y {
+                        return l == x && r == y;
+                    }
+                }
+                x == y
+            }
+            (Const(c1), Const(c2)) => c1 == c2,
+            (Add(a1, b1), Add(a2, b2)) | (Mul(a1, b1), Mul(a2, b2)) => {
+                go(a1, a2, env) && go(b1, b2, env)
+            }
+            (Neg(a1), Neg(a2)) | (Dom(a1), Dom(a2)) => go(a1, a2, env),
+            (Bin(o1, a1, b1), Bin(o2, a2, b2)) => o1 == o2 && go(a1, a2, env) && go(b1, b2, env),
+            (Un(o1, a1), Un(o2, a2)) => o1 == o2 && go(a1, a2, env),
+            (
+                Sum { var: v1, coll: c1, body: b1 },
+                Sum { var: v2, coll: c2, body: b2 },
+            )
+            | (
+                DictComp { var: v1, dom: c1, body: b1 },
+                DictComp { var: v2, dom: c2, body: b2 },
+            ) => {
+                if !go(c1, c2, env) {
+                    return false;
+                }
+                env.push((v1.clone(), v2.clone()));
+                let r = go(b1, b2, env);
+                env.pop();
+                r
+            }
+            (Let { var: v1, val: e1, body: b1 }, Let { var: v2, val: e2, body: b2 }) => {
+                if !go(e1, e2, env) {
+                    return false;
+                }
+                env.push((v1.clone(), v2.clone()));
+                let r = go(b1, b2, env);
+                env.pop();
+                r
+            }
+            (DictLit(k1), DictLit(k2)) => {
+                k1.len() == k2.len()
+                    && k1
+                        .iter()
+                        .zip(k2)
+                        .all(|((ka, va), (kb, vb))| go(ka, kb, env) && go(va, vb, env))
+            }
+            (SetLit(e1), SetLit(e2)) => {
+                e1.len() == e2.len() && e1.iter().zip(e2).all(|(x, y)| go(x, y, env))
+            }
+            (Apply(f1, k1), Apply(f2, k2)) | (FieldDyn(f1, k1), FieldDyn(f2, k2)) => {
+                go(f1, f2, env) && go(k1, k2, env)
+            }
+            (Record(f1), Record(f2)) => {
+                f1.len() == f2.len()
+                    && f1
+                        .iter()
+                        .zip(f2)
+                        .all(|((n1, e1), (n2, e2))| n1 == n2 && go(e1, e2, env))
+            }
+            (Variant(n1, e1), Variant(n2, e2)) => n1 == n2 && go(e1, e2, env),
+            (Field(e1, n1), Field(e2, n2)) => n1 == n2 && go(e1, e2, env),
+            (
+                If { cond: c1, then: t1, els: e1 },
+                If { cond: c2, then: t2, els: e2 },
+            ) => go(c1, c2, env) && go(t1, t2, env) && go(e1, e2, env),
+            _ => false,
+        }
+    }
+    go(a, b, &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_respects_binders() {
+        let e = Expr::let_(
+            "x",
+            Expr::var("a"),
+            Expr::sum("y", Expr::var("b"), Expr::add(Expr::var("x"), Expr::var("y"))),
+        );
+        let fv = free_vars(&e);
+        assert_eq!(
+            fv.iter().map(Sym::as_str).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn shadowing_keeps_outer_occurrence_free() {
+        // x + (let x = 1 in x): the first x is free.
+        let e = Expr::add(
+            Expr::var("x"),
+            Expr::let_("x", Expr::int(1), Expr::var("x")),
+        );
+        assert!(free_vars(&e).contains("x"));
+    }
+
+    #[test]
+    fn subst_replaces_free_only() {
+        let e = Expr::add(
+            Expr::var("x"),
+            Expr::let_("x", Expr::int(1), Expr::var("x")),
+        );
+        let r = subst(&e, &"x".into(), &Expr::int(9));
+        assert_eq!(
+            r,
+            Expr::add(
+                Expr::int(9),
+                Expr::let_("x", Expr::int(1), Expr::var("x"))
+            )
+        );
+    }
+
+    #[test]
+    fn subst_avoids_capture_in_sum() {
+        // (Σ_{y∈Q} x)[x := y] must not let the binder y capture.
+        let e = Expr::sum("y", Expr::var("Q"), Expr::var("x"));
+        let r = subst(&e, &"x".into(), &Expr::var("y"));
+        match &r {
+            Expr::Sum { var, body, .. } => {
+                assert_ne!(var.as_str(), "y");
+                assert_eq!(**body, Expr::var("y"));
+            }
+            _ => panic!("expected Sum"),
+        }
+    }
+
+    #[test]
+    fn subst_avoids_capture_in_let() {
+        let e = Expr::let_("y", Expr::int(0), Expr::add(Expr::var("x"), Expr::var("y")));
+        let r = subst(&e, &"x".into(), &Expr::var("y"));
+        if let Expr::Let { var, body, .. } = &r {
+            assert_ne!(var.as_str(), "y");
+            // The substituted occurrence refers to the *outer* y.
+            assert!(free_vars(body).contains("y"));
+        } else {
+            panic!("expected Let");
+        }
+    }
+
+    #[test]
+    fn alpha_eq_ignores_binder_names() {
+        let a = Expr::sum("x", Expr::var("Q"), Expr::mul(Expr::var("x"), Expr::var("x")));
+        let b = Expr::sum("z", Expr::var("Q"), Expr::mul(Expr::var("z"), Expr::var("z")));
+        assert!(alpha_eq(&a, &b));
+        let c = Expr::sum("z", Expr::var("Q"), Expr::mul(Expr::var("z"), Expr::var("Q")));
+        assert!(!alpha_eq(&a, &c));
+    }
+
+    #[test]
+    fn uniquify_preserves_alpha_equivalence() {
+        let e = Expr::let_(
+            "x",
+            Expr::int(1),
+            Expr::sum("x", Expr::var("Q"), Expr::var("x")),
+        );
+        let u = uniquify(&e);
+        assert!(alpha_eq(&e, &u));
+        // All binders fresh (contain the gensym marker).
+        let mut binders = vec![];
+        u.visit(&mut |n| {
+            if let Expr::Let { var, .. } | Expr::Sum { var, .. } = n {
+                binders.push(var.clone());
+            }
+        });
+        assert!(binders.iter().all(|b| b.as_str().contains('%')));
+    }
+
+    #[test]
+    fn alpha_eq_distinguishes_free_vars() {
+        assert!(!alpha_eq(&Expr::var("a"), &Expr::var("b")));
+        assert!(alpha_eq(&Expr::var("a"), &Expr::var("a")));
+    }
+}

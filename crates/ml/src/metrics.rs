@@ -1,0 +1,87 @@
+//! Model accuracy metrics (§5 compares systems by RMSE on the held-out
+//! last-month split).
+
+use crate::linreg::LinearModel;
+use crate::tree::RegressionTree;
+use ifaq_engine::TrainMatrix;
+
+/// Root mean squared error of paired predictions and truths.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sq: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    (sq / pred.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination R².
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// RMSE of a linear model on a test matrix.
+pub fn linreg_rmse(model: &LinearModel, m: &TrainMatrix, label: &str) -> f64 {
+    let label_col = m.col(label).expect("label column");
+    let pred: Vec<f64> = (0..m.rows).map(|i| model.predict_row(m, i)).collect();
+    let truth: Vec<f64> = (0..m.rows).map(|i| m.row(i)[label_col]).collect();
+    rmse(&pred, &truth)
+}
+
+/// RMSE of a regression tree on a test matrix.
+pub fn tree_rmse(model: &RegressionTree, m: &TrainMatrix, label: &str) -> f64 {
+    let label_col = m.col(label).expect("label column");
+    let pred: Vec<f64> = (0..m.rows).map(|i| model.predict_row(m, i)).collect();
+    let truth: Vec<f64> = (0..m.rows).map(|i| m.row(i)[label_col]).collect();
+    rmse(&pred, &truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_basics() {
+        assert_eq!(mae(&[1.0, 3.0], &[2.0, 1.0]), 1.5);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        assert_eq!(r2(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 1.0);
+        // Predicting the mean gives R² = 0.
+        let r = r2(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! One-hot encoding of categorical attributes (§2.1's `RnT` type and the
+//! §5 "Categorical Attributes" experiment).
+//!
+//! Expanding a categorical column with `k` distinct values into `k`
+//! indicator columns multiplies the feature count (87 for Retailer, 526
+//! for Favorita in the paper) and makes the covar batch quadratically
+//! larger — the reason the paper defers efficient categorical support
+//! (sparse tensors as in LMFAO) to future work. The expansion here is
+//! dense, which is enough to reproduce the blow-up measurements.
+
+use ifaq_engine::TrainMatrix;
+use ifaq_ir::Sym;
+
+/// Expands the named columns of a matrix into one-hot indicator columns
+/// (`<attr>_<value>`), keeping all other columns. Values are truncated to
+/// integers to form categories.
+pub fn expand_one_hot(m: &TrainMatrix, categorical: &[&str]) -> TrainMatrix {
+    // Collect category sets.
+    let cat_cols: Vec<usize> = categorical
+        .iter()
+        .map(|a| m.col(a).unwrap_or_else(|| panic!("no column `{a}`")))
+        .collect();
+    let mut categories: Vec<Vec<i64>> = vec![Vec::new(); cat_cols.len()];
+    for i in 0..m.rows {
+        let row = m.row(i);
+        for (k, &c) in cat_cols.iter().enumerate() {
+            let v = row[c] as i64;
+            if let Err(pos) = categories[k].binary_search(&v) {
+                categories[k].insert(pos, v);
+            }
+        }
+    }
+    // Output schema: non-categorical columns first, then indicators.
+    let keep: Vec<usize> = (0..m.attrs.len()).filter(|c| !cat_cols.contains(c)).collect();
+    let mut attrs: Vec<Sym> = keep.iter().map(|&c| m.attrs[c].clone()).collect();
+    for (k, a) in categorical.iter().enumerate() {
+        for v in &categories[k] {
+            attrs.push(Sym::new(format!("{a}_{v}")));
+        }
+    }
+    let width = attrs.len();
+    let mut data = Vec::with_capacity(m.rows * width);
+    for i in 0..m.rows {
+        let row = m.row(i);
+        for &c in &keep {
+            data.push(row[c]);
+        }
+        for (k, &c) in cat_cols.iter().enumerate() {
+            let v = row[c] as i64;
+            for cat in &categories[k] {
+                data.push(if *cat == v { 1.0 } else { 0.0 });
+            }
+        }
+    }
+    TrainMatrix { attrs, rows: m.rows, data }
+}
+
+/// Number of features after one-hot encoding: continuous features plus one
+/// per category of each categorical attribute (the paper's 87 / 526
+/// computation).
+pub fn encoded_feature_count(continuous: usize, category_counts: &[usize]) -> usize {
+    continuous + category_counts.iter().sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainMatrix {
+        TrainMatrix {
+            attrs: vec!["color".into(), "x".into(), "y".into()],
+            rows: 4,
+            data: vec![
+                0.0, 1.0, 10.0, //
+                1.0, 2.0, 20.0, //
+                2.0, 3.0, 30.0, //
+                0.0, 4.0, 40.0,
+            ],
+        }
+    }
+
+    #[test]
+    fn expands_categories_to_indicators() {
+        let m = sample();
+        let e = expand_one_hot(&m, &["color"]);
+        assert_eq!(
+            e.attrs.iter().map(|a| a.as_str().to_string()).collect::<Vec<_>>(),
+            vec!["x", "y", "color_0", "color_1", "color_2"]
+        );
+        assert_eq!(e.rows, 4);
+        assert_eq!(e.row(0), &[1.0, 10.0, 1.0, 0.0, 0.0]);
+        assert_eq!(e.row(2), &[3.0, 30.0, 0.0, 0.0, 1.0]);
+        assert_eq!(e.row(3), &[4.0, 40.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn indicator_rows_sum_to_one() {
+        let e = expand_one_hot(&sample(), &["color"]);
+        for i in 0..e.rows {
+            let s: f64 = e.row(i)[2..].iter().sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn feature_count_formula() {
+        // Favorita in the paper: 6 continuous and categories that total
+        // 520 indicators give 526 features.
+        assert_eq!(encoded_feature_count(6, &[300, 220]), 526);
+    }
+}

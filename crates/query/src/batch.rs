@@ -1,0 +1,292 @@
+//! Aggregate batches over a feature-extraction join.
+//!
+//! An [`AggSpec`] denotes `Σ_{x ∈ dom(Q)} Q(x) · Π_{a ∈ factors} x.a · δ`,
+//! where `Q` is the natural join of the input relations and `δ` is an
+//! optional conjunction of threshold predicates (used by the CART
+//! algorithm's node conditions, §3). A batch is an ordered collection of
+//! such aggregates computed together — the unit the paper's "Merge Views" /
+//! "Multi-Aggregate Iteration" optimizations operate on.
+
+use ifaq_ir::Sym;
+use std::fmt;
+
+/// A comparison in a δ condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredOp {
+    /// `attr <= t`
+    Le,
+    /// `attr > t`
+    Gt,
+    /// `attr == t`
+    Eq,
+    /// `attr != t`
+    Ne,
+}
+
+impl PredOp {
+    /// The complementary condition (`!op` in the paper's CART recursion).
+    pub fn negate(self) -> PredOp {
+        match self {
+            PredOp::Le => PredOp::Gt,
+            PredOp::Gt => PredOp::Le,
+            PredOp::Eq => PredOp::Ne,
+            PredOp::Ne => PredOp::Eq,
+        }
+    }
+
+    /// Evaluates the comparison.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            PredOp::Le => lhs <= rhs,
+            PredOp::Gt => lhs > rhs,
+            PredOp::Eq => lhs == rhs,
+            PredOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+/// A single threshold predicate `attr op threshold`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predicate {
+    /// Attribute tested.
+    pub attr: Sym,
+    /// Comparison operator.
+    pub op: PredOp,
+    /// Threshold value.
+    pub threshold: f64,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(attr: impl Into<Sym>, op: PredOp, threshold: f64) -> Self {
+        Predicate { attr: attr.into(), op, threshold }
+    }
+
+    /// The complementary predicate.
+    pub fn negate(&self) -> Predicate {
+        Predicate { attr: self.attr.clone(), op: self.op.negate(), threshold: self.threshold }
+    }
+
+    /// Evaluates the predicate against an attribute value.
+    pub fn eval(&self, value: f64) -> bool {
+        self.op.eval(value, self.threshold)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            PredOp::Le => "<=",
+            PredOp::Gt => ">",
+            PredOp::Eq => "==",
+            PredOp::Ne => "!=",
+        };
+        write!(f, "{} {} {}", self.attr, op, self.threshold)
+    }
+}
+
+/// One aggregate of a batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggSpec {
+    /// Name used to bind the result back into the program.
+    pub name: String,
+    /// Attribute factors multiplied under the sum (empty = `COUNT`).
+    pub factors: Vec<Sym>,
+    /// δ conditions conjoined with the summand.
+    pub filter: Vec<Predicate>,
+}
+
+impl AggSpec {
+    /// An unfiltered aggregate.
+    pub fn new(name: impl Into<String>, factors: &[&str]) -> Self {
+        AggSpec {
+            name: name.into(),
+            factors: factors.iter().map(Sym::new).collect(),
+            filter: Vec::new(),
+        }
+    }
+
+    /// The `COUNT(*)` aggregate.
+    pub fn count(name: impl Into<String>) -> Self {
+        AggSpec::new(name, &[])
+    }
+
+    /// Adds a δ predicate (builder style).
+    pub fn filtered(mut self, pred: Predicate) -> Self {
+        self.filter.push(pred);
+        self
+    }
+
+    /// Degree of the aggregate (number of factors).
+    pub fn degree(&self) -> usize {
+        self.factors.len()
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = SUM(", self.name)?;
+        if self.factors.is_empty() {
+            write!(f, "1")?;
+        } else {
+            for (i, a) in self.factors.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " * ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ")")?;
+        for p in &self.filter {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered batch of aggregates evaluated together over one join.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AggBatch {
+    /// The aggregates, in result order.
+    pub aggs: Vec<AggSpec>,
+}
+
+impl AggBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        AggBatch::default()
+    }
+
+    /// Adds an aggregate (builder style).
+    pub fn with(mut self, agg: AggSpec) -> Self {
+        self.aggs.push(agg);
+        self
+    }
+
+    /// Number of aggregates.
+    pub fn len(&self) -> usize {
+        self.aggs.len()
+    }
+
+    /// True if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.aggs.is_empty()
+    }
+
+    /// Index of the aggregate named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.aggs.iter().position(|a| a.name == name)
+    }
+
+    /// Applies a δ condition to *every* aggregate of the batch — how CART
+    /// derives a child node's batch from its parent's.
+    pub fn filtered(&self, pred: &Predicate) -> AggBatch {
+        AggBatch {
+            aggs: self
+                .aggs
+                .iter()
+                .map(|a| {
+                    let mut a = a.clone();
+                    a.filter.push(pred.clone());
+                    a
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Builds the covar-matrix batch for linear regression over `features`
+/// with the given `label`: the non-centered second moments `Σ fi·fj`
+/// (i ≤ j), the label interactions `Σ fi·label`, the first moments `Σ fi`
+/// and `Σ label`, the second moment of the label, and `COUNT(*)`. The
+/// moment names are `m_fi_fj`, `m_fi`, and `count`.
+///
+/// This is exactly the batch the high-level optimizations memoize (§4.1):
+/// batch gradient descent iterates over these aggregates alone.
+pub fn covar_batch(features: &[&str], label: &str) -> AggBatch {
+    let mut batch = AggBatch::new();
+    let mut all: Vec<&str> = features.to_vec();
+    all.push(label);
+    for (i, a) in all.iter().enumerate() {
+        for b in &all[i..] {
+            batch = batch.with(AggSpec::new(format!("m_{a}_{b}"), &[a, b]));
+        }
+    }
+    for a in &all {
+        batch = batch.with(AggSpec::new(format!("m_{a}"), &[a]));
+    }
+    batch.with(AggSpec::count("count"))
+}
+
+/// Builds the per-node variance batch for a CART regression tree (§3):
+/// `Σ label²·δ`, `Σ label·δ`, and `Σ δ`, all filtered by the node's path
+/// condition `delta`.
+pub fn variance_batch(label: &str, delta: &[Predicate]) -> AggBatch {
+    let mut sq = AggSpec::new("sum_label_sq", &[label, label]);
+    let mut s = AggSpec::new("sum_label", &[label]);
+    let mut c = AggSpec::count("count");
+    for p in delta {
+        sq = sq.filtered(p.clone());
+        s = s.filtered(p.clone());
+        c = c.filtered(p.clone());
+    }
+    AggBatch::new().with(sq).with(s).with(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_negation_and_eval() {
+        let p = Predicate::new("price", PredOp::Le, 2.0);
+        assert!(p.eval(2.0));
+        assert!(!p.eval(2.5));
+        let n = p.negate();
+        assert_eq!(n.op, PredOp::Gt);
+        assert!(n.eval(2.5));
+        assert!(!n.eval(2.0));
+        for op in [PredOp::Le, PredOp::Gt, PredOp::Eq, PredOp::Ne] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn covar_batch_has_expected_size() {
+        // 4 features + label = 5 attrs: 15 second moments + 5 first
+        // moments + count = 21.
+        let b = covar_batch(&["i", "s", "c", "p"], "u");
+        assert_eq!(b.len(), 21);
+        assert!(b.index_of("m_i_u").is_some());
+        assert!(b.index_of("m_c_p").is_some());
+        assert!(b.index_of("m_p_c").is_none(), "only i <= j pairs");
+        assert!(b.index_of("count").is_some());
+        assert_eq!(b.aggs[b.index_of("m_u_u").unwrap()].degree(), 2);
+    }
+
+    #[test]
+    fn variance_batch_carries_delta() {
+        let delta = vec![Predicate::new("price", PredOp::Le, 3.0)];
+        let b = variance_batch("units", &delta);
+        assert_eq!(b.len(), 3);
+        assert!(b.aggs.iter().all(|a| a.filter.len() == 1));
+        assert_eq!(b.aggs[0].factors.len(), 2);
+    }
+
+    #[test]
+    fn batch_filtered_adds_to_all() {
+        let b = covar_batch(&["c"], "u");
+        let p = Predicate::new("c", PredOp::Gt, 1.0);
+        let fb = b.filtered(&p);
+        assert!(fb.aggs.iter().all(|a| a.filter.last() == Some(&p)));
+        assert_eq!(b.len(), fb.len());
+    }
+
+    #[test]
+    fn display_renders_sql_like() {
+        let a = AggSpec::new("m", &["c", "p"])
+            .filtered(Predicate::new("p", PredOp::Gt, 1.5));
+        assert_eq!(a.to_string(), "m = SUM(c * p) WHERE p > 1.5");
+        assert_eq!(AggSpec::count("n").to_string(), "n = SUM(1)");
+    }
+}

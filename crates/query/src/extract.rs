@@ -1,0 +1,232 @@
+//! The "Extract Aggregates" pass (§4.3).
+//!
+//! Analyzes an S-IFAQ expression and extracts the batch of aggregate
+//! queries of the form `Σ_{x∈dom(Q)} Q(x) · x.a · x.b · …` (optionally with
+//! a constant coefficient and/or negation around or inside the summand,
+//! which stay behind in the residual expression). Each extracted aggregate
+//! is replaced by a variable reference `__agg<i>`; the engine computes the
+//! batch over the input database *without materializing `Q`* and binds the
+//! results.
+
+use crate::batch::{AggBatch, AggSpec};
+use ifaq_ir::{Const, Expr, Sym};
+
+/// Result of aggregate extraction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Extraction {
+    /// The residual expression with aggregates replaced by variables.
+    pub residual: Expr,
+    /// The extracted batch; `batch.aggs[i]` binds to variable `__agg<i>`.
+    pub batch: AggBatch,
+}
+
+impl Extraction {
+    /// Variable name bound to the `i`-th aggregate.
+    pub fn agg_var(i: usize) -> Sym {
+        Sym::new(format!("__agg{i}"))
+    }
+}
+
+/// Extracts all aggregates over `dom(q_var)` from `e`.
+///
+/// Structurally identical aggregates (same factor multiset) are extracted
+/// once and shared — the batch-level counterpart of CSE.
+pub fn extract_aggregates(e: &Expr, q_var: &Sym) -> Extraction {
+    let mut batch = AggBatch::new();
+    let residual = go(e, q_var, &mut batch);
+    Extraction { residual, batch }
+}
+
+fn go(e: &Expr, q_var: &Sym, batch: &mut AggBatch) -> Expr {
+    if let Some((coeff, factors)) = match_aggregate(e, q_var) {
+        let mut sorted = factors.clone();
+        sorted.sort();
+        let existing = batch.aggs.iter().position(|a| {
+            let mut af = a.factors.clone();
+            af.sort();
+            af == sorted && a.filter.is_empty()
+        });
+        let idx = existing.unwrap_or_else(|| {
+            let name = format!("__agg{}", batch.len());
+            batch.aggs.push(AggSpec {
+                name,
+                factors: factors.clone(),
+                filter: Vec::new(),
+            });
+            batch.len() - 1
+        });
+        let var = Expr::Var(Extraction::agg_var(idx));
+        return match coeff {
+            Coeff::One => var,
+            Coeff::Neg => Expr::neg(var),
+            Coeff::Const(c) => Expr::mul(Expr::Const(c), var),
+            Coeff::NegConst(c) => Expr::neg(Expr::mul(Expr::Const(c), var)),
+        };
+    }
+    e.map_children(|c| go(c, q_var, batch))
+}
+
+enum Coeff {
+    One,
+    Neg,
+    Const(Const),
+    NegConst(Const),
+}
+
+/// Matches `Σ_{x∈dom(Q)} body` where `body` is a product of `Q(x)`, static
+/// field accesses `x.a`, scalar constants, and an optional negation.
+/// Returns the residual coefficient and the attribute factors.
+fn match_aggregate(e: &Expr, q_var: &Sym) -> Option<(Coeff, Vec<Sym>)> {
+    let Expr::Sum { var, coll, body } = e else {
+        return None;
+    };
+    let Expr::Dom(inner) = coll.as_ref() else {
+        return None;
+    };
+    if **inner != Expr::Var(q_var.clone()) {
+        return None;
+    }
+    // Flatten the summand into sign + factors.
+    let mut negated = false;
+    let mut factors = Vec::new();
+    let mut stack = vec![body.as_ref()];
+    let mut saw_multiplicity = false;
+    let mut coeff: Option<Const> = None;
+    while let Some(f) = stack.pop() {
+        match f {
+            Expr::Mul(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Expr::Neg(inner) => {
+                negated = !negated;
+                stack.push(inner);
+            }
+            Expr::Apply(q, x) => {
+                if **q == Expr::Var(q_var.clone()) && **x == Expr::Var(var.clone()) {
+                    saw_multiplicity = true;
+                } else {
+                    return None;
+                }
+            }
+            Expr::Field(base, attr) => {
+                if **base == Expr::Var(var.clone()) {
+                    factors.push(attr.clone());
+                } else {
+                    return None;
+                }
+            }
+            Expr::Const(c @ (Const::Int(_) | Const::Real(_))) => {
+                // Fold multiple constants multiplicatively only when one
+                // appears; multiple constant factors are unusual post
+                // factorization — bail to stay simple and sound.
+                if coeff.is_some() {
+                    return None;
+                }
+                coeff = Some(c.clone());
+            }
+            _ => return None,
+        }
+    }
+    if !saw_multiplicity {
+        return None;
+    }
+    factors.reverse();
+    let c = match (negated, coeff) {
+        (false, None) => Coeff::One,
+        (true, None) => Coeff::Neg,
+        (false, Some(c)) => Coeff::Const(c),
+        (true, Some(c)) => Coeff::NegConst(c),
+    };
+    Some((c, factors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_expr;
+
+    fn extract(src: &str) -> Extraction {
+        extract_aggregates(&parse_expr(src).unwrap(), &Sym::new("Q"))
+    }
+
+    #[test]
+    fn extracts_covar_entry() {
+        let out = extract("sum(x in dom(Q)) Q(x) * x.c * x.p");
+        assert_eq!(out.batch.len(), 1);
+        assert_eq!(out.batch.aggs[0].factors.len(), 2);
+        assert_eq!(out.residual, Expr::var("__agg0"));
+    }
+
+    #[test]
+    fn extracts_count() {
+        let out = extract("sum(x in dom(Q)) Q(x)");
+        assert_eq!(out.batch.len(), 1);
+        assert!(out.batch.aggs[0].factors.is_empty());
+    }
+
+    #[test]
+    fn extracts_batch_from_record() {
+        let out = extract(
+            "{cc = sum(x in dom(Q)) Q(x) * x.c * x.c, \
+              cp = sum(x in dom(Q)) Q(x) * x.c * x.p}",
+        );
+        assert_eq!(out.batch.len(), 2);
+        let s = out.residual.to_string();
+        assert!(s.contains("__agg0") && s.contains("__agg1"));
+    }
+
+    #[test]
+    fn shares_structurally_equal_aggregates() {
+        let out = extract(
+            "(sum(x in dom(Q)) Q(x) * x.c * x.p) + (sum(y in dom(Q)) Q(y) * y.p * y.c)",
+        );
+        assert_eq!(out.batch.len(), 1, "factor multisets match");
+        assert_eq!(
+            out.residual,
+            parse_expr("__agg0 + __agg0").unwrap()
+        );
+    }
+
+    #[test]
+    fn negation_and_coefficient_stay_residual() {
+        let out = extract("sum(x in dom(Q)) -(Q(x) * x.c)");
+        assert_eq!(out.batch.len(), 1);
+        assert_eq!(out.residual, parse_expr("-__agg0").unwrap());
+        let out2 = extract("sum(x in dom(Q)) 0.5 * Q(x) * x.c");
+        assert_eq!(out2.residual, parse_expr("0.5 * __agg0").unwrap());
+    }
+
+    #[test]
+    fn leaves_non_aggregates_alone() {
+        // Missing multiplicity factor Q(x): not an aggregate over Q.
+        let src = "sum(x in dom(Q)) x.c";
+        let out = extract(src);
+        assert!(out.batch.is_empty());
+        assert_eq!(out.residual, parse_expr(src).unwrap());
+    }
+
+    #[test]
+    fn ignores_sums_over_other_collections() {
+        let src = "sum(x in dom(P)) P(x) * x.c";
+        let out = extract(src);
+        assert!(out.batch.is_empty());
+    }
+
+    #[test]
+    fn rejects_references_to_other_variables() {
+        // The summand mentions theta: data-dependent, not a pure aggregate.
+        let src = "sum(x in dom(Q)) Q(x) * theta.c * x.c";
+        let out = extract(src);
+        assert!(out.batch.is_empty());
+    }
+
+    #[test]
+    fn extracts_inside_lets_and_dicts() {
+        let out = extract(
+            "let M = {c = sum(x in dom(Q)) Q(x) * x.c} in M.c + \
+             sum(x in dom(Q)) Q(x) * x.p",
+        );
+        assert_eq!(out.batch.len(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Join-tree construction (§4.3, Example 4.8).
+//!
+//! Relations are nodes; an edge between two nodes is annotated with the
+//! attributes on which they join. The paper assumes the join order is given
+//! by a query optimizer [25]; here we use the standard heuristic for the
+//! acyclic feature-extraction joins of the workloads: the largest relation
+//! (the fact table) is the root, and every other relation attaches to the
+//! node it shares attributes with.
+
+use ifaq_ir::{Catalog, Sym};
+use std::fmt;
+
+/// A node of a join tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinNode {
+    /// Relation name.
+    pub relation: Sym,
+    /// Attributes shared with the parent (empty for the root).
+    pub join_attrs: Vec<Sym>,
+    /// Child nodes.
+    pub children: Vec<JoinNode>,
+}
+
+/// A rooted join tree over the catalog's relations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinTree {
+    /// Root node (the fact table).
+    pub root: JoinNode,
+}
+
+/// An error during join-tree construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinTreeError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JoinTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "join tree error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JoinTreeError {}
+
+impl JoinTree {
+    /// Builds a join tree for `relations`, rooting at the largest one
+    /// (the usual fact table) and greedily attaching each remaining
+    /// relation to an already-placed node sharing at least one attribute.
+    pub fn build(catalog: &Catalog, relations: &[&str]) -> Result<JoinTree, JoinTreeError> {
+        if relations.is_empty() {
+            return Err(JoinTreeError { message: "no relations".into() });
+        }
+        let mut rels: Vec<&str> = relations.to_vec();
+        rels.sort_by_key(|r| {
+            std::cmp::Reverse(catalog.relation(r).map_or(0, |s| s.cardinality))
+        });
+        let root = rels.remove(0);
+        JoinTree::build_with_root(catalog, root, &rels)
+    }
+
+    /// Builds a join tree with an explicit root — used when the caller
+    /// knows the fact table (a dimension may outnumber a filtered fact).
+    pub fn build_with_root(
+        catalog: &Catalog,
+        root_name: &str,
+        others: &[&str],
+    ) -> Result<JoinTree, JoinTreeError> {
+        for r in others.iter().chain([&root_name]) {
+            if catalog.relation(r).is_none() {
+                return Err(JoinTreeError { message: format!("unknown relation `{r}`") });
+            }
+        }
+        let mut root = JoinNode {
+            relation: Sym::new(root_name),
+            join_attrs: vec![],
+            children: vec![],
+        };
+        let mut pending: Vec<&str> = others.to_vec();
+        while !pending.is_empty() {
+            let placed = pending
+                .iter()
+                .position(|cand| try_attach(&mut root, cand, catalog));
+            match placed {
+                Some(i) => {
+                    pending.remove(i);
+                }
+                None => {
+                    return Err(JoinTreeError {
+                        message: format!(
+                            "relations {pending:?} share no attributes with the tree"
+                        ),
+                    })
+                }
+            }
+        }
+        return Ok(JoinTree { root });
+
+        /// Attaches `cand` under the first node (pre-order) that shares
+        /// attributes with it. Returns true if attached.
+        fn try_attach(node: &mut JoinNode, cand: &str, catalog: &Catalog) -> bool {
+            let cand_schema = catalog.relation(cand).expect("checked above");
+            let node_schema = catalog.relation(node.relation.as_str()).expect("placed");
+            let shared: Vec<Sym> = node_schema
+                .attrs
+                .iter()
+                .filter(|a| cand_schema.has_attr(a.name.as_str()))
+                .map(|a| a.name.clone())
+                .collect();
+            if !shared.is_empty() {
+                node.children.push(JoinNode {
+                    relation: Sym::new(cand),
+                    join_attrs: shared,
+                    children: vec![],
+                });
+                return true;
+            }
+            node.children.iter_mut().any(|c| try_attach(c, cand, catalog))
+        }
+    }
+
+    /// All relations in the tree, pre-order.
+    pub fn relations(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        fn go(n: &JoinNode, out: &mut Vec<Sym>) {
+            out.push(n.relation.clone());
+            for c in &n.children {
+                go(c, out);
+            }
+        }
+        go(&self.root, &mut out);
+        out
+    }
+
+    /// The direct children of the root with their join attributes — the
+    /// dimension tables of a star schema.
+    pub fn star_dims(&self) -> Vec<(&Sym, &[Sym])> {
+        self.root
+            .children
+            .iter()
+            .map(|c| (&c.relation, c.join_attrs.as_slice()))
+            .collect()
+    }
+
+    /// True if every non-root node is a direct child of the root (a star).
+    pub fn is_star(&self) -> bool {
+        self.root.children.iter().all(|c| c.children.is_empty())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.relations().len()
+    }
+
+    /// True if the tree has exactly one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for JoinTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(n: &JoinNode, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            for _ in 0..depth {
+                f.write_str("  ")?;
+            }
+            write!(f, "{}", n.relation)?;
+            if !n.join_attrs.is_empty() {
+                write!(f, " [on ")?;
+                for (i, a) in n.join_attrs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")?;
+            }
+            writeln!(f)?;
+            for c in &n.children {
+                go(c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(&self.root, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::schema::running_example_catalog;
+
+    #[test]
+    fn builds_running_example_tree() {
+        // Example 4.8: R —store— S —item— I with S as root.
+        let cat = running_example_catalog(1000, 100, 10);
+        let t = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        assert_eq!(t.root.relation.as_str(), "S");
+        assert!(t.is_star());
+        assert_eq!(t.len(), 3);
+        let dims = t.star_dims();
+        assert_eq!(dims.len(), 2);
+        // I joins on item, R joins on store.
+        let joined: Vec<(String, String)> = dims
+            .iter()
+            .map(|(r, a)| (r.as_str().to_string(), a[0].as_str().to_string()))
+            .collect();
+        assert!(joined.contains(&("I".to_string(), "item".to_string())));
+        assert!(joined.contains(&("R".to_string(), "store".to_string())));
+    }
+
+    #[test]
+    fn rejects_unknown_relation() {
+        let cat = running_example_catalog(1000, 100, 10);
+        assert!(JoinTree::build(&cat, &["S", "X"]).is_err());
+    }
+
+    #[test]
+    fn rejects_disconnected_relations() {
+        use ifaq_ir::{Attribute, RelSchema, ScalarType};
+        let cat = running_example_catalog(1000, 100, 10).with_relation(RelSchema::new(
+            "Z",
+            vec![Attribute::new("zonk", ScalarType::Int, 5)],
+            5,
+        ));
+        let err = JoinTree::build(&cat, &["S", "Z"]).unwrap_err();
+        assert!(err.message.contains("share no attributes"));
+    }
+
+    #[test]
+    fn single_relation_tree() {
+        let cat = running_example_catalog(1000, 100, 10);
+        let t = JoinTree::build(&cat, &["S"]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_star());
+    }
+
+    #[test]
+    fn snowflake_attaches_to_dimension() {
+        use ifaq_ir::{Attribute, RelSchema, ScalarType};
+        // C(city_id, population) joins R(store, city_id): chains under R.
+        let mut cat = running_example_catalog(1000, 100, 10);
+        cat.add_relation(RelSchema::new(
+            "R",
+            vec![
+                Attribute::new("store", ScalarType::Int, 10),
+                Attribute::new("city_id", ScalarType::Int, 5),
+            ],
+            10,
+        ));
+        cat.add_relation(RelSchema::new(
+            "C",
+            vec![
+                Attribute::new("city_id", ScalarType::Int, 5),
+                Attribute::new("population", ScalarType::Real, 5),
+            ],
+            5,
+        ));
+        let t = JoinTree::build(&cat, &["S", "R", "C"]).unwrap();
+        assert!(!t.is_star());
+        let r_node = t
+            .root
+            .children
+            .iter()
+            .find(|c| c.relation.as_str() == "R")
+            .expect("R under S");
+        assert_eq!(r_node.children.len(), 1);
+        assert_eq!(r_node.children[0].relation.as_str(), "C");
+        assert_eq!(r_node.children[0].join_attrs[0].as_str(), "city_id");
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let cat = running_example_catalog(1000, 100, 10);
+        let t = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let s = t.to_string();
+        assert!(s.starts_with("S\n"));
+        assert!(s.contains("[on item]") || s.contains("[on store]"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Aggregate-query optimization layer (§4.3 of the paper).
+//!
+//! After schema specialization, the data-intensive parts of an IFAQ
+//! program are *batches of aggregate queries* over the feature-extraction
+//! join (e.g. the covar matrix entries). This crate turns those batches
+//! into factorized evaluation plans:
+//!
+//! * [`batch`] — aggregate batches: each aggregate is a sum over the join
+//!   of a product of attribute factors, optionally filtered by per-node
+//!   CART conditions (δ in the paper).
+//! * [`jointree`] — join-tree construction over the catalog (Example 4.8).
+//! * [`extract`] — the "Extract Aggregates" pass: recognizes
+//!   `Σ_{x∈dom(Q)} Q(x) * x.a * x.b` patterns in S-IFAQ expressions and
+//!   replaces them with references to batch results.
+//! * [`plan`] — aggregate pushdown, view merging, and multi-aggregate
+//!   iteration (Examples 4.9–4.10): produces a [`plan::ViewPlan`] with one
+//!   merged view per join-tree edge and one fused fact scan, which the
+//!   `ifaq-engine` crate executes under different physical layouts.
+
+pub mod batch;
+pub mod extract;
+pub mod jointree;
+pub mod plan;
+
+pub use batch::{AggBatch, AggSpec, PredOp, Predicate};
+pub use extract::{extract_aggregates, Extraction};
+pub use jointree::JoinTree;
+pub use plan::{DimView, FactTerm, ViewPlan};

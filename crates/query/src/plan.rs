@@ -1,0 +1,326 @@
+//! Aggregate pushdown, view merging, and multi-aggregate iteration
+//! (§4.3, Examples 4.9–4.10).
+//!
+//! For a star join tree (fact root, dimension children), each aggregate
+//! `Σ Q(x)·Πx.a` decomposes into per-dimension *views* — partial aggregates
+//! keyed by the join attribute — plus one scan over the fact table that
+//! multiplies the local factors with the looked-up view payloads:
+//!
+//! ```text
+//! V_D[k] = Σ_{d∈D, d.key=k} Π(factors of the aggregate owned by D) · δ_D
+//! agg    = Σ_{s∈fact} Π(fact factors) · δ_fact · Π_D V_D[s.key_D]
+//! ```
+//!
+//! *Merge Views* consolidates the per-aggregate views of one dimension into
+//! a single view carrying all **distinct** payloads, and *Multi-Aggregate
+//! Iteration* fuses the per-aggregate fact scans into one scan computing
+//! every aggregate — horizontal loop fusion (Fig. 4h). The [`ViewPlan`]
+//! captures the fused form; `ifaq-engine` executes it under several
+//! physical layouts (hash views, tries, sorted tries, arrays).
+
+use crate::batch::{AggBatch, Predicate};
+use crate::jointree::JoinTree;
+use ifaq_ir::{Catalog, Sym};
+use std::fmt;
+
+/// A payload computed by a dimension view: the product of the given
+/// attribute factors, guarded by δ predicates (both possibly empty; an
+/// empty-factor payload is the match *count*, which preserves bag join
+/// multiplicity — Example 4.9's `V'_I`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Payload {
+    /// Dimension attributes multiplied together.
+    pub factors: Vec<Sym>,
+    /// δ predicates on dimension attributes.
+    pub filter: Vec<Predicate>,
+}
+
+/// A merged view at one dimension of the star.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DimView {
+    /// Dimension relation.
+    pub relation: Sym,
+    /// Join attributes with the fact table.
+    pub key_attrs: Vec<Sym>,
+    /// Distinct payloads, shared across the aggregate batch.
+    pub payloads: Vec<Payload>,
+}
+
+/// The per-aggregate term of the fused fact scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactTerm {
+    /// Index of the aggregate in the batch.
+    pub agg: usize,
+    /// Factors owned by the fact table.
+    pub fact_factors: Vec<Sym>,
+    /// δ predicates on fact attributes.
+    pub fact_filter: Vec<Predicate>,
+    /// For each dimension (by index into [`ViewPlan::dims`]), which payload
+    /// of that dimension's view this aggregate multiplies in.
+    pub dim_payload: Vec<usize>,
+}
+
+/// A fused factorized evaluation plan for an aggregate batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewPlan {
+    /// The join tree the plan was derived from.
+    pub tree: JoinTree,
+    /// One merged view per dimension.
+    pub dims: Vec<DimView>,
+    /// One term per aggregate of the batch.
+    pub terms: Vec<FactTerm>,
+}
+
+/// A planning error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl ViewPlan {
+    /// Plans a batch over a *star* join tree: pushdown, view merging, and
+    /// multi-aggregate fusion in one step.
+    ///
+    /// Attribute ownership: the fact table owns every attribute it stores
+    /// (including join keys); any other attribute belongs to the first
+    /// dimension storing it.
+    pub fn plan(
+        batch: &AggBatch,
+        tree: &JoinTree,
+        catalog: &Catalog,
+    ) -> Result<ViewPlan, PlanError> {
+        if !tree.is_star() {
+            return Err(PlanError {
+                message: "ViewPlan supports star join trees; normalize the \
+                          tree or use the interpreter engine"
+                    .into(),
+            });
+        }
+        let fact = catalog
+            .relation(tree.root.relation.as_str())
+            .ok_or_else(|| PlanError { message: "fact relation missing".into() })?;
+        let mut dims: Vec<DimView> = tree
+            .root
+            .children
+            .iter()
+            .map(|c| DimView {
+                relation: c.relation.clone(),
+                key_attrs: c.join_attrs.clone(),
+                payloads: Vec::new(),
+            })
+            .collect();
+
+        let dim_schemas: Vec<&ifaq_ir::RelSchema> = dims
+            .iter()
+            .map(|d| {
+                catalog.relation(d.relation.as_str()).ok_or_else(|| PlanError {
+                    message: format!("dimension `{}` missing", d.relation),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let owner_of = |attr: &Sym| -> Result<Option<usize>, PlanError> {
+            if fact.has_attr(attr.as_str()) {
+                return Ok(None); // fact-owned
+            }
+            for (i, schema) in dim_schemas.iter().enumerate() {
+                if schema.has_attr(attr.as_str()) {
+                    return Ok(Some(i));
+                }
+            }
+            Err(PlanError { message: format!("no relation stores attribute `{attr}`") })
+        };
+
+        let mut terms = Vec::with_capacity(batch.len());
+        for (agg_idx, agg) in batch.aggs.iter().enumerate() {
+            let mut fact_factors = Vec::new();
+            let mut dim_factors: Vec<Vec<Sym>> = vec![Vec::new(); dims.len()];
+            for f in &agg.factors {
+                match owner_of(f)? {
+                    None => fact_factors.push(f.clone()),
+                    Some(i) => dim_factors[i].push(f.clone()),
+                }
+            }
+            let mut fact_filter = Vec::new();
+            let mut dim_filters: Vec<Vec<Predicate>> = vec![Vec::new(); dims.len()];
+            for p in &agg.filter {
+                match owner_of(&p.attr)? {
+                    None => fact_filter.push(p.clone()),
+                    Some(i) => dim_filters[i].push(p.clone()),
+                }
+            }
+            // Every dimension contributes a payload (the count payload when
+            // the aggregate has no factors there) so bag multiplicities are
+            // preserved. Payloads are deduplicated — this *is* view merging.
+            let mut dim_payload = Vec::with_capacity(dims.len());
+            for (i, dim) in dims.iter_mut().enumerate() {
+                let mut payload = Payload {
+                    factors: dim_factors[i].clone(),
+                    filter: dim_filters[i].clone(),
+                };
+                payload.factors.sort();
+                let idx = match dim.payloads.iter().position(|p| *p == payload) {
+                    Some(idx) => idx,
+                    None => {
+                        dim.payloads.push(payload);
+                        dim.payloads.len() - 1
+                    }
+                };
+                dim_payload.push(idx);
+            }
+            terms.push(FactTerm { agg: agg_idx, fact_factors, fact_filter, dim_payload });
+        }
+        Ok(ViewPlan { tree: tree.clone(), dims, terms })
+    }
+
+    /// Total number of view payloads across dimensions — the "width" of the
+    /// merged views; without merging this would be `batch.len()` per
+    /// dimension.
+    pub fn total_payloads(&self) -> usize {
+        self.dims.iter().map(|d| d.payloads.len()).sum()
+    }
+}
+
+impl fmt::Display for ViewPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "view plan over:")?;
+        write!(f, "{}", self.tree)?;
+        for d in &self.dims {
+            writeln!(
+                f,
+                "view {}[{}]: {} payload(s)",
+                d.relation,
+                d.key_attrs
+                    .iter()
+                    .map(|a| a.as_str().to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                d.payloads.len()
+            )?;
+        }
+        writeln!(f, "fused fact scan: {} aggregate(s)", self.terms.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{covar_batch, variance_batch, AggSpec, PredOp};
+    use ifaq_ir::schema::running_example_catalog;
+
+    fn setup() -> (Catalog, JoinTree) {
+        let cat = running_example_catalog(1000, 100, 10);
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        (cat, tree)
+    }
+
+    #[test]
+    fn plans_example_49_payloads() {
+        // M_cp needs V_R = {s → c} and V_I = {i → p}; M_cc needs
+        // V'_R = {s → c²} and V'_I = {i → 1}.
+        let (cat, tree) = setup();
+        let batch = AggBatch::new()
+            .with(AggSpec::new("m_c_p", &["city", "price"]))
+            .with(AggSpec::new("m_c_c", &["city", "city"]));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        assert_eq!(plan.dims.len(), 2);
+        let r = plan.dims.iter().find(|d| d.relation.as_str() == "R").unwrap();
+        let i = plan.dims.iter().find(|d| d.relation.as_str() == "I").unwrap();
+        // R: payloads {city} and {city, city}.
+        assert_eq!(r.payloads.len(), 2);
+        assert_eq!(r.payloads[0].factors.len(), 1);
+        assert_eq!(r.payloads[1].factors.len(), 2);
+        // I: payloads {price} and {} (the count payload of Example 4.9).
+        assert_eq!(i.payloads.len(), 2);
+        assert!(i.payloads.iter().any(|p| p.factors.is_empty()));
+    }
+
+    #[test]
+    fn merging_shares_payloads_across_batch() {
+        // The full covar batch over {units, city, price} + label reuses the
+        // count payload and the single-attribute payloads heavily.
+        let (cat, tree) = setup();
+        let batch = covar_batch(&["city", "price"], "units");
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        // Unmerged would be |batch| payloads per dim = 10 each.
+        assert_eq!(batch.len(), 10);
+        for d in &plan.dims {
+            assert!(
+                d.payloads.len() < batch.len(),
+                "merging should shrink {}: {} payloads",
+                d.relation,
+                d.payloads.len()
+            );
+        }
+        // city appears on R only: payloads are {}, {c}, {c,c} = 3.
+        let r = plan.dims.iter().find(|d| d.relation.as_str() == "R").unwrap();
+        assert_eq!(r.payloads.len(), 3);
+    }
+
+    #[test]
+    fn fact_factors_stay_on_fact() {
+        let (cat, tree) = setup();
+        let batch = AggBatch::new().with(AggSpec::new("m_u_u", &["units", "units"]));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        assert_eq!(plan.terms[0].fact_factors.len(), 2);
+        // Both dims contribute only the count payload.
+        for (d, &pi) in plan.dims.iter().zip(&plan.terms[0].dim_payload) {
+            assert!(d.payloads[pi].factors.is_empty());
+        }
+    }
+
+    #[test]
+    fn join_keys_are_fact_owned() {
+        let (cat, tree) = setup();
+        let batch = AggBatch::new().with(AggSpec::new("m_i", &["item"]));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        assert_eq!(plan.terms[0].fact_factors[0].as_str(), "item");
+    }
+
+    #[test]
+    fn filters_route_to_owner() {
+        let (cat, tree) = setup();
+        let delta = vec![
+            Predicate::new("price", PredOp::Le, 2.0),
+            Predicate::new("units", PredOp::Gt, 1.0),
+        ];
+        let batch = variance_batch("units", &delta);
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        let term = &plan.terms[0];
+        assert_eq!(term.fact_filter.len(), 1);
+        assert_eq!(term.fact_filter[0].attr.as_str(), "units");
+        let i = plan.dims.iter().find(|d| d.relation.as_str() == "I").unwrap();
+        let pi = term.dim_payload[plan
+            .dims
+            .iter()
+            .position(|d| d.relation.as_str() == "I")
+            .unwrap()];
+        assert_eq!(i.payloads[pi].filter.len(), 1);
+        assert_eq!(i.payloads[pi].filter[0].attr.as_str(), "price");
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let (cat, tree) = setup();
+        let batch = AggBatch::new().with(AggSpec::new("m", &["nope"]));
+        let err = ViewPlan::plan(&batch, &tree, &cat).unwrap_err();
+        assert!(err.message.contains("nope"));
+    }
+
+    #[test]
+    fn total_payloads_reflects_merging() {
+        let (cat, tree) = setup();
+        let batch = covar_batch(&["city", "price"], "units");
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        assert!(plan.total_payloads() < batch.len() * plan.dims.len());
+        assert!(plan.total_payloads() >= plan.dims.len());
+    }
+}

@@ -1,0 +1,272 @@
+//! Column-oriented relations with unboxed storage.
+//!
+//! After data-layout synthesis (§4.4 "Dictionary to Array"), relations are
+//! no longer dictionaries of boxed records but flat arrays of scalars with
+//! unit multiplicities. [`ColRelation`] is that layout: one [`Column`] per
+//! attribute, `i64` for keys/categories and `f64` for measures. The
+//! specialized engines in `ifaq-engine` consume this representation; the
+//! dataset generators in `ifaq-datagen` produce it.
+
+use crate::relation::Relation;
+use crate::value::Value;
+use ifaq_ir::Sym;
+
+/// A single column of unboxed values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    /// Integer column (keys, categorical codes).
+    I64(Vec<i64>),
+    /// Real column (measures, continuous features).
+    F64(Vec<f64>),
+}
+
+impl Column {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+        }
+    }
+
+    /// True if the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry `i` as `f64` (integers cast).
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            Column::I64(v) => v[i] as f64,
+            Column::F64(v) => v[i],
+        }
+    }
+
+    /// Entry `i` as `i64`.
+    ///
+    /// # Panics
+    /// Panics for `F64` columns: key columns must be integers.
+    pub fn get_i64(&self, i: usize) -> i64 {
+        match self {
+            Column::I64(v) => v[i],
+            Column::F64(_) => panic!("get_i64 on a real column"),
+        }
+    }
+
+    /// Entry `i` as a boxed [`Value`].
+    pub fn get_value(&self, i: usize) -> Value {
+        match self {
+            Column::I64(v) => Value::Int(v[i]),
+            Column::F64(v) => Value::real(v[i]),
+        }
+    }
+
+    /// The integer slice, if this is an integer column.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            Column::I64(v) => Some(v),
+            Column::F64(_) => None,
+        }
+    }
+
+    /// The real slice, if this is a real column.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            Column::F64(v) => Some(v),
+            Column::I64(_) => None,
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+/// A column-oriented relation with unit multiplicities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColRelation {
+    /// Relation name.
+    pub name: Sym,
+    /// Attribute names, parallel to `columns`.
+    pub attrs: Vec<Sym>,
+    /// Data columns, parallel to `attrs`.
+    pub columns: Vec<Column>,
+    len: usize,
+}
+
+impl ColRelation {
+    /// Creates a columnar relation.
+    ///
+    /// # Panics
+    /// Panics if columns have uneven lengths or don't match `attrs`.
+    pub fn new(name: impl Into<Sym>, attrs: Vec<Sym>, columns: Vec<Column>) -> Self {
+        assert_eq!(attrs.len(), columns.len(), "attrs/columns arity mismatch");
+        let len = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            assert_eq!(c.len(), len, "uneven column lengths");
+        }
+        ColRelation { name: name.into(), attrs, columns, len }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Position of attribute `name`.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.as_str() == name)
+    }
+
+    /// The column for attribute `name`.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.attr_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Approximate heap footprint in bytes (the paper's Table 1 sizes).
+    pub fn bytes(&self) -> usize {
+        self.columns.iter().map(Column::bytes).sum()
+    }
+
+    /// Converts to the row-oriented dictionary-friendly [`Relation`]
+    /// (used to feed the interpreter on small inputs).
+    pub fn to_relation(&self) -> Relation {
+        let mut rel = Relation::new(self.name.clone(), self.attrs.clone());
+        for i in 0..self.len {
+            rel.push(self.columns.iter().map(|c| c.get_value(i)).collect());
+        }
+        rel
+    }
+
+    /// Takes the first `n` tuples (for scaled-down experiment variants).
+    pub fn take(&self, n: usize) -> ColRelation {
+        let n = n.min(self.len);
+        let cols = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                Column::I64(v) => Column::I64(v[..n].to_vec()),
+                Column::F64(v) => Column::F64(v[..n].to_vec()),
+            })
+            .collect();
+        ColRelation::new(self.name.clone(), self.attrs.clone(), cols)
+    }
+}
+
+/// Builder for assembling a [`ColRelation`] row by row.
+#[derive(Debug)]
+pub struct ColRelationBuilder {
+    name: Sym,
+    attrs: Vec<Sym>,
+    columns: Vec<Column>,
+}
+
+impl ColRelationBuilder {
+    /// Starts a builder. `kinds[i]` is `true` for an integer column.
+    pub fn new(name: impl Into<Sym>, attrs: &[&str], int_cols: &[bool]) -> Self {
+        assert_eq!(attrs.len(), int_cols.len());
+        ColRelationBuilder {
+            name: name.into(),
+            attrs: attrs.iter().map(Sym::new).collect(),
+            columns: int_cols
+                .iter()
+                .map(|&is_int| {
+                    if is_int {
+                        Column::I64(Vec::new())
+                    } else {
+                        Column::F64(Vec::new())
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends a row given as `f64`s (integer columns truncate).
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.columns.len());
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            match c {
+                Column::I64(col) => col.push(*v as i64),
+                Column::F64(col) => col.push(*v),
+            }
+        }
+    }
+
+    /// Finalizes the relation.
+    pub fn build(self) -> ColRelation {
+        ColRelation::new(self.name, self.attrs, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ColRelation {
+        ColRelation::new(
+            "S",
+            vec![Sym::new("item"), Sym::new("units")],
+            vec![Column::I64(vec![1, 2, 3]), Column::F64(vec![1.5, 2.5, 3.5])],
+        )
+    }
+
+    #[test]
+    fn basic_access() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.column("item").unwrap().get_i64(1), 2);
+        assert_eq!(r.column("units").unwrap().get_f64(2), 3.5);
+        assert_eq!(r.attr_index("units"), Some(1));
+        assert_eq!(r.bytes(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "uneven")]
+    fn uneven_columns_panic() {
+        ColRelation::new(
+            "T",
+            vec![Sym::new("a"), Sym::new("b")],
+            vec![Column::I64(vec![1]), Column::F64(vec![])],
+        );
+    }
+
+    #[test]
+    fn to_relation_round_trip() {
+        let r = sample().to_relation();
+        assert_eq!(r.len(), 3);
+        let first: Vec<Value> = r.iter().next().unwrap().0.to_vec();
+        assert_eq!(first, vec![Value::Int(1), Value::real(1.5)]);
+    }
+
+    #[test]
+    fn take_prefix() {
+        let r = sample().take(2);
+        assert_eq!(r.len(), 2);
+        let all = sample().take(10);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn builder_assembles_rows() {
+        let mut b = ColRelationBuilder::new("T", &["k", "v"], &[true, false]);
+        b.push_row(&[1.0, 0.5]);
+        b.push_row(&[2.0, 1.5]);
+        let r = b.build();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.column("k").unwrap().as_i64().unwrap(), &[1, 2]);
+        assert_eq!(r.column("v").unwrap().as_f64_slice().unwrap(), &[0.5, 1.5]);
+    }
+
+    #[test]
+    fn get_value_boxes() {
+        let r = sample();
+        assert_eq!(r.columns[0].get_value(0), Value::Int(1));
+        assert_eq!(r.columns[1].get_value(0), Value::real(1.5));
+    }
+}

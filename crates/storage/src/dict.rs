@@ -1,0 +1,247 @@
+//! Ordered dictionaries.
+//!
+//! IFAQ represents relations, views, and model parameters as dictionaries.
+//! [`Dict`] wraps a `BTreeMap<Value, Value>` so iteration order is
+//! deterministic (key order), which keeps every compiler pass and engine
+//! reproducible run-to-run.
+
+use crate::value::{EvalError, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An ordered dictionary from [`Value`] keys to [`Value`] values.
+///
+/// Internally reference-counted with copy-on-write mutation, so cloning a
+/// relation-sized dictionary (e.g. when an interpreter environment is
+/// extended inside a loop) costs O(1).
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dict(Arc<BTreeMap<Value, Value>>);
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dict(Arc::new(BTreeMap::new()))
+    }
+
+    fn map_mut(&mut self) -> &mut BTreeMap<Value, Value> {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Creates a dictionary from key/value pairs; later duplicates of a key
+    /// are *added* to earlier ones (bag semantics, matching the partial
+    /// evaluation rule `{{k→a}} + {{k→b}} = {{k→a+b}}`).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
+        let mut d = Dict::new();
+        for (k, v) in pairs {
+            d.insert_add(k, v).expect("incompatible duplicate-key values");
+        }
+        d
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, k: &Value) -> Option<&Value> {
+        self.0.get(k)
+    }
+
+    /// Looks up a key, returning the additive zero when absent — the
+    /// semantics of dictionary application on missing keys, so that views
+    /// behave as sparse tensors.
+    pub fn get_or_zero(&self, k: &Value) -> Value {
+        self.0.get(k).cloned().unwrap_or_else(Value::zero)
+    }
+
+    /// Inserts, replacing any previous value.
+    pub fn insert(&mut self, k: Value, v: Value) {
+        self.map_mut().insert(k, v);
+    }
+
+    /// Inserts, combining with any previous value via ring addition. This
+    /// is the mutable-accumulation primitive that "Immutable to Mutable"
+    /// (§4.4) lowers summations onto.
+    ///
+    /// Entries whose combined value is the scalar zero are *pruned*: a
+    /// dictionary maps elements to multiplicities (§2.1), and multiplicity
+    /// zero means absent — e.g. non-matching tuple combinations in the
+    /// Example 4.7 join expression never materialize.
+    pub fn insert_add(&mut self, k: Value, v: Value) -> Result<(), EvalError> {
+        match self.map_mut().entry(k) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                if !v.is_zero() {
+                    e.insert(v);
+                }
+                Ok(())
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let combined = e.get().add(&v)?;
+                if combined.is_zero() {
+                    e.remove();
+                } else {
+                    e.insert(combined);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a key.
+    pub fn remove(&mut self, k: &Value) -> Option<Value> {
+        self.map_mut().remove(k)
+    }
+
+    /// True if `k` is present.
+    pub fn contains_key(&self, k: &Value) -> bool {
+        self.0.contains_key(k)
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Value)> {
+        self.0.iter()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &Value> {
+        self.0.keys()
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.0.values()
+    }
+
+    /// Pointwise merge with ring addition on values present in both.
+    pub fn merge_add(&self, other: &Dict) -> Result<Dict, EvalError> {
+        let mut out = self.clone();
+        for (k, v) in other.iter() {
+            out.insert_add(k.clone(), v.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Scales every value by a scalar.
+    pub fn scale(&self, scalar: &Value) -> Result<Dict, EvalError> {
+        let mut out = Dict::new();
+        for (k, v) in self.iter() {
+            out.insert(k.clone(), scalar.mul(v)?);
+        }
+        Ok(out)
+    }
+
+    /// The key set.
+    pub fn domain(&self) -> std::collections::BTreeSet<Value> {
+        self.0.keys().cloned().collect()
+    }
+}
+
+impl IntoIterator for Dict {
+    type Item = (Value, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<Value, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        match Arc::try_unwrap(self.0) {
+            Ok(map) => map.into_iter(),
+            Err(shared) => (*shared).clone().into_iter(),
+        }
+    }
+}
+
+impl FromIterator<(Value, Value)> for Dict {
+    fn from_iter<T: IntoIterator<Item = (Value, Value)>>(iter: T) -> Self {
+        Dict::from_pairs(iter)
+    }
+}
+
+impl fmt::Display for Dict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{|")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k} -> {v}")?;
+        }
+        f.write_str("|}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_adds_duplicates() {
+        let d = Dict::from_pairs(vec![
+            (Value::Int(1), Value::Int(2)),
+            (Value::Int(1), Value::Int(3)),
+        ]);
+        assert_eq!(d.get(&Value::Int(1)), Some(&Value::Int(5)));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn get_or_zero_on_missing() {
+        let d = Dict::new();
+        assert_eq!(d.get_or_zero(&Value::Int(9)), Value::zero());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let d = Dict::from_pairs(vec![
+            (Value::Int(3), Value::Int(7)),
+            (Value::Int(1), Value::Int(7)),
+            (Value::Int(2), Value::Int(7)),
+        ]);
+        let keys: Vec<_> = d.keys().cloned().collect();
+        assert_eq!(keys, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn merge_add_is_commutative_on_disjoint() {
+        let a = Dict::from_pairs(vec![(Value::Int(1), Value::Int(10))]);
+        let b = Dict::from_pairs(vec![(Value::Int(2), Value::Int(20))]);
+        assert_eq!(a.merge_add(&b).unwrap(), b.merge_add(&a).unwrap());
+    }
+
+    #[test]
+    fn scale_multiplies_all_values() {
+        let d = Dict::from_pairs(vec![
+            (Value::Int(1), Value::real(1.5)),
+            (Value::Int(2), Value::real(2.5)),
+        ]);
+        let s = d.scale(&Value::Int(2)).unwrap();
+        assert_eq!(s.get(&Value::Int(1)), Some(&Value::real(3.0)));
+        assert_eq!(s.get(&Value::Int(2)), Some(&Value::real(5.0)));
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Dict::from_pairs(vec![(Value::Int(1), Value::Int(2))]);
+        assert_eq!(d.to_string(), "{|1 -> 2|}");
+    }
+
+    #[test]
+    fn domain_returns_key_set() {
+        let d = Dict::from_pairs(vec![
+            (Value::Int(1), Value::Int(5)),
+            (Value::Int(2), Value::Int(5)),
+        ]);
+        assert_eq!(d.domain().len(), 2);
+
+        // Zero-multiplicity entries are pruned (bag semantics).
+        let z = Dict::from_pairs(vec![(Value::Int(1), Value::Int(0))]);
+        assert!(z.is_empty());
+        let mut m = Dict::from_pairs(vec![(Value::Int(1), Value::Int(2))]);
+        m.insert_add(Value::Int(1), Value::Int(-2)).unwrap();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Runtime value representation and physical data structures for IFAQ.
+//!
+//! This crate is the storage substrate the paper's execution layers stand
+//! on:
+//!
+//! * [`value::Value`] — boxed runtime values with the ring semantics of the
+//!   IFAQ core language (`+` is numeric addition, set union, dictionary
+//!   merge, or pointwise record addition; `*` is numeric multiplication or
+//!   scalar scaling of a collection). This is the representation the
+//!   "managed runtime" interpreter uses — the paper's Scala-like baseline
+//!   in Figure 7b.
+//! * [`dict::Dict`] — an ordered dictionary (deterministic iteration) used
+//!   for relations-as-dictionaries, views, and model parameters.
+//! * [`relation::Relation`] / [`relation::Database`] — named relations as
+//!   tuple → multiplicity mappings (§2.1 "database relations are
+//!   represented as dictionaries").
+//! * [`columnar::ColRelation`] — column-oriented storage with unboxed
+//!   `i64`/`f64` columns, the layout the specialized engines operate on
+//!   after data-layout synthesis (§4.4 "Dictionary to Array").
+//! * [`trie::Trie`] — nested-dictionary tries grouped by join attributes
+//!   (§4.3 "Dictionary to Trie").
+
+pub mod columnar;
+pub mod dict;
+pub mod relation;
+pub mod trie;
+pub mod value;
+
+pub use columnar::{ColRelation, Column};
+pub use dict::Dict;
+pub use relation::{Database, Relation};
+pub use trie::Trie;
+pub use value::Value;

@@ -1,0 +1,247 @@
+//! Row-oriented relations and databases.
+//!
+//! A [`Relation`] is the §2.1 representation: a dictionary from tuples
+//! (records over the relation's attributes) to integer multiplicities,
+//! stored row-wise for cheap construction. [`Database`] maps relation
+//! names to relations and converts to the interpreter's environment.
+
+use crate::dict::Dict;
+use crate::value::{EvalError, Value};
+use ifaq_ir::Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named relation: attributes plus (tuple, multiplicity) rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Relation {
+    /// Relation name.
+    pub name: Sym,
+    /// Attribute names, in storage order.
+    pub attrs: Vec<Sym>,
+    rows: Vec<(Vec<Value>, i64)>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: impl Into<Sym>, attrs: Vec<Sym>) -> Self {
+        Relation { name: name.into(), attrs, rows: Vec::new() }
+    }
+
+    /// Convenience constructor from attribute name strings.
+    pub fn with_attrs(name: impl Into<Sym>, attrs: &[&str]) -> Self {
+        Relation::new(name, attrs.iter().map(Sym::new).collect())
+    }
+
+    /// Appends a tuple with multiplicity 1.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the schema.
+    pub fn push(&mut self, tuple: Vec<Value>) {
+        self.push_with_multiplicity(tuple, 1);
+    }
+
+    /// Appends a tuple with an explicit multiplicity.
+    pub fn push_with_multiplicity(&mut self, tuple: Vec<Value>, mult: i64) {
+        assert_eq!(
+            tuple.len(),
+            self.attrs.len(),
+            "tuple arity {} does not match schema arity {} of {}",
+            tuple.len(),
+            self.attrs.len(),
+            self.name
+        );
+        self.rows.push((tuple, mult));
+    }
+
+    /// Number of stored rows (not counting multiplicities).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total multiplicity.
+    pub fn total_multiplicity(&self) -> i64 {
+        self.rows.iter().map(|(_, m)| m).sum()
+    }
+
+    /// Iterates `(tuple, multiplicity)` rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], i64)> {
+        self.rows.iter().map(|(t, m)| (t.as_slice(), *m))
+    }
+
+    /// Position of attribute `name`.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.as_str() == name)
+    }
+
+    /// Converts a row to a record value over the schema.
+    pub fn row_record(&self, tuple: &[Value]) -> Value {
+        Value::record(
+            self.attrs
+                .iter()
+                .cloned()
+                .zip(tuple.iter().cloned())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The §2.1 dictionary representation: record tuple → multiplicity.
+    /// Duplicate tuples accumulate their multiplicities.
+    pub fn to_dict(&self) -> Result<Dict, EvalError> {
+        let mut d = Dict::new();
+        for (tuple, m) in self.iter() {
+            d.insert_add(self.row_record(tuple), Value::Int(m))?;
+        }
+        Ok(d)
+    }
+
+    /// The dictionary representation wrapped as a [`Value`].
+    pub fn to_value(&self) -> Result<Value, EvalError> {
+        Ok(Value::Dict(self.to_dict()?))
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ") [{} rows]", self.rows.len())
+    }
+}
+
+/// A collection of named relations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Database {
+    relations: BTreeMap<Sym, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a relation (builder style).
+    pub fn with(mut self, rel: Relation) -> Self {
+        self.add(rel);
+        self
+    }
+
+    /// Adds a relation.
+    pub fn add(&mut self, rel: Relation) {
+        self.relations.insert(rel.name.clone(), rel);
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Iterates relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Builds the interpreter environment: every relation bound to its
+    /// dictionary value.
+    pub fn to_env(&self) -> Result<BTreeMap<Sym, Value>, EvalError> {
+        let mut env = BTreeMap::new();
+        for rel in self.relations() {
+            env.insert(rel.name.clone(), rel.to_value()?);
+        }
+        Ok(env)
+    }
+}
+
+/// Builds the paper's §3.1 running-example database:
+/// `S(item, store, units)`, `R(store, city)`, `I(item, price)` with small,
+/// deterministic contents suitable for unit tests.
+pub fn running_example_db() -> Database {
+    let mut s = Relation::with_attrs("S", &["item", "store", "units"]);
+    let mut r = Relation::with_attrs("R", &["store", "city"]);
+    let mut i = Relation::with_attrs("I", &["item", "price"]);
+    // 3 items, 2 stores, 5 sales.
+    for (item, store, units) in [(1, 1, 10.0), (1, 2, 5.0), (2, 1, 3.0), (3, 2, 8.0), (2, 2, 2.0)]
+    {
+        s.push(vec![Value::Int(item), Value::Int(store), Value::real(units)]);
+    }
+    for (store, city) in [(1, 100.0), (2, 200.0)] {
+        r.push(vec![Value::Int(store), Value::real(city)]);
+    }
+    for (item, price) in [(1, 1.5), (2, 2.5), (3, 3.5)] {
+        i.push(vec![Value::Int(item), Value::real(price)]);
+    }
+    Database::new().with(s).with(r).with(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut r = Relation::with_attrs("T", &["a", "b"]);
+        r.push(vec![Value::Int(1), Value::Int(2)]);
+        r.push_with_multiplicity(vec![Value::Int(1), Value::Int(2)], 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_multiplicity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::with_attrs("T", &["a", "b"]);
+        r.push(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn to_dict_accumulates_duplicates() {
+        let mut r = Relation::with_attrs("T", &["a"]);
+        r.push(vec![Value::Int(7)]);
+        r.push(vec![Value::Int(7)]);
+        let d = r.to_dict().unwrap();
+        assert_eq!(d.len(), 1);
+        let key = Value::record([("a", Value::Int(7))]);
+        assert_eq!(d.get(&key), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn row_record_uses_attr_names() {
+        let r = Relation::with_attrs("T", &["x", "y"]);
+        let rec = r.row_record(&[Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            rec,
+            Value::record([("x", Value::Int(1)), ("y", Value::Int(2))])
+        );
+    }
+
+    #[test]
+    fn running_example_shape() {
+        let db = running_example_db();
+        assert_eq!(db.relation("S").unwrap().len(), 5);
+        assert_eq!(db.relation("R").unwrap().len(), 2);
+        assert_eq!(db.relation("I").unwrap().len(), 3);
+        let env = db.to_env().unwrap();
+        assert!(env.contains_key(&Sym::new("S")));
+        match &env[&Sym::new("S")] {
+            Value::Dict(d) => assert_eq!(d.len(), 5),
+            _ => panic!("expected dict"),
+        }
+    }
+
+    #[test]
+    fn attr_index_lookup() {
+        let r = Relation::with_attrs("T", &["a", "b", "c"]);
+        assert_eq!(r.attr_index("b"), Some(1));
+        assert_eq!(r.attr_index("z"), None);
+    }
+}

@@ -1,0 +1,254 @@
+//! Nested-dictionary tries grouped by join attributes.
+//!
+//! The "Dictionary to Trie" pass (§4.3, Example 4.11) converts a relation
+//! dictionary into a trie keyed level-by-level on a chosen attribute order:
+//! iterating `S` becomes iterating stores, then the items within each
+//! store, which lets computation depending only on the store be hoisted
+//! out of the item loop. [`Trie`] is the generic boxed-value version used
+//! by the interpreter-level engines; the specialized engines build their
+//! own unboxed equivalents.
+
+use crate::dict::Dict;
+use crate::relation::Relation;
+use crate::value::{EvalError, Value};
+
+/// A trie over a relation: `depth` levels of nesting keyed by the chosen
+/// attributes, with leaves holding the aggregated payload for the
+/// remaining attributes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Trie {
+    /// Leaf payload (e.g. accumulated multiplicity or residual tuples).
+    Leaf(Value),
+    /// One trie level: key value → sub-trie.
+    Node(Vec<(Value, Trie)>),
+}
+
+impl Trie {
+    /// Builds a trie from a relation, nesting on `level_attrs` in order.
+    /// Leaves hold the total multiplicity of the matching tuples, weighted
+    /// by `payload` applied to each tuple (pass `|_| Value::Int(1)`-like
+    /// closures for plain counts, or project a measure).
+    pub fn from_relation(
+        rel: &Relation,
+        level_attrs: &[&str],
+        payload: impl Fn(&[Value]) -> Value,
+    ) -> Result<Trie, EvalError> {
+        let idxs: Vec<usize> = level_attrs
+            .iter()
+            .map(|a| {
+                rel.attr_index(a)
+                    .ok_or_else(|| EvalError::new(format!("no attribute `{a}` in {}", rel.name)))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut root = TrieBuilder::new(idxs.len());
+        for (tuple, mult) in rel.iter() {
+            let keys: Vec<Value> = idxs.iter().map(|&i| tuple[i].clone()).collect();
+            let p = payload(tuple).mul(&Value::Int(mult))?;
+            root.insert(&keys, p)?;
+        }
+        Ok(root.build())
+    }
+
+    /// Number of entries at this level (1 for leaves).
+    pub fn len(&self) -> usize {
+        match self {
+            Trie::Leaf(_) => 1,
+            Trie::Node(entries) => entries.len(),
+        }
+    }
+
+    /// True if a node level has no entries.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Trie::Node(entries) if entries.is_empty())
+    }
+
+    /// Looks up a key at this level.
+    pub fn get(&self, key: &Value) -> Option<&Trie> {
+        match self {
+            Trie::Leaf(_) => None,
+            Trie::Node(entries) => entries
+                .binary_search_by(|(k, _)| k.cmp(key))
+                .ok()
+                .map(|i| &entries[i].1),
+        }
+    }
+
+    /// Iterates the entries at this level in key order (empty for leaves).
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Trie)> {
+        let entries: &[(Value, Trie)] = match self {
+            Trie::Leaf(_) => &[],
+            Trie::Node(entries) => entries,
+        };
+        entries.iter().map(|(k, t)| (k, t))
+    }
+
+    /// The leaf payload, if this is a leaf.
+    pub fn leaf(&self) -> Option<&Value> {
+        match self {
+            Trie::Leaf(v) => Some(v),
+            Trie::Node(_) => None,
+        }
+    }
+
+    /// Sums all leaf payloads under this trie (ring addition).
+    pub fn total(&self) -> Result<Value, EvalError> {
+        match self {
+            Trie::Leaf(v) => Ok(v.clone()),
+            Trie::Node(entries) => {
+                let mut acc = Value::zero();
+                for (_, t) in entries {
+                    acc = acc.add(&t.total()?)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Total number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Trie::Leaf(_) => 1,
+            Trie::Node(entries) => entries.iter().map(|(_, t)| t.leaf_count()).sum(),
+        }
+    }
+
+    /// Flattens a one-level trie into a [`Dict`].
+    pub fn to_dict(&self) -> Result<Dict, EvalError> {
+        match self {
+            Trie::Leaf(_) => Err(EvalError::new("to_dict on a leaf")),
+            Trie::Node(entries) => {
+                let mut d = Dict::new();
+                for (k, t) in entries {
+                    let v = match t {
+                        Trie::Leaf(v) => v.clone(),
+                        node => node.total()?,
+                    };
+                    d.insert_add(k.clone(), v)?;
+                }
+                Ok(d)
+            }
+        }
+    }
+}
+
+enum TrieBuilder {
+    Leaf(Value),
+    Node(std::collections::BTreeMap<Value, TrieBuilder>, usize),
+}
+
+impl TrieBuilder {
+    fn new(depth: usize) -> TrieBuilder {
+        if depth == 0 {
+            TrieBuilder::Leaf(Value::zero())
+        } else {
+            TrieBuilder::Node(std::collections::BTreeMap::new(), depth)
+        }
+    }
+
+    fn insert(&mut self, keys: &[Value], payload: Value) -> Result<(), EvalError> {
+        match self {
+            TrieBuilder::Leaf(acc) => {
+                *acc = acc.add(&payload)?;
+                Ok(())
+            }
+            TrieBuilder::Node(map, depth) => {
+                let child = map
+                    .entry(keys[0].clone())
+                    .or_insert_with(|| TrieBuilder::new(*depth - 1));
+                child.insert(&keys[1..], payload)
+            }
+        }
+    }
+
+    fn build(self) -> Trie {
+        match self {
+            TrieBuilder::Leaf(v) => Trie::Leaf(v),
+            TrieBuilder::Node(map, _) => {
+                Trie::Node(map.into_iter().map(|(k, b)| (k, b.build())).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::running_example_db;
+
+    #[test]
+    fn builds_two_level_trie_over_sales() {
+        let db = running_example_db();
+        let s = db.relation("S").unwrap();
+        // Group by store, then item; leaves count multiplicity.
+        let trie = Trie::from_relation(s, &["store", "item"], |_| Value::Int(1)).unwrap();
+        // Two stores.
+        assert_eq!(trie.len(), 2);
+        // Store 1 has items {1, 2}; store 2 has items {1, 2, 3}.
+        let store1 = trie.get(&Value::Int(1)).unwrap();
+        assert_eq!(store1.len(), 2);
+        let store2 = trie.get(&Value::Int(2)).unwrap();
+        assert_eq!(store2.len(), 3);
+        // Every sale row is a leaf.
+        assert_eq!(trie.leaf_count(), 5);
+        assert_eq!(trie.total().unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn payload_projection() {
+        let db = running_example_db();
+        let s = db.relation("S").unwrap();
+        let units_idx = s.attr_index("units").unwrap();
+        let trie =
+            Trie::from_relation(s, &["store"], |t| t[units_idx].clone()).unwrap();
+        // Store 1 units: 10 + 3 = 13; store 2: 5 + 8 + 2 = 15.
+        assert_eq!(
+            trie.get(&Value::Int(1)).unwrap().leaf(),
+            Some(&Value::real(13.0))
+        );
+        assert_eq!(
+            trie.get(&Value::Int(2)).unwrap().leaf(),
+            Some(&Value::real(15.0))
+        );
+    }
+
+    #[test]
+    fn missing_attr_errors() {
+        let db = running_example_db();
+        let s = db.relation("S").unwrap();
+        assert!(Trie::from_relation(s, &["nope"], |_| Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn get_on_missing_key() {
+        let db = running_example_db();
+        let s = db.relation("S").unwrap();
+        let trie = Trie::from_relation(s, &["store"], |_| Value::Int(1)).unwrap();
+        assert!(trie.get(&Value::Int(99)).is_none());
+    }
+
+    #[test]
+    fn to_dict_flattens_level() {
+        let db = running_example_db();
+        let s = db.relation("S").unwrap();
+        let trie = Trie::from_relation(s, &["store", "item"], |_| Value::Int(1)).unwrap();
+        let d = trie.to_dict().unwrap();
+        assert_eq!(d.get(&Value::Int(1)), Some(&Value::Int(2)));
+        assert_eq!(d.get(&Value::Int(2)), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn zero_depth_trie_is_total() {
+        let db = running_example_db();
+        let s = db.relation("S").unwrap();
+        let trie = Trie::from_relation(s, &[], |_| Value::Int(1)).unwrap();
+        assert_eq!(trie.leaf(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn multiplicities_weight_payloads() {
+        let mut r = Relation::with_attrs("T", &["k"]);
+        r.push_with_multiplicity(vec![Value::Int(1)], 3);
+        let trie = Trie::from_relation(&r, &["k"], |_| Value::Int(1)).unwrap();
+        assert_eq!(trie.get(&Value::Int(1)).unwrap().leaf(), Some(&Value::Int(3)));
+    }
+}

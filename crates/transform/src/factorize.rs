@@ -1,0 +1,138 @@
+//! Factorization (Fig. 4c): hoist loop-invariant factors out of `Σ`.
+//!
+//! `Σ_{x∈e2} (e1 * e3)  {  e1 * Σ_{x∈e2} e3` when `x ∉ fv(e1)`. The
+//! implementation flattens the whole multiplication chain of the summand
+//! and partitions it into variant and invariant factors, hoisting all
+//! invariant ones at once (preserving their relative order). The dual
+//! common-factor rule `e1*e2 + e1*e3 { e1*(e2+e3)` is also provided.
+
+use crate::util::{flatten_mul_signed, rebuild_mul};
+use ifaq_ir::rewrite::{RuleSet, Trace};
+use ifaq_ir::vars::occurs_free;
+use ifaq_ir::Expr;
+
+/// Builds the factorization rule set.
+pub fn rules() -> RuleSet {
+    RuleSet::new("factorize")
+        // Σ_{x∈e2} (e1 * e3) { e1 * Σ_{x∈e2} e3   (x ∉ fv(e1))
+        .with_fn("hoist-invariant-factors", |e| {
+            let Expr::Sum { var, coll, body } = e else {
+                return None;
+            };
+            if **body == Expr::int(1) {
+                return None;
+            }
+            let (negated, factors) = flatten_mul_signed(body);
+            let (invariant, variant): (Vec<Expr>, Vec<Expr>) =
+                factors.into_iter().partition(|f| !occurs_free(var, f));
+            if invariant.is_empty() {
+                return None;
+            }
+            let inner = if variant.is_empty() {
+                // All factors invariant: keep a unit inside the sum so the
+                // multiplicity of the iteration is preserved.
+                Expr::sum(var.clone(), (**coll).clone(), Expr::int(1))
+            } else {
+                Expr::sum(var.clone(), (**coll).clone(), rebuild_mul(variant))
+            };
+            let product = Expr::mul(rebuild_mul(invariant), inner);
+            Some(if negated { Expr::neg(product) } else { product })
+        })
+        // e1*e2 + e1*e3 { e1 * (e2 + e3)  (common leading factor)
+        .with_fn("common-factor", |e| {
+            let Expr::Add(l, r) = e else {
+                return None;
+            };
+            let (Expr::Mul(a1, b1), Expr::Mul(a2, b2)) = (l.as_ref(), r.as_ref()) else {
+                return None;
+            };
+            if a1 == a2 {
+                Some(Expr::mul(
+                    (**a1).clone(),
+                    Expr::add((**b1).clone(), (**b2).clone()),
+                ))
+            } else if b1 == b2 {
+                Some(Expr::mul(
+                    Expr::add((**a1).clone(), (**a2).clone()),
+                    (**b1).clone(),
+                ))
+            } else {
+                None
+            }
+        })
+}
+
+/// Factorizes `e`, returning the result and the rule trace.
+pub fn factorize(e: &Expr) -> (Expr, Trace) {
+    rules().rewrite(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_expr;
+    use ifaq_ir::vars::alpha_eq;
+
+    fn fact(src: &str) -> Expr {
+        factorize(&parse_expr(src).unwrap()).0
+    }
+
+    #[test]
+    fn hoists_single_invariant() {
+        let out = fact("sum(x in Q) a * f(x)");
+        let expected = parse_expr("a * sum(x in Q) f(x)").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn hoists_from_deep_chain() {
+        let out = fact("sum(x in Q) a * f(x) * b * g(x)");
+        let expected = parse_expr("(a * b) * sum(x in Q) f(x) * g(x)").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn keeps_variant_factors() {
+        let e = parse_expr("sum(x in Q) f(x) * g(x)").unwrap();
+        let (out, trace) = factorize(&e);
+        assert_eq!(out, e);
+        assert_eq!(trace.total(), 0);
+    }
+
+    #[test]
+    fn all_invariant_keeps_multiplicity() {
+        // Σ_{x∈Q} a  =  a * Σ_{x∈Q} 1  — |Q| copies, not one.
+        let out = fact("sum(x in Q) a");
+        let expected = parse_expr("a * sum(x in Q) 1").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn common_factor_left_and_right() {
+        assert_eq!(fact("a * b + a * c"), parse_expr("a * (b + c)").unwrap());
+        assert_eq!(fact("b * a + c * a"), parse_expr("(b + c) * a").unwrap());
+    }
+
+    #[test]
+    fn factorizes_running_example() {
+        // Example 4.3: θ(f2) moves out of the sum over x.
+        let out = fact(
+            "sum(f2 in F) sum(x in dom(Q)) Q(x) * theta(f2) * x[f2] * x[f1]",
+        );
+        let expected = parse_expr(
+            "sum(f2 in F) theta(f2) * sum(x in dom(Q)) Q(x) * x[f2] * x[f1]",
+        )
+        .unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn nested_sums_hoist_level_by_level() {
+        // Bottom-up: (a, f(x)) leave the y-loop first, then a and the
+        // whole y-sum leave the x-loop.
+        let out = fact("sum(x in Q) sum(y in P) a * f(x) * g(y)");
+        let expected =
+            parse_expr("a * (sum(y in P) g(y)) * (sum(x in Q) f(x))").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Generic `let` optimizations (Fig. 4i): trivial-let inlining, dead-let
+//! elimination, let-of-let normalization, single-use inlining, and common
+//! subexpression elimination between adjacent bindings.
+
+use ifaq_ir::rewrite::{RuleSet, Trace};
+use ifaq_ir::sym::gensym;
+use ifaq_ir::vars::{occurs_free, subst};
+use ifaq_ir::{Expr, Sym};
+
+/// True for expressions cheap enough to duplicate freely: constants,
+/// variables, and literal collections of such.
+pub fn is_trivial(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => true,
+        Expr::SetLit(es) => es.iter().all(is_trivial),
+        Expr::DictLit(kvs) => kvs.iter().all(|(k, v)| is_trivial(k) && is_trivial(v)),
+        Expr::Record(fs) => fs.iter().all(|(_, v)| is_trivial(v)),
+        _ => false,
+    }
+}
+
+/// Counts free occurrences of `x` in `e`, and whether any occurrence sits
+/// under a `Σ`/`λ` binder (where inlining would duplicate work per
+/// iteration).
+fn occurrence_info(e: &Expr, x: &Sym, under_loop: bool) -> (usize, bool) {
+    match e {
+        Expr::Var(y) => {
+            if y == x {
+                (1, under_loop)
+            } else {
+                (0, false)
+            }
+        }
+        Expr::Sum { var, coll, body } | Expr::DictComp { var, dom: coll, body } => {
+            let (c1, l1) = occurrence_info(coll, x, under_loop);
+            if var == x {
+                return (c1, l1);
+            }
+            let (c2, l2) = occurrence_info(body, x, true);
+            (c1 + c2, l1 || l2)
+        }
+        Expr::Let { var, val, body } => {
+            let (c1, l1) = occurrence_info(val, x, under_loop);
+            if var == x {
+                return (c1, l1);
+            }
+            let (c2, l2) = occurrence_info(body, x, under_loop);
+            (c1 + c2, l1 || l2)
+        }
+        _ => {
+            let mut count = 0;
+            let mut looped = false;
+            for c in e.children() {
+                let (cc, cl) = occurrence_info(c, x, under_loop);
+                count += cc;
+                looped |= cl;
+            }
+            (count, looped)
+        }
+    }
+}
+
+/// Builds the generic rule set.
+pub fn rules() -> RuleSet {
+    RuleSet::new("generic")
+        // let x = trivial in Γ(x) { Γ(trivial)
+        .with_fn("inline-trivial-let", |e| {
+            let Expr::Let { var, val, body } = e else {
+                return None;
+            };
+            if is_trivial(val) {
+                Some(subst(body, var, val))
+            } else {
+                None
+            }
+        })
+        // let x = e0 in e1 { e1  (x unused)
+        .with_fn("dead-let", |e| {
+            let Expr::Let { var, val: _, body } = e else {
+                return None;
+            };
+            if occurs_free(var, body) {
+                None
+            } else {
+                Some((**body).clone())
+            }
+        })
+        // let x = e0 in Γ(x), single non-loop use { Γ(e0)
+        .with_fn("inline-single-use", |e| {
+            let Expr::Let { var, val, body } = e else {
+                return None;
+            };
+            let (count, under_loop) = occurrence_info(body, var, false);
+            if count == 1 && !under_loop {
+                Some(subst(body, var, val))
+            } else {
+                None
+            }
+        })
+        // let x = (let y = e0 in e1) in e2 { let y = e0 in let x = e1 in e2
+        .with_fn("let-of-let", |e| {
+            let Expr::Let { var: x, val, body: e2 } = e else {
+                return None;
+            };
+            let Expr::Let { var: y, val: e0, body: e1 } = val.as_ref() else {
+                return None;
+            };
+            let (y, e1) = if occurs_free(y, e2) || y == x {
+                let fresh = gensym(y.as_str());
+                let renamed = subst(e1, y, &Expr::Var(fresh.clone()));
+                (fresh, renamed)
+            } else {
+                (y.clone(), (**e1).clone())
+            };
+            Some(Expr::let_(
+                y,
+                (**e0).clone(),
+                Expr::let_(x.clone(), e1, (**e2).clone()),
+            ))
+        })
+        // let x = e0 in let y = e0 in Γ(x, y) { let x = e0 in Γ(x, x)
+        .with_fn("cse-adjacent-lets", |e| {
+            let Expr::Let { var: x, val: v0, body } = e else {
+                return None;
+            };
+            let Expr::Let { var: y, val: v1, body: inner } = body.as_ref() else {
+                return None;
+            };
+            if v0 == v1 && x != y && !occurs_free(x, v0) {
+                Some(Expr::let_(
+                    x.clone(),
+                    (**v0).clone(),
+                    subst(inner, y, &Expr::Var(x.clone())),
+                ))
+            } else {
+                None
+            }
+        })
+}
+
+/// Applies the generic rules to fixpoint.
+pub fn cleanup(e: &Expr) -> (Expr, Trace) {
+    rules().rewrite(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_expr;
+
+    fn clean(src: &str) -> Expr {
+        cleanup(&parse_expr(src).unwrap()).0
+    }
+
+    #[test]
+    fn inlines_trivial_lets() {
+        assert_eq!(clean("let x = 3 in x + x"), parse_expr("3 + 3").unwrap());
+        assert_eq!(
+            clean("let F = [|`a`, `b`|] in sum(f in F) g(f)"),
+            parse_expr("sum(f in [|`a`, `b`|]) g(f)").unwrap()
+        );
+    }
+
+    #[test]
+    fn removes_dead_lets() {
+        assert_eq!(clean("let x = f(y) in 42"), Expr::int(42));
+    }
+
+    #[test]
+    fn inlines_single_use_outside_loops() {
+        assert_eq!(clean("let x = f(a) in x + 1"), parse_expr("f(a) + 1").unwrap());
+    }
+
+    #[test]
+    fn keeps_single_use_under_loop() {
+        // Inlining would recompute f(a) per iteration.
+        let src = "let x = f(a) in sum(i in Q) x * i";
+        assert_eq!(clean(src), parse_expr(src).unwrap());
+    }
+
+    #[test]
+    fn keeps_multi_use_nontrivial_let() {
+        let src = "let x = f(a) in x * x";
+        assert_eq!(clean(src), parse_expr(src).unwrap());
+    }
+
+    #[test]
+    fn flattens_let_of_let() {
+        let out = clean("let x = (let y = f(a) in y * y) in x * x");
+        // The nested binding floats out; y is used twice (non-trivially),
+        // so both bindings remain.
+        assert_eq!(
+            out,
+            parse_expr("let y = f(a) in let x = y * y in x * x").unwrap()
+        );
+    }
+
+    #[test]
+    fn cse_merges_adjacent_equal_lets() {
+        let out = clean("let x = f(a) in let y = f(a) in g(x) * g(y) * x * y");
+        assert_eq!(
+            out,
+            parse_expr("let x = f(a) in g(x) * g(x) * x * x").unwrap()
+        );
+    }
+
+    #[test]
+    fn occurrence_info_counts_correctly() {
+        let e = parse_expr("x + sum(i in Q) x * i").unwrap();
+        let (count, under_loop) = occurrence_info(&e, &Sym::new("x"), false);
+        assert_eq!(count, 2);
+        assert!(under_loop);
+        let e2 = parse_expr("x + 1").unwrap();
+        assert_eq!(occurrence_info(&e2, &Sym::new("x"), false), (1, false));
+        // Shadowed occurrences don't count.
+        let e3 = parse_expr("let x = 1 in x").unwrap();
+        assert_eq!(occurrence_info(&e3, &Sym::new("x"), false), (0, false));
+    }
+}

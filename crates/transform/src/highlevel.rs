@@ -1,0 +1,293 @@
+//! The composed §4.1 high-level optimization pipeline over D-IFAQ
+//! programs: normalization → loop scheduling → factorization → static
+//! memoization → loop-invariant code motion, with generic `let` cleanup
+//! before and after.
+
+use crate::{factorize, generic, licm, memo, normalize, schedule};
+use ifaq_ir::rewrite::Trace;
+use ifaq_ir::{Catalog, Expr, Program, Sym};
+use std::collections::BTreeSet;
+
+/// Per-stage report of the high-level pipeline.
+#[derive(Debug, Default, Clone)]
+pub struct HighLevelReport {
+    /// Rule firings of the normalization stage.
+    pub normalize: Trace,
+    /// Rule firings of the loop-scheduling stage.
+    pub schedule: Trace,
+    /// Rule firings of the factorization stage.
+    pub factorize: Trace,
+    /// Number of aggregates materialized by static memoization.
+    pub memoized: usize,
+    /// Rule firings of expression-level LICM.
+    pub licm: Trace,
+    /// Number of bindings hoisted out of the `while` loop.
+    pub hoisted_out_of_loop: usize,
+    /// Rule firings of generic `let` cleanup.
+    pub generic: Trace,
+}
+
+impl HighLevelReport {
+    /// Total rule firings across all stages.
+    pub fn total_firings(&self) -> usize {
+        self.normalize.total()
+            + self.schedule.total()
+            + self.factorize.total()
+            + self.memoized
+            + self.licm.total()
+            + self.hoisted_out_of_loop
+            + self.generic.total()
+    }
+}
+
+/// Inlines trivial program-level bindings (e.g. the feature-set literal
+/// `F`) into the program's expressions so the optimization stages see the
+/// literals. Non-trivial bindings (the feature-extraction query) stay.
+fn inline_trivial_program_lets(prog: &Program) -> Program {
+    let mut out = prog.clone();
+    let mut kept = Vec::new();
+    for (name, val) in out.lets.clone() {
+        if generic::is_trivial(&val) {
+            let substitute = |e: &Expr| ifaq_ir::vars::subst(e, &name, &val);
+            // Substitute into the remaining (later) bindings too.
+            out.init = substitute(&out.init);
+            out.cond = substitute(&out.cond);
+            out.step = substitute(&out.step);
+            out.result = substitute(&out.result);
+            kept = kept
+                .into_iter()
+                .map(|(n, v): (ifaq_ir::Sym, Expr)| (n, substitute(&v)))
+                .collect();
+        } else {
+            kept.push((name, val));
+        }
+    }
+    out.lets = kept;
+    out
+}
+
+/// Runs one expression through normalize → schedule → factorize → memoize
+/// → LICM → cleanup, accumulating traces into `report`.
+fn optimize_expr(
+    e: &Expr,
+    catalog: &Catalog,
+    volatile: &BTreeSet<Sym>,
+    report: &mut HighLevelReport,
+) -> Expr {
+    let (e, t) = normalize::normalize(e);
+    report.normalize.absorb(&t);
+    let (e, t) = schedule::schedule(&e, catalog);
+    report.schedule.absorb(&t);
+    let (e, t) = factorize::factorize(&e);
+    report.factorize.absorb(&t);
+    let (e, n) = memo::memoize(&e, volatile);
+    report.memoized += n;
+    let (e, t) = licm::licm_expr(&e);
+    report.licm.absorb(&t);
+    e
+}
+
+/// Applies the full §4.1 high-level optimization suite to a program.
+///
+/// Returns the optimized program and a [`HighLevelReport`] describing what
+/// fired. For the linear-regression program of §3 this: inlines the feature
+/// set, normalizes the gradient expression, reorders the feature loops
+/// outside the data loop, factorizes the parameters out of the data
+/// aggregate, memoizes the covar matrix, and hoists it in front of the
+/// training loop.
+pub fn optimize_program(prog: &Program, catalog: &Catalog) -> (Program, HighLevelReport) {
+    let mut report = HighLevelReport::default();
+    let mut prog = inline_trivial_program_lets(prog);
+
+    // Variables whose value changes per loop iteration: aggregates that
+    // mention them cannot be hoisted, so memoizing them is not profitable.
+    let volatile: BTreeSet<Sym> =
+        [prog.var.clone(), Sym::new("_iter"), Sym::new("_prev")].into();
+    let no_volatile = BTreeSet::new();
+
+    prog.init = optimize_expr(&prog.init, catalog, &no_volatile, &mut report);
+    prog.step = optimize_expr(&prog.step, catalog, &volatile, &mut report);
+    prog.lets = prog
+        .lets
+        .iter()
+        .map(|(n, e)| (n.clone(), optimize_expr(e, catalog, &no_volatile, &mut report)))
+        .collect();
+
+    // Program-level LICM: move invariant bindings in front of the loop.
+    let (hoisted_prog, n) = licm::licm_program(&prog);
+    prog = hoisted_prog;
+    report.hoisted_out_of_loop = n;
+
+    // Final generic cleanup on every expression.
+    prog = prog.map_exprs(|e| {
+        let (e2, t) = generic::cleanup(e);
+        report.generic.absorb(&t);
+        e2
+    });
+    (prog, report)
+}
+
+/// Builds the D-IFAQ linear-regression training program of §3 for a
+/// feature set `features`, a label attribute, and a query variable bound
+/// to `query`: batch gradient descent with learning-rate expression
+/// `alpha_over_n`, iterating `iters` times.
+///
+/// The program follows the paper's structure:
+///
+/// ```text
+/// let Q = <query>;
+/// theta := λ_{f∈F} 0.0;
+/// while (_iter < iters) {
+///   theta := λ_{f1∈F} theta(f1) - α/N * Σ_{x∈dom(Q)} Q(x) *
+///              ((Σ_{f2∈F} theta(f2) * x[f2]) - x[label]) * x[f1]
+/// }
+/// theta
+/// ```
+pub fn linear_regression_program(
+    features: &[&str],
+    label: &str,
+    query: Expr,
+    alpha_over_n: f64,
+    iters: i64,
+) -> Program {
+    use ifaq_ir::expr::CmpOp;
+    let f_set = Expr::field_set(features.iter().copied());
+    let prediction_err = Expr::sub(
+        Expr::sum(
+            "f2",
+            f_set.clone(),
+            Expr::mul(
+                Expr::apply(Expr::var("theta"), Expr::var("f2")),
+                Expr::get_dyn(Expr::var("x"), Expr::var("f2")),
+            ),
+        ),
+        Expr::get_dyn(Expr::var("x"), Expr::field_const(label)),
+    );
+    let gradient = Expr::sum(
+        "x",
+        Expr::dom(Expr::var("Q")),
+        Expr::mul(
+            Expr::mul(
+                Expr::apply(Expr::var("Q"), Expr::var("x")),
+                prediction_err,
+            ),
+            Expr::get_dyn(Expr::var("x"), Expr::var("f1")),
+        ),
+    );
+    let step = Expr::dict_comp(
+        "f1",
+        f_set.clone(),
+        Expr::sub(
+            Expr::apply(Expr::var("theta"), Expr::var("f1")),
+            Expr::mul(Expr::real(alpha_over_n), gradient),
+        ),
+    );
+    let init = Expr::dict_comp("f", f_set, Expr::real(0.0));
+    let cond = Expr::cmp(CmpOp::Lt, Expr::var("_iter"), Expr::int(iters));
+    let mut prog = Program::loop_("theta", init, cond, step);
+    prog.lets.push(("Q".into(), query));
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_program;
+    use ifaq_ir::schema::running_example_catalog;
+
+    fn catalog() -> Catalog {
+        running_example_catalog(10_000, 100, 10)
+    }
+
+    /// The §3.1 running-example program, written in surface syntax. `Q` is
+    /// left as an opaque query variable (bound at program level).
+    fn running_example() -> Program {
+        parse_program(
+            "let F = [|`i`, `s`, `c`, `p`|];\n\
+             let Q = query(S)(R)(I);\n\
+             theta := dict(f in F) 0.0;\n\
+             while (_iter < 50) {\n\
+               theta := dict(f1 in F) theta(f1) - \
+                 sum(x in dom(Q)) (Q(x) * sum(f2 in F) theta(f2) * x[f2]) * x[f1]\n\
+             }\n\
+             theta",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn covar_matrix_is_memoized_and_hoisted() {
+        let (out, report) = optimize_program(&running_example(), &catalog());
+        // The covar aggregate was memoized…
+        assert_eq!(report.memoized, 1);
+        // …and hoisted out of the while loop (program now has the original
+        // Q binding plus the memo table).
+        assert!(report.hoisted_out_of_loop >= 1);
+        assert_eq!(out.lets.len(), 2);
+        assert_eq!(out.lets[0].0.as_str(), "Q");
+        let (memo_name, memo_def) = &out.lets[1];
+        assert!(memo_name.as_str().starts_with("memo"));
+        // The memo table is the nested λ over features of a data aggregate.
+        let def = memo_def.to_string();
+        assert!(def.contains("dict(f1 in"), "def: {def}");
+        assert!(def.contains("sum(x in dom(Q))"), "def: {def}");
+        // The step no longer scans the data.
+        let step = out.step.to_string();
+        assert!(!step.contains("dom(Q)"), "step: {step}");
+        assert!(step.contains(&format!("{memo_name}(f1)(f2)")), "step: {step}");
+    }
+
+    #[test]
+    fn stages_fire_in_the_expected_order() {
+        let (_, report) = optimize_program(&running_example(), &catalog());
+        assert!(report.normalize.total() > 0, "normalization should fire");
+        assert!(report.schedule.fired("swap-loops"), "scheduling should fire");
+        assert!(
+            report.factorize.fired("hoist-invariant-factors"),
+            "factorization should fire"
+        );
+        assert!(report.total_firings() > 4);
+    }
+
+    #[test]
+    fn more_features_than_tuples_disables_hoisting() {
+        // With |F| ≥ |Q| the scheduler keeps the data loop outside, so no
+        // memoization happens (the paper's §4.1 closing remark).
+        let cat = Catalog::new().with_var_size("Q", 2);
+        let (out, report) = optimize_program(&running_example(), &cat);
+        assert_eq!(report.memoized, 0);
+        assert_eq!(out.lets.len(), 1, "only Q stays bound");
+    }
+
+    #[test]
+    fn expression_program_passes_through() {
+        let p = parse_program("let a = f(b); a + 1").unwrap();
+        let (out, _) = optimize_program(&p, &catalog());
+        // Still an expression program computing the same thing.
+        assert_eq!(out.cond, Expr::bool(false));
+    }
+
+    #[test]
+    fn linear_regression_builder_optimizes_like_running_example() {
+        let prog = linear_regression_program(
+            &["i", "s", "c", "p"],
+            "u",
+            Expr::var("JOIN"),
+            0.001,
+            50,
+        );
+        let (out, report) = optimize_program(&prog, &catalog());
+        assert!(report.memoized >= 1, "covar and label-interaction aggregates");
+        assert!(report.hoisted_out_of_loop >= 1);
+        // Step is free of data scans.
+        assert!(!out.step.to_string().contains("dom(Q)"));
+    }
+
+    #[test]
+    fn optimization_is_stable_under_reapplication() {
+        let (once, _) = optimize_program(&running_example(), &catalog());
+        let (twice, report2) = optimize_program(&once, &catalog());
+        assert_eq!(report2.memoized, 0, "no new memoization on second run");
+        assert_eq!(once.step, twice.step);
+    }
+}

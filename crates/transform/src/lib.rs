@@ -1,0 +1,31 @@
+//! The IFAQ optimization layers on D-IFAQ / S-IFAQ expressions.
+//!
+//! This crate implements the transformation stages of §4.1 (high-level
+//! optimizations) and §4.2 (schema specialization) of the paper, each as a
+//! set of [`ifaq_ir::rewrite::Rule`]s plus a driver:
+//!
+//! | Module | Paper | Transformation |
+//! |--------|-------|----------------|
+//! | [`normalize`] | Fig. 4a | sum-of-products normal form: distribute `*` over `+`, push products into `Σ`, float negation |
+//! | [`schedule`]  | Fig. 4b | loop scheduling: larger loops move inward |
+//! | [`factorize`] | Fig. 4c | hoist loop-invariant factors out of `Σ` |
+//! | [`memo`]      | Fig. 4d | static memoization: materialize loop-indexed repeated sums as dictionaries |
+//! | [`licm`]      | Fig. 4e | loop-invariant code motion for `let`s, both inside expressions and out of the `while` loop |
+//! | [`generic`]   | Fig. 4i | let inlining, dead-let elimination, let-of-let, CSE |
+//! | [`parteval`]  | Fig. 4f | partial evaluation: loop unrolling over literals, dictionary merging |
+//! | [`specialize`]| Fig. 4g | schema specialization: field-keyed dictionaries to records, dynamic to static field access |
+//! | [`highlevel`] | §4.1 | the composed D-IFAQ pipeline over whole programs |
+
+pub mod factorize;
+pub mod generic;
+pub mod highlevel;
+pub mod licm;
+pub mod memo;
+pub mod normalize;
+pub mod parteval;
+pub mod schedule;
+pub mod specialize;
+pub(crate) mod util;
+
+pub use highlevel::{optimize_program, HighLevelReport};
+pub use specialize::specialize_program;

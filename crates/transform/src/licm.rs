@@ -1,0 +1,204 @@
+//! Loop-invariant code motion (Fig. 4e).
+//!
+//! Two levels, matching the two rules of the figure:
+//!
+//! * **Expression level**: a `let` whose bound value does not depend on the
+//!   surrounding `Σ`/`λ` variable moves out of the loop.
+//! * **Program level**: a `let` at the top of the `while` body whose value
+//!   does not depend on the loop state moves in front of the loop — this is
+//!   what hoists the memoized covar matrix out of the gradient-descent
+//!   iteration.
+
+use ifaq_ir::rewrite::{RuleSet, Trace};
+use ifaq_ir::sym::gensym;
+use ifaq_ir::vars::{occurs_free, subst};
+use ifaq_ir::{Expr, Program, Sym};
+
+/// Builds the expression-level LICM rule set.
+pub fn rules() -> RuleSet {
+    RuleSet::new("licm")
+        // Σ_{x∈e1} (let y = e2 in e3) { let y = e2 in Σ_{x∈e1} e3  (x∉fv(e2))
+        .with_fn("hoist-let-from-sum", |e| {
+            let Expr::Sum { var, coll, body } = e else {
+                return None;
+            };
+            hoist_from_binder(var, coll, body, true)
+        })
+        // Same for dictionary comprehensions.
+        .with_fn("hoist-let-from-dictcomp", |e| {
+            let Expr::DictComp { var, dom, body } = e else {
+                return None;
+            };
+            hoist_from_binder(var, dom, body, false)
+        })
+}
+
+fn hoist_from_binder(var: &Sym, coll: &Expr, body: &Expr, is_sum: bool) -> Option<Expr> {
+    let Expr::Let { var: y, val, body: inner } = body else {
+        return None;
+    };
+    if occurs_free(var, val) {
+        return None;
+    }
+    // Rename y when it collides with the loop variable or the collection.
+    let (y, inner) = if y == var || occurs_free(y, coll) {
+        let fresh = gensym(y.as_str());
+        let renamed = subst(inner, y, &Expr::Var(fresh.clone()));
+        (fresh, renamed)
+    } else {
+        (y.clone(), (**inner).clone())
+    };
+    let loop_expr = if is_sum {
+        Expr::sum(var.clone(), coll.clone(), inner)
+    } else {
+        Expr::dict_comp(var.clone(), coll.clone(), inner)
+    };
+    Some(Expr::let_(y, (**val).clone(), loop_expr))
+}
+
+/// Applies expression-level LICM.
+pub fn licm_expr(e: &Expr) -> (Expr, Trace) {
+    rules().rewrite(e)
+}
+
+/// Builtin variables bound inside the `while` loop by the evaluator.
+const LOOP_BUILTINS: [&str; 2] = ["_iter", "_prev"];
+
+/// Program-level LICM: moves leading `let`s of the loop body in front of
+/// the `while` loop when their values do not depend on the loop state
+/// (the loop variable or the `_iter`/`_prev` builtins). Returns the new
+/// program and the number of hoisted bindings.
+pub fn licm_program(prog: &Program) -> (Program, usize) {
+    let mut prog = prog.clone();
+    let mut hoisted = 0;
+    loop {
+        let Expr::Let { var, val, body } = &prog.step else {
+            break;
+        };
+        let depends_on_state = occurs_free(&prog.var, val)
+            || LOOP_BUILTINS.iter().any(|b| occurs_free(&Sym::new(b), val));
+        if depends_on_state {
+            break;
+        }
+        // Avoid colliding with an existing program-level binding name.
+        let (name, body) = if prog.lets.iter().any(|(n, _)| n == var) || *var == prog.var {
+            let fresh = gensym(var.as_str());
+            let renamed = subst(body, var, &Expr::Var(fresh.clone()));
+            (fresh, renamed)
+        } else {
+            (var.clone(), (**body).clone())
+        };
+        prog.lets.push((name, (**val).clone()));
+        prog.step = body;
+        hoisted += 1;
+    }
+    (prog, hoisted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::{parse_expr, parse_program};
+    use ifaq_ir::vars::alpha_eq;
+
+    #[test]
+    fn hoists_let_out_of_sum() {
+        let e = parse_expr("sum(x in Q) (let y = f(a) in y * x)").unwrap();
+        let (out, trace) = licm_expr(&e);
+        let expected = parse_expr("let y = f(a) in sum(x in Q) y * x").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+        assert_eq!(trace.count("hoist-let-from-sum"), 1);
+    }
+
+    #[test]
+    fn keeps_dependent_let() {
+        let e = parse_expr("sum(x in Q) (let y = f(x) in y * y)").unwrap();
+        let (out, trace) = licm_expr(&e);
+        assert_eq!(out, e);
+        assert_eq!(trace.total(), 0);
+    }
+
+    #[test]
+    fn hoists_out_of_dictcomp() {
+        let e = parse_expr("dict(k in F) (let w = g(a) in w + k)").unwrap();
+        let (out, _) = licm_expr(&e);
+        let expected = parse_expr("let w = g(a) in dict(k in F) w + k").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn renames_when_let_var_collides_with_collection() {
+        // y is free in the collection; hoisting the binding above the loop
+        // must rename it.
+        let e = parse_expr("sum(x in y) (let y = f(a) in y * x)").unwrap();
+        let (out, _) = licm_expr(&e);
+        let Expr::Let { var, body, .. } = &out else {
+            panic!("expected let, got {out}");
+        };
+        assert_ne!(var.as_str(), "y");
+        // The collection still references the *outer* y.
+        assert!(ifaq_ir::vars::free_vars(body).contains("y"));
+    }
+
+    #[test]
+    fn nested_lets_hoist_through_nested_loops() {
+        let e =
+            parse_expr("sum(x in Q) sum(z in P) (let y = f(a) in y * x * z)").unwrap();
+        let (out, _) = licm_expr(&e);
+        let expected =
+            parse_expr("let y = f(a) in sum(x in Q) sum(z in P) y * x * z").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn program_licm_hoists_invariant_binding() {
+        let p = parse_program(
+            "theta := t0;\n\
+             while (_iter < 5) { theta := let M = cov(Q) in upd(theta)(M) }\n\
+             theta",
+        )
+        .unwrap();
+        let (out, n) = licm_program(&p);
+        assert_eq!(n, 1);
+        assert_eq!(out.lets.len(), 1);
+        assert_eq!(out.lets[0].0.as_str(), "M");
+        assert_eq!(out.step, parse_expr("upd(theta)(M)").unwrap());
+    }
+
+    #[test]
+    fn program_licm_keeps_state_dependent_binding() {
+        let p = parse_program(
+            "theta := t0;\n\
+             while (_iter < 5) { theta := let g = grad(theta) in theta - g }\n\
+             theta",
+        )
+        .unwrap();
+        let (out, n) = licm_program(&p);
+        assert_eq!(n, 0);
+        assert_eq!(out, p);
+    }
+
+    #[test]
+    fn program_licm_respects_iter_builtin() {
+        let p = parse_program(
+            "x := 0;\nwhile (_iter < 5) { x := let s = _iter * 2 in x + s }\nx",
+        )
+        .unwrap();
+        let (_, n) = licm_program(&p);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn program_licm_hoists_chain_in_order() {
+        let p = parse_program(
+            "t := t0;\n\
+             while (_iter < 5) { t := let a = f(Q) in let b = g(a) in h(t)(a)(b) }\n\
+             t",
+        )
+        .unwrap();
+        let (out, n) = licm_program(&p);
+        assert_eq!(n, 2);
+        let names: Vec<_> = out.lets.iter().map(|(s, _)| s.as_str().to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

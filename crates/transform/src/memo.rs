@@ -1,0 +1,330 @@
+//! Static memoization (Fig. 4d).
+//!
+//! Inside loops over statically-known finite domains (feature sets), a
+//! data-dependent summation that is re-evaluated at every loop index can be
+//! materialized once as a dictionary keyed by the loop variables:
+//!
+//! ```text
+//! Σ_{x∈e1} Γ(Σ_{y∈e2} e3)  {  let z = λ_{x∈e1} Σ_{y∈e2} e3 in Σ_{x∈e1} Γ(z(x))
+//! ```
+//!
+//! The generalization implemented here handles *multiple* enclosing finite
+//! binders at once: in the linear-regression example (§4.1, Example 4.4)
+//! the inner aggregate `Σ_{x∈dom(Q)} Q(x)*x[f1]*x[f2]` depends on two loop
+//! variables, and is memoized as the nested dictionary
+//! `M = λ_{f1∈F} λ_{f2∈F} Σ_{x∈dom(Q)} …` — the covar matrix — replaced at
+//! its use site by `M(f1)(f2)`. Loop-invariant code motion (Fig. 4e) then
+//! hoists the `let` out of the training loop.
+
+use crate::util::is_static_finite;
+use ifaq_ir::sym::gensym;
+use ifaq_ir::vars::free_vars;
+use ifaq_ir::{Expr, Sym};
+use std::collections::BTreeSet;
+
+/// One discovered memoization opportunity.
+#[derive(Debug, Clone)]
+struct Candidate {
+    /// The summation expression to materialize.
+    target: Expr,
+    /// Enclosing finite binders the target depends on, outermost first,
+    /// with their (static) domains.
+    deps: Vec<(Sym, Expr)>,
+}
+
+/// Applies static memoization to `e`. Returns the rewritten expression and
+/// the number of memoized aggregates (each becomes one `let`-bound
+/// dictionary at the top of the expression).
+///
+/// `volatile` names variables whose value changes per `while`-loop
+/// iteration (the loop variable and the `_iter`/`_prev` builtins).
+/// Aggregates mentioning them are not memoized: the paper notes that
+/// "the impact of static memoization becomes positive once it is combined
+/// with loop-invariant code motion", and a volatile-dependent table could
+/// never be hoisted.
+pub fn memoize(e: &Expr, volatile: &BTreeSet<Sym>) -> (Expr, usize) {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    collect(e, &mut Vec::new(), 0, volatile, &mut candidates);
+    if candidates.is_empty() {
+        return (e.clone(), 0);
+    }
+    let mut out = e.clone();
+    let mut defs: Vec<(Sym, Expr)> = Vec::new();
+    for cand in &candidates {
+        let z = gensym("memo");
+        // Replacement: z(dep1)(dep2)… at every occurrence whose scope
+        // still binds the deps to the same domains.
+        let mut replacement = Expr::Var(z.clone());
+        for (dep, _) in &cand.deps {
+            replacement = Expr::apply(replacement, Expr::Var(dep.clone()));
+        }
+        out = replace_in_scope(&out, cand, &replacement, &mut Vec::new());
+        // Definition: nested dictionary comprehensions, outermost dep first.
+        let mut def = cand.target.clone();
+        for (dep, dom) in cand.deps.iter().rev() {
+            def = Expr::dict_comp(dep.clone(), dom.clone(), def);
+        }
+        defs.push((z, def));
+    }
+    let n = defs.len();
+    for (z, def) in defs.into_iter().rev() {
+        out = Expr::let_(z, def, out);
+    }
+    (out, n)
+}
+
+/// Walks `e` collecting maximal memoizable summations. `scope` carries the
+/// enclosing `Σ`/`λ` binders (variable, domain); `direct_depth` counts how
+/// many of the innermost scope binders wrap `e` *directly* (only binder
+/// bodies between them and `e`). A candidate whose dependencies are all
+/// direct wrappers is rejected: its context `Γ` is trivial, so memoizing it
+/// would just rebuild the enclosing comprehension (and loop forever across
+/// pipeline re-runs).
+fn collect(
+    e: &Expr,
+    scope: &mut Vec<(Sym, Expr)>,
+    direct_depth: usize,
+    volatile: &BTreeSet<Sym>,
+    out: &mut Vec<Candidate>,
+) {
+    if let Expr::Sum { coll, .. } = e {
+        if !is_static_finite(coll) && free_vars(e).is_disjoint(volatile) {
+            if let Some(deps) = memo_deps(e, scope) {
+                let direct_suffix: BTreeSet<&Sym> = scope
+                    [scope.len() - direct_depth.min(scope.len())..]
+                    .iter()
+                    .map(|(v, _)| v)
+                    .collect();
+                let trivial_context =
+                    deps.iter().all(|(v, _)| direct_suffix.contains(v));
+                if !trivial_context {
+                    let cand = Candidate { target: e.clone(), deps };
+                    if !out
+                        .iter()
+                        .any(|c| c.target == cand.target && c.deps == cand.deps)
+                    {
+                        out.push(cand);
+                    }
+                    // Maximal: do not search inside a memoized aggregate.
+                    return;
+                }
+            }
+        }
+    }
+    match e {
+        Expr::Sum { var, coll, body } | Expr::DictComp { var, dom: coll, body } => {
+            collect(coll, scope, 0, volatile, out);
+            scope.push((var.clone(), (**coll).clone()));
+            collect(body, scope, direct_depth + 1, volatile, out);
+            scope.pop();
+        }
+        Expr::Let { var: _, val, body } => {
+            collect(val, scope, 0, volatile, out);
+            collect(body, scope, 0, volatile, out);
+        }
+        _ => {
+            for c in e.children() {
+                collect(c, scope, 0, volatile, out);
+            }
+        }
+    }
+}
+
+/// If `e` is memoizable in `scope`, returns its dependency binders
+/// (outermost first); otherwise `None`.
+///
+/// Conditions (the Fig. 4d side conditions, generalized):
+/// * `e` depends on at least one in-scope binder;
+/// * every such binder ranges over a *static finite* domain (a literal);
+/// * those domains are closed (do not reference other loop variables),
+///   so the memo table can be built outside all loops.
+fn memo_deps(e: &Expr, scope: &[(Sym, Expr)]) -> Option<Vec<(Sym, Expr)>> {
+    let fv = free_vars(e);
+    let scope_vars: Vec<&Sym> = scope.iter().map(|(v, _)| v).collect();
+    let mut deps = Vec::new();
+    // Respect shadowing: the innermost binder of a name wins.
+    let mut seen = std::collections::BTreeSet::new();
+    for (v, dom) in scope.iter().rev() {
+        if fv.contains(v) && seen.insert(v.clone()) {
+            if !is_static_finite(dom) {
+                return None;
+            }
+            let dom_fv = free_vars(dom);
+            if scope_vars.iter().any(|sv| dom_fv.contains(*sv)) {
+                return None;
+            }
+            deps.push((v.clone(), dom.clone()));
+        }
+    }
+    if deps.is_empty() {
+        return None;
+    }
+    deps.reverse(); // outermost first
+    Some(deps)
+}
+
+/// Replaces occurrences of `cand.target` by `replacement`, but only where
+/// the current scope binds every dep variable to the recorded domain (so a
+/// shadowed or re-bound variable does not get a stale memo reference).
+fn replace_in_scope(
+    e: &Expr,
+    cand: &Candidate,
+    replacement: &Expr,
+    scope: &mut Vec<(Sym, Expr)>,
+) -> Expr {
+    if *e == cand.target && deps_bound(cand, scope) {
+        return replacement.clone();
+    }
+    match e {
+        Expr::Sum { var, coll, body } => {
+            let coll2 = replace_in_scope(coll, cand, replacement, scope);
+            scope.push((var.clone(), (**coll).clone()));
+            let body2 = replace_in_scope(body, cand, replacement, scope);
+            scope.pop();
+            Expr::sum(var.clone(), coll2, body2)
+        }
+        Expr::DictComp { var, dom, body } => {
+            let dom2 = replace_in_scope(dom, cand, replacement, scope);
+            scope.push((var.clone(), (**dom).clone()));
+            let body2 = replace_in_scope(body, cand, replacement, scope);
+            scope.pop();
+            Expr::dict_comp(var.clone(), dom2, body2)
+        }
+        _ => e.map_children(|c| replace_in_scope(c, cand, replacement, scope)),
+    }
+}
+
+fn deps_bound(cand: &Candidate, scope: &[(Sym, Expr)]) -> bool {
+    cand.deps.iter().all(|(v, dom)| {
+        scope
+            .iter()
+            .rev()
+            .find(|(sv, _)| sv == v)
+            .is_some_and(|(_, sdom)| sdom == dom)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_expr;
+
+    #[test]
+    fn memoizes_single_binder() {
+        // Σ_{f∈F} Γ(Σ_{x∈Q} g(x)(f)) with F a literal.
+        let e = parse_expr(
+            "sum(f in [|`a`, `b`|]) theta(f) * sum(x in dom(Q)) Q(x) * x[f]",
+        )
+        .unwrap();
+        let (out, n) = memoize(&e, &BTreeSet::new());
+        assert_eq!(n, 1);
+        let Expr::Let { var, val, body } = &out else {
+            panic!("expected let, got {out}");
+        };
+        assert!(var.as_str().starts_with("memo"));
+        // Definition is a λ over the finite domain.
+        assert!(matches!(val.as_ref(), Expr::DictComp { .. }));
+        // Use site applies the memo table to the loop variable.
+        let body_str = body.to_string();
+        assert!(body_str.contains(&format!("{var}(f)")), "body: {body_str}");
+    }
+
+    #[test]
+    fn memoizes_two_binders_as_nested_dict() {
+        // The covar-matrix pattern of Example 4.4.
+        let e = parse_expr(
+            "dict(f1 in [|`c`, `p`|]) theta(f1) - sum(f2 in [|`c`, `p`|]) \
+             theta(f2) * sum(x in dom(Q)) Q(x) * x[f2] * x[f1]",
+        )
+        .unwrap();
+        let (out, n) = memoize(&e, &BTreeSet::new());
+        assert_eq!(n, 1);
+        let Expr::Let { var, val, body } = &out else {
+            panic!("expected let, got {out}");
+        };
+        // λ_{f1} λ_{f2} Σ …
+        match val.as_ref() {
+            Expr::DictComp { var: v1, body: b1, .. } => {
+                assert_eq!(v1.as_str(), "f1");
+                match b1.as_ref() {
+                    Expr::DictComp { var: v2, body: b2, .. } => {
+                        assert_eq!(v2.as_str(), "f2");
+                        assert!(matches!(b2.as_ref(), Expr::Sum { .. }));
+                    }
+                    other => panic!("expected inner λ, got {other}"),
+                }
+            }
+            other => panic!("expected λ, got {other}"),
+        }
+        let body_str = body.to_string();
+        assert!(body_str.contains(&format!("{var}(f1)(f2)")), "body: {body_str}");
+    }
+
+    #[test]
+    fn no_memo_without_finite_binder() {
+        // The enclosing loop ranges over a relation (data): not static.
+        let e = parse_expr("sum(t in dom(S)) sum(x in dom(Q)) Q(x) * g(t)").unwrap();
+        let (out, n) = memoize(&e, &BTreeSet::new());
+        assert_eq!(n, 0);
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn no_memo_for_independent_sum() {
+        // The inner sum does not mention the loop variable: plain LICM
+        // territory, not memoization.
+        let e = parse_expr("sum(f in [|`a`|]) sum(x in dom(Q)) Q(x)").unwrap();
+        let (_, n) = memoize(&e, &BTreeSet::new());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn finite_sum_over_literal_is_not_a_target() {
+        // Σ over a literal is itself cheap; memoizing it would be useless.
+        let e = parse_expr("sum(f in [|`a`|]) sum(g in [|`b`|]) h(f)(g)").unwrap();
+        let (_, n) = memoize(&e, &BTreeSet::new());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn trivially_wrapped_aggregate_is_not_memoized() {
+        // Body of the f-loop: a useful candidate (context multiplies by
+        // nothing but sits under an Add) plus a g-loop whose *entire body*
+        // is the aggregate — memoizing the latter would just rebuild the
+        // comprehension, so only the first is materialized.
+        let e = parse_expr(
+            "sum(f in [|`a`|]) (sum(x in dom(Q)) Q(x) * x[f]) + \
+             sum(g in [|`a`|]) (sum(x in dom(Q)) Q(x) * x[g])",
+        )
+        .unwrap();
+        let (out, n) = memoize(&e, &BTreeSet::new());
+        assert_eq!(n, 1);
+        let Expr::Let { body, .. } = &out else { panic!() };
+        assert!(!matches!(body.as_ref(), Expr::Let { .. }));
+    }
+
+    #[test]
+    fn volatile_dependent_aggregate_is_not_memoized() {
+        // The aggregate mentions theta (the loop variable): the memo table
+        // could never be hoisted out of the training loop, so skip it.
+        let e = parse_expr(
+            "sum(f in [|`a`, `b`|]) g(f) * sum(x in dom(Q)) Q(x) * theta(f) * x[f]",
+        )
+        .unwrap();
+        let volatile: BTreeSet<ifaq_ir::Sym> = [ifaq_ir::Sym::new("theta")].into();
+        let (out, n) = memoize(&e, &volatile);
+        assert_eq!(n, 0);
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn domain_depending_on_loop_var_blocks_memo() {
+        // The binder's domain mentions an outer loop variable: cannot hoist.
+        let e = parse_expr(
+            "sum(s in dom(S)) sum(f in dom(S(s))) sum(x in dom(Q)) Q(x) * x[f]",
+        )
+        .unwrap();
+        let (_, n) = memoize(&e, &BTreeSet::new());
+        assert_eq!(n, 0);
+    }
+}

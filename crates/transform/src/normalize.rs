@@ -1,0 +1,224 @@
+//! Normalization (Fig. 4a): sum-of-products normal form.
+//!
+//! Distributes multiplication over addition, pushes products inside `Σ`
+//! (renaming the bound variable when it would capture), and floats negation
+//! outward so later passes see a flat `Σ`-of-products shape.
+
+use ifaq_ir::rewrite::{RuleSet, Trace};
+use ifaq_ir::vars::{occurs_free, subst};
+use ifaq_ir::{Expr, Sym};
+
+/// Builds the normalization rule set.
+pub fn rules() -> RuleSet {
+    RuleSet::new("normalize")
+        // e1 - e2 { e1 + (-e2) — expose subtraction to the ring rules.
+        .with_fn("desugar-sub", |e| match e {
+            Expr::Bin(ifaq_ir::BinOp::Sub, a, b) => {
+                Some(Expr::add((**a).clone(), Expr::neg((**b).clone())))
+            }
+            _ => None,
+        })
+        // Σ_{x∈e1} (e2 + e3) { Σ_{x∈e1} e2 + Σ_{x∈e1} e3 — split a sum of a
+        // polynomial into a *batch* of aggregates, one per monomial. The
+        // aggregate-query layer later fuses the batch back into shared
+        // scans (merge views / multi-aggregate iteration, §4.3).
+        .with_fn("split-sum-of-add", |e| match e {
+            Expr::Sum { var, coll, body } => match body.as_ref() {
+                Expr::Add(a, b) => Some(Expr::add(
+                    Expr::sum(var.clone(), (**coll).clone(), (**a).clone()),
+                    Expr::sum(var.clone(), (**coll).clone(), (**b).clone()),
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        // e1 * (e2 + e3) { e1*e2 + e1*e3
+        .with_fn("distribute-right", |e| match e {
+            Expr::Mul(a, b) => match b.as_ref() {
+                Expr::Add(x, y) => Some(Expr::add(
+                    Expr::mul((**a).clone(), (**x).clone()),
+                    Expr::mul((**a).clone(), (**y).clone()),
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        // (e1 + e2) * e3 { e1*e3 + e2*e3
+        .with_fn("distribute-left", |e| match e {
+            Expr::Mul(a, b) => match a.as_ref() {
+                Expr::Add(x, y) => Some(Expr::add(
+                    Expr::mul((**x).clone(), (**b).clone()),
+                    Expr::mul((**y).clone(), (**b).clone()),
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        // e1 * Σ_{x∈e2} e3 { Σ_{x∈e2} (e1 * e3)
+        .with_fn("push-mul-into-sum-right", |e| match e {
+            Expr::Mul(a, b) => match b.as_ref() {
+                Expr::Sum { var, coll, body } => Some(push_into_sum(
+                    a, var, coll, body, /*from_left=*/ true,
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        // (Σ_{x∈e2} e3) * e1 { Σ_{x∈e2} (e3 * e1)
+        .with_fn("push-mul-into-sum-left", |e| match e {
+            Expr::Mul(a, b) => match a.as_ref() {
+                Expr::Sum { var, coll, body } => Some(push_into_sum(
+                    b, var, coll, body, /*from_left=*/ false,
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        // e1 * (-e2) { -(e1 * e2)   and   (-e1) * e2 { -(e1 * e2)
+        .with_fn("float-neg-mul", |e| match e {
+            Expr::Mul(a, b) => match (a.as_ref(), b.as_ref()) {
+                (_, Expr::Neg(inner)) => {
+                    Some(Expr::neg(Expr::mul((**a).clone(), (**inner).clone())))
+                }
+                (Expr::Neg(inner), _) => {
+                    Some(Expr::neg(Expr::mul((**inner).clone(), (**b).clone())))
+                }
+                _ => None,
+            },
+            _ => None,
+        })
+        // -Σ_{x∈e2} e3 { Σ_{x∈e2} (-e3)
+        .with_fn("push-neg-into-sum", |e| match e {
+            Expr::Neg(inner) => match inner.as_ref() {
+                Expr::Sum { var, coll, body } => Some(Expr::sum(
+                    var.clone(),
+                    (**coll).clone(),
+                    Expr::neg((**body).clone()),
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        // -(e1 + e2) { (-e1) + (-e2)
+        .with_fn("neg-add", |e| match e {
+            Expr::Neg(inner) => match inner.as_ref() {
+                Expr::Add(a, b) => Some(Expr::add(
+                    Expr::neg((**a).clone()),
+                    Expr::neg((**b).clone()),
+                )),
+                _ => None,
+            },
+            _ => None,
+        })
+        // -(-e) { e
+        .with_fn("neg-neg", |e| match e {
+            Expr::Neg(inner) => match inner.as_ref() {
+                Expr::Neg(x) => Some((**x).clone()),
+                _ => None,
+            },
+            _ => None,
+        })
+}
+
+/// Pushes the factor `other` inside `Σ_{var∈coll} body`, alpha-renaming the
+/// binder when `other` mentions it.
+fn push_into_sum(other: &Expr, var: &Sym, coll: &Expr, body: &Expr, from_left: bool) -> Expr {
+    let (var, body) = if occurs_free(var, other) {
+        let fresh = ifaq_ir::sym::gensym(var.as_str());
+        let renamed = subst(body, var, &Expr::Var(fresh.clone()));
+        (fresh, renamed)
+    } else {
+        (var.clone(), body.clone())
+    };
+    let new_body = if from_left {
+        Expr::mul(other.clone(), body)
+    } else {
+        Expr::mul(body, other.clone())
+    };
+    Expr::sum(var, coll.clone(), new_body)
+}
+
+/// Normalizes an expression, returning the result and the rule trace.
+pub fn normalize(e: &Expr) -> (Expr, Trace) {
+    rules().rewrite(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_expr;
+    use ifaq_ir::vars::alpha_eq;
+
+    fn norm(src: &str) -> Expr {
+        normalize(&parse_expr(src).unwrap()).0
+    }
+
+    #[test]
+    fn distributes_products_over_sums() {
+        assert_eq!(norm("a * (b + c)"), parse_expr("a * b + a * c").unwrap());
+        assert_eq!(norm("(a + b) * c"), parse_expr("a * c + b * c").unwrap());
+    }
+
+    #[test]
+    fn pushes_product_into_big_sum() {
+        let out = norm("(sum(x in Q) f(x)) * g");
+        let expected = parse_expr("sum(x in Q) f(x) * g").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn pushes_product_from_left() {
+        let out = norm("g * sum(x in Q) f(x)");
+        let expected = parse_expr("sum(x in Q) g * f(x)").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn renames_on_capture() {
+        // x is free in the factor; the binder must be renamed.
+        let out = norm("x * sum(x in Q) h(x)");
+        match &out {
+            Expr::Sum { var, body, .. } => {
+                assert_ne!(var.as_str(), "x");
+                // The free x survives in the body.
+                assert!(ifaq_ir::vars::free_vars(body).contains("x"));
+            }
+            _ => panic!("expected sum, got {out}"),
+        }
+    }
+
+    #[test]
+    fn floats_negation() {
+        assert_eq!(norm("a * (-b)"), parse_expr("-(a * b)").unwrap());
+        assert_eq!(norm("(-a) * b"), parse_expr("-(a * b)").unwrap());
+        assert_eq!(norm("-(-a)"), parse_expr("a").unwrap());
+        let out = norm("-(sum(x in Q) f(x))");
+        let expected = parse_expr("sum(x in Q) -f(x)").unwrap();
+        assert!(alpha_eq(&out, &expected));
+    }
+
+    #[test]
+    fn normalizes_running_example() {
+        // Example 4.1: push x[f1] into the inner sum over f2.
+        let src = "sum(x in dom(Q)) (Q(x) * sum(f2 in F) theta(f2) * x[f2]) * x[f1]";
+        let out = norm(src);
+        // Fully pushed: Σx Σf2 Q(x) * θ(f2) * x[f2] * x[f1]
+        let expected =
+            parse_expr("sum(x in dom(Q)) sum(f2 in F) Q(x) * (theta(f2) * x[f2]) * x[f1]")
+                .unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn idempotent() {
+        let once = norm("a * (b + c) * (sum(x in Q) d(x))");
+        let twice = normalize(&once).0;
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn trace_records_firings() {
+        let (_, trace) = normalize(&parse_expr("a * (b + c)").unwrap());
+        assert!(trace.fired("distribute-right"));
+    }
+}

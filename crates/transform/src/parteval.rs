@@ -1,0 +1,186 @@
+//! Partial evaluation (Fig. 4f): loop unrolling over literal collections
+//! and dictionary-literal merging.
+//!
+//! These rules run ahead of schema specialization (§4.2) so that loops over
+//! the statically-known feature set unroll into straight-line code whose
+//! field accesses can then be made static.
+
+use ifaq_ir::rewrite::{RuleSet, Trace};
+use ifaq_ir::vars::subst;
+use ifaq_ir::{Const, Expr};
+
+/// Builds the partial-evaluation rule set.
+pub fn rules() -> RuleSet {
+    RuleSet::new("partial-eval")
+        // Σ_{x∈[[e1,…,en]]} Γ(x) { Γ(e1) + … + Γ(en)
+        .with_fn("unroll-sum-over-literal", |e| {
+            let Expr::Sum { var, coll, body } = e else {
+                return None;
+            };
+            let Expr::SetLit(items) = coll.as_ref() else {
+                return None;
+            };
+            if items.is_empty() {
+                return Some(Expr::int(0));
+            }
+            let mut terms = items.iter().map(|item| subst(body, var, item));
+            let first = terms.next().expect("nonempty");
+            Some(terms.fold(first, Expr::add))
+        })
+        // λ_{x∈[[e1,…,en]]} body { {{e1 → body[x:=e1], …}}
+        .with_fn("unroll-dictcomp-over-literal", |e| {
+            let Expr::DictComp { var, dom, body } = e else {
+                return None;
+            };
+            let Expr::SetLit(items) = dom.as_ref() else {
+                return None;
+            };
+            Some(Expr::DictLit(
+                items
+                    .iter()
+                    .map(|item| (item.clone(), subst(body, var, item)))
+                    .collect(),
+            ))
+        })
+        // {{k→a}} + {{k→b}} { {{k→a+b}}; disjoint keys concatenate.
+        // Only fires when all keys are constants, so equality is decidable.
+        .with_fn("merge-dict-literals", |e| {
+            let Expr::Add(l, r) = e else {
+                return None;
+            };
+            let (Expr::DictLit(a), Expr::DictLit(b)) = (l.as_ref(), r.as_ref()) else {
+                return None;
+            };
+            let const_keys = |kvs: &[(Expr, Expr)]| {
+                kvs.iter().all(|(k, _)| matches!(k, Expr::Const(_)))
+            };
+            if !const_keys(a) || !const_keys(b) {
+                return None;
+            }
+            let mut merged: Vec<(Expr, Expr)> = a.clone();
+            for (k, v) in b {
+                if let Some(slot) = merged.iter_mut().find(|(mk, _)| mk == k) {
+                    slot.1 = Expr::add(slot.1.clone(), v.clone());
+                } else {
+                    merged.push((k.clone(), v.clone()));
+                }
+            }
+            Some(Expr::DictLit(merged))
+        })
+        // dom({{k1→v1,…}}) { [[k1,…]]
+        .with_fn("dom-of-literal", |e| {
+            let Expr::Dom(inner) = e else {
+                return None;
+            };
+            let Expr::DictLit(kvs) = inner.as_ref() else {
+                return None;
+            };
+            Some(Expr::SetLit(kvs.iter().map(|(k, _)| k.clone()).collect()))
+        })
+        // {{…, k→v, …}}(k) { v  for constant keys.
+        .with_fn("apply-dict-literal", |e| {
+            let Expr::Apply(f, k) = e else {
+                return None;
+            };
+            let Expr::DictLit(kvs) = f.as_ref() else {
+                return None;
+            };
+            if !matches!(k.as_ref(), Expr::Const(_)) {
+                return None;
+            }
+            kvs.iter().find(|(kk, _)| kk == k.as_ref()).map(|(_, v)| v.clone())
+        })
+        // Constant folding on scalars keeps unrolled code small.
+        .with_fn("const-fold", |e| const_fold(e))
+}
+
+fn const_fold(e: &Expr) -> Option<Expr> {
+    match e {
+        Expr::Add(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Const(Const::Int(x)), Expr::Const(Const::Int(y))) => Some(Expr::int(x + y)),
+            (Expr::Const(Const::Int(0)), other) | (other, Expr::Const(Const::Int(0))) => {
+                Some(other.clone())
+            }
+            _ => None,
+        },
+        Expr::Mul(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Const(Const::Int(x)), Expr::Const(Const::Int(y))) => Some(Expr::int(x * y)),
+            (Expr::Const(Const::Int(1)), other) | (other, Expr::Const(Const::Int(1))) => {
+                Some(other.clone())
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Applies partial evaluation to fixpoint.
+pub fn partial_eval(e: &Expr) -> (Expr, Trace) {
+    rules().rewrite(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_expr;
+
+    fn pe(src: &str) -> Expr {
+        partial_eval(&parse_expr(src).unwrap()).0
+    }
+
+    #[test]
+    fn unrolls_sum_over_set_literal() {
+        assert_eq!(pe("sum(f in [|`a`, `b`|]) g(f)"), parse_expr("g(`a`) + g(`b`)").unwrap());
+        assert_eq!(pe("sum(f in [||]) g(f)"), Expr::int(0));
+    }
+
+    #[test]
+    fn unrolls_dictcomp_to_dict_literal() {
+        assert_eq!(
+            pe("dict(f in [|`a`, `b`|]) h(f)"),
+            parse_expr("{|`a` -> h(`a`), `b` -> h(`b`)|}").unwrap()
+        );
+    }
+
+    #[test]
+    fn merges_dict_literals() {
+        assert_eq!(
+            pe("{|`a` -> 1|} + {|`a` -> 2|}"),
+            parse_expr("{|`a` -> 3|}").unwrap()
+        );
+        assert_eq!(
+            pe("{|`a` -> x|} + {|`b` -> y|}"),
+            parse_expr("{|`a` -> x, `b` -> y|}").unwrap()
+        );
+    }
+
+    #[test]
+    fn does_not_merge_dynamic_keys() {
+        let src = "{|k1 -> 1|} + {|k2 -> 2|}";
+        assert_eq!(pe(src), parse_expr(src).unwrap());
+    }
+
+    #[test]
+    fn dom_and_apply_on_literals() {
+        assert_eq!(
+            pe("dom({|`a` -> 1, `b` -> 2|})"),
+            parse_expr("[|`a`, `b`|]").unwrap()
+        );
+        assert_eq!(pe("{|`a` -> 7|}(`a`)"), Expr::int(7));
+    }
+
+    #[test]
+    fn const_folds_units() {
+        assert_eq!(pe("1 * x + 0"), parse_expr("x").unwrap());
+        assert_eq!(pe("2 + 3"), Expr::int(5));
+        assert_eq!(pe("2 * 3"), Expr::int(6));
+    }
+
+    #[test]
+    fn unroll_then_merge_composes() {
+        // Σ over a literal producing singleton dictionaries merges into one
+        // literal — the pattern produced by query pushdown.
+        let out = pe("sum(f in [|`a`, `b`|]) {|f -> 1|}");
+        assert_eq!(out, parse_expr("{|`a` -> 1, `b` -> 1|}").unwrap());
+    }
+}

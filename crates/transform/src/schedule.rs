@@ -1,0 +1,129 @@
+//! Loop scheduling (Fig. 4b): reorder nested summations so the outer loop
+//! ranges over the smaller collection.
+//!
+//! `Σ_{x∈e1} Σ_{y∈e2} e3  {  Σ_{y∈e2} Σ_{x∈e1} e3` when `|e1| > |e2|`, the
+//! inner collection does not depend on the outer variable, and the swap
+//! does not capture. Pushing the larger loop inward lets factorization
+//! hoist factors that depend only on the (small) outer variable out of the
+//! expensive inner loop.
+
+use ifaq_ir::cost::{estimate_size, DEFAULT_COLLECTION_SIZE};
+use ifaq_ir::rewrite::{FnRule, RuleSet, Trace};
+use ifaq_ir::vars::occurs_free;
+use ifaq_ir::{Catalog, Expr};
+
+/// Builds the loop-scheduling rule set against catalog statistics.
+pub fn rules(catalog: &Catalog) -> RuleSet {
+    let catalog = catalog.clone();
+    RuleSet::new("loop-schedule").with(FnRule::new("swap-loops", move |e: &Expr| {
+        let Expr::Sum { var: x, coll: e1, body } = e else {
+            return None;
+        };
+        let Expr::Sum { var: y, coll: e2, body: e3 } = body.as_ref() else {
+            return None;
+        };
+        if x == y {
+            return None;
+        }
+        // The inner collection must not depend on the outer variable, and
+        // the outer collection must not depend on the inner variable (it
+        // cannot: y is not in scope there, but a shadowing name could make
+        // this unsound, so check anyway).
+        if occurs_free(x, e2) || occurs_free(y, e1) {
+            return None;
+        }
+        let s1 = estimate_size(e1, &catalog).unwrap_or(DEFAULT_COLLECTION_SIZE);
+        let s2 = estimate_size(e2, &catalog).unwrap_or(DEFAULT_COLLECTION_SIZE);
+        if s1 > s2 {
+            Some(Expr::sum(
+                y.clone(),
+                (**e2).clone(),
+                Expr::sum(x.clone(), (**e1).clone(), (**e3).clone()),
+            ))
+        } else {
+            None
+        }
+    }))
+}
+
+/// Schedules loops in `e`, returning the result and the rule trace.
+pub fn schedule(e: &Expr, catalog: &Catalog) -> (Expr, Trace) {
+    rules(catalog).rewrite(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_expr;
+    use ifaq_ir::schema::running_example_catalog;
+    use ifaq_ir::vars::alpha_eq;
+
+    fn cat() -> Catalog {
+        running_example_catalog(10_000, 100, 10)
+    }
+
+    #[test]
+    fn swaps_big_outer_small_inner() {
+        // Σ_{x∈dom(Q)} Σ_{f∈F} …  with F a 2-element literal: swap.
+        let e = parse_expr("sum(x in dom(S)) sum(f in [|`a`, `b`|]) g(x)(f)").unwrap();
+        let (out, trace) = schedule(&e, &cat());
+        let expected =
+            parse_expr("sum(f in [|`a`, `b`|]) sum(x in dom(S)) g(x)(f)").unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+        assert_eq!(trace.count("swap-loops"), 1);
+    }
+
+    #[test]
+    fn keeps_small_outer() {
+        let e = parse_expr("sum(f in [|`a`, `b`|]) sum(x in dom(S)) g(x)(f)").unwrap();
+        let (out, trace) = schedule(&e, &cat());
+        assert_eq!(out, e);
+        assert_eq!(trace.total(), 0);
+    }
+
+    #[test]
+    fn no_swap_when_inner_depends_on_outer() {
+        // The inner collection is indexed by the outer variable (a trie
+        // iteration): must not swap even though the outer loop is larger.
+        let e = parse_expr("sum(x in dom(S)) sum(y in dom(S(x))) g(x)(y)").unwrap();
+        let (out, trace) = schedule(&e, &cat());
+        assert_eq!(out, e);
+        assert_eq!(trace.total(), 0);
+    }
+
+    #[test]
+    fn unknown_sizes_do_not_swap() {
+        // Both collections unknown: sizes tie at the default, no swap.
+        let e = parse_expr("sum(x in A) sum(y in B) g(x)(y)").unwrap();
+        let (out, _) = schedule(&e, &cat());
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn swaps_three_level_nest_to_sorted_order() {
+        // sizes: dom(S)=10000 > dom(R)=10 > [|`a`|]=1 — after scheduling the
+        // smallest should be outermost.
+        let e = parse_expr(
+            "sum(x in dom(S)) sum(y in dom(R)) sum(f in [|`a`|]) g(x)(y)(f)",
+        )
+        .unwrap();
+        let (out, _) = schedule(&e, &cat());
+        let expected = parse_expr(
+            "sum(f in [|`a`|]) sum(y in dom(R)) sum(x in dom(S)) g(x)(y)(f)",
+        )
+        .unwrap();
+        assert!(alpha_eq(&out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn feature_count_exceeding_data_disables_scheduling() {
+        // |F| = 3 > |S| = 2: the paper notes loop scheduling (and hence the
+        // whole hoisting chain) does not apply.
+        let cat = running_example_catalog(2, 2, 2);
+        let e =
+            parse_expr("sum(x in dom(S)) sum(f in [|`a`, `b`, `c`|]) g(x)(f)").unwrap();
+        let (out, trace) = schedule(&e, &cat);
+        assert_eq!(out, e);
+        assert_eq!(trace.total(), 0);
+    }
+}

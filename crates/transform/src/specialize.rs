@@ -1,0 +1,192 @@
+//! Schema specialization (§4.2, Fig. 4g): from D-IFAQ to S-IFAQ.
+//!
+//! Dictionaries whose keys are statically-known `Field` constants become
+//! records, and dynamic field accesses become static ones. Partial
+//! evaluation (Fig. 4f) runs first so that feature-set loops unroll into
+//! literal dictionaries this pass can see. The result should type-check
+//! under the S-IFAQ discipline ([`ifaq_ir::TypeChecker`]); the pipeline
+//! crate performs that check and reports errors to the user.
+
+use crate::parteval;
+use ifaq_ir::rewrite::{RuleSet, Trace};
+use ifaq_ir::{Const, Expr, Program};
+
+/// Builds the schema-specialization rule set (Fig. 4g).
+pub fn rules() -> RuleSet {
+    RuleSet::new("specialize")
+        // {{…, `fi` → ei, …}} { {…, fi = ei, …}
+        .with_fn("dictlit-to-record", |e| {
+            let Expr::DictLit(kvs) = e else {
+                return None;
+            };
+            if kvs.is_empty() {
+                return None;
+            }
+            let mut fields = Vec::with_capacity(kvs.len());
+            for (k, v) in kvs {
+                let Expr::Const(Const::Field(f)) = k else {
+                    return None;
+                };
+                fields.push((f.clone(), v.clone()));
+            }
+            Some(Expr::Record(fields))
+        })
+        // e1[`f`] { e1.f
+        .with_fn("static-field-access", |e| {
+            let Expr::FieldDyn(base, key) = e else {
+                return None;
+            };
+            let Expr::Const(Const::Field(f)) = key.as_ref() else {
+                return None;
+            };
+            Some(Expr::get((**base).clone(), f.clone()))
+        })
+        // e1(`f`) { e1.f — dictionary application on a field constant is a
+        // record access after specialization ("e1(e2) { e1[e2] if e1 is
+        // transformed" composed with the rule above).
+        .with_fn("apply-to-field-access", |e| {
+            let Expr::Apply(base, key) = e else {
+                return None;
+            };
+            let Expr::Const(Const::Field(f)) = key.as_ref() else {
+                return None;
+            };
+            Some(Expr::get((**base).clone(), f.clone()))
+        })
+        // {…, f = e, …}.f { e — record construction meets field access.
+        .with_fn("record-field-beta", |e| {
+            let Expr::Field(base, f) = e else {
+                return None;
+            };
+            let Expr::Record(fields) = base.as_ref() else {
+                return None;
+            };
+            fields.iter().find(|(n, _)| n == f).map(|(_, v)| v.clone())
+        })
+}
+
+/// Specializes an expression: partial evaluation (unrolling) followed by
+/// the Fig. 4g rules, iterated to fixpoint since unrolling exposes new
+/// record structure and vice versa.
+pub fn specialize_expr(e: &Expr) -> (Expr, Trace) {
+    let pe_rules = parteval::rules();
+    let sp_rules = rules();
+    let mut trace = Trace::default();
+    let mut current = e.clone();
+    loop {
+        let (after_pe, t1) = pe_rules.rewrite(&current);
+        let (after_sp, t2) = sp_rules.rewrite(&after_pe);
+        trace.absorb(&t1);
+        trace.absorb(&t2);
+        if after_sp == current {
+            return (current, trace);
+        }
+        current = after_sp;
+    }
+}
+
+/// Specializes every expression of a program.
+pub fn specialize_program(prog: &Program) -> (Program, Trace) {
+    let mut trace = Trace::default();
+    let out = prog.map_exprs(|e| {
+        let (e2, t) = specialize_expr(e);
+        trace.absorb(&t);
+        e2
+    });
+    (out, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_ir::parser::parse_expr;
+
+    fn sp(src: &str) -> Expr {
+        specialize_expr(&parse_expr(src).unwrap()).0
+    }
+
+    #[test]
+    fn field_dict_literal_becomes_record() {
+        assert_eq!(
+            sp("{|`i` -> 1, `p` -> 2|}"),
+            parse_expr("{i = 1, p = 2}").unwrap()
+        );
+    }
+
+    #[test]
+    fn mixed_key_dict_stays_dict() {
+        let src = "{|`i` -> 1, 3 -> 2|}";
+        assert_eq!(sp(src), parse_expr(src).unwrap());
+    }
+
+    #[test]
+    fn dynamic_access_becomes_static() {
+        assert_eq!(sp("x[`price`]"), parse_expr("x.price").unwrap());
+        assert_eq!(sp("theta(`c`)"), parse_expr("theta.c").unwrap());
+    }
+
+    #[test]
+    fn record_field_beta_reduces() {
+        assert_eq!(sp("{a = f(x), b = 2}.a"), parse_expr("f(x)").unwrap());
+    }
+
+    #[test]
+    fn dictcomp_over_fields_becomes_record() {
+        // The λ_{x∈[[`fi`]]} Γ(e1[x]) { {fi = Γ(e1.fi)} rule, via unrolling.
+        assert_eq!(
+            sp("dict(f in [|`c`, `p`|]) theta(f) + x[f]"),
+            parse_expr("{c = theta.c + x.c, p = theta.p + x.p}").unwrap()
+        );
+    }
+
+    #[test]
+    fn specializes_example_46_shape() {
+        // The unrolled covar construction of Example 4.6: a λ over features
+        // of a λ over features of a data aggregate becomes a nested record.
+        let src = "dict(f1 in [|`c`, `p`|]) dict(f2 in [|`c`, `p`|]) \
+                   sum(x in dom(Q)) Q(x) * x[f1] * x[f2]";
+        let out = sp(src);
+        let Expr::Record(rows) = &out else {
+            panic!("expected record, got {out}");
+        };
+        assert_eq!(rows.len(), 2);
+        let Expr::Record(cols) = &rows[0].1 else {
+            panic!("expected nested record");
+        };
+        assert_eq!(cols.len(), 2);
+        assert_eq!(
+            cols[0].1,
+            parse_expr("sum(x in dom(Q)) Q(x) * x.c * x.c").unwrap()
+        );
+    }
+
+    #[test]
+    fn unrolled_feature_sum_gets_static_accesses() {
+        let out = sp("sum(f in [|`c`, `p`|]) theta(f) * x[f]");
+        assert_eq!(
+            out,
+            parse_expr("theta.c * x.c + theta.p * x.p").unwrap()
+        );
+    }
+
+    #[test]
+    fn leaves_data_sums_alone() {
+        let src = "sum(x in dom(Q)) Q(x) * x.c";
+        assert_eq!(sp(src), parse_expr(src).unwrap());
+    }
+
+    #[test]
+    fn program_specialization_touches_all_parts() {
+        let p = ifaq_ir::parser::parse_program(
+            "theta := dict(f in [|`c`|]) 0.0;\n\
+             while (_iter < 3) { theta := dict(f in [|`c`|]) theta(f) - g(f) }\n\
+             theta",
+        )
+        .unwrap();
+        let (out, _) = specialize_program(&p);
+        assert_eq!(out.init, parse_expr("{c = 0.0}").unwrap());
+        // g(`c`) also specializes: dictionary application on a field
+        // constant is record access in S-IFAQ.
+        assert_eq!(out.step, parse_expr("{c = theta.c - g.c}").unwrap());
+    }
+}

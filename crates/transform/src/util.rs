@@ -1,0 +1,96 @@
+//! Shared helpers for the transformation passes.
+
+use ifaq_ir::Expr;
+
+/// Flattens a multiplication tree into its factor list, left to right.
+#[allow(dead_code)] // kept alongside the signed variant; used in tests
+pub fn flatten_mul(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn go(e: &Expr, out: &mut Vec<Expr>) {
+        if let Expr::Mul(a, b) = e {
+            go(a, out);
+            go(b, out);
+        } else {
+            out.push(e.clone());
+        }
+    }
+    go(e, &mut out);
+    out
+}
+
+/// Rebuilds a left-leaning multiplication from a factor list.
+///
+/// # Panics
+/// Panics on an empty factor list.
+pub fn rebuild_mul(factors: Vec<Expr>) -> Expr {
+    let mut it = factors.into_iter();
+    let first = it.next().expect("rebuild_mul on empty factor list");
+    it.fold(first, Expr::mul)
+}
+
+/// Flattens a multiplication tree into factors, pulling `Neg` markers out
+/// of any factor. Returns `(negated, factors)` where `negated` is true when
+/// an odd number of negations were stripped.
+pub fn flatten_mul_signed(e: &Expr) -> (bool, Vec<Expr>) {
+    let mut out = Vec::new();
+    let mut neg = false;
+    fn go(e: &Expr, out: &mut Vec<Expr>, neg: &mut bool) {
+        match e {
+            Expr::Mul(a, b) => {
+                go(a, out, neg);
+                go(b, out, neg);
+            }
+            Expr::Neg(inner) => {
+                *neg = !*neg;
+                go(inner, out, neg);
+            }
+            _ => out.push(e.clone()),
+        }
+    }
+    go(e, &mut out, &mut neg);
+    (neg, out)
+}
+
+/// True if the collection expression denotes a *statically enumerable*
+/// finite domain — the side condition of static memoization (Fig. 4d):
+/// set/dictionary literals are static; relation domains are data.
+pub fn is_static_finite(coll: &Expr) -> bool {
+    match coll {
+        Expr::SetLit(_) | Expr::DictLit(_) => true,
+        Expr::Dom(inner) => is_static_finite(inner),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_rebuild_roundtrip() {
+        let e = Expr::mul(
+            Expr::mul(Expr::var("a"), Expr::var("b")),
+            Expr::mul(Expr::var("c"), Expr::var("d")),
+        );
+        let fs = flatten_mul(&e);
+        assert_eq!(fs.len(), 4);
+        let rebuilt = rebuild_mul(fs);
+        // Left-leaning: ((a*b)*c)*d
+        assert_eq!(rebuilt.to_string(), "a * b * c * d");
+    }
+
+    #[test]
+    fn flatten_single_factor() {
+        let e = Expr::var("x");
+        assert_eq!(flatten_mul(&e), vec![e.clone()]);
+        assert_eq!(rebuild_mul(vec![e.clone()]), e);
+    }
+
+    #[test]
+    fn static_finite_detection() {
+        assert!(is_static_finite(&Expr::set_lit(vec![Expr::int(1)])));
+        assert!(is_static_finite(&Expr::dom(Expr::dict_lit(vec![]))));
+        assert!(!is_static_finite(&Expr::var("Q")));
+        assert!(!is_static_finite(&Expr::dom(Expr::var("Q"))));
+    }
+}

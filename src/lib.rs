@@ -1,0 +1,7 @@
+//! Workspace umbrella for the IFAQ reproduction.
+//!
+//! This crate only exists so that the repository-level `examples/` and
+//! `tests/` directories can exercise the public API of every workspace
+//! member. See the [`ifaq`] crate for the actual library entry point.
+
+pub use ifaq as pipeline;

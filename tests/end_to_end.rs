@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full Figure 3 pipeline on realistic
+//! synthetic data, engine equivalence at scale, and model equality between
+//! the factorized and materialized training paths.
+
+use ifaq::{CompileOptions, Pipeline};
+use ifaq_datagen::{favorita, retailer};
+use ifaq_engine::Layout;
+use ifaq_ir::Expr;
+use ifaq_ml::linreg;
+use ifaq_ml::metrics::linreg_rmse;
+use ifaq_ml::tree::{fit_factorized, fit_materialized, thresholds_from_db, TreeConfig};
+use ifaq_storage::Value;
+use ifaq_transform::highlevel::linear_regression_program;
+
+#[test]
+fn full_pipeline_trains_on_favorita() {
+    let ds = favorita(5_000, 21);
+    let db = &ds.db;
+    let features = ds.feature_refs();
+    let program =
+        linear_regression_program(&features, &ds.label, Expr::var("Q"), 0.0001, 10);
+    let catalog = db.catalog().with_var_size("Q", db.fact_rows() as u64);
+    let options = CompileOptions::for_star_db(db);
+    let compiled = Pipeline::new(catalog).compile(&program, &options).expect("compile");
+
+    // The covar matrix was hoisted; the loop is data-free.
+    assert!(compiled.stages.high_level_report.memoized >= 1);
+    let step = compiled.program.step.to_string();
+    assert!(!step.contains("dom(Q)"), "loop still scans data: {step}");
+
+    // Batch: 5 features + label ⇒ 15 pairwise + 5 label-free first moments
+    // are not all needed by this gradient; at least the pairwise terms are.
+    assert!(compiled.batch.len() >= 15, "batch has {} aggregates", compiled.batch.len());
+
+    let theta = compiled.execute(db, Layout::MergedHash).expect("execute");
+    match theta {
+        Value::Record(fs) => assert_eq!(fs.len(), features.len()),
+        other => panic!("expected parameter record, got {other}"),
+    }
+}
+
+#[test]
+fn all_physical_layouts_agree_on_both_datasets() {
+    for ds in [favorita(8_000, 3), retailer(8_000, 4)] {
+        let features = ds.feature_refs();
+        let reference = linreg::moments_factorized(
+            &ds.db,
+            &features,
+            &ds.label,
+            Layout::Materialized,
+        );
+        for &layout in Layout::all() {
+            let m = linreg::moments_factorized(&ds.db, &features, &ds.label, layout);
+            for (a, b) in m.gram.iter().zip(&reference.gram) {
+                let tol = 1e-9 * (1.0 + a.abs().max(b.abs()));
+                assert!((a - b).abs() <= tol, "{layout} on {}: {a} vs {b}", ds.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn factorized_linreg_matches_materialized_path() {
+    let ds = favorita(6_000, 5);
+    let features = ds.feature_refs();
+    let fact = linreg::moments_factorized(&ds.db, &features, &ds.label, Layout::MergedHash);
+    let matrix = ds.db.materialize();
+    let mat = linreg::moments_from_matrix(&matrix, &features, &ds.label);
+    // Identical moments ⇒ identical models for any optimizer.
+    for (a, b) in fact.gram.iter().zip(&mat.gram) {
+        assert!((a - b).abs() <= 1e-7 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+    let m1 = linreg::fit_bgd(&fact, 0.5, 200);
+    let m2 = linreg::fit_bgd(&mat, 0.5, 200);
+    for (a, b) in m1.weights.iter().zip(&m2.weights) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn factorized_tree_equals_materialized_tree_on_retailer() {
+    let ds = retailer(4_000, 6);
+    let features: Vec<&str> = ds.feature_refs().into_iter().take(6).collect();
+    let config = TreeConfig { max_depth: 3, min_samples: 5.0, thresholds_per_feature: 3 };
+    let t1 = fit_factorized(&ds.db, &features, &ds.label, &config);
+    let matrix = ds.db.materialize();
+    let thresholds = thresholds_from_db(&ds.db, &features, config.thresholds_per_feature);
+    let t2 = fit_materialized(&matrix, &features, &ds.label, &thresholds, &config);
+    assert_eq!(t1, t2);
+    assert!(t1.depth() <= 3);
+}
+
+#[test]
+fn trained_model_beats_predicting_the_mean() {
+    let ds = favorita(20_000, 8);
+    let train = ds.train();
+    let test = ds.test_matrix();
+    let features = ds.feature_refs();
+    let model =
+        linreg::fit_factorized(&train, &features, &ds.label, Layout::MergedHash, 0.5, 300);
+    let rmse = linreg_rmse(&model, &test, &ds.label);
+    // Baseline: predict the training mean.
+    let moments = linreg::moments_factorized(&train, &features, &ds.label, Layout::MergedHash);
+    let mean = moments.xty[0] / moments.count;
+    let mean_model = linreg::LinearModel {
+        features: model.features.clone(),
+        intercept: mean,
+        weights: vec![0.0; features.len()],
+    };
+    let rmse_mean = linreg_rmse(&mean_model, &test, &ds.label);
+    assert!(
+        rmse < rmse_mean * 0.8,
+        "model rmse {rmse} should clearly beat mean rmse {rmse_mean}"
+    );
+}
+
+#[test]
+fn interpreter_validates_the_extracted_batch() {
+    // The batch computed by the physical engine must equal the aggregates
+    // the D-IFAQ interpreter computes over the boxed join dictionary.
+    let ds = favorita(800, 12);
+    let matrix = ds.db.materialize();
+    // Boxed Q.
+    let mut d = ifaq_storage::Dict::new();
+    for i in 0..matrix.rows {
+        let row = matrix.row(i);
+        let rec = Value::record(
+            matrix
+                .attrs
+                .iter()
+                .cloned()
+                .zip(row.iter().map(|v| Value::real(*v)))
+                .collect::<Vec<_>>(),
+        );
+        d.insert_add(rec, Value::Int(1)).unwrap();
+    }
+    let mut env = ifaq_engine::interp::Env::new();
+    env.insert("Q".into(), Value::Dict(d));
+    let interp_val = ifaq_engine::interp::eval_expr(
+        &env,
+        &ifaq_ir::parser::parse_expr(
+            "sum(x in dom(Q)) Q(x) * x.oilprice * x.unit_sales",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let m = linreg::moments_factorized(
+        &ds.db,
+        &["oilprice"],
+        &ds.label,
+        Layout::MergedHash,
+    );
+    // xty[1] = Σ oilprice · unit_sales.
+    let engine_val = m.xty[1];
+    let interp_f = interp_val.as_f64().unwrap();
+    assert!(
+        (interp_f - engine_val).abs() <= 1e-6 * (1.0 + engine_val.abs()),
+        "{interp_f} vs {engine_val}"
+    );
+}

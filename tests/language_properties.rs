@@ -1,0 +1,113 @@
+//! Property tests for the language layer: parser/pretty-printer round
+//! trips on random expressions, and agreement between the static S-IFAQ
+//! type checker and the dynamic interpreter (well-typed terms don't go
+//! wrong).
+
+use ifaq_engine::interp::{eval_expr, Env};
+use ifaq_ir::parser::parse_expr;
+use ifaq_ir::types::{TypeChecker, TypeEnv};
+use ifaq_ir::{Expr, Type};
+use ifaq_storage::Value;
+use proptest::prelude::*;
+
+/// Random expressions spanning every syntactic construct, closed except
+/// for the variables `a: int` and `d: Map[int, int]`.
+fn arb_syntax() -> impl Strategy<Value = Expr> {
+    // Literals are non-negative: `-1` prints as the token sequence `-` `1`
+    // and reparses as `Neg(1)`, so negative values arise via `Expr::neg`.
+    let leaf = prop_oneof![
+        (0i64..9).prop_map(Expr::int),
+        (0.0f64..2.0).prop_map(Expr::real),
+        proptest::bool::ANY.prop_map(Expr::bool),
+        "[a-z]{1,4}".prop_map(Expr::str),
+        "[a-z]{1,3}".prop_map(Expr::field_const),
+        Just(Expr::var("a")),
+        Just(Expr::var("d")),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::add(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::mul(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::sub(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::div(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::and(
+                Expr::cmp(ifaq_ir::CmpOp::Lt, x, Expr::int(3)),
+                Expr::cmp(ifaq_ir::CmpOp::Ne, y, Expr::int(0)),
+            )),
+            inner.clone().prop_map(Expr::neg),
+            inner.clone().prop_map(|x| Expr::un(ifaq_ir::UnOp::Abs, x)),
+            inner.clone().prop_map(|b| Expr::sum("x", Expr::var("d"), b)),
+            inner.clone().prop_map(|b| Expr::dict_comp("k", Expr::var("d"), b)),
+            inner.clone().prop_map(|x| Expr::dom(Expr::dict_single(x, Expr::int(1)))),
+            (inner.clone(), inner.clone()).prop_map(|(k, v)| Expr::dict_single(k, v)),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::set_lit),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Expr::record([("f", x), ("g", y)])),
+            inner.clone().prop_map(|x| Expr::variant("tag", x)),
+            inner.clone().prop_map(|x| Expr::get(Expr::record([("h", x)]), "h")),
+            (inner.clone(), inner.clone()).prop_map(|(v, b)| Expr::let_("t", v, b)),
+            (inner.clone(), inner.clone()).prop_map(|(t, e)| Expr::if_(
+                Expr::bool(true),
+                t,
+                e
+            )),
+            (inner.clone(), inner).prop_map(|(f, k)| Expr::apply(
+                Expr::dict_single(Expr::int(0), f),
+                k
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(print(e)) == e` for arbitrary expressions — the printer
+    /// emits exactly the grammar the parser accepts, with correct
+    /// precedence and parenthesization.
+    #[test]
+    fn pretty_print_parse_roundtrip(e in arb_syntax()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("{err}\nprinted: {printed}"));
+        prop_assert_eq!(&reparsed, &e, "printed: {}", printed);
+    }
+
+    /// Well-typed S-IFAQ expressions evaluate without runtime type errors
+    /// (progress + preservation, observed end-to-end): if the checker
+    /// accepts a closed term, the interpreter produces a value.
+    #[test]
+    fn well_typed_terms_do_not_go_wrong(e in arb_syntax()) {
+        let mut tenv = TypeEnv::new();
+        tenv.insert("a".into(), Type::Int);
+        tenv.insert("d".into(), Type::dict(Type::Int, Type::Int));
+        let checker = TypeChecker::new();
+        if checker.infer(&tenv, &e).is_ok() {
+            let mut env = Env::new();
+            env.insert("a".into(), Value::Int(2));
+            env.insert(
+                "d".into(),
+                Value::Dict(ifaq_storage::Dict::from_pairs(vec![
+                    (Value::Int(1), Value::Int(10)),
+                    (Value::Int(2), Value::Int(20)),
+                ])),
+            );
+            let result = eval_expr(&env, &e);
+            // Division can still hit NaN/∞ (a *value* error, not a type
+            // error); everything else must produce a value.
+            prop_assert!(
+                result.is_ok(),
+                "well-typed term failed: {} — {:?}",
+                e,
+                result
+            );
+        }
+    }
+
+    /// The AST size metric is consistent under the round trip.
+    #[test]
+    fn node_count_stable_under_roundtrip(e in arb_syntax()) {
+        let reparsed = parse_expr(&e.to_string()).unwrap();
+        prop_assert_eq!(reparsed.node_count(), e.node_count());
+    }
+}
