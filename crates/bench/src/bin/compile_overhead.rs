@@ -6,19 +6,25 @@
 //! absolute times depend on the g++ version, but the overhead should stay
 //! in single-digit seconds.
 //!
-//! Run: `cargo run -p ifaq-bench --bin compile_overhead --release`
+//! Run: `cargo run -p ifaq_bench --bin compile_overhead --release`
 
 use ifaq_bench::{print_header, print_row};
 use ifaq_codegen::cpp::{compile_with_gpp, emit_covar_program};
 use ifaq_datagen::{favorita, retailer};
 use ifaq_query::batch::{covar_batch, variance_batch};
-use ifaq_query::{JoinTree, Predicate, PredOp, ViewPlan};
+use ifaq_query::{JoinTree, PredOp, Predicate, ViewPlan};
 
 fn main() {
     let dir = std::env::temp_dir().join("ifaq_codegen");
     std::fs::create_dir_all(&dir).expect("temp dir");
-    print_header("Compilation overhead (g++ -O3), seconds", &["linreg", "tree-node"]);
-    for (name, ds) in [("favorita", favorita(1_000, 1)), ("retailer", retailer(1_000, 2))] {
+    print_header(
+        "Compilation overhead (g++ -O3), seconds",
+        &["linreg", "tree-node"],
+    );
+    for (name, ds) in [
+        ("favorita", favorita(1_000, 1)),
+        ("retailer", retailer(1_000, 2)),
+    ] {
         let features = ds.feature_refs();
         let cat = ds.db.catalog();
         let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");

@@ -8,15 +8,15 @@
 //! scikit pipeline dies on retailer-large under the simulated memory
 //! budget.
 //!
-//! Run: `cargo run -p ifaq-bench --bin fig5 --release [-- --model linreg|tree] [--scale f]`
+//! Run: `cargo run -p ifaq_bench --bin fig5 --release [-- --model linreg|tree] [--scale f]`
 
 use ifaq_bench::{fig5_variants, print_header, print_row, secs, time_once, HarnessArgs};
 use ifaq_engine::Layout;
 use ifaq_ml::baseline::{
     mlpack_like_linreg, scikit_like_linreg, scikit_like_tree, tf_like_linreg, MemoryBudget,
 };
-use ifaq_ml::tree::{fit_factorized as fit_tree, thresholds_from_db, TreeConfig};
 use ifaq_ml::linreg;
+use ifaq_ml::tree::{fit_factorized as fit_tree, thresholds_from_db, TreeConfig};
 
 const BGD_ITERS: usize = 50;
 
@@ -36,8 +36,13 @@ fn main() {
         .map(|(_, d)| d.train().materialize().bytes())
         .max()
         .unwrap();
-    let budget = MemoryBudget { bytes: largest_bytes + largest_bytes / 2 };
-    println!("simulated memory budget: {:.1}MB", budget.bytes as f64 / 1e6);
+    let budget = MemoryBudget {
+        bytes: largest_bytes + largest_bytes / 2,
+    };
+    println!(
+        "simulated memory budget: {:.1}MB",
+        budget.bytes as f64 / 1e6
+    );
 
     match model.as_str() {
         "tree" => run_tree(&variants, budget),
@@ -57,7 +62,14 @@ fn run_linreg(variants: &ifaq_bench::Variants, budget: MemoryBudget) {
 
         // IFAQ: factorized moments + BGD, one fused computation.
         let (_, t_ifaq) = time_once(|| {
-            linreg::fit_factorized(&train, &features, &ds.label, Layout::SortedTrie, 0.5, BGD_ITERS)
+            linreg::fit_factorized(
+                &train,
+                &features,
+                &ds.label,
+                Layout::SortedTrie,
+                0.5,
+                BGD_ITERS,
+            )
         });
 
         // scikit shape: materialize, then closed form (with OOM check).
@@ -69,8 +81,7 @@ fn run_linreg(variants: &ifaq_bench::Variants, budget: MemoryBudget) {
         };
 
         // TensorFlow shape: materialize + one mini-batch epoch.
-        let (_, t_tf) =
-            time_once(|| tf_like_linreg(&matrix, &features, &ds.label, 0.05, 100_000));
+        let (_, t_tf) = time_once(|| tf_like_linreg(&matrix, &features, &ds.label, 0.05, 100_000));
 
         // mlpack shape: needs the transpose copy; OOM expected.
         let mlpack = mlpack_like_linreg(&matrix, &features, &ds.label, budget);
@@ -81,7 +92,14 @@ fn run_linreg(variants: &ifaq_bench::Variants, budget: MemoryBudget) {
 
         print_row(
             name,
-            &[secs(t_ifaq), secs(t_mat), sk_cell, secs(t_mat), secs(t_tf), ml_cell],
+            &[
+                secs(t_ifaq),
+                secs(t_mat),
+                sk_cell,
+                secs(t_mat),
+                secs(t_tf),
+                ml_cell,
+            ],
         );
         wins &= t_ifaq <= t_mat + std::time::Duration::from_millis(50);
     }
@@ -101,7 +119,11 @@ fn run_tree(variants: &ifaq_bench::Variants, budget: MemoryBudget) {
         "Figure 5 (right): regression tree (depth 4), seconds",
         &["ifaq", "sk-mat", "sk-learn"],
     );
-    let config = TreeConfig { max_depth: 4, min_samples: 2.0, thresholds_per_feature: 4 };
+    let config = TreeConfig {
+        max_depth: 4,
+        min_samples: 2.0,
+        thresholds_per_feature: 4,
+    };
     for (name, ds) in &variants.entries {
         let train = ds.train();
         let features = ds.feature_refs();

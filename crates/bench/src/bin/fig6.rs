@@ -13,7 +13,7 @@
 //! the join/aggregate time, nearly flat in the iteration count; the
 //! unoptimized series grows linearly in both.
 //!
-//! Run: `cargo run -p ifaq-bench --bin fig6 --release [-- --sweep tuples|iters] [--paper]`
+//! Run: `cargo run -p ifaq_bench --bin fig6 --release [-- --sweep tuples|iters] [--paper]`
 
 use ifaq_bench::{print_header, print_row, secs, time_once, HarnessArgs};
 use ifaq_datagen::favorita;
@@ -45,8 +45,7 @@ fn matrix_to_dict(m: &TrainMatrix) -> Value {
 }
 
 fn programs(iters: i64) -> (Program, Program) {
-    let unopt =
-        linear_regression_program(&FEATURES, LABEL, Expr::var("QDATA"), 1e-6, iters);
+    let unopt = linear_regression_program(&FEATURES, LABEL, Expr::var("QDATA"), 1e-6, iters);
     // The query is an opaque, data-sized variable for the optimizer.
     let catalog = Catalog::new().with_var_size("Q", 1 << 20);
     let (opt, report) = optimize_program(&unopt, &catalog);
@@ -68,7 +67,7 @@ fn run_point(n_tuples: usize, iters: i64) -> (f64, f64, f64) {
     let interp = Interpreter::default();
     let (r1, t_unopt) = time_once(|| interp.run(&env, &unopt).expect("unopt run"));
     let (r2, t_opt) = time_once(|| interp.run(&env, &opt).expect("opt run"));
-    assert_eq!(values_close(&r1, &r2), true, "programs must agree");
+    assert!(values_close(&r1, &r2), "programs must agree");
     (
         join_time.as_secs_f64(),
         join_time.as_secs_f64() + t_unopt.as_secs_f64(),

@@ -7,7 +7,7 @@
 //! repeated scans), and the trie conversion gives a further improvement by
 //! hoisting view lookups out of key groups.
 //!
-//! Run: `cargo run -p ifaq-bench --bin fig7a --release [-- --paper] [--scale f]`
+//! Run: `cargo run -p ifaq_bench --bin fig7a --release [-- --paper] [--scale f]`
 
 use ifaq_bench::{print_header, print_row, secs, time_best_of, HarnessArgs};
 use ifaq_datagen::favorita;
@@ -32,7 +32,10 @@ fn main() {
         plan.total_payloads()
     );
 
-    print_header("Figure 7a: aggregate optimizations, seconds", &["time", "speedup"]);
+    print_header(
+        "Figure 7a: aggregate optimizations, seconds",
+        &["time", "speedup"],
+    );
     let mut reference: Option<Vec<f64>> = None;
     let mut prev: Option<f64> = None;
     for &layout in Layout::fig7a() {

@@ -6,7 +6,7 @@
 //! Expected shape (paper: 1.1×, 2×, 1.4×, 5×): going native and sorting
 //! are the two big steps.
 //!
-//! Run: `cargo run -p ifaq-bench --bin fig7b --release [-- --paper] [--scale f]`
+//! Run: `cargo run -p ifaq_bench --bin fig7b --release [-- --paper] [--scale f]`
 
 use ifaq_bench::{print_header, print_row, secs, time_best_of, HarnessArgs};
 use ifaq_datagen::favorita;
@@ -26,7 +26,10 @@ fn main() {
     let plan = ViewPlan::plan(&batch, &tree, &cat).expect("plan");
     println!("covar batch over {rows} tuples: {} aggregates", batch.len());
 
-    print_header("Figure 7b: low-level optimizations, seconds", &["time", "speedup"]);
+    print_header(
+        "Figure 7b: low-level optimizations, seconds",
+        &["time", "speedup"],
+    );
     let mut reference: Option<Vec<f64>> = None;
     let mut prev: Option<f64> = None;
     for &layout in Layout::fig7b() {

@@ -2,7 +2,7 @@
 //! tuples/size of the database, tuples/size of the join result, and
 //! relation / continuous-attribute counts.
 //!
-//! Run: `cargo run -p ifaq-bench --bin table1 --release [-- --scale f]`
+//! Run: `cargo run -p ifaq_bench --bin table1 --release [-- --scale f]`
 
 use ifaq_bench::{print_header, print_row, HarnessArgs};
 use ifaq_datagen::{favorita, retailer};
@@ -23,7 +23,10 @@ fn main() {
     let (fm, rm) = (fav.db.materialize(), ret.db.materialize());
     print_row(
         "Tuples of Database",
-        &[ret.db.total_tuples().to_string(), fav.db.total_tuples().to_string()],
+        &[
+            ret.db.total_tuples().to_string(),
+            fav.db.total_tuples().to_string(),
+        ],
     );
     print_row(
         "Size of Database",

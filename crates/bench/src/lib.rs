@@ -106,8 +106,14 @@ pub fn fig5_variants(args: &HarnessArgs) -> Variants {
     let mut entries = Vec::new();
     let fav = favorita(fav_large, 42);
     let ret = retailer(ret_large, 43);
-    let fav_small = Dataset { db: fav.db.take_fact(fav_large / 4), ..fav.clone() };
-    let ret_small = Dataset { db: ret.db.take_fact(ret_large / 4), ..ret.clone() };
+    let fav_small = Dataset {
+        db: fav.db.take_fact(fav_large / 4),
+        ..fav.clone()
+    };
+    let ret_small = Dataset {
+        db: ret.db.take_fact(ret_large / 4),
+        ..ret.clone()
+    };
     entries.push(("favorita-small", fav_small));
     entries.push(("favorita-large", fav));
     entries.push(("retailer-small", ret_small));
@@ -127,7 +133,10 @@ pub fn print_row(label: &str, cells: &[String]) {
 /// Prints a table header.
 pub fn print_header(title: &str, columns: &[&str]) {
     println!("\n== {title} ==");
-    print_row("", &columns.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    print_row(
+        "",
+        &columns.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+    );
 }
 
 #[cfg(test)]
@@ -146,7 +155,10 @@ mod tests {
 
     #[test]
     fn variants_have_expected_ratio() {
-        let args = HarnessArgs { scale: 0.05, paper: false };
+        let args = HarnessArgs {
+            scale: 0.05,
+            paper: false,
+        };
         let v = fig5_variants(&args);
         assert_eq!(v.entries.len(), 4);
         let small = v.entries[0].1.db.fact_rows();

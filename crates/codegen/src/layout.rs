@@ -50,7 +50,10 @@ pub struct LayoutReport {
 impl LayoutReport {
     /// Decisions whose choice equals `choice`.
     pub fn with_choice(&self, choice: &str) -> Vec<&LayoutDecision> {
-        self.decisions.iter().filter(|d| d.choice == choice).collect()
+        self.decisions
+            .iter()
+            .filter(|d| d.choice == choice)
+            .collect()
     }
 
     /// True if any view was laid out as a dense array.
@@ -108,9 +111,7 @@ pub fn synthesize(plan: &ViewPlan, catalog: &Catalog) -> LayoutReport {
                     report.decisions.push(LayoutDecision {
                         subject: subject.clone(),
                         choice: "dense array",
-                        reason: format!(
-                            "compact integer key domain ({entries} distinct values)"
-                        ),
+                        reason: format!("compact integer key domain ({entries} distinct values)"),
                     });
                 }
             }
@@ -152,8 +153,7 @@ mod tests {
     fn plan() -> (ViewPlan, Catalog) {
         let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
         let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
-        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat)
-            .unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
         (plan, cat)
     }
 
@@ -172,8 +172,7 @@ mod tests {
         let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
         let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
         // A single count-only aggregate: every view has exactly 1 payload.
-        let batch =
-            ifaq_query::AggBatch::new().with(ifaq_query::AggSpec::count("n"));
+        let batch = ifaq_query::AggBatch::new().with(ifaq_query::AggSpec::count("n"));
         let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
         let report = synthesize(&plan, &cat);
         assert_eq!(report.with_choice("single-field-record removal").len(), 2);

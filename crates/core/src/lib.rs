@@ -49,4 +49,4 @@
 
 pub mod pipeline;
 
-pub use pipeline::{Compiled, CompileOptions, Pipeline, PipelineError, StageSnapshots};
+pub use pipeline::{CompileOptions, Compiled, Pipeline, PipelineError, StageSnapshots};

@@ -48,7 +48,11 @@ impl CompileOptions {
         }
         let mut relations = vec![db.fact.name.clone()];
         relations.extend(db.dims.iter().map(|d| d.rel.name.clone()));
-        CompileOptions { q_var: Sym::new("Q"), q_attrs, relations }
+        CompileOptions {
+            q_var: Sym::new("Q"),
+            q_attrs,
+            relations,
+        }
     }
 }
 
@@ -135,8 +139,7 @@ impl Pipeline {
         // §4.3 aggregate extraction, per expression of the program.
         let mut batch = AggBatch::new();
         let residual = specialized.map_exprs(|e| {
-            let Extraction { residual, batch: b } =
-                extract_with(e, &options.q_var, batch.clone());
+            let Extraction { residual, batch: b } = extract_with(e, &options.q_var, batch.clone());
             batch = b;
             residual
         });
@@ -159,11 +162,7 @@ impl Pipeline {
 
     /// Type-checks a specialized program under the S-IFAQ rules, with `Q`
     /// bound to its dictionary type and relations bound to theirs.
-    fn type_check(
-        &self,
-        program: &Program,
-        options: &CompileOptions,
-    ) -> Result<(), PipelineError> {
+    fn type_check(&self, program: &Program, options: &CompileOptions) -> Result<(), PipelineError> {
         let checker = TypeChecker::new();
         let mut env = TypeEnv::new();
         for rel in self.catalog.relations() {
@@ -187,28 +186,34 @@ impl Pipeline {
             let t = checker.infer(&env, expr).map_err(PipelineError::Type)?;
             env.insert(name.clone(), t);
         }
-        let t_init = checker.infer(&env, &program.init).map_err(PipelineError::Type)?;
+        let t_init = checker
+            .infer(&env, &program.init)
+            .map_err(PipelineError::Type)?;
         let mut loop_env = env.clone();
         loop_env.insert(program.var.clone(), t_init.clone());
         loop_env.insert(Sym::new("_iter"), Type::Int);
         loop_env.insert(Sym::new("_prev"), t_init.clone());
-        let t_cond = checker.infer(&loop_env, &program.cond).map_err(PipelineError::Type)?;
+        let t_cond = checker
+            .infer(&loop_env, &program.cond)
+            .map_err(PipelineError::Type)?;
         if t_cond != Type::Bool {
             return Err(PipelineError::Type(ifaq_ir::TypeError {
                 message: format!("loop condition has type {t_cond}, expected bool"),
                 expr: program.cond.to_string(),
             }));
         }
-        let t_step = checker.infer(&loop_env, &program.step).map_err(PipelineError::Type)?;
+        let t_step = checker
+            .infer(&loop_env, &program.step)
+            .map_err(PipelineError::Type)?;
         if t_step != t_init {
             return Err(PipelineError::Type(ifaq_ir::TypeError {
-                message: format!(
-                    "loop step has type {t_step} but the state has type {t_init}"
-                ),
+                message: format!("loop step has type {t_step} but the state has type {t_init}"),
                 expr: program.step.to_string(),
             }));
         }
-        checker.infer(&loop_env, &program.result).map_err(PipelineError::Type)?;
+        checker
+            .infer(&loop_env, &program.result)
+            .map_err(PipelineError::Type)?;
         Ok(())
     }
 }
@@ -220,17 +225,16 @@ fn extract_with(e: &ifaq_ir::Expr, q: &Sym, acc: AggBatch) -> Extraction {
     // one by seeding its result. Aggregates are deduplicated by factor
     // multiset, so re-extraction of an already-seen aggregate reuses its
     // variable.
-    let mut ext = Extraction { residual: e.clone(), batch: acc };
+    let mut ext = Extraction {
+        residual: e.clone(),
+        batch: acc,
+    };
     let fresh = extract_aggregates_with_seed(e, q, &mut ext.batch);
     ext.residual = fresh;
     ext
 }
 
-fn extract_aggregates_with_seed(
-    e: &ifaq_ir::Expr,
-    q: &Sym,
-    batch: &mut AggBatch,
-) -> ifaq_ir::Expr {
+fn extract_aggregates_with_seed(e: &ifaq_ir::Expr, q: &Sym, batch: &mut AggBatch) -> ifaq_ir::Expr {
     // Reuse the public entry point: extract into a local batch, then remap
     // variable indices onto the accumulated batch.
     let local = extract_aggregates(e, q);
@@ -336,11 +340,7 @@ impl Compiled {
     }
 
     /// Evaluates just the aggregate batch over the database.
-    pub fn run_batch(
-        &self,
-        db: &StarDb,
-        layout_choice: Layout,
-    ) -> Result<Vec<f64>, PipelineError> {
+    pub fn run_batch(&self, db: &StarDb, layout_choice: Layout) -> Result<Vec<f64>, PipelineError> {
         if self.batch.is_empty() {
             return Ok(vec![]);
         }
@@ -364,13 +364,8 @@ mod tests {
 
     fn compile_lr(iters: i64) -> (StarDb, Compiled) {
         let db = running_example_star();
-        let program = linear_regression_program(
-            &["city", "price"],
-            "units",
-            Expr::var("Q"),
-            0.000001,
-            iters,
-        );
+        let program =
+            linear_regression_program(&["city", "price"], "units", Expr::var("Q"), 0.000001, iters);
         let opts = CompileOptions::for_star_db(&db);
         // Q is data-sized; the loop scheduler needs only its cardinality.
         let catalog = db.catalog().with_var_size("Q", db.fact_rows() as u64);
@@ -382,7 +377,11 @@ mod tests {
     fn lr_compiles_to_dataless_loop_plus_batch() {
         let (_, compiled) = compile_lr(10);
         // The covar aggregates were extracted…
-        assert_eq!(compiled.batch.len(), 5, "covar entries cc, cp, pp + label interactions cu, pu");
+        assert_eq!(
+            compiled.batch.len(),
+            5,
+            "covar entries cc, cp, pp + label interactions cu, pu"
+        );
         // …and the program no longer mentions Q anywhere.
         let all = format!(
             "{}{}{}{}",
@@ -397,7 +396,10 @@ mod tests {
             compiled.program.cond
         );
         assert!(!all.contains("dom(Q)"), "program still scans Q: {all}");
-        assert!(all.contains("__agg"), "program should reference batch results");
+        assert!(
+            all.contains("__agg"),
+            "program should reference batch results"
+        );
         // High-level report saw the memoization fire.
         assert!(compiled.stages.high_level_report.memoized >= 1);
     }
@@ -441,12 +443,13 @@ mod tests {
     fn type_errors_are_reported() {
         let db = running_example_star();
         // A program whose loop step changes the state's type: int → string.
-        let program = ifaq_ir::parser::parse_program(
-            "x := 0;\nwhile (_iter < 2) { x := \"oops\" }\nx",
-        )
-        .unwrap();
+        let program =
+            ifaq_ir::parser::parse_program("x := 0;\nwhile (_iter < 2) { x := \"oops\" }\nx")
+                .unwrap();
         let opts = CompileOptions::for_star_db(&db);
-        let err = Pipeline::new(db.catalog()).compile(&program, &opts).unwrap_err();
+        let err = Pipeline::new(db.catalog())
+            .compile(&program, &opts)
+            .unwrap_err();
         match err {
             PipelineError::Type(e) => assert!(e.message.contains("loop step")),
             other => panic!("expected type error, got {other}"),
@@ -456,12 +459,11 @@ mod tests {
     #[test]
     fn expression_programs_compile_and_run() {
         let db = running_example_star();
-        let program = ifaq_ir::parser::parse_program(
-            "sum(x in dom(Q)) Q(x) * x.units",
-        )
-        .unwrap();
+        let program = ifaq_ir::parser::parse_program("sum(x in dom(Q)) Q(x) * x.units").unwrap();
         let opts = CompileOptions::for_star_db(&db);
-        let compiled = Pipeline::new(db.catalog()).compile(&program, &opts).unwrap();
+        let compiled = Pipeline::new(db.catalog())
+            .compile(&program, &opts)
+            .unwrap();
         assert_eq!(compiled.batch.len(), 1);
         let v = compiled.execute(&db, Layout::MergedHash).unwrap();
         assert_eq!(v, Value::real(28.0));
@@ -477,7 +479,9 @@ mod tests {
         )
         .unwrap();
         let opts = CompileOptions::for_star_db(&db);
-        let compiled = Pipeline::new(db.catalog()).compile(&program, &opts).unwrap();
+        let compiled = Pipeline::new(db.catalog())
+            .compile(&program, &opts)
+            .unwrap();
         assert_eq!(compiled.batch.len(), 1, "identical aggregates share");
         let v = compiled.execute(&db, Layout::MergedHash).unwrap();
         assert_eq!(v, Value::real(56.0));

@@ -17,8 +17,8 @@
 
 use crate::Dataset;
 use ifaq_engine::{Dim, StarDb};
-use ifaq_storage::{ColRelation, Column};
 use ifaq_ir::Sym;
+use ifaq_storage::{ColRelation, Column};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -101,7 +101,9 @@ pub fn favorita(n_fact: usize, seed: u64) -> Dataset {
         let store = skewed_index(&mut rng, n_stores);
         let promo = if rng.gen_bool(0.15) { 1.0 } else { 0.0 };
         let noise: f64 = rng.gen_range(-1.0..1.0);
-        let sales = 4.0 + 6.0 * promo + 1.5 * perishable[item as usize]
+        let sales = 4.0
+            + 6.0 * promo
+            + 1.5 * perishable[item as usize]
             + 0.2 * cluster[store as usize]
             + 0.05 * oilprice[date as usize]
             + 2.0 * holiday[date as usize]

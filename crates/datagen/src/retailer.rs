@@ -20,8 +20,8 @@
 use crate::favorita::skewed_index;
 use crate::Dataset;
 use ifaq_engine::{Dim, StarDb};
-use ifaq_storage::{ColRelation, Column};
 use ifaq_ir::Sym;
+use ifaq_storage::{ColRelation, Column};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,10 +58,25 @@ pub fn retailer(n_fact: usize, seed: u64) -> Dataset {
     let weather = wide_dim("Weather", "dateid", "w", n_dates, 6, &mut rng);
 
     // Pull a few columns the label depends on.
-    let l1 = location.column("l1").unwrap().as_f64_slice().unwrap().to_vec();
-    let c1 = census.column("c1").unwrap().as_f64_slice().unwrap().to_vec();
+    let l1 = location
+        .column("l1")
+        .unwrap()
+        .as_f64_slice()
+        .unwrap()
+        .to_vec();
+    let c1 = census
+        .column("c1")
+        .unwrap()
+        .as_f64_slice()
+        .unwrap()
+        .to_vec();
     let i1 = item.column("i1").unwrap().as_f64_slice().unwrap().to_vec();
-    let w1 = weather.column("w1").unwrap().as_f64_slice().unwrap().to_vec();
+    let w1 = weather
+        .column("w1")
+        .unwrap()
+        .as_f64_slice()
+        .unwrap()
+        .to_vec();
 
     let mut locn_col = Vec::with_capacity(n_fact);
     let mut date_col = Vec::with_capacity(n_fact);

@@ -41,7 +41,9 @@ pub fn eval_program(env: &Env, p: &Program) -> VResult {
 impl Interpreter {
     /// Creates an interpreter with an iteration safety limit.
     pub fn with_max_iterations(max: u64) -> Self {
-        Interpreter { max_iterations: Some(max) }
+        Interpreter {
+            max_iterations: Some(max),
+        }
     }
 
     /// Returns a reference to the value of `e` when it is a plain
@@ -175,9 +177,7 @@ impl Interpreter {
                 }
                 Ok(Value::record(fields))
             }
-            Expr::Variant(n, a) => {
-                Ok(Value::Variant(n.clone(), Box::new(self.eval(env, a)?)))
-            }
+            Expr::Variant(n, a) => Ok(Value::Variant(n.clone(), Box::new(self.eval(env, a)?))),
             Expr::Field(a, n) => self.eval(env, a)?.get_field(n),
             Expr::FieldDyn(a, k) => {
                 let base = self.eval(env, a)?;
@@ -395,10 +395,7 @@ mod tests {
         match v {
             Value::Dict(d) => {
                 assert_eq!(d.len(), 2);
-                assert_eq!(
-                    d.get(&Value::Field(Sym::new("a"))),
-                    Some(&Value::real(0.5))
-                );
+                assert_eq!(d.get(&Value::Field(Sym::new("a"))), Some(&Value::real(0.5)));
             }
             _ => panic!("expected dict"),
         }
@@ -448,10 +445,7 @@ mod tests {
 
     #[test]
     fn program_loop_with_builtins() {
-        let p = parse_program(
-            "acc := 0;\nwhile (_iter < 5) { acc := acc + _iter }\nacc",
-        )
-        .unwrap();
+        let p = parse_program("acc := 0;\nwhile (_iter < 5) { acc := acc + _iter }\nacc").unwrap();
         // 0+0+1+2+3+4 = 10.
         assert_eq!(eval_program(&Env::new(), &p).unwrap(), Value::Int(10));
     }

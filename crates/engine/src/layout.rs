@@ -105,9 +105,7 @@ pub fn execute(layout: Layout, plan: &ViewPlan, db: &StarDb, prep: &Prepared) ->
         Layout::BoxedRecords => physical::exec_boxed_records(plan, db),
         Layout::BoxedScalars => physical::exec_boxed_scalars(plan, db),
         Layout::MergedHash => physical::exec_merged(plan, db),
-        Layout::Trie => {
-            physical::exec_trie(plan, db, prep.trie.as_ref().expect("prepare(Trie)"))
-        }
+        Layout::Trie => physical::exec_trie(plan, db, prep.trie.as_ref().expect("prepare(Trie)")),
         Layout::Array => physical::exec_array(plan, db),
         Layout::SortedTrie => {
             physical::exec_sorted(plan, db, prep.sorted.as_ref().expect("prepare(SortedTrie)"))
@@ -127,8 +125,7 @@ mod tests {
         let db = running_example_star();
         let cat = db.catalog();
         let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
-        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat)
-            .unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
         let reference = execute(
             Layout::Materialized,
             &plan,

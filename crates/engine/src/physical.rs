@@ -39,7 +39,11 @@ fn bind_dims<'a>(plan: &'a ViewPlan, db: &'a StarDb) -> Vec<BoundDim<'a>> {
                 .expect("fact join key column")
                 .as_i64()
                 .expect("fact join key must be integer");
-            BoundDim { dim, view, fact_keys }
+            BoundDim {
+                dim,
+                view,
+                fact_keys,
+            }
         })
         .collect()
 }
@@ -102,7 +106,10 @@ impl<'a> FactAccess<'a> {
                     .fact_filter
                     .iter()
                     .map(|p| {
-                        (db.fact.column(p.attr.as_str()).expect("fact filter column"), p)
+                        (
+                            db.fact.column(p.attr.as_str()).expect("fact filter column"),
+                            p,
+                        )
                     })
                     .collect(),
             })
@@ -346,8 +353,7 @@ fn key_plan(plan: &ViewPlan, db: &StarDb) -> KeyPlan {
     let mut rowprogs: Vec<(usize, Vec<usize>)> = Vec::new();
     let mut rowprog_of = Vec::with_capacity(plan.terms.len());
     for (t, term) in plan.terms.iter().enumerate() {
-        let rem_payloads: Vec<usize> =
-            remainder.iter().map(|&di| term.dim_payload[di]).collect();
+        let rem_payloads: Vec<usize> = remainder.iter().map(|&di| term.dim_payload[di]).collect();
         let key = (sig_of[t], rem_payloads);
         match rowprogs.iter().position(|rp| *rp == key) {
             Some(i) => rowprog_of.push(i),
@@ -357,7 +363,13 @@ fn key_plan(plan: &ViewPlan, db: &StarDb) -> KeyPlan {
             }
         }
     }
-    KeyPlan { prefix, remainder, sig_reps, rowprog_of, rowprogs }
+    KeyPlan {
+        prefix,
+        remainder,
+        sig_reps,
+        rowprog_of,
+        rowprogs,
+    }
 }
 
 /// A trie over the fact table, grouped by the low-cardinality join-key
@@ -383,7 +395,13 @@ pub fn build_fact_trie(plan: &ViewPlan, db: &StarDb) -> FactTrie {
     let key_cols: Vec<&[i64]> = kp
         .prefix
         .iter()
-        .map(|(c, _)| db.fact.column(c.as_str()).expect("key column").as_i64().expect("int key"))
+        .map(|(c, _)| {
+            db.fact
+                .column(c.as_str())
+                .expect("key column")
+                .as_i64()
+                .expect("int key")
+        })
         .collect();
     let all: Vec<u32> = (0..db.fact.len() as u32).collect();
     fn build(rows: &[u32], level: usize, key_cols: &[&[i64]]) -> TrieNode {
@@ -464,8 +482,16 @@ pub fn exec_trie(plan: &ViewPlan, db: &StarDb, trie: &FactTrie) -> Vec<f64> {
                         }
                     }
                     walk(
-                        child, level + 1, kp, bounds, views, fact_access, plan, hoisted,
-                        local, results,
+                        child,
+                        level + 1,
+                        kp,
+                        bounds,
+                        views,
+                        fact_access,
+                        plan,
+                        hoisted,
+                        local,
+                        results,
                     );
                 }
             }
@@ -556,7 +582,11 @@ fn build_dense_view(b: &BoundDim) -> DenseView {
             data[k as usize * width + pi] += payload_value(b.dim, p, j);
         }
     }
-    DenseView { width, data, present }
+    DenseView {
+        width,
+        data,
+        present,
+    }
 }
 
 /// Fig. 7b "Dictionary to Array": merged views stored as dense
@@ -605,7 +635,13 @@ pub fn build_sorted(plan: &ViewPlan, db: &StarDb) -> SortedStar {
     let key_cols: Vec<&[i64]> = kp
         .prefix
         .iter()
-        .map(|(c, _)| db.fact.column(c.as_str()).expect("key column").as_i64().expect("int key"))
+        .map(|(c, _)| {
+            db.fact
+                .column(c.as_str())
+                .expect("key column")
+                .as_i64()
+                .expect("int key")
+        })
         .collect();
     let mut order: Vec<u32> = (0..db.fact.len() as u32).collect();
     order.sort_by(|&a, &b| {
@@ -617,7 +653,10 @@ pub fn build_sorted(plan: &ViewPlan, db: &StarDb) -> SortedStar {
         }
         a.cmp(&b)
     });
-    SortedStar { order, prefix_cols: kp.prefix.into_iter().map(|(c, _)| c).collect() }
+    SortedStar {
+        order,
+        prefix_cols: kp.prefix.into_iter().map(|(c, _)| c).collect(),
+    }
 }
 
 /// Fig. 7b "Sorted Trie": scan the fact table in key order. Group
@@ -644,10 +683,19 @@ pub fn exec_sorted(plan: &ViewPlan, db: &StarDb, sorted: &SortedStar) -> Vec<f64
     let prefix_key_cols: Vec<&[i64]> = kp
         .prefix
         .iter()
-        .map(|(c, _)| db.fact.column(c.as_str()).expect("key column").as_i64().expect("int key"))
+        .map(|(c, _)| {
+            db.fact
+                .column(c.as_str())
+                .expect("key column")
+                .as_i64()
+                .expect("int key")
+        })
         .collect();
-    let prefix_dims: Vec<usize> =
-        kp.prefix.iter().flat_map(|(_, ds)| ds.iter().copied()).collect();
+    let prefix_dims: Vec<usize> = kp
+        .prefix
+        .iter()
+        .flat_map(|(_, ds)| ds.iter().copied())
+        .collect();
     let mut current: Vec<i64> = vec![i64::MIN; prefix_key_cols.len()];
     let mut bases: Vec<usize> = vec![usize::MAX; bounds.len()];
     // With no hoistable prefix the whole scan is one live group.
@@ -741,9 +789,15 @@ pub fn exec_boxed_records(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     // Payload field names, precomputed per payload index.
-    let max_payloads = plan.dims.iter().map(|d| d.payloads.len()).max().unwrap_or(0);
-    let fields: Vec<ifaq_ir::Sym> =
-        (0..max_payloads).map(|pi| ifaq_ir::Sym::new(format!("p{pi}"))).collect();
+    let max_payloads = plan
+        .dims
+        .iter()
+        .map(|d| d.payloads.len())
+        .max()
+        .unwrap_or(0);
+    let fields: Vec<ifaq_ir::Sym> = (0..max_payloads)
+        .map(|pi| ifaq_ir::Sym::new(format!("p{pi}")))
+        .collect();
     // Views: Dict from {key_attr = k} records to records {p0 = …, p1 = …}.
     let views: Vec<Dict> = bounds
         .iter()
@@ -779,8 +833,7 @@ pub fn exec_boxed_records(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
     'row: for i in 0..n {
         let mut payload_recs: Vec<&Value> = Vec::with_capacity(bounds.len());
         for (b, view) in bounds.iter().zip(&views) {
-            let key =
-                Value::record([(b.view.key_attrs[0].clone(), Value::Int(b.fact_keys[i]))]);
+            let key = Value::record([(b.view.key_attrs[0].clone(), Value::Int(b.fact_keys[i]))]);
             match view.get(&key) {
                 Some(p) => payload_recs.push(p),
                 None => continue 'row,
@@ -789,7 +842,9 @@ pub fn exec_boxed_records(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
         for (t, term) in plan.terms.iter().enumerate() {
             let mut v = Value::real(fact_access[t].eval(i));
             for (di, &pi) in term.dim_payload.iter().enumerate() {
-                let pv = payload_recs[di].get_field(&fields[pi]).expect("payload field");
+                let pv = payload_recs[di]
+                    .get_field(&fields[pi])
+                    .expect("payload field");
                 v = v.mul(&pv).expect("boxed multiply");
             }
             results[t] = results[t].add(&v).expect("boxed add");

@@ -9,8 +9,8 @@
 //! dense row-major matrix — what the scikit-learn / TensorFlow pipelines
 //! must build before learning, and the input to the baseline learners.
 
-use ifaq_storage::{ColRelation, Column};
 use ifaq_ir::{Attribute, Catalog, RelSchema, ScalarType, Sym};
+use ifaq_storage::{ColRelation, Column};
 use std::collections::HashMap;
 
 /// A dimension table: a columnar relation joined to the fact table on
@@ -26,7 +26,10 @@ pub struct Dim {
 impl Dim {
     /// Creates a dimension.
     pub fn new(rel: ColRelation, key: impl Into<Sym>) -> Self {
-        Dim { rel, key: key.into() }
+        Dim {
+            rel,
+            key: key.into(),
+        }
     }
 
     /// Builds a key → row-index map (unique keys assumed; later rows win).
@@ -147,7 +150,10 @@ impl StarDb {
 
     /// Restricts the fact table to its first `n` rows (scaled variants).
     pub fn take_fact(&self, n: usize) -> StarDb {
-        StarDb { fact: self.fact.take(n), dims: self.dims.clone() }
+        StarDb {
+            fact: self.fact.take(n),
+            dims: self.dims.clone(),
+        }
     }
 
     /// Materializes the project-join: every fact row joined (inner) with
@@ -159,8 +165,7 @@ impl StarDb {
             attrs.extend(d.payload_attrs());
         }
         let width = attrs.len();
-        let indexes: Vec<HashMap<i64, usize>> =
-            self.dims.iter().map(Dim::key_index).collect();
+        let indexes: Vec<HashMap<i64, usize>> = self.dims.iter().map(Dim::key_index).collect();
         let fact_key_cols: Vec<&[i64]> = self
             .dims
             .iter()
@@ -244,7 +249,10 @@ mod tests {
         let m = db.materialize();
         assert_eq!(m.rows, 5);
         assert_eq!(
-            m.attrs.iter().map(|a| a.as_str().to_string()).collect::<Vec<_>>(),
+            m.attrs
+                .iter()
+                .map(|a| a.as_str().to_string())
+                .collect::<Vec<_>>(),
             vec!["item", "store", "units", "city", "price"]
         );
         // Row 0: item 1, store 1, units 10, city 100, price 1.5.

@@ -40,7 +40,10 @@ pub fn estimate_size(e: &Expr, catalog: &Catalog) -> Option<u64> {
 /// by the pipeline's stage reports.
 pub fn estimate_cost(e: &Expr, catalog: &Catalog) -> u64 {
     match e {
-        Expr::Sum { coll, body, .. } | Expr::DictComp { dom: coll, body, .. } => {
+        Expr::Sum { coll, body, .. }
+        | Expr::DictComp {
+            dom: coll, body, ..
+        } => {
             let n = estimate_size(coll, catalog).unwrap_or(DEFAULT_COLLECTION_SIZE);
             let inner = estimate_cost(body, catalog).max(1);
             estimate_cost(coll, catalog) + n.saturating_mul(inner)
@@ -73,15 +76,24 @@ mod tests {
     #[test]
     fn literal_sizes() {
         let c = cat();
-        assert_eq!(estimate_size(&parse_expr("[|1, 2, 3|]").unwrap(), &c), Some(3));
-        assert_eq!(estimate_size(&parse_expr("{|1 -> 2|}").unwrap(), &c), Some(1));
+        assert_eq!(
+            estimate_size(&parse_expr("[|1, 2, 3|]").unwrap(), &c),
+            Some(3)
+        );
+        assert_eq!(
+            estimate_size(&parse_expr("{|1 -> 2|}").unwrap(), &c),
+            Some(1)
+        );
     }
 
     #[test]
     fn relation_and_var_sizes() {
         let c = cat();
         assert_eq!(estimate_size(&parse_expr("S").unwrap(), &c), Some(1000));
-        assert_eq!(estimate_size(&parse_expr("dom(S)").unwrap(), &c), Some(1000));
+        assert_eq!(
+            estimate_size(&parse_expr("dom(S)").unwrap(), &c),
+            Some(1000)
+        );
         assert_eq!(estimate_size(&parse_expr("F").unwrap(), &c), Some(4));
         assert_eq!(estimate_size(&parse_expr("unknown").unwrap(), &c), None);
     }

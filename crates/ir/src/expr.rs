@@ -256,23 +256,31 @@ impl Expr {
     pub fn var(name: impl Into<Sym>) -> Expr {
         Expr::Var(name.into())
     }
+    // The arithmetic constructors below share names with the `std::ops`
+    // traits on purpose: they are the DSL's AST builders (associated
+    // functions over two operands), not operator implementations.
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Add(Box::new(a), Box::new(b))
     }
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Mul(Box::new(a), Box::new(b))
     }
     /// `-a`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(a: Expr) -> Expr {
         Expr::Neg(Box::new(a))
     }
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
     }
     /// `a / b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
     }
@@ -387,7 +395,11 @@ impl Expr {
     pub fn children(&self) -> Vec<&Expr> {
         match self {
             Expr::Const(_) | Expr::Var(_) => vec![],
-            Expr::Neg(a) | Expr::Un(_, a) | Expr::Dom(a) | Expr::Variant(_, a) | Expr::Field(a, _) => {
+            Expr::Neg(a)
+            | Expr::Un(_, a)
+            | Expr::Dom(a)
+            | Expr::Variant(_, a)
+            | Expr::Field(a, _) => {
                 vec![a]
             }
             Expr::Add(a, b)
@@ -395,7 +407,10 @@ impl Expr {
             | Expr::Bin(_, a, b)
             | Expr::Apply(a, b)
             | Expr::FieldDyn(a, b) => vec![a, b],
-            Expr::Sum { coll, body, .. } | Expr::DictComp { dom: coll, body, .. } => {
+            Expr::Sum { coll, body, .. }
+            | Expr::DictComp {
+                dom: coll, body, ..
+            } => {
                 vec![coll, body]
             }
             Expr::DictLit(kvs) => kvs.iter().flat_map(|(k, v)| [k, v]).collect(),
@@ -421,15 +436,11 @@ impl Expr {
             Expr::Un(op, a) => Expr::Un(*op, Box::new(f(a))),
             Expr::Sum { var, coll, body } => Expr::sum(var.clone(), f(coll), f(body)),
             Expr::DictComp { var, dom, body } => Expr::dict_comp(var.clone(), f(dom), f(body)),
-            Expr::DictLit(kvs) => {
-                Expr::DictLit(kvs.iter().map(|(k, v)| (f(k), f(v))).collect())
-            }
+            Expr::DictLit(kvs) => Expr::DictLit(kvs.iter().map(|(k, v)| (f(k), f(v))).collect()),
             Expr::SetLit(es) => Expr::SetLit(es.iter().map(&mut f).collect()),
             Expr::Dom(a) => Expr::dom(f(a)),
             Expr::Apply(a, b) => Expr::apply(f(a), f(b)),
-            Expr::Record(fs) => {
-                Expr::Record(fs.iter().map(|(n, e)| (n.clone(), f(e))).collect())
-            }
+            Expr::Record(fs) => Expr::Record(fs.iter().map(|(n, e)| (n.clone(), f(e))).collect()),
             Expr::Variant(n, a) => Expr::variant(n.clone(), f(a)),
             Expr::Field(a, n) => Expr::get(f(a), n.clone()),
             Expr::FieldDyn(a, b) => Expr::get_dyn(f(a), f(b)),
@@ -636,7 +647,14 @@ mod tests {
 
     #[test]
     fn cmp_negation_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }

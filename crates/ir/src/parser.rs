@@ -70,7 +70,10 @@ const PUNCTS: &[&str] = &[
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -129,9 +132,15 @@ impl<'a> Lexer<'a> {
             let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap();
             self.pos = end;
             return if is_real {
-                Ok((start, Tok::Real(text.parse().map_err(|_| self.err(start, "bad real"))?)))
+                Ok((
+                    start,
+                    Tok::Real(text.parse().map_err(|_| self.err(start, "bad real"))?),
+                ))
             } else {
-                Ok((start, Tok::Int(text.parse().map_err(|_| self.err(start, "bad int"))?)))
+                Ok((
+                    start,
+                    Tok::Int(text.parse().map_err(|_| self.err(start, "bad int"))?),
+                ))
             };
         }
         if c.is_ascii_alphabetic() || c == b'_' {
@@ -141,7 +150,9 @@ impl<'a> Lexer<'a> {
             {
                 end += 1;
             }
-            let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+            let text = std::str::from_utf8(&self.src[self.pos..end])
+                .unwrap()
+                .to_string();
             self.pos = end;
             return Ok((start, Tok::Ident(text)));
         }
@@ -175,7 +186,9 @@ impl<'a> Lexer<'a> {
             if end >= self.src.len() {
                 return Err(self.err(start, "unterminated field literal"));
             }
-            let text = std::str::from_utf8(&self.src[self.pos + 1..end]).unwrap().to_string();
+            let text = std::str::from_utf8(&self.src[self.pos + 1..end])
+                .unwrap()
+                .to_string();
             self.pos = end + 1;
             return Ok((start, Tok::Field(text)));
         }
@@ -189,7 +202,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, offset: usize, msg: &str) -> ParseError {
-        ParseError { offset, message: msg.to_string() }
+        ParseError {
+            offset,
+            message: msg.to_string(),
+        }
     }
 }
 
@@ -263,7 +279,10 @@ impl Parser {
     }
 
     fn error(&self, msg: &str) -> ParseError {
-        ParseError { offset: self.offset(), message: msg.to_string() }
+        ParseError {
+            offset: self.offset(),
+            message: msg.to_string(),
+        }
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -596,7 +615,14 @@ impl Parser {
             let step = self.expr()?;
             self.eat_punct("}")?;
             let result = self.expr()?;
-            Ok(Program { lets, var, init, cond, step, result })
+            Ok(Program {
+                lets,
+                var,
+                init,
+                cond,
+                step,
+                result,
+            })
         } else {
             let mut body = self.expr()?;
             for (var, val) in lets.into_iter().rev() {
@@ -634,15 +660,17 @@ mod tests {
     fn roundtrip(src: &str) {
         let e = parse_expr(src).unwrap_or_else(|err| panic!("{err} in {src:?}"));
         let printed = e.to_string();
-        let e2 = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("{err} reparsing {printed:?}"));
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("{err} reparsing {printed:?}"));
         assert_eq!(e, e2, "round-trip mismatch for {src:?} -> {printed:?}");
     }
 
     #[test]
     fn parses_arithmetic_with_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
-        assert_eq!(e, Expr::add(Expr::int(1), Expr::mul(Expr::int(2), Expr::int(3))));
+        assert_eq!(
+            e,
+            Expr::add(Expr::int(1), Expr::mul(Expr::int(2), Expr::int(3)))
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct FnRule<F> {
 impl<F: Fn(&Expr) -> Option<Expr>> FnRule<F> {
     /// Wraps `f` as a rule named `name`.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnRule { name: name.into(), f }
+        FnRule {
+            name: name.into(),
+            f,
+        }
     }
 }
 
@@ -111,7 +114,11 @@ pub struct RuleSet {
 impl RuleSet {
     /// Creates an empty rule set with the given stage name.
     pub fn new(name: impl Into<String>) -> Self {
-        RuleSet { name: name.into(), rules: Vec::new(), max_firings: 1_000_000 }
+        RuleSet {
+            name: name.into(),
+            rules: Vec::new(),
+            max_firings: 1_000_000,
+        }
     }
 
     /// Adds a rule (builder style).
@@ -218,9 +225,7 @@ mod tests {
     fn const_fold_add() -> impl Rule {
         FnRule::new("const-fold-add", |e: &Expr| match e {
             Expr::Add(a, b) => match (a.as_ref(), b.as_ref()) {
-                (Expr::Const(Const::Int(x)), Expr::Const(Const::Int(y))) => {
-                    Some(Expr::int(x + y))
-                }
+                (Expr::Const(Const::Int(x)), Expr::Const(Const::Int(y))) => Some(Expr::int(x + y)),
                 _ => None,
             },
             _ => None,

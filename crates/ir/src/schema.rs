@@ -51,7 +51,11 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute with a distinct-count estimate.
     pub fn new(name: impl Into<Sym>, ty: ScalarType, distinct: u64) -> Self {
-        Attribute { name: name.into(), ty, distinct }
+        Attribute {
+            name: name.into(),
+            ty,
+            distinct,
+        }
     }
 }
 
@@ -69,7 +73,11 @@ pub struct RelSchema {
 impl RelSchema {
     /// Creates a relation schema.
     pub fn new(name: impl Into<Sym>, attrs: Vec<Attribute>, cardinality: u64) -> Self {
-        RelSchema { name: name.into(), attrs, cardinality }
+        RelSchema {
+            name: name.into(),
+            attrs,
+            cardinality,
+        }
     }
 
     /// Looks up an attribute by name.
@@ -151,7 +159,10 @@ impl Catalog {
 
     /// The relations that contain attribute `attr`.
     pub fn relations_with_attr(&self, attr: &str) -> Vec<&RelSchema> {
-        self.relations.values().filter(|r| r.has_attr(attr)).collect()
+        self.relations
+            .values()
+            .filter(|r| r.has_attr(attr))
+            .collect()
     }
 }
 
@@ -226,7 +237,10 @@ mod tests {
     #[test]
     fn relations_iterate_in_name_order() {
         let cat = running_example_catalog(10, 5, 2);
-        let names: Vec<_> = cat.relations().map(|r| r.name.as_str().to_string()).collect();
+        let names: Vec<_> = cat
+            .relations()
+            .map(|r| r.name.as_str().to_string())
+            .collect();
         assert_eq!(names, vec!["I", "R", "S"]);
     }
 }

@@ -43,8 +43,7 @@ impl Type {
         I: IntoIterator<Item = (S, Type)>,
         S: Into<Sym>,
     {
-        let mut fs: Vec<(Sym, Type)> =
-            fields.into_iter().map(|(n, t)| (n.into(), t)).collect();
+        let mut fs: Vec<(Sym, Type)> = fields.into_iter().map(|(n, t)| (n.into(), t)).collect();
         fs.sort_by(|a, b| a.0.cmp(&b.0));
         Type::Record(fs)
     }
@@ -135,7 +134,10 @@ pub struct TypeError {
 
 impl TypeError {
     fn new(message: impl Into<String>, expr: &Expr) -> Self {
-        TypeError { message: message.into(), expr: expr.to_string() }
+        TypeError {
+            message: message.into(),
+            expr: expr.to_string(),
+        }
     }
 }
 
@@ -199,9 +201,7 @@ impl TypeChecker {
                     BinOp::Sub | BinOp::Div | BinOp::Min | BinOp::Max => ta
                         .numeric_join(&tb)
                         .map(|t| if *op == BinOp::Div { Type::Real } else { t })
-                        .ok_or_else(|| {
-                            TypeError::new(format!("numeric op on {ta} and {tb}"), e)
-                        }),
+                        .ok_or_else(|| TypeError::new(format!("numeric op on {ta} and {tb}"), e)),
                     BinOp::And | BinOp::Or => {
                         if ta == Type::Bool && tb == Type::Bool {
                             Ok(Type::Bool)
@@ -322,7 +322,10 @@ impl TypeChecker {
                             ))
                         }
                     }
-                    t => Err(TypeError::new(format!("application of non-dictionary {t}"), e)),
+                    t => Err(TypeError::new(
+                        format!("application of non-dictionary {t}"),
+                        e,
+                    )),
                 }
             }
             Expr::Record(fs) => {
@@ -388,7 +391,10 @@ impl TypeChecker {
         match self.infer(env, coll)? {
             Type::Set(t) => Ok(*t),
             Type::Dict(k, _) => Ok(*k),
-            t => Err(TypeError::new(format!("iteration over non-collection {t}"), ctx)),
+            t => Err(TypeError::new(
+                format!("iteration over non-collection {t}"),
+                ctx,
+            )),
         }
     }
 
@@ -461,7 +467,10 @@ mod tests {
     }
 
     fn env_with(pairs: &[(&str, Type)]) -> TypeEnv {
-        pairs.iter().map(|(n, t)| (Sym::new(n), t.clone())).collect()
+        pairs
+            .iter()
+            .map(|(n, t)| (Sym::new(n), t.clone()))
+            .collect()
     }
 
     #[test]
@@ -486,7 +495,10 @@ mod tests {
         // Q : Map[{i: int}, int]  — a relation as tuple→multiplicity.
         let q = Type::dict(Type::record([("i", Type::Int)]), Type::Int);
         let env = env_with(&[("Q", q)]);
-        assert_eq!(infer(&env, "sum(x in dom(Q)) Q(x) * x.i").unwrap(), Type::Int);
+        assert_eq!(
+            infer(&env, "sum(x in dom(Q)) Q(x) * x.i").unwrap(),
+            Type::Int
+        );
     }
 
     #[test]

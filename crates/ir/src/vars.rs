@@ -32,7 +32,12 @@ fn collect_free(e: &Expr, bound: &mut BTreeSet<Sym>, out: &mut BTreeSet<Sym>) {
                 out.insert(x.clone());
             }
         }
-        Expr::Sum { var, coll, body } | Expr::DictComp { var, dom: coll, body } => {
+        Expr::Sum { var, coll, body }
+        | Expr::DictComp {
+            var,
+            dom: coll,
+            body,
+        } => {
             collect_free(coll, bound, out);
             let fresh = bound.insert(var.clone());
             collect_free(body, bound, out);
@@ -137,7 +142,7 @@ pub fn uniquify(e: &Expr) -> Expr {
             let body2 = subst(body, var, &Expr::Var(fresh.clone()));
             Expr::let_(fresh, uniquify(val), uniquify(&body2))
         }
-        _ => e.map_children(|c| uniquify(c)),
+        _ => e.map_children(uniquify),
     }
 }
 
@@ -162,12 +167,28 @@ pub fn alpha_eq(a: &Expr, b: &Expr) -> bool {
             (Bin(o1, a1, b1), Bin(o2, a2, b2)) => o1 == o2 && go(a1, a2, env) && go(b1, b2, env),
             (Un(o1, a1), Un(o2, a2)) => o1 == o2 && go(a1, a2, env),
             (
-                Sum { var: v1, coll: c1, body: b1 },
-                Sum { var: v2, coll: c2, body: b2 },
+                Sum {
+                    var: v1,
+                    coll: c1,
+                    body: b1,
+                },
+                Sum {
+                    var: v2,
+                    coll: c2,
+                    body: b2,
+                },
             )
             | (
-                DictComp { var: v1, dom: c1, body: b1 },
-                DictComp { var: v2, dom: c2, body: b2 },
+                DictComp {
+                    var: v1,
+                    dom: c1,
+                    body: b1,
+                },
+                DictComp {
+                    var: v2,
+                    dom: c2,
+                    body: b2,
+                },
             ) => {
                 if !go(c1, c2, env) {
                     return false;
@@ -177,7 +198,18 @@ pub fn alpha_eq(a: &Expr, b: &Expr) -> bool {
                 env.pop();
                 r
             }
-            (Let { var: v1, val: e1, body: b1 }, Let { var: v2, val: e2, body: b2 }) => {
+            (
+                Let {
+                    var: v1,
+                    val: e1,
+                    body: b1,
+                },
+                Let {
+                    var: v2,
+                    val: e2,
+                    body: b2,
+                },
+            ) => {
                 if !go(e1, e2, env) {
                     return false;
                 }
@@ -209,8 +241,16 @@ pub fn alpha_eq(a: &Expr, b: &Expr) -> bool {
             (Variant(n1, e1), Variant(n2, e2)) => n1 == n2 && go(e1, e2, env),
             (Field(e1, n1), Field(e2, n2)) => n1 == n2 && go(e1, e2, env),
             (
-                If { cond: c1, then: t1, els: e1 },
-                If { cond: c2, then: t2, els: e2 },
+                If {
+                    cond: c1,
+                    then: t1,
+                    els: e1,
+                },
+                If {
+                    cond: c2,
+                    then: t2,
+                    els: e2,
+                },
             ) => go(c1, c2, env) && go(t1, t2, env) && go(e1, e2, env),
             _ => false,
         }
@@ -227,7 +267,11 @@ mod tests {
         let e = Expr::let_(
             "x",
             Expr::var("a"),
-            Expr::sum("y", Expr::var("b"), Expr::add(Expr::var("x"), Expr::var("y"))),
+            Expr::sum(
+                "y",
+                Expr::var("b"),
+                Expr::add(Expr::var("x"), Expr::var("y")),
+            ),
         );
         let fv = free_vars(&e);
         assert_eq!(
@@ -255,10 +299,7 @@ mod tests {
         let r = subst(&e, &"x".into(), &Expr::int(9));
         assert_eq!(
             r,
-            Expr::add(
-                Expr::int(9),
-                Expr::let_("x", Expr::int(1), Expr::var("x"))
-            )
+            Expr::add(Expr::int(9), Expr::let_("x", Expr::int(1), Expr::var("x")))
         );
     }
 
@@ -291,10 +332,22 @@ mod tests {
 
     #[test]
     fn alpha_eq_ignores_binder_names() {
-        let a = Expr::sum("x", Expr::var("Q"), Expr::mul(Expr::var("x"), Expr::var("x")));
-        let b = Expr::sum("z", Expr::var("Q"), Expr::mul(Expr::var("z"), Expr::var("z")));
+        let a = Expr::sum(
+            "x",
+            Expr::var("Q"),
+            Expr::mul(Expr::var("x"), Expr::var("x")),
+        );
+        let b = Expr::sum(
+            "z",
+            Expr::var("Q"),
+            Expr::mul(Expr::var("z"), Expr::var("z")),
+        );
         assert!(alpha_eq(&a, &b));
-        let c = Expr::sum("z", Expr::var("Q"), Expr::mul(Expr::var("z"), Expr::var("Q")));
+        let c = Expr::sum(
+            "z",
+            Expr::var("Q"),
+            Expr::mul(Expr::var("z"), Expr::var("Q")),
+        );
         assert!(!alpha_eq(&a, &c));
     }
 

@@ -56,7 +56,11 @@ pub enum BaselineError {
 impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BaselineError::OutOfMemory { needed, budget, stage } => write!(
+            BaselineError::OutOfMemory {
+                needed,
+                budget,
+                stage,
+            } => write!(
                 f,
                 "out of memory in {stage}: needs {needed} bytes, budget {budget}"
             ),
@@ -118,7 +122,10 @@ pub fn tf_like_linreg(
     batch_size: usize,
 ) -> LinearModel {
     let d = features.len() + 1;
-    let cols: Vec<usize> = features.iter().map(|f| m.col(f).expect("feature")).collect();
+    let cols: Vec<usize> = features
+        .iter()
+        .map(|f| m.col(f).expect("feature"))
+        .collect();
     let label_col = m.col(label).expect("label");
     // Standardize from a first pass, as tf.feature_column pipelines do.
     let n = (m.rows as f64).max(1.0);
@@ -158,8 +165,7 @@ pub fn tf_like_linreg(
             for (i, &c) in cols.iter().enumerate() {
                 x[i + 1] = (row[c] - mean[i + 1]) / std[i + 1];
             }
-            let err: f64 =
-                theta.iter().zip(&x).map(|(t, xi)| t * xi).sum::<f64>() - row[label_col];
+            let err: f64 = theta.iter().zip(&x).map(|(t, xi)| t * xi).sum::<f64>() - row[label_col];
             for i in 0..d {
                 grad[i] += err * x[i];
             }
@@ -214,8 +220,7 @@ mod tests {
         let db = running_example_star();
         let m = db.materialize();
         let model =
-            scikit_like_linreg(&m, &["city", "price"], "units", MemoryBudget::unlimited())
-                .unwrap();
+            scikit_like_linreg(&m, &["city", "price"], "units", MemoryBudget::unlimited()).unwrap();
         assert_eq!(model.weights.len(), 2);
     }
 
@@ -240,7 +245,9 @@ mod tests {
         // mlpack dies — the paper's observed ordering.
         let db = running_example_star();
         let m = db.materialize();
-        let budget = MemoryBudget { bytes: m.bytes() * 2 };
+        let budget = MemoryBudget {
+            bytes: m.bytes() * 2,
+        };
         assert!(scikit_like_linreg(&m, &["city"], "units", budget).is_ok());
         assert!(mlpack_like_linreg(&m, &["city"], "units", budget).is_err());
     }
@@ -250,8 +257,7 @@ mod tests {
         let db = running_example_star();
         let m = db.materialize();
         let features = ["city", "price"];
-        let closed =
-            scikit_like_linreg(&m, &features, "units", MemoryBudget::unlimited()).unwrap();
+        let closed = scikit_like_linreg(&m, &features, "units", MemoryBudget::unlimited()).unwrap();
         let tf = tf_like_linreg(&m, &features, "units", 0.1, 2);
         let rc = linreg_rmse(&closed, &m, "units");
         let rt = linreg_rmse(&tf, &m, "units");

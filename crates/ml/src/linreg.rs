@@ -66,7 +66,9 @@ impl Moments {
 pub fn moments_from_batch(features: &[&str], label: &str, results: &[f64]) -> Moments {
     let batch = covar_batch(features, label);
     let get = |name: &str| -> f64 {
-        results[batch.index_of(name).unwrap_or_else(|| panic!("aggregate {name}"))]
+        results[batch
+            .index_of(name)
+            .unwrap_or_else(|| panic!("aggregate {name}"))]
     };
     let d = features.len() + 1;
     let mut gram = vec![0.0; d * d];
@@ -111,8 +113,8 @@ pub fn moments_factorized(
 ) -> Moments {
     let cat = db.catalog();
     let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
-    let tree = JoinTree::build_with_root(&cat, db.fact.name.as_str(), &dim_names)
-        .expect("join tree");
+    let tree =
+        JoinTree::build_with_root(&cat, db.fact.name.as_str(), &dim_names).expect("join tree");
     let batch = covar_batch(features, label);
     let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
     let prep = layout::prepare(layout_choice, &plan, db);
@@ -234,10 +236,18 @@ pub fn fit_bgd(moments: &Moments, learning_rate: f64, iterations: usize) -> Line
     let mut b2 = vec![0.0; d];
     let y_mean = moments.xty[0] / n;
     for i in 0..d {
-        let (mi, si) = if i == 0 { (0.0, 1.0) } else { (mean[i], std[i]) };
+        let (mi, si) = if i == 0 {
+            (0.0, 1.0)
+        } else {
+            (mean[i], std[i])
+        };
         b2[i] = (moments.xty[i] - mi * moments.xty[0]) / si;
         for j in 0..d {
-            let (mj, sj) = if j == 0 { (0.0, 1.0) } else { (mean[j], std[j]) };
+            let (mj, sj) = if j == 0 {
+                (0.0, 1.0)
+            } else {
+                (mean[j], std[j])
+            };
             g2[i * d + j] = (moments.g(i, j) - mi * moments.g(0, j) - mj * moments.g(i, 0)
                 + mi * mj * n)
                 / (si * sj);
@@ -263,7 +273,11 @@ pub fn fit_bgd(moments: &Moments, learning_rate: f64, iterations: usize) -> Line
         intercept -= theta[i] * mean[i] / std[i];
         weights.push(w);
     }
-    LinearModel { features: moments.features.clone(), intercept, weights }
+    LinearModel {
+        features: moments.features.clone(),
+        intercept,
+        weights,
+    }
 }
 
 /// The IFAQ end-to-end path: factorized moments + BGD.
@@ -290,7 +304,10 @@ pub fn fit_bgd_rescan(
     iterations: usize,
 ) -> LinearModel {
     let d = features.len() + 1;
-    let cols: Vec<usize> = features.iter().map(|f| m.col(f).expect("feature")).collect();
+    let cols: Vec<usize> = features
+        .iter()
+        .map(|f| m.col(f).expect("feature"))
+        .collect();
     let label_col = m.col(label).expect("label");
     let n = (m.rows as f64).max(1.0);
     // Standardize with a first pass (gives the same trajectory as fit_bgd).
@@ -328,8 +345,7 @@ pub fn fit_bgd_rescan(
             for (i, &c) in cols.iter().enumerate() {
                 x[i + 1] = (row[c] - mean[i + 1]) / std[i + 1];
             }
-            let err: f64 =
-                theta.iter().zip(&x).map(|(t, xi)| t * xi).sum::<f64>() - row[label_col];
+            let err: f64 = theta.iter().zip(&x).map(|(t, xi)| t * xi).sum::<f64>() - row[label_col];
             for i in 0..d {
                 grad[i] += err * x[i];
             }

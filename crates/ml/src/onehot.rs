@@ -31,7 +31,9 @@ pub fn expand_one_hot(m: &TrainMatrix, categorical: &[&str]) -> TrainMatrix {
         }
     }
     // Output schema: non-categorical columns first, then indicators.
-    let keep: Vec<usize> = (0..m.attrs.len()).filter(|c| !cat_cols.contains(c)).collect();
+    let keep: Vec<usize> = (0..m.attrs.len())
+        .filter(|c| !cat_cols.contains(c))
+        .collect();
     let mut attrs: Vec<Sym> = keep.iter().map(|&c| m.attrs[c].clone()).collect();
     for (k, a) in categorical.iter().enumerate() {
         for v in &categories[k] {
@@ -52,7 +54,11 @@ pub fn expand_one_hot(m: &TrainMatrix, categorical: &[&str]) -> TrainMatrix {
             }
         }
     }
-    TrainMatrix { attrs, rows: m.rows, data }
+    TrainMatrix {
+        attrs,
+        rows: m.rows,
+        data,
+    }
 }
 
 /// Number of features after one-hot encoding: continuous features plus one
@@ -84,7 +90,10 @@ mod tests {
         let m = sample();
         let e = expand_one_hot(&m, &["color"]);
         assert_eq!(
-            e.attrs.iter().map(|a| a.as_str().to_string()).collect::<Vec<_>>(),
+            e.attrs
+                .iter()
+                .map(|a| a.as_str().to_string())
+                .collect::<Vec<_>>(),
             vec!["x", "y", "color_0", "color_1", "color_2"]
         );
         assert_eq!(e.rows, 4);

@@ -31,7 +31,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 4, min_samples: 2.0, thresholds_per_feature: 8 }
+        TreeConfig {
+            max_depth: 4,
+            min_samples: 2.0,
+            thresholds_per_feature: 8,
+        }
     }
 }
 
@@ -75,7 +79,12 @@ impl RegressionTree {
         loop {
             match node {
                 Node::Leaf { prediction, .. } => return *prediction,
-                Node::Split { attr, threshold, left, right } => {
+                Node::Split {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let v = row[m.col(attr).expect("split attribute column")];
                     node = if v <= *threshold { left } else { right };
                 }
@@ -198,10 +207,17 @@ fn grow(
     let batch = node_batch(label, delta, features, thresholds);
     let results = eval(&batch);
     let (node_sumsq, node_sum, node_count) = (results[0], results[1], results[2]);
-    let prediction = if node_count > 0.0 { node_sum / node_count } else { 0.0 };
+    let prediction = if node_count > 0.0 {
+        node_sum / node_count
+    } else {
+        0.0
+    };
     let node_sse = sse(node_sumsq, node_sum, node_count);
     if depth >= config.max_depth || node_count < config.min_samples || node_sse <= 1e-12 {
-        return Node::Leaf { prediction, count: node_count };
+        return Node::Leaf {
+            prediction,
+            count: node_count,
+        };
     }
     // Scan candidates.
     let mut best: Option<(f64, usize, f64)> = None; // (cost, feature, threshold)
@@ -225,19 +241,41 @@ fn grow(
         }
     }
     let Some((cost, fi, t)) = best else {
-        return Node::Leaf { prediction, count: node_count };
+        return Node::Leaf {
+            prediction,
+            count: node_count,
+        };
     };
     if cost >= node_sse - 1e-12 {
         // No split improves the node.
-        return Node::Leaf { prediction, count: node_count };
+        return Node::Leaf {
+            prediction,
+            count: node_count,
+        };
     }
     let pred = Predicate::new(features[fi], PredOp::Le, t);
     let mut left_delta = delta.to_vec();
     left_delta.push(pred.clone());
     let mut right_delta = delta.to_vec();
     right_delta.push(pred.negate());
-    let left = grow(eval, label, features, thresholds, &left_delta, depth + 1, config);
-    let right = grow(eval, label, features, thresholds, &right_delta, depth + 1, config);
+    let left = grow(
+        eval,
+        label,
+        features,
+        thresholds,
+        &left_delta,
+        depth + 1,
+        config,
+    );
+    let right = grow(
+        eval,
+        label,
+        features,
+        thresholds,
+        &right_delta,
+        depth + 1,
+        config,
+    );
     Node::Split {
         attr: features[fi].to_string(),
         threshold: t,
@@ -257,8 +295,8 @@ pub fn fit_factorized(
 ) -> RegressionTree {
     let cat = db.catalog();
     let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
-    let tree = JoinTree::build_with_root(&cat, db.fact.name.as_str(), &dim_names)
-        .expect("join tree");
+    let tree =
+        JoinTree::build_with_root(&cat, db.fact.name.as_str(), &dim_names).expect("join tree");
     let thresholds = thresholds_from_db(db, features, config.thresholds_per_feature);
     let mut eval = |batch: &AggBatch| {
         let plan = ViewPlan::plan(batch, &tree, &cat).expect("view plan");
@@ -271,10 +309,14 @@ pub fn fit_factorized(
     }
 }
 
+/// Per-aggregate resolution against a matrix: factor column indices plus
+/// `(column, predicate)` pairs for the filters.
+type ResolvedAgg<'a> = (Vec<usize>, Vec<(usize, &'a Predicate)>);
+
 /// Evaluates an aggregate batch by scanning a materialized matrix — the
 /// baseline path (scikit-learn shape).
 pub fn batch_over_matrix(m: &TrainMatrix, batch: &AggBatch) -> Vec<f64> {
-    let resolved: Vec<(Vec<usize>, Vec<(usize, &Predicate)>)> = batch
+    let resolved: Vec<ResolvedAgg> = batch
         .aggs
         .iter()
         .map(|a| {
@@ -349,7 +391,11 @@ mod tests {
             let x = i as f64;
             data.extend([x, if x <= 5.0 { 10.0 } else { 20.0 }]);
         }
-        let m = TrainMatrix { attrs: vec!["x".into(), "y".into()], rows: 20, data };
+        let m = TrainMatrix {
+            attrs: vec!["x".into(), "y".into()],
+            rows: 20,
+            data,
+        };
         let thresholds = vec![candidate_thresholds(
             &(0..20).map(|i| i as f64).collect::<Vec<_>>(),
             19,
@@ -366,10 +412,13 @@ mod tests {
     fn factorized_and_materialized_learn_identical_trees() {
         let db = running_example_star();
         let features = ["city", "price"];
-        let config = TreeConfig { max_depth: 3, min_samples: 1.0, thresholds_per_feature: 4 };
+        let config = TreeConfig {
+            max_depth: 3,
+            min_samples: 1.0,
+            thresholds_per_feature: 4,
+        };
         let factorized = fit_factorized(&db, &features, "units", &config);
-        let thresholds =
-            thresholds_from_db(&db, &features, config.thresholds_per_feature);
+        let thresholds = thresholds_from_db(&db, &features, config.thresholds_per_feature);
         let m = db.materialize();
         let materialized = fit_materialized(&m, &features, "units", &thresholds, &config);
         assert_eq!(factorized, materialized);
@@ -378,7 +427,11 @@ mod tests {
     #[test]
     fn depth_limit_is_respected() {
         let db = running_example_star();
-        let config = TreeConfig { max_depth: 1, min_samples: 1.0, thresholds_per_feature: 4 };
+        let config = TreeConfig {
+            max_depth: 1,
+            min_samples: 1.0,
+            thresholds_per_feature: 4,
+        };
         let tree = fit_factorized(&db, &["city", "price"], "units", &config);
         assert!(tree.depth() <= 1);
         assert!(tree.node_count() <= 3);
@@ -391,7 +444,11 @@ mod tests {
         for i in 0..10 {
             data.extend([i as f64, 7.0]);
         }
-        let m = TrainMatrix { attrs: vec!["x".into(), "y".into()], rows: 10, data };
+        let m = TrainMatrix {
+            attrs: vec!["x".into(), "y".into()],
+            rows: 10,
+            data,
+        };
         let thresholds = vec![candidate_thresholds(
             &(0..10).map(|i| i as f64).collect::<Vec<_>>(),
             5,
@@ -410,7 +467,11 @@ mod tests {
     #[test]
     fn leaf_prediction_is_fragment_mean() {
         let db = running_example_star();
-        let config = TreeConfig { max_depth: 0, min_samples: 1.0, thresholds_per_feature: 4 };
+        let config = TreeConfig {
+            max_depth: 0,
+            min_samples: 1.0,
+            thresholds_per_feature: 4,
+        };
         let tree = fit_factorized(&db, &["city"], "units", &config);
         match tree.root {
             Node::Leaf { prediction, count } => {

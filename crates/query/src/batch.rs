@@ -59,12 +59,20 @@ pub struct Predicate {
 impl Predicate {
     /// Creates a predicate.
     pub fn new(attr: impl Into<Sym>, op: PredOp, threshold: f64) -> Self {
-        Predicate { attr: attr.into(), op, threshold }
+        Predicate {
+            attr: attr.into(),
+            op,
+            threshold,
+        }
     }
 
     /// The complementary predicate.
     pub fn negate(&self) -> Predicate {
-        Predicate { attr: self.attr.clone(), op: self.op.negate(), threshold: self.threshold }
+        Predicate {
+            attr: self.attr.clone(),
+            op: self.op.negate(),
+            threshold: self.threshold,
+        }
     }
 
     /// Evaluates the predicate against an attribute value.
@@ -284,8 +292,7 @@ mod tests {
 
     #[test]
     fn display_renders_sql_like() {
-        let a = AggSpec::new("m", &["c", "p"])
-            .filtered(Predicate::new("p", PredOp::Gt, 1.5));
+        let a = AggSpec::new("m", &["c", "p"]).filtered(Predicate::new("p", PredOp::Gt, 1.5));
         assert_eq!(a.to_string(), "m = SUM(c * p) WHERE p > 1.5");
         assert_eq!(AggSpec::count("n").to_string(), "n = SUM(1)");
     }

@@ -102,19 +102,13 @@ fn match_aggregate(e: &Expr, q_var: &Sym) -> Option<(Coeff, Vec<Sym>)> {
                 negated = !negated;
                 stack.push(inner);
             }
-            Expr::Apply(q, x) => {
-                if **q == Expr::Var(q_var.clone()) && **x == Expr::Var(var.clone()) {
-                    saw_multiplicity = true;
-                } else {
-                    return None;
-                }
+            Expr::Apply(q, x)
+                if **q == Expr::Var(q_var.clone()) && **x == Expr::Var(var.clone()) =>
+            {
+                saw_multiplicity = true;
             }
-            Expr::Field(base, attr) => {
-                if **base == Expr::Var(var.clone()) {
-                    factors.push(attr.clone());
-                } else {
-                    return None;
-                }
+            Expr::Field(base, attr) if **base == Expr::Var(var.clone()) => {
+                factors.push(attr.clone());
             }
             Expr::Const(c @ (Const::Int(_) | Const::Real(_))) => {
                 // Fold multiple constants multiplicatively only when one
@@ -178,14 +172,10 @@ mod tests {
 
     #[test]
     fn shares_structurally_equal_aggregates() {
-        let out = extract(
-            "(sum(x in dom(Q)) Q(x) * x.c * x.p) + (sum(y in dom(Q)) Q(y) * y.p * y.c)",
-        );
+        let out =
+            extract("(sum(x in dom(Q)) Q(x) * x.c * x.p) + (sum(y in dom(Q)) Q(y) * y.p * y.c)");
         assert_eq!(out.batch.len(), 1, "factor multisets match");
-        assert_eq!(
-            out.residual,
-            parse_expr("__agg0 + __agg0").unwrap()
-        );
+        assert_eq!(out.residual, parse_expr("__agg0 + __agg0").unwrap());
     }
 
     #[test]

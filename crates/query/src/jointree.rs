@@ -49,12 +49,12 @@ impl JoinTree {
     /// relation to an already-placed node sharing at least one attribute.
     pub fn build(catalog: &Catalog, relations: &[&str]) -> Result<JoinTree, JoinTreeError> {
         if relations.is_empty() {
-            return Err(JoinTreeError { message: "no relations".into() });
+            return Err(JoinTreeError {
+                message: "no relations".into(),
+            });
         }
         let mut rels: Vec<&str> = relations.to_vec();
-        rels.sort_by_key(|r| {
-            std::cmp::Reverse(catalog.relation(r).map_or(0, |s| s.cardinality))
-        });
+        rels.sort_by_key(|r| std::cmp::Reverse(catalog.relation(r).map_or(0, |s| s.cardinality)));
         let root = rels.remove(0);
         JoinTree::build_with_root(catalog, root, &rels)
     }
@@ -68,7 +68,9 @@ impl JoinTree {
     ) -> Result<JoinTree, JoinTreeError> {
         for r in others.iter().chain([&root_name]) {
             if catalog.relation(r).is_none() {
-                return Err(JoinTreeError { message: format!("unknown relation `{r}`") });
+                return Err(JoinTreeError {
+                    message: format!("unknown relation `{r}`"),
+                });
             }
         }
         let mut root = JoinNode {
@@ -87,9 +89,7 @@ impl JoinTree {
                 }
                 None => {
                     return Err(JoinTreeError {
-                        message: format!(
-                            "relations {pending:?} share no attributes with the tree"
-                        ),
+                        message: format!("relations {pending:?} share no attributes with the tree"),
                     })
                 }
             }
@@ -115,7 +115,9 @@ impl JoinTree {
                 });
                 return true;
             }
-            node.children.iter_mut().any(|c| try_attach(c, cand, catalog))
+            node.children
+                .iter_mut()
+                .any(|c| try_attach(c, cand, catalog))
         }
     }
 

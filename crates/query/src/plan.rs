@@ -107,7 +107,9 @@ impl ViewPlan {
         }
         let fact = catalog
             .relation(tree.root.relation.as_str())
-            .ok_or_else(|| PlanError { message: "fact relation missing".into() })?;
+            .ok_or_else(|| PlanError {
+                message: "fact relation missing".into(),
+            })?;
         let mut dims: Vec<DimView> = tree
             .root
             .children
@@ -122,9 +124,11 @@ impl ViewPlan {
         let dim_schemas: Vec<&ifaq_ir::RelSchema> = dims
             .iter()
             .map(|d| {
-                catalog.relation(d.relation.as_str()).ok_or_else(|| PlanError {
-                    message: format!("dimension `{}` missing", d.relation),
-                })
+                catalog
+                    .relation(d.relation.as_str())
+                    .ok_or_else(|| PlanError {
+                        message: format!("dimension `{}` missing", d.relation),
+                    })
             })
             .collect::<Result<_, _>>()?;
         let owner_of = |attr: &Sym| -> Result<Option<usize>, PlanError> {
@@ -136,7 +140,9 @@ impl ViewPlan {
                     return Ok(Some(i));
                 }
             }
-            Err(PlanError { message: format!("no relation stores attribute `{attr}`") })
+            Err(PlanError {
+                message: format!("no relation stores attribute `{attr}`"),
+            })
         };
 
         let mut terms = Vec::with_capacity(batch.len());
@@ -176,9 +182,18 @@ impl ViewPlan {
                 };
                 dim_payload.push(idx);
             }
-            terms.push(FactTerm { agg: agg_idx, fact_factors, fact_filter, dim_payload });
+            terms.push(FactTerm {
+                agg: agg_idx,
+                fact_factors,
+                fact_filter,
+                dim_payload,
+            });
         }
-        Ok(ViewPlan { tree: tree.clone(), dims, terms })
+        Ok(ViewPlan {
+            tree: tree.clone(),
+            dims,
+            terms,
+        })
     }
 
     /// Total number of view payloads across dimensions — the "width" of the
@@ -232,8 +247,16 @@ mod tests {
             .with(AggSpec::new("m_c_c", &["city", "city"]));
         let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
         assert_eq!(plan.dims.len(), 2);
-        let r = plan.dims.iter().find(|d| d.relation.as_str() == "R").unwrap();
-        let i = plan.dims.iter().find(|d| d.relation.as_str() == "I").unwrap();
+        let r = plan
+            .dims
+            .iter()
+            .find(|d| d.relation.as_str() == "R")
+            .unwrap();
+        let i = plan
+            .dims
+            .iter()
+            .find(|d| d.relation.as_str() == "I")
+            .unwrap();
         // R: payloads {city} and {city, city}.
         assert_eq!(r.payloads.len(), 2);
         assert_eq!(r.payloads[0].factors.len(), 1);
@@ -261,7 +284,11 @@ mod tests {
             );
         }
         // city appears on R only: payloads are {}, {c}, {c,c} = 3.
-        let r = plan.dims.iter().find(|d| d.relation.as_str() == "R").unwrap();
+        let r = plan
+            .dims
+            .iter()
+            .find(|d| d.relation.as_str() == "R")
+            .unwrap();
         assert_eq!(r.payloads.len(), 3);
     }
 
@@ -297,7 +324,11 @@ mod tests {
         let term = &plan.terms[0];
         assert_eq!(term.fact_filter.len(), 1);
         assert_eq!(term.fact_filter[0].attr.as_str(), "units");
-        let i = plan.dims.iter().find(|d| d.relation.as_str() == "I").unwrap();
+        let i = plan
+            .dims
+            .iter()
+            .find(|d| d.relation.as_str() == "I")
+            .unwrap();
         let pi = term.dim_payload[plan
             .dims
             .iter()

@@ -106,7 +106,12 @@ impl ColRelation {
         for c in &columns {
             assert_eq!(c.len(), len, "uneven column lengths");
         }
-        ColRelation { name: name.into(), attrs, columns, len }
+        ColRelation {
+            name: name.into(),
+            attrs,
+            columns,
+            len,
+        }
     }
 
     /// Number of tuples.

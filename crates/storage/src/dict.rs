@@ -34,7 +34,8 @@ impl Dict {
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
         let mut d = Dict::new();
         for (k, v) in pairs {
-            d.insert_add(k, v).expect("incompatible duplicate-key values");
+            d.insert_add(k, v)
+                .expect("incompatible duplicate-key values");
         }
         d
     }

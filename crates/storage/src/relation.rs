@@ -24,7 +24,11 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation.
     pub fn new(name: impl Into<Sym>, attrs: Vec<Sym>) -> Self {
-        Relation { name: name.into(), attrs, rows: Vec::new() }
+        Relation {
+            name: name.into(),
+            attrs,
+            rows: Vec::new(),
+        }
     }
 
     /// Convenience constructor from attribute name strings.
@@ -170,9 +174,18 @@ pub fn running_example_db() -> Database {
     let mut r = Relation::with_attrs("R", &["store", "city"]);
     let mut i = Relation::with_attrs("I", &["item", "price"]);
     // 3 items, 2 stores, 5 sales.
-    for (item, store, units) in [(1, 1, 10.0), (1, 2, 5.0), (2, 1, 3.0), (3, 2, 8.0), (2, 2, 2.0)]
-    {
-        s.push(vec![Value::Int(item), Value::Int(store), Value::real(units)]);
+    for (item, store, units) in [
+        (1, 1, 10.0),
+        (1, 2, 5.0),
+        (2, 1, 3.0),
+        (3, 2, 8.0),
+        (2, 2, 2.0),
+    ] {
+        s.push(vec![
+            Value::Int(item),
+            Value::Int(store),
+            Value::real(units),
+        ]);
     }
     for (store, city) in [(1, 100.0), (2, 200.0)] {
         r.push(vec![Value::Int(store), Value::real(city)]);

@@ -198,8 +198,7 @@ mod tests {
         let db = running_example_db();
         let s = db.relation("S").unwrap();
         let units_idx = s.attr_index("units").unwrap();
-        let trie =
-            Trie::from_relation(s, &["store"], |t| t[units_idx].clone()).unwrap();
+        let trie = Trie::from_relation(s, &["store"], |t| t[units_idx].clone()).unwrap();
         // Store 1 units: 10 + 3 = 13; store 2: 5 + 8 + 2 = 15.
         assert_eq!(
             trie.get(&Value::Int(1)).unwrap().leaf(),
@@ -249,6 +248,9 @@ mod tests {
         let mut r = Relation::with_attrs("T", &["k"]);
         r.push_with_multiplicity(vec![Value::Int(1)], 3);
         let trie = Trie::from_relation(&r, &["k"], |_| Value::Int(1)).unwrap();
-        assert_eq!(trie.get(&Value::Int(1)).unwrap().leaf(), Some(&Value::Int(3)));
+        assert_eq!(
+            trie.get(&Value::Int(1)).unwrap().leaf(),
+            Some(&Value::Int(3))
+        );
     }
 }

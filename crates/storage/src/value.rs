@@ -48,7 +48,9 @@ pub struct EvalError {
 impl EvalError {
     /// Creates an error.
     pub fn new(message: impl Into<String>) -> Self {
-        EvalError { message: message.into() }
+        EvalError {
+            message: message.into(),
+        }
     }
 }
 
@@ -80,8 +82,7 @@ impl Value {
         I: IntoIterator<Item = (S, Value)>,
         S: Into<Sym>,
     {
-        let mut fs: Vec<(Sym, Value)> =
-            fields.into_iter().map(|(n, v)| (n.into(), v)).collect();
+        let mut fs: Vec<(Sym, Value)> = fields.into_iter().map(|(n, v)| (n.into(), v)).collect();
         fs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Record(fs)
     }
@@ -138,7 +139,9 @@ impl Value {
                 if n == name {
                     Ok((**v).clone())
                 } else {
-                    Err(EvalError::new(format!("variant has tag `{n}`, not `{name}`")))
+                    Err(EvalError::new(format!(
+                        "variant has tag `{n}`, not `{name}`"
+                    )))
                 }
             }
             other => Err(EvalError::new(format!("field access on {}", other.kind()))),
@@ -189,7 +192,11 @@ impl Value {
                 }
                 Ok(Record(out))
             }
-            (a, b) => Err(EvalError::new(format!("cannot add {} and {}", a.kind(), b.kind()))),
+            (a, b) => Err(EvalError::new(format!(
+                "cannot add {} and {}",
+                a.kind(),
+                b.kind()
+            ))),
         }
     }
 
@@ -332,10 +339,7 @@ mod tests {
         );
         assert_eq!(Value::Int(2).mul(&Value::Int(3)).unwrap(), Value::Int(6));
         assert_eq!(Value::real(2.0).neg().unwrap(), Value::real(-2.0));
-        assert_eq!(
-            Value::Int(7).sub(&Value::Int(3)).unwrap(),
-            Value::Int(4)
-        );
+        assert_eq!(Value::Int(7).sub(&Value::Int(3)).unwrap(), Value::Int(4));
         assert_eq!(Value::Int(1).div(&Value::Int(2)).unwrap(), Value::real(0.5));
     }
 
@@ -356,8 +360,14 @@ mod tests {
             Value::Bool(false).mul(&r).unwrap(),
             Value::record([("a", Value::real(0.0))])
         );
-        assert_eq!(Value::Bool(true).mul(&Value::Int(5)).unwrap(), Value::Int(5));
-        assert_eq!(Value::Bool(false).mul(&Value::Int(5)).unwrap(), Value::Int(0));
+        assert_eq!(
+            Value::Bool(true).mul(&Value::Int(5)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            Value::Bool(false).mul(&Value::Int(5)).unwrap(),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -429,10 +439,7 @@ mod tests {
     #[test]
     fn field_access() {
         let r = Value::record([("price", Value::real(9.5))]);
-        assert_eq!(
-            r.get_field(&Sym::new("price")).unwrap(),
-            Value::real(9.5)
-        );
+        assert_eq!(r.get_field(&Sym::new("price")).unwrap(), Value::real(9.5));
         assert!(r.get_field(&Sym::new("nope")).is_err());
         let v = Value::Variant(Sym::new("t"), Box::new(Value::Int(1)));
         assert_eq!(v.get_field(&Sym::new("t")).unwrap(), Value::Int(1));

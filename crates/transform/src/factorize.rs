@@ -116,13 +116,9 @@ mod tests {
     #[test]
     fn factorizes_running_example() {
         // Example 4.3: θ(f2) moves out of the sum over x.
-        let out = fact(
-            "sum(f2 in F) sum(x in dom(Q)) Q(x) * theta(f2) * x[f2] * x[f1]",
-        );
-        let expected = parse_expr(
-            "sum(f2 in F) theta(f2) * sum(x in dom(Q)) Q(x) * x[f2] * x[f1]",
-        )
-        .unwrap();
+        let out = fact("sum(f2 in F) sum(x in dom(Q)) Q(x) * theta(f2) * x[f2] * x[f1]");
+        let expected =
+            parse_expr("sum(f2 in F) theta(f2) * sum(x in dom(Q)) Q(x) * x[f2] * x[f1]").unwrap();
         assert!(alpha_eq(&out, &expected), "got {out}");
     }
 
@@ -131,8 +127,7 @@ mod tests {
         // Bottom-up: (a, f(x)) leave the y-loop first, then a and the
         // whole y-sum leave the x-loop.
         let out = fact("sum(x in Q) sum(y in P) a * f(x) * g(y)");
-        let expected =
-            parse_expr("a * (sum(y in P) g(y)) * (sum(x in Q) f(x))").unwrap();
+        let expected = parse_expr("a * (sum(y in P) g(y)) * (sum(x in Q) f(x))").unwrap();
         assert!(alpha_eq(&out, &expected), "got {out}");
     }
 }

@@ -31,7 +31,12 @@ fn occurrence_info(e: &Expr, x: &Sym, under_loop: bool) -> (usize, bool) {
                 (0, false)
             }
         }
-        Expr::Sum { var, coll, body } | Expr::DictComp { var, dom: coll, body } => {
+        Expr::Sum { var, coll, body }
+        | Expr::DictComp {
+            var,
+            dom: coll,
+            body,
+        } => {
             let (c1, l1) = occurrence_info(coll, x, under_loop);
             if var == x {
                 return (c1, l1);
@@ -99,10 +104,20 @@ pub fn rules() -> RuleSet {
         })
         // let x = (let y = e0 in e1) in e2 { let y = e0 in let x = e1 in e2
         .with_fn("let-of-let", |e| {
-            let Expr::Let { var: x, val, body: e2 } = e else {
+            let Expr::Let {
+                var: x,
+                val,
+                body: e2,
+            } = e
+            else {
                 return None;
             };
-            let Expr::Let { var: y, val: e0, body: e1 } = val.as_ref() else {
+            let Expr::Let {
+                var: y,
+                val: e0,
+                body: e1,
+            } = val.as_ref()
+            else {
                 return None;
             };
             let (y, e1) = if occurs_free(y, e2) || y == x {
@@ -120,10 +135,20 @@ pub fn rules() -> RuleSet {
         })
         // let x = e0 in let y = e0 in Γ(x, y) { let x = e0 in Γ(x, x)
         .with_fn("cse-adjacent-lets", |e| {
-            let Expr::Let { var: x, val: v0, body } = e else {
+            let Expr::Let {
+                var: x,
+                val: v0,
+                body,
+            } = e
+            else {
                 return None;
             };
-            let Expr::Let { var: y, val: v1, body: inner } = body.as_ref() else {
+            let Expr::Let {
+                var: y,
+                val: v1,
+                body: inner,
+            } = body.as_ref()
+            else {
                 return None;
             };
             if v0 == v1 && x != y && !occurs_free(x, v0) {
@@ -168,7 +193,10 @@ mod tests {
 
     #[test]
     fn inlines_single_use_outside_loops() {
-        assert_eq!(clean("let x = f(a) in x + 1"), parse_expr("f(a) + 1").unwrap());
+        assert_eq!(
+            clean("let x = f(a) in x + 1"),
+            parse_expr("f(a) + 1").unwrap()
+        );
     }
 
     #[test]

@@ -101,8 +101,7 @@ pub fn optimize_program(prog: &Program, catalog: &Catalog) -> (Program, HighLeve
 
     // Variables whose value changes per loop iteration: aggregates that
     // mention them cannot be hoisted, so memoizing them is not profitable.
-    let volatile: BTreeSet<Sym> =
-        [prog.var.clone(), Sym::new("_iter"), Sym::new("_prev")].into();
+    let volatile: BTreeSet<Sym> = [prog.var.clone(), Sym::new("_iter"), Sym::new("_prev")].into();
     let no_volatile = BTreeSet::new();
 
     prog.init = optimize_expr(&prog.init, catalog, &no_volatile, &mut report);
@@ -110,7 +109,12 @@ pub fn optimize_program(prog: &Program, catalog: &Catalog) -> (Program, HighLeve
     prog.lets = prog
         .lets
         .iter()
-        .map(|(n, e)| (n.clone(), optimize_expr(e, catalog, &no_volatile, &mut report)))
+        .map(|(n, e)| {
+            (
+                n.clone(),
+                optimize_expr(e, catalog, &no_volatile, &mut report),
+            )
+        })
         .collect();
 
     // Program-level LICM: move invariant bindings in front of the loop.
@@ -167,10 +171,7 @@ pub fn linear_regression_program(
         "x",
         Expr::dom(Expr::var("Q")),
         Expr::mul(
-            Expr::mul(
-                Expr::apply(Expr::var("Q"), Expr::var("x")),
-                prediction_err,
-            ),
+            Expr::mul(Expr::apply(Expr::var("Q"), Expr::var("x")), prediction_err),
             Expr::get_dyn(Expr::var("x"), Expr::var("f1")),
         ),
     );
@@ -234,14 +235,20 @@ mod tests {
         // The step no longer scans the data.
         let step = out.step.to_string();
         assert!(!step.contains("dom(Q)"), "step: {step}");
-        assert!(step.contains(&format!("{memo_name}(f1)(f2)")), "step: {step}");
+        assert!(
+            step.contains(&format!("{memo_name}(f1)(f2)")),
+            "step: {step}"
+        );
     }
 
     #[test]
     fn stages_fire_in_the_expected_order() {
         let (_, report) = optimize_program(&running_example(), &catalog());
         assert!(report.normalize.total() > 0, "normalization should fire");
-        assert!(report.schedule.fired("swap-loops"), "scheduling should fire");
+        assert!(
+            report.schedule.fired("swap-loops"),
+            "scheduling should fire"
+        );
         assert!(
             report.factorize.fired("hoist-invariant-factors"),
             "factorization should fire"
@@ -269,15 +276,13 @@ mod tests {
 
     #[test]
     fn linear_regression_builder_optimizes_like_running_example() {
-        let prog = linear_regression_program(
-            &["i", "s", "c", "p"],
-            "u",
-            Expr::var("JOIN"),
-            0.001,
-            50,
-        );
+        let prog =
+            linear_regression_program(&["i", "s", "c", "p"], "u", Expr::var("JOIN"), 0.001, 50);
         let (out, report) = optimize_program(&prog, &catalog());
-        assert!(report.memoized >= 1, "covar and label-interaction aggregates");
+        assert!(
+            report.memoized >= 1,
+            "covar and label-interaction aggregates"
+        );
         assert!(report.hoisted_out_of_loop >= 1);
         // Step is free of data scans.
         assert!(!out.step.to_string().contains("dom(Q)"));

@@ -34,7 +34,12 @@ pub fn rules() -> RuleSet {
 }
 
 fn hoist_from_binder(var: &Sym, coll: &Expr, body: &Expr, is_sum: bool) -> Option<Expr> {
-    let Expr::Let { var: y, val, body: inner } = body else {
+    let Expr::Let {
+        var: y,
+        val,
+        body: inner,
+    } = body
+    else {
         return None;
     };
     if occurs_free(var, val) {
@@ -71,10 +76,7 @@ const LOOP_BUILTINS: [&str; 2] = ["_iter", "_prev"];
 pub fn licm_program(prog: &Program) -> (Program, usize) {
     let mut prog = prog.clone();
     let mut hoisted = 0;
-    loop {
-        let Expr::Let { var, val, body } = &prog.step else {
-            break;
-        };
+    while let Expr::Let { var, val, body } = &prog.step {
         let depends_on_state = occurs_free(&prog.var, val)
             || LOOP_BUILTINS.iter().any(|b| occurs_free(&Sym::new(b), val));
         if depends_on_state {
@@ -142,11 +144,9 @@ mod tests {
 
     #[test]
     fn nested_lets_hoist_through_nested_loops() {
-        let e =
-            parse_expr("sum(x in Q) sum(z in P) (let y = f(a) in y * x * z)").unwrap();
+        let e = parse_expr("sum(x in Q) sum(z in P) (let y = f(a) in y * x * z)").unwrap();
         let (out, _) = licm_expr(&e);
-        let expected =
-            parse_expr("let y = f(a) in sum(x in Q) sum(z in P) y * x * z").unwrap();
+        let expected = parse_expr("let y = f(a) in sum(x in Q) sum(z in P) y * x * z").unwrap();
         assert!(alpha_eq(&out, &expected), "got {out}");
     }
 
@@ -180,10 +180,8 @@ mod tests {
 
     #[test]
     fn program_licm_respects_iter_builtin() {
-        let p = parse_program(
-            "x := 0;\nwhile (_iter < 5) { x := let s = _iter * 2 in x + s }\nx",
-        )
-        .unwrap();
+        let p = parse_program("x := 0;\nwhile (_iter < 5) { x := let s = _iter * 2 in x + s }\nx")
+            .unwrap();
         let (_, n) = licm_program(&p);
         assert_eq!(n, 0);
     }
@@ -198,7 +196,11 @@ mod tests {
         .unwrap();
         let (out, n) = licm_program(&p);
         assert_eq!(n, 2);
-        let names: Vec<_> = out.lets.iter().map(|(s, _)| s.as_str().to_string()).collect();
+        let names: Vec<_> = out
+            .lets
+            .iter()
+            .map(|(s, _)| s.as_str().to_string())
+            .collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 }

@@ -95,10 +95,12 @@ fn collect(
                     .iter()
                     .map(|(v, _)| v)
                     .collect();
-                let trivial_context =
-                    deps.iter().all(|(v, _)| direct_suffix.contains(v));
+                let trivial_context = deps.iter().all(|(v, _)| direct_suffix.contains(v));
                 if !trivial_context {
-                    let cand = Candidate { target: e.clone(), deps };
+                    let cand = Candidate {
+                        target: e.clone(),
+                        deps,
+                    };
                     if !out
                         .iter()
                         .any(|c| c.target == cand.target && c.deps == cand.deps)
@@ -112,7 +114,12 @@ fn collect(
         }
     }
     match e {
-        Expr::Sum { var, coll, body } | Expr::DictComp { var, dom: coll, body } => {
+        Expr::Sum { var, coll, body }
+        | Expr::DictComp {
+            var,
+            dom: coll,
+            body,
+        } => {
             collect(coll, scope, 0, volatile, out);
             scope.push((var.clone(), (**coll).clone()));
             collect(body, scope, direct_depth + 1, volatile, out);
@@ -212,10 +219,8 @@ mod tests {
     #[test]
     fn memoizes_single_binder() {
         // Σ_{f∈F} Γ(Σ_{x∈Q} g(x)(f)) with F a literal.
-        let e = parse_expr(
-            "sum(f in [|`a`, `b`|]) theta(f) * sum(x in dom(Q)) Q(x) * x[f]",
-        )
-        .unwrap();
+        let e =
+            parse_expr("sum(f in [|`a`, `b`|]) theta(f) * sum(x in dom(Q)) Q(x) * x[f]").unwrap();
         let (out, n) = memoize(&e, &BTreeSet::new());
         assert_eq!(n, 1);
         let Expr::Let { var, val, body } = &out else {
@@ -244,10 +249,14 @@ mod tests {
         };
         // λ_{f1} λ_{f2} Σ …
         match val.as_ref() {
-            Expr::DictComp { var: v1, body: b1, .. } => {
+            Expr::DictComp {
+                var: v1, body: b1, ..
+            } => {
                 assert_eq!(v1.as_str(), "f1");
                 match b1.as_ref() {
-                    Expr::DictComp { var: v2, body: b2, .. } => {
+                    Expr::DictComp {
+                        var: v2, body: b2, ..
+                    } => {
                         assert_eq!(v2.as_str(), "f2");
                         assert!(matches!(b2.as_ref(), Expr::Sum { .. }));
                     }
@@ -257,7 +266,10 @@ mod tests {
             other => panic!("expected λ, got {other}"),
         }
         let body_str = body.to_string();
-        assert!(body_str.contains(&format!("{var}(f1)(f2)")), "body: {body_str}");
+        assert!(
+            body_str.contains(&format!("{var}(f1)(f2)")),
+            "body: {body_str}"
+        );
     }
 
     #[test]
@@ -299,7 +311,9 @@ mod tests {
         .unwrap();
         let (out, n) = memoize(&e, &BTreeSet::new());
         assert_eq!(n, 1);
-        let Expr::Let { body, .. } = &out else { panic!() };
+        let Expr::Let { body, .. } = &out else {
+            panic!()
+        };
         assert!(!matches!(body.as_ref(), Expr::Let { .. }));
     }
 
@@ -307,10 +321,8 @@ mod tests {
     fn volatile_dependent_aggregate_is_not_memoized() {
         // The aggregate mentions theta (the loop variable): the memo table
         // could never be hoisted out of the training loop, so skip it.
-        let e = parse_expr(
-            "sum(f in [|`a`, `b`|]) g(f) * sum(x in dom(Q)) Q(x) * theta(f) * x[f]",
-        )
-        .unwrap();
+        let e = parse_expr("sum(f in [|`a`, `b`|]) g(f) * sum(x in dom(Q)) Q(x) * theta(f) * x[f]")
+            .unwrap();
         let volatile: BTreeSet<ifaq_ir::Sym> = [ifaq_ir::Sym::new("theta")].into();
         let (out, n) = memoize(&e, &volatile);
         assert_eq!(n, 0);
@@ -320,10 +332,8 @@ mod tests {
     #[test]
     fn domain_depending_on_loop_var_blocks_memo() {
         // The binder's domain mentions an outer loop variable: cannot hoist.
-        let e = parse_expr(
-            "sum(s in dom(S)) sum(f in dom(S(s))) sum(x in dom(Q)) Q(x) * x[f]",
-        )
-        .unwrap();
+        let e = parse_expr("sum(s in dom(S)) sum(f in dom(S(s))) sum(x in dom(Q)) Q(x) * x[f]")
+            .unwrap();
         let (_, n) = memoize(&e, &BTreeSet::new());
         assert_eq!(n, 0);
     }

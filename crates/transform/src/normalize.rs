@@ -57,9 +57,9 @@ pub fn rules() -> RuleSet {
         // e1 * Σ_{x∈e2} e3 { Σ_{x∈e2} (e1 * e3)
         .with_fn("push-mul-into-sum-right", |e| match e {
             Expr::Mul(a, b) => match b.as_ref() {
-                Expr::Sum { var, coll, body } => Some(push_into_sum(
-                    a, var, coll, body, /*from_left=*/ true,
-                )),
+                Expr::Sum { var, coll, body } => {
+                    Some(push_into_sum(a, var, coll, body, /*from_left=*/ true))
+                }
                 _ => None,
             },
             _ => None,
@@ -67,9 +67,9 @@ pub fn rules() -> RuleSet {
         // (Σ_{x∈e2} e3) * e1 { Σ_{x∈e2} (e3 * e1)
         .with_fn("push-mul-into-sum-left", |e| match e {
             Expr::Mul(a, b) => match a.as_ref() {
-                Expr::Sum { var, coll, body } => Some(push_into_sum(
-                    b, var, coll, body, /*from_left=*/ false,
-                )),
+                Expr::Sum { var, coll, body } => {
+                    Some(push_into_sum(b, var, coll, body, /*from_left=*/ false))
+                }
                 _ => None,
             },
             _ => None,
@@ -204,8 +204,7 @@ mod tests {
         let out = norm(src);
         // Fully pushed: Σx Σf2 Q(x) * θ(f2) * x[f2] * x[f1]
         let expected =
-            parse_expr("sum(x in dom(Q)) sum(f2 in F) Q(x) * (theta(f2) * x[f2]) * x[f1]")
-                .unwrap();
+            parse_expr("sum(x in dom(Q)) sum(f2 in F) Q(x) * (theta(f2) * x[f2]) * x[f1]").unwrap();
         assert!(alpha_eq(&out, &expected), "got {out}");
     }
 

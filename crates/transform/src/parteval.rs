@@ -51,9 +51,8 @@ pub fn rules() -> RuleSet {
             let (Expr::DictLit(a), Expr::DictLit(b)) = (l.as_ref(), r.as_ref()) else {
                 return None;
             };
-            let const_keys = |kvs: &[(Expr, Expr)]| {
-                kvs.iter().all(|(k, _)| matches!(k, Expr::Const(_)))
-            };
+            let const_keys =
+                |kvs: &[(Expr, Expr)]| kvs.iter().all(|(k, _)| matches!(k, Expr::Const(_)));
             if !const_keys(a) || !const_keys(b) {
                 return None;
             }
@@ -88,10 +87,12 @@ pub fn rules() -> RuleSet {
             if !matches!(k.as_ref(), Expr::Const(_)) {
                 return None;
             }
-            kvs.iter().find(|(kk, _)| kk == k.as_ref()).map(|(_, v)| v.clone())
+            kvs.iter()
+                .find(|(kk, _)| kk == k.as_ref())
+                .map(|(_, v)| v.clone())
         })
         // Constant folding on scalars keeps unrolled code small.
-        .with_fn("const-fold", |e| const_fold(e))
+        .with_fn("const-fold", const_fold)
 }
 
 fn const_fold(e: &Expr) -> Option<Expr> {
@@ -130,7 +131,10 @@ mod tests {
 
     #[test]
     fn unrolls_sum_over_set_literal() {
-        assert_eq!(pe("sum(f in [|`a`, `b`|]) g(f)"), parse_expr("g(`a`) + g(`b`)").unwrap());
+        assert_eq!(
+            pe("sum(f in [|`a`, `b`|]) g(f)"),
+            parse_expr("g(`a`) + g(`b`)").unwrap()
+        );
         assert_eq!(pe("sum(f in [||]) g(f)"), Expr::int(0));
     }
 

@@ -16,10 +16,20 @@ use ifaq_ir::{Catalog, Expr};
 pub fn rules(catalog: &Catalog) -> RuleSet {
     let catalog = catalog.clone();
     RuleSet::new("loop-schedule").with(FnRule::new("swap-loops", move |e: &Expr| {
-        let Expr::Sum { var: x, coll: e1, body } = e else {
+        let Expr::Sum {
+            var: x,
+            coll: e1,
+            body,
+        } = e
+        else {
             return None;
         };
-        let Expr::Sum { var: y, coll: e2, body: e3 } = body.as_ref() else {
+        let Expr::Sum {
+            var: y,
+            coll: e2,
+            body: e3,
+        } = body.as_ref()
+        else {
             return None;
         };
         if x == y {
@@ -67,8 +77,7 @@ mod tests {
         // Σ_{x∈dom(Q)} Σ_{f∈F} …  with F a 2-element literal: swap.
         let e = parse_expr("sum(x in dom(S)) sum(f in [|`a`, `b`|]) g(x)(f)").unwrap();
         let (out, trace) = schedule(&e, &cat());
-        let expected =
-            parse_expr("sum(f in [|`a`, `b`|]) sum(x in dom(S)) g(x)(f)").unwrap();
+        let expected = parse_expr("sum(f in [|`a`, `b`|]) sum(x in dom(S)) g(x)(f)").unwrap();
         assert!(alpha_eq(&out, &expected), "got {out}");
         assert_eq!(trace.count("swap-loops"), 1);
     }
@@ -103,15 +112,11 @@ mod tests {
     fn swaps_three_level_nest_to_sorted_order() {
         // sizes: dom(S)=10000 > dom(R)=10 > [|`a`|]=1 — after scheduling the
         // smallest should be outermost.
-        let e = parse_expr(
-            "sum(x in dom(S)) sum(y in dom(R)) sum(f in [|`a`|]) g(x)(y)(f)",
-        )
-        .unwrap();
+        let e =
+            parse_expr("sum(x in dom(S)) sum(y in dom(R)) sum(f in [|`a`|]) g(x)(y)(f)").unwrap();
         let (out, _) = schedule(&e, &cat());
-        let expected = parse_expr(
-            "sum(f in [|`a`|]) sum(y in dom(R)) sum(x in dom(S)) g(x)(y)(f)",
-        )
-        .unwrap();
+        let expected =
+            parse_expr("sum(f in [|`a`|]) sum(y in dom(R)) sum(x in dom(S)) g(x)(y)(f)").unwrap();
         assert!(alpha_eq(&out, &expected), "got {out}");
     }
 
@@ -120,8 +125,7 @@ mod tests {
         // |F| = 3 > |S| = 2: the paper notes loop scheduling (and hence the
         // whole hoisting chain) does not apply.
         let cat = running_example_catalog(2, 2, 2);
-        let e =
-            parse_expr("sum(x in dom(S)) sum(f in [|`a`, `b`, `c`|]) g(x)(f)").unwrap();
+        let e = parse_expr("sum(x in dom(S)) sum(f in [|`a`, `b`, `c`|]) g(x)(f)").unwrap();
         let (out, trace) = schedule(&e, &cat);
         assert_eq!(out, e);
         assert_eq!(trace.total(), 0);

@@ -163,10 +163,7 @@ mod tests {
     #[test]
     fn unrolled_feature_sum_gets_static_accesses() {
         let out = sp("sum(f in [|`c`, `p`|]) theta(f) * x[f]");
-        assert_eq!(
-            out,
-            parse_expr("theta.c * x.c + theta.p * x.p").unwrap()
-        );
+        assert_eq!(out, parse_expr("theta.c * x.c + theta.p * x.p").unwrap());
     }
 
     #[test]

@@ -8,9 +8,7 @@
 
 use ifaq_datagen::retailer;
 use ifaq_ml::metrics::tree_rmse;
-use ifaq_ml::tree::{
-    fit_factorized, fit_materialized, thresholds_from_db, Node, TreeConfig,
-};
+use ifaq_ml::tree::{fit_factorized, fit_materialized, thresholds_from_db, Node, TreeConfig};
 use std::time::Instant;
 
 fn print_tree(node: &Node, indent: usize) {
@@ -19,7 +17,12 @@ fn print_tree(node: &Node, indent: usize) {
         Node::Leaf { prediction, count } => {
             println!("{pad}predict {prediction:.3}  ({count} rows)");
         }
-        Node::Split { attr, threshold, left, right } => {
+        Node::Split {
+            attr,
+            threshold,
+            left,
+            right,
+        } => {
             println!("{pad}if {attr} <= {threshold:.3}:");
             print_tree(left, indent + 1);
             println!("{pad}else:");
@@ -34,7 +37,11 @@ fn main() {
     let test = ds.test_matrix();
     // A subset of the 34 features keeps the demo output readable.
     let features: Vec<&str> = ds.feature_refs().into_iter().take(8).collect();
-    let config = TreeConfig { max_depth: 4, min_samples: 10.0, thresholds_per_feature: 4 };
+    let config = TreeConfig {
+        max_depth: 4,
+        min_samples: 10.0,
+        thresholds_per_feature: 4,
+    };
     println!(
         "retailer-shaped dataset: {} training rows; depth-{} tree over {:?}",
         train.fact_rows(),
@@ -57,7 +64,10 @@ fn main() {
     let t_learn = t0.elapsed();
 
     assert_eq!(tree, tree_mat, "both paths learn the same tree");
-    println!("\nfactorized fit:      {:>7.3}s (no join materialization)", t_fact.as_secs_f64());
+    println!(
+        "\nfactorized fit:      {:>7.3}s (no join materialization)",
+        t_fact.as_secs_f64()
+    );
     println!(
         "materialized fit:    {:>7.3}s join + {:>7.3}s learn",
         t_mat.as_secs_f64(),

@@ -30,7 +30,9 @@ fn main() {
     println!("{program}");
 
     let options = CompileOptions::for_star_db(&db);
-    let compiled = Pipeline::new(catalog.clone()).compile(&program, &options).expect("compile");
+    let compiled = Pipeline::new(catalog.clone())
+        .compile(&program, &options)
+        .expect("compile");
 
     banner("stage 1: after high-level optimizations (§4.1)");
     println!("rule firings:");
@@ -43,7 +45,10 @@ fn main() {
     for (rule, count) in compiled.stages.high_level_report.factorize.iter() {
         println!("  factorize/{rule}: {count}");
     }
-    println!("  memoized aggregates: {}", compiled.stages.high_level_report.memoized);
+    println!(
+        "  memoized aggregates: {}",
+        compiled.stages.high_level_report.memoized
+    );
     println!(
         "  hoisted out of while loop: {}",
         compiled.stages.high_level_report.hoisted_out_of_loop
@@ -54,7 +59,10 @@ fn main() {
     for (name, e) in &compiled.stages.specialized.lets {
         println!("let {name} =\n{}", pretty_indented(e));
     }
-    println!("step:\n{}", pretty_indented(&compiled.stages.specialized.step));
+    println!(
+        "step:\n{}",
+        pretty_indented(&compiled.stages.specialized.step)
+    );
 
     banner("stage 3: aggregate extraction (§4.3)");
     println!("batch:");

@@ -15,7 +15,11 @@ fn main() {
     // The §3.1 database: Sales(item, store, units) ⋈ StoRes(store, city)
     // ⋈ Items(item, price).
     let db = running_example_star();
-    println!("database: {} fact rows, {} dimensions", db.fact_rows(), db.dims.len());
+    println!(
+        "database: {} fact rows, {} dimensions",
+        db.fact_rows(),
+        db.dims.len()
+    );
 
     // The D-IFAQ program: batch gradient descent for a linear model over
     // features {city, price} with label units, 100 iterations.
@@ -26,7 +30,9 @@ fn main() {
     // Compile through every stage of Figure 3.
     let catalog = db.catalog().with_var_size("Q", db.fact_rows() as u64);
     let options = CompileOptions::for_star_db(&db);
-    let compiled = Pipeline::new(catalog).compile(&program, &options).expect("compile");
+    let compiled = Pipeline::new(catalog)
+        .compile(&program, &options)
+        .expect("compile");
 
     println!(
         "high-level optimizations: {} rule firings, {} aggregate(s) memoized, \
@@ -39,7 +45,10 @@ fn main() {
     for agg in &compiled.batch.aggs {
         println!("  {agg}");
     }
-    println!("\n-- residual program (no data scans in the loop) --\n{}", compiled.program);
+    println!(
+        "\n-- residual program (no data scans in the loop) --\n{}",
+        compiled.program
+    );
 
     // Execute: the batch runs factorized over the star database; the
     // training loop then iterates over the moments alone.

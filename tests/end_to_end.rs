@@ -17,11 +17,12 @@ fn full_pipeline_trains_on_favorita() {
     let ds = favorita(5_000, 21);
     let db = &ds.db;
     let features = ds.feature_refs();
-    let program =
-        linear_regression_program(&features, &ds.label, Expr::var("Q"), 0.0001, 10);
+    let program = linear_regression_program(&features, &ds.label, Expr::var("Q"), 0.0001, 10);
     let catalog = db.catalog().with_var_size("Q", db.fact_rows() as u64);
     let options = CompileOptions::for_star_db(db);
-    let compiled = Pipeline::new(catalog).compile(&program, &options).expect("compile");
+    let compiled = Pipeline::new(catalog)
+        .compile(&program, &options)
+        .expect("compile");
 
     // The covar matrix was hoisted; the loop is data-free.
     assert!(compiled.stages.high_level_report.memoized >= 1);
@@ -30,7 +31,11 @@ fn full_pipeline_trains_on_favorita() {
 
     // Batch: 5 features + label ⇒ 15 pairwise + 5 label-free first moments
     // are not all needed by this gradient; at least the pairwise terms are.
-    assert!(compiled.batch.len() >= 15, "batch has {} aggregates", compiled.batch.len());
+    assert!(
+        compiled.batch.len() >= 15,
+        "batch has {} aggregates",
+        compiled.batch.len()
+    );
 
     let theta = compiled.execute(db, Layout::MergedHash).expect("execute");
     match theta {
@@ -43,12 +48,8 @@ fn full_pipeline_trains_on_favorita() {
 fn all_physical_layouts_agree_on_both_datasets() {
     for ds in [favorita(8_000, 3), retailer(8_000, 4)] {
         let features = ds.feature_refs();
-        let reference = linreg::moments_factorized(
-            &ds.db,
-            &features,
-            &ds.label,
-            Layout::Materialized,
-        );
+        let reference =
+            linreg::moments_factorized(&ds.db, &features, &ds.label, Layout::Materialized);
         for &layout in Layout::all() {
             let m = linreg::moments_factorized(&ds.db, &features, &ds.label, layout);
             for (a, b) in m.gram.iter().zip(&reference.gram) {
@@ -81,7 +82,11 @@ fn factorized_linreg_matches_materialized_path() {
 fn factorized_tree_equals_materialized_tree_on_retailer() {
     let ds = retailer(4_000, 6);
     let features: Vec<&str> = ds.feature_refs().into_iter().take(6).collect();
-    let config = TreeConfig { max_depth: 3, min_samples: 5.0, thresholds_per_feature: 3 };
+    let config = TreeConfig {
+        max_depth: 3,
+        min_samples: 5.0,
+        thresholds_per_feature: 3,
+    };
     let t1 = fit_factorized(&ds.db, &features, &ds.label, &config);
     let matrix = ds.db.materialize();
     let thresholds = thresholds_from_db(&ds.db, &features, config.thresholds_per_feature);
@@ -96,8 +101,7 @@ fn trained_model_beats_predicting_the_mean() {
     let train = ds.train();
     let test = ds.test_matrix();
     let features = ds.feature_refs();
-    let model =
-        linreg::fit_factorized(&train, &features, &ds.label, Layout::MergedHash, 0.5, 300);
+    let model = linreg::fit_factorized(&train, &features, &ds.label, Layout::MergedHash, 0.5, 300);
     let rmse = linreg_rmse(&model, &test, &ds.label);
     // Baseline: predict the training mean.
     let moments = linreg::moments_factorized(&train, &features, &ds.label, Layout::MergedHash);
@@ -138,18 +142,10 @@ fn interpreter_validates_the_extracted_batch() {
     env.insert("Q".into(), Value::Dict(d));
     let interp_val = ifaq_engine::interp::eval_expr(
         &env,
-        &ifaq_ir::parser::parse_expr(
-            "sum(x in dom(Q)) Q(x) * x.oilprice * x.unit_sales",
-        )
-        .unwrap(),
+        &ifaq_ir::parser::parse_expr("sum(x in dom(Q)) Q(x) * x.oilprice * x.unit_sales").unwrap(),
     )
     .unwrap();
-    let m = linreg::moments_factorized(
-        &ds.db,
-        &["oilprice"],
-        &ds.label,
-        Layout::MergedHash,
-    );
+    let m = linreg::moments_factorized(&ds.db, &["oilprice"], &ds.label, Layout::MergedHash);
     // xty[1] = Σ oilprice · unit_sales.
     let engine_val = m.xty[1];
     let interp_f = interp_val.as_f64().unwrap();

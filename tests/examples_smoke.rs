@@ -1,0 +1,47 @@
+//! Smoke test for the repo-level `examples/`: all four must compile, and
+//! `quickstart` must run to completion.
+//!
+//! Shells out to the same `cargo` that is running this test. Nested cargo
+//! invocations are safe here: the outer process does not hold the build
+//! lock while tests execute, and the examples share this workspace's
+//! `target/` directory, so repeat runs are incremental.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")));
+    cmd
+}
+
+#[test]
+fn all_examples_compile() {
+    let output = cargo()
+        .args(["build", "--examples", "--offline"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let output = cargo()
+        .args(["run", "--example", "quickstart", "--offline"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "`cargo run --example quickstart` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("trained parameters"),
+        "quickstart did not reach its final output; stdout:\n{stdout}"
+    );
+}

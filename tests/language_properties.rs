@@ -36,25 +36,26 @@ fn arb_syntax() -> impl Strategy<Value = Expr> {
             )),
             inner.clone().prop_map(Expr::neg),
             inner.clone().prop_map(|x| Expr::un(ifaq_ir::UnOp::Abs, x)),
-            inner.clone().prop_map(|b| Expr::sum("x", Expr::var("d"), b)),
-            inner.clone().prop_map(|b| Expr::dict_comp("k", Expr::var("d"), b)),
-            inner.clone().prop_map(|x| Expr::dom(Expr::dict_single(x, Expr::int(1)))),
+            inner
+                .clone()
+                .prop_map(|b| Expr::sum("x", Expr::var("d"), b)),
+            inner
+                .clone()
+                .prop_map(|b| Expr::dict_comp("k", Expr::var("d"), b)),
+            inner
+                .clone()
+                .prop_map(|x| Expr::dom(Expr::dict_single(x, Expr::int(1)))),
             (inner.clone(), inner.clone()).prop_map(|(k, v)| Expr::dict_single(k, v)),
             proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::set_lit),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Expr::record([("f", x), ("g", y)])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::record([("f", x), ("g", y)])),
             inner.clone().prop_map(|x| Expr::variant("tag", x)),
-            inner.clone().prop_map(|x| Expr::get(Expr::record([("h", x)]), "h")),
+            inner
+                .clone()
+                .prop_map(|x| Expr::get(Expr::record([("h", x)]), "h")),
             (inner.clone(), inner.clone()).prop_map(|(v, b)| Expr::let_("t", v, b)),
-            (inner.clone(), inner.clone()).prop_map(|(t, e)| Expr::if_(
-                Expr::bool(true),
-                t,
-                e
-            )),
-            (inner.clone(), inner).prop_map(|(f, k)| Expr::apply(
-                Expr::dict_single(Expr::int(0), f),
-                k
-            )),
+            (inner.clone(), inner.clone()).prop_map(|(t, e)| Expr::if_(Expr::bool(true), t, e)),
+            (inner.clone(), inner)
+                .prop_map(|(f, k)| Expr::apply(Expr::dict_single(Expr::int(0), f), k)),
         ]
     })
 }

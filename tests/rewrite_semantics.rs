@@ -25,11 +25,15 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::mul(x, y)),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::sub(x, y)),
             inner.clone().prop_map(Expr::neg),
-            inner.clone().prop_map(|b| Expr::sum("x", Expr::var("C"), b)),
-            // Bodies that use the bound variable.
             inner
                 .clone()
-                .prop_map(|b| Expr::sum("x", Expr::var("C"), Expr::mul(Expr::var("x"), b))),
+                .prop_map(|b| Expr::sum("x", Expr::var("C"), b)),
+            // Bodies that use the bound variable.
+            inner.clone().prop_map(|b| Expr::sum(
+                "x",
+                Expr::var("C"),
+                Expr::mul(Expr::var("x"), b)
+            )),
             (inner.clone(), inner).prop_map(|(v, b)| Expr::let_("t", v, b)),
         ]
     })

@@ -1,0 +1,233 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored stub
+//! implements exactly the API surface the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen, gen_bool, gen_range}` over
+//! integer and float ranges. The generator is xoshiro256** seeded via
+//! SplitMix64 — deterministic for a given seed across platforms, which is
+//! all the datagen crate needs (it always seeds explicitly).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG abstraction: everything derives from a 64-bit output stream.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Sampling front-end, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value via the "standard" distribution for its type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Bernoulli trial with probability `p` of returning `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        f64::sample(self) < p
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Mirrors `rand::SeedableRng`, reduced to the one constructor used here.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types sampleable from the standard distribution (`rng.gen()`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (`rng.gen_range(..)`).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is ≤ span/2^64, far below what synthetic data
+                // generation can observe; keep the stub simple.
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = f64::sample(rng) as $t;
+                let x = self.start + unit * (self.end - self.start);
+                // start + unit*span can round up to exactly `end`; keep
+                // the half-open contract.
+                if x < self.end {
+                    x
+                } else {
+                    self.end.next_down().max(self.start)
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as the real rand crate does for
+            // seed_from_u64.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(0..2);
+            assert!((0..2).contains(&i));
+            let j = rng.gen_range(1..18);
+            assert!((1..18).contains(&j));
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_half_open_despite_rounding() {
+        // start + unit*span rounds to `end` for unit near 1.0 here; the
+        // result must still be < end.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            let x = rng.gen_range(1e16..1e16 + 2.0);
+            assert!((1e16..1e16 + 2.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.08)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.08).abs() < 0.01, "rate={rate}");
+    }
+}
