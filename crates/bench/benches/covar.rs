@@ -1,10 +1,15 @@
 //! Criterion micro-benchmarks behind Figure 7a: the aggregate-optimization
-//! ladder on a fixed covar workload.
+//! ladder on a fixed covar workload, swept across thread counts.
+//!
+//! Each Fig. 7a layout runs at 1/2/4/8 threads (bench ids
+//! `<Layout>/t<threads>`) so thread scaling can be read off one report.
+//! Set `IFAQ_THREADS` to bench a single thread count instead, and
+//! `IFAQ_CHUNK_ROWS` to change the chunk granularity.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ifaq_datagen::favorita;
-use ifaq_engine::layout::{execute, prepare};
-use ifaq_engine::Layout;
+use ifaq_engine::layout::{execute_with, prepare};
+use ifaq_engine::{ExecConfig, Layout};
 use ifaq_query::batch::covar_batch;
 use ifaq_query::{JoinTree, ViewPlan};
 
@@ -15,14 +20,34 @@ fn bench_covar(c: &mut Criterion) {
     let cat = ds.db.catalog();
     let tree = JoinTree::build(&cat, &ds.relation_names()).unwrap();
     let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+    // Read the environment once: IFAQ_THREADS narrows the sweep to that
+    // single count; a *valid* IFAQ_CHUNK_ROWS overrides the chunk layout
+    // shared by every point of the sweep (default: the sharded-config
+    // default, so the thread counts stay directly comparable; an invalid
+    // value already warned via ExecConfig and is ignored here).
+    let threads_sweep: Vec<usize> = if std::env::var_os("IFAQ_THREADS").is_some() {
+        vec![ExecConfig::global().threads.get()]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let chunk_override: Option<usize> = std::env::var("IFAQ_CHUNK_ROWS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&c| c > 0);
     let mut group = c.benchmark_group("covar_50k");
     for &layout in Layout::fig7a() {
         let prep = prepare(layout, &plan, &ds.db);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{layout:?}")),
-            &prep,
-            |b, prep| b.iter(|| execute(layout, &plan, &ds.db, prep)),
-        );
+        for &threads in &threads_sweep {
+            let mut cfg = ExecConfig::with_threads(threads);
+            if let Some(chunk_rows) = chunk_override {
+                cfg = cfg.with_chunk_rows(chunk_rows);
+            }
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{layout:?}/t{threads}")),
+                &prep,
+                |b, prep| b.iter(|| execute_with(layout, &plan, &ds.db, prep, &cfg)),
+            );
+        }
     }
     group.finish();
 }

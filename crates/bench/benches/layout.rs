@@ -1,10 +1,11 @@
 //! Criterion micro-benchmarks behind Figure 7b: the data-layout ladder on
-//! a fixed covar workload.
+//! a fixed covar workload. Honors the `IFAQ_THREADS` / `IFAQ_CHUNK_ROWS`
+//! environment overrides (default: 1 thread).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ifaq_datagen::favorita;
-use ifaq_engine::layout::{execute, prepare};
-use ifaq_engine::Layout;
+use ifaq_engine::layout::{execute_with, prepare};
+use ifaq_engine::{ExecConfig, Layout};
 use ifaq_query::batch::covar_batch;
 use ifaq_query::{JoinTree, ViewPlan};
 
@@ -15,15 +16,16 @@ fn bench_layouts(c: &mut Criterion) {
     let cat = ds.db.catalog();
     let tree = JoinTree::build(&cat, &ds.relation_names()).unwrap();
     let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+    let cfg = *ExecConfig::global();
     let mut group = c.benchmark_group("layout_50k");
     // The boxed engines are orders of magnitude slower; keep samples low.
     group.sample_size(10);
     for &layout in Layout::fig7b() {
         let prep = prepare(layout, &plan, &ds.db);
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{layout:?}")),
+            BenchmarkId::from_parameter(format!("{layout:?}/t{}", cfg.threads)),
             &prep,
-            |b, prep| b.iter(|| execute(layout, &plan, &ds.db, prep)),
+            |b, prep| b.iter(|| execute_with(layout, &plan, &ds.db, prep, &cfg)),
         );
     }
     group.finish();

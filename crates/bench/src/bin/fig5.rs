@@ -11,7 +11,7 @@
 //! Run: `cargo run -p ifaq_bench --bin fig5 --release [-- --model linreg|tree] [--scale f]`
 
 use ifaq_bench::{fig5_variants, print_header, print_row, secs, time_once, HarnessArgs};
-use ifaq_engine::Layout;
+use ifaq_engine::{ExecConfig, Layout};
 use ifaq_ml::baseline::{
     mlpack_like_linreg, scikit_like_linreg, scikit_like_tree, tf_like_linreg, MemoryBudget,
 };
@@ -56,19 +56,23 @@ fn run_linreg(variants: &ifaq_bench::Variants, budget: MemoryBudget) {
         &["ifaq", "sk-mat", "sk-learn", "tf-mat", "tf-learn", "mlpack"],
     );
     let mut wins = true;
+    // The moment scan shards per IFAQ_THREADS / IFAQ_CHUNK_ROWS (read
+    // once for the whole sweep).
+    let cfg = ExecConfig::global();
     for (name, ds) in &variants.entries {
         let train = ds.train();
         let features = ds.feature_refs();
 
         // IFAQ: factorized moments + BGD, one fused computation.
         let (_, t_ifaq) = time_once(|| {
-            linreg::fit_factorized(
+            linreg::fit_factorized_cfg(
                 &train,
                 &features,
                 &ds.label,
                 Layout::SortedTrie,
                 0.5,
                 BGD_ITERS,
+                cfg,
             )
         });
 

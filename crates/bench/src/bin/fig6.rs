@@ -44,6 +44,14 @@ fn matrix_to_dict(m: &TrainMatrix) -> Value {
     Value::Dict(d)
 }
 
+/// Figure 6 measures the tree-walking interpreter, which has no sharded
+/// path; tell users their `IFAQ_THREADS` setting does not apply here.
+fn warn_if_threads_requested() {
+    if std::env::var("IFAQ_THREADS").is_ok() {
+        eprintln!("note: fig6 benchmarks the interpreter; IFAQ_THREADS has no effect here");
+    }
+}
+
 fn programs(iters: i64) -> (Program, Program) {
     let unopt = linear_regression_program(&FEATURES, LABEL, Expr::var("QDATA"), 1e-6, iters);
     // The query is an opaque, data-sized variable for the optimizer.
@@ -95,6 +103,7 @@ fn values_close(a: &Value, b: &Value) -> bool {
 }
 
 fn main() {
+    warn_if_threads_requested();
     let args = HarnessArgs::parse();
     let sweep = std::env::args()
         .skip_while(|a| a != "--sweep")

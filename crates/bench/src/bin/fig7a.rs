@@ -11,13 +11,14 @@
 
 use ifaq_bench::{print_header, print_row, secs, time_best_of, HarnessArgs};
 use ifaq_datagen::favorita;
-use ifaq_engine::layout::{execute, prepare};
-use ifaq_engine::Layout;
+use ifaq_engine::layout::{execute_with, prepare};
+use ifaq_engine::{ExecConfig, Layout};
 use ifaq_query::batch::covar_batch;
 use ifaq_query::{JoinTree, ViewPlan};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let cfg = *ExecConfig::global();
     let rows = args.rows(if args.paper { 1_000_000 } else { 300_000 });
     let ds = favorita(rows, 42);
     let features = ds.feature_refs();
@@ -26,10 +27,11 @@ fn main() {
     let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
     let plan = ViewPlan::plan(&batch, &tree, &cat).expect("plan");
     println!(
-        "covar batch over {} tuples: {} aggregates, {} merged payloads",
+        "covar batch over {} tuples: {} aggregates, {} merged payloads, {} thread(s)",
         rows,
         batch.len(),
-        plan.total_payloads()
+        plan.total_payloads(),
+        cfg.threads
     );
 
     print_header(
@@ -40,7 +42,7 @@ fn main() {
     let mut prev: Option<f64> = None;
     for &layout in Layout::fig7a() {
         let prep = prepare(layout, &plan, &ds.db);
-        let (result, t) = time_best_of(3, || execute(layout, &plan, &ds.db, &prep));
+        let (result, t) = time_best_of(3, || execute_with(layout, &plan, &ds.db, &prep, &cfg));
         match &reference {
             None => reference = Some(result),
             Some(r) => {

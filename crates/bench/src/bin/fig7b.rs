@@ -10,13 +10,14 @@
 
 use ifaq_bench::{print_header, print_row, secs, time_best_of, HarnessArgs};
 use ifaq_datagen::favorita;
-use ifaq_engine::layout::{execute, prepare};
-use ifaq_engine::Layout;
+use ifaq_engine::layout::{execute_with, prepare};
+use ifaq_engine::{ExecConfig, Layout};
 use ifaq_query::batch::covar_batch;
 use ifaq_query::{JoinTree, ViewPlan};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let cfg = *ExecConfig::global();
     let rows = args.rows(if args.paper { 1_000_000 } else { 200_000 });
     let ds = favorita(rows, 42);
     let features = ds.feature_refs();
@@ -24,7 +25,11 @@ fn main() {
     let cat = ds.db.catalog();
     let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
     let plan = ViewPlan::plan(&batch, &tree, &cat).expect("plan");
-    println!("covar batch over {rows} tuples: {} aggregates", batch.len());
+    println!(
+        "covar batch over {rows} tuples: {} aggregates, {} thread(s)",
+        batch.len(),
+        cfg.threads
+    );
 
     print_header(
         "Figure 7b: low-level optimizations, seconds",
@@ -34,7 +39,7 @@ fn main() {
     let mut prev: Option<f64> = None;
     for &layout in Layout::fig7b() {
         let prep = prepare(layout, &plan, &ds.db);
-        let (result, t) = time_best_of(3, || execute(layout, &plan, &ds.db, &prep));
+        let (result, t) = time_best_of(3, || execute_with(layout, &plan, &ds.db, &prep, &cfg));
         match &reference {
             None => reference = Some(result),
             Some(r) => {

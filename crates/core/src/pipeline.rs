@@ -2,7 +2,7 @@
 
 use ifaq_engine::interp::{Env, Interpreter};
 use ifaq_engine::star::StarDb;
-use ifaq_engine::{layout, Layout};
+use ifaq_engine::{layout, ExecConfig, Layout};
 use ifaq_ir::types::TypeEnv;
 use ifaq_ir::vars::occurs_free;
 use ifaq_ir::{Catalog, Program, ScalarType, Sym, Type, TypeChecker};
@@ -329,7 +329,19 @@ impl Compiled {
     /// materialization), binds the results, and interprets the residual
     /// program (whose loop no longer touches the data).
     pub fn execute(&self, db: &StarDb, layout_choice: Layout) -> Result<Value, PipelineError> {
-        let results = self.run_batch(db, layout_choice)?;
+        self.execute_with(db, layout_choice, ExecConfig::global())
+    }
+
+    /// [`Compiled::execute`] with the batch scan sharded per `cfg` (the
+    /// residual program stays on the calling thread — after extraction it
+    /// no longer touches the data, so there is nothing left to shard).
+    pub fn execute_with(
+        &self,
+        db: &StarDb,
+        layout_choice: Layout,
+        cfg: &ExecConfig,
+    ) -> Result<Value, PipelineError> {
+        let results = self.run_batch_with(db, layout_choice, cfg)?;
         let mut env = Env::new();
         for (i, v) in results.iter().enumerate() {
             env.insert(Extraction::agg_var(i), Value::real(*v));
@@ -341,6 +353,16 @@ impl Compiled {
 
     /// Evaluates just the aggregate batch over the database.
     pub fn run_batch(&self, db: &StarDb, layout_choice: Layout) -> Result<Vec<f64>, PipelineError> {
+        self.run_batch_with(db, layout_choice, ExecConfig::global())
+    }
+
+    /// [`Compiled::run_batch`] with the scan sharded per `cfg`.
+    pub fn run_batch_with(
+        &self,
+        db: &StarDb,
+        layout_choice: Layout,
+        cfg: &ExecConfig,
+    ) -> Result<Vec<f64>, PipelineError> {
         if self.batch.is_empty() {
             return Ok(vec![]);
         }
@@ -351,7 +373,7 @@ impl Compiled {
         let plan = ViewPlan::plan(&self.batch, &tree, &catalog)
             .map_err(|e| PipelineError::Plan(e.to_string()))?;
         let prep = layout::prepare(layout_choice, &plan, db);
-        Ok(layout::execute(layout_choice, &plan, db, &prep))
+        Ok(layout::execute_with(layout_choice, &plan, db, &prep, cfg))
     }
 }
 
@@ -428,6 +450,21 @@ mod tests {
         for &l in Layout::all() {
             assert_eq!(compiled.execute(&db, l).unwrap(), reference, "{l}");
         }
+    }
+
+    #[test]
+    fn execute_with_plumbs_the_config() {
+        // Exhaustive thread-count invariance lives in
+        // `tests/parallel_equivalence.rs`; here just check the `_with`
+        // entry points accept a sharded config and agree with the default.
+        let (db, compiled) = compile_lr(3);
+        let reference = compiled
+            .execute_with(&db, Layout::MergedHash, &ExecConfig::with_threads(1))
+            .unwrap();
+        let got = compiled
+            .execute_with(&db, Layout::MergedHash, &ExecConfig::with_threads(3))
+            .unwrap();
+        assert_eq!(got, reference);
     }
 
     #[test]

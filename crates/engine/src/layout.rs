@@ -2,6 +2,7 @@
 //! dispatcher, used by the benchmark harness to sweep the optimization
 //! ladders of Figures 7a and 7b.
 
+use crate::par::ExecConfig;
 use crate::physical;
 use crate::star::StarDb;
 use ifaq_query::ViewPlan;
@@ -97,19 +98,37 @@ pub fn prepare(layout: Layout, plan: &ViewPlan, db: &StarDb) -> Prepared {
     }
 }
 
-/// Executes the batch under the given layout.
+/// Executes the batch under the given layout with the process-wide
+/// [`ExecConfig::global`] (one thread unless `IFAQ_THREADS` is set).
 pub fn execute(layout: Layout, plan: &ViewPlan, db: &StarDb, prep: &Prepared) -> Vec<f64> {
+    execute_with(layout, plan, db, prep, ExecConfig::global())
+}
+
+/// Executes the batch under the given layout with a sharded scan per
+/// `cfg` (see [`crate::par`] for the determinism guarantee).
+pub fn execute_with(
+    layout: Layout,
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &Prepared,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
     match layout {
-        Layout::Materialized => physical::exec_materialized(plan, db),
-        Layout::Pushdown => physical::exec_pushdown(plan, db),
-        Layout::BoxedRecords => physical::exec_boxed_records(plan, db),
-        Layout::BoxedScalars => physical::exec_boxed_scalars(plan, db),
-        Layout::MergedHash => physical::exec_merged(plan, db),
-        Layout::Trie => physical::exec_trie(plan, db, prep.trie.as_ref().expect("prepare(Trie)")),
-        Layout::Array => physical::exec_array(plan, db),
-        Layout::SortedTrie => {
-            physical::exec_sorted(plan, db, prep.sorted.as_ref().expect("prepare(SortedTrie)"))
+        Layout::Materialized => physical::exec_materialized_cfg(plan, db, cfg),
+        Layout::Pushdown => physical::exec_pushdown_cfg(plan, db, cfg),
+        Layout::BoxedRecords => physical::exec_boxed_records_cfg(plan, db, cfg),
+        Layout::BoxedScalars => physical::exec_boxed_scalars_cfg(plan, db, cfg),
+        Layout::MergedHash => physical::exec_merged_cfg(plan, db, cfg),
+        Layout::Trie => {
+            physical::exec_trie_cfg(plan, db, prep.trie.as_ref().expect("prepare(Trie)"), cfg)
         }
+        Layout::Array => physical::exec_array_cfg(plan, db, cfg),
+        Layout::SortedTrie => physical::exec_sorted_cfg(
+            plan,
+            db,
+            prep.sorted.as_ref().expect("prepare(SortedTrie)"),
+            cfg,
+        ),
     }
 }
 
@@ -140,6 +159,9 @@ mod tests {
             }
         }
     }
+
+    // Thread-count invariance of `execute_with` is covered per executor in
+    // `physical::tests` and end to end by `tests/parallel_equivalence.rs`.
 
     #[test]
     fn ladders_are_subsets_of_all() {

@@ -24,12 +24,46 @@
 //!
 //! All executors compute the same batch results; cross-engine equivalence
 //! is property-tested.
+//!
+//! ## Sharded execution
+//!
+//! The aggregate batch over `dom(Q)` is embarrassingly parallel per fact
+//! row, so every executor also exists as an `exec_*_cfg` variant that
+//! shards its scan across threads according to an [`ExecConfig`]
+//! (`threads` × `chunk_rows`). The plain entry points use the
+//! process-wide [`ExecConfig::global`], read once from `IFAQ_THREADS` /
+//! `IFAQ_CHUNK_ROWS` — with neither set that is one thread and one
+//! chunk, i.e. exactly the pre-sharding sequential accumulation — so the
+//! whole test suite and every bench can be pushed onto the sharded path
+//! from the environment. The sharding model, implemented in [`par`]:
+//!
+//! * the scan splits into fixed-size chunks of `chunk_rows` work items —
+//!   a layout that depends **only** on the data size and `chunk_rows`,
+//!   never on the thread count;
+//! * each chunk computes an independent partial-sum vector (views and
+//!   other preprocessing are built once, shared read-only);
+//! * partials merge by addition in ascending chunk order on the calling
+//!   thread.
+//!
+//! **Determinism guarantee:** for a fixed `chunk_rows`, results are
+//! bit-identical across thread counts and across runs; `threads = 1` runs
+//! the very same chunked loop (no separate sequential fork). Changing
+//! `chunk_rows` re-associates the floating-point reduction and may move
+//! results within ~1e-9 relative tolerance. `tests/parallel_equivalence.rs`
+//! at the repo root checks every executor × {1, 2, 3, 8} threads for exact
+//! agreement with the sequential baseline.
+//!
+//! **Picking `chunk_rows`:** leave the default (2 Ki rows) unless chunks
+//! are scarcer than threads on your workload; see [`par`] for the
+//! trade-off.
 
 pub mod interp;
 pub mod layout;
+pub mod par;
 pub mod physical;
 pub mod star;
 
 pub use interp::{eval_expr, eval_program, Env, Interpreter};
 pub use layout::Layout;
+pub use par::ExecConfig;
 pub use star::{Dim, StarDb, TrainMatrix};

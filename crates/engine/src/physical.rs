@@ -4,12 +4,26 @@
 //! Every executor computes the same batch results (`Vec<f64>` aligned with
 //! the planned batch); they differ in data layout and loop structure. See
 //! the crate docs for the mapping to the paper's measurement points.
+//!
+//! Each executor comes in two forms: `exec_*`, which uses the process-wide
+//! [`ExecConfig::global`] (from `IFAQ_THREADS` / `IFAQ_CHUNK_ROWS`; one
+//! thread when unset), and `exec_*_cfg`, which shards the scan across
+//! threads per an explicit [`ExecConfig`]. Sharding follows the
+//! [`crate::par`] model: the scan's work items — fact-row chunks for most
+//! executors, top-level key groups for the trie, whole aggregates for
+//! pushdown — are claimed by workers, each produces a partial result, and
+//! partials merge in ascending item order, so results are identical at
+//! every thread count for a fixed `chunk_rows`. View building and other
+//! preprocessing stay single-threaded: they are the paper's
+//! out-of-measurement setup work.
 
+use crate::par::{run_chunked, run_chunked_sums, ExecConfig};
 use crate::star::{Dim, StarDb};
 use ifaq_query::plan::{DimView, Payload, ViewPlan};
 use ifaq_query::Predicate;
 use ifaq_storage::{Column, Dict, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
 
 /// Resolved references binding a planned dimension view to the physical
 /// dimension relation and the fact table's key column.
@@ -157,14 +171,28 @@ fn signature_map(plan: &ViewPlan) -> (Vec<usize>, Vec<usize>) {
 
 /// Baseline: materialize the join, then aggregate over the dense matrix.
 pub fn exec_materialized(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    exec_materialized_cfg(plan, db, ExecConfig::global())
+}
+
+/// [`exec_materialized`] with a sharded aggregate scan (materialization
+/// itself stays single-threaded, as in the conventional pipeline).
+pub fn exec_materialized_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
     let m = db.materialize();
-    batch_over_matrix(&m, plan)
+    batch_over_matrix_cfg(&m, plan, cfg)
 }
 
 /// Computes the batch over an already-materialized training matrix. Also
 /// used by the baseline (scikit-like) learners.
 pub fn batch_over_matrix(m: &crate::star::TrainMatrix, plan: &ViewPlan) -> Vec<f64> {
-    let mut results = vec![0.0; plan.terms.len()];
+    batch_over_matrix_cfg(m, plan, ExecConfig::global())
+}
+
+/// [`batch_over_matrix`] sharded across matrix row chunks.
+pub fn batch_over_matrix_cfg(
+    m: &crate::star::TrainMatrix,
+    plan: &ViewPlan,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
     // Resolve every factor/filter to a matrix column; a term's factors are
     // the union of its fact factors and its dimensions' payload factors.
     struct Cols {
@@ -197,102 +225,143 @@ pub fn batch_over_matrix(m: &crate::star::TrainMatrix, plan: &ViewPlan) -> Vec<f
             Cols { factors, filters }
         })
         .collect();
-    for i in 0..m.rows {
-        let row = m.row(i);
-        'term: for (t, c) in cols.iter().enumerate() {
-            for (ci, p) in &c.filters {
-                if !p.eval(row[*ci]) {
-                    continue 'term;
+    let nterms = plan.terms.len();
+    run_chunked_sums(cfg, m.rows, nterms, |range: Range<usize>| {
+        let mut results = vec![0.0; nterms];
+        for i in range {
+            let row = m.row(i);
+            'term: for (t, c) in cols.iter().enumerate() {
+                for (ci, p) in &c.filters {
+                    if !p.eval(row[*ci]) {
+                        continue 'term;
+                    }
                 }
+                let mut v = 1.0;
+                for &ci in &c.factors {
+                    v *= row[ci];
+                }
+                results[t] += v;
             }
-            let mut v = 1.0;
-            for &ci in &c.factors {
-                v *= row[ci];
-            }
-            results[t] += v;
         }
-    }
-    results
+        results
+    })
 }
 
 /// Fig. 7a "Pushed Down Aggregates": one view set *per aggregate*, so each
 /// dimension is scanned once per aggregate and the fact table is scanned
 /// once per aggregate.
 pub fn exec_pushdown(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    exec_pushdown_cfg(plan, db, ExecConfig::global())
+}
+
+/// [`exec_pushdown`] sharded across *aggregates* rather than rows: every
+/// term's view build + fact scan is already an independent unit of work
+/// (that repetition is the point of this rung), so each worker computes
+/// whole terms — one thread scope for the batch, memory bounded to one
+/// view set per in-flight term, and since a term is never split its
+/// result is the plain sequential accumulation, identical for any thread
+/// count *and* any `chunk_rows`.
+pub fn exec_pushdown_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     let n = db.fact.len();
-    let mut results = vec![0.0; plan.terms.len()];
-    for (t, term) in plan.terms.iter().enumerate() {
-        // Per-aggregate single-payload views (no sharing).
-        let views: Vec<HashMap<i64, f64>> = bounds
-            .iter()
-            .zip(&term.dim_payload)
-            .map(|(b, &pi)| {
-                let keys = b
-                    .dim
-                    .rel
-                    .column(b.view.key_attrs[0].as_str())
-                    .expect("dim key column")
-                    .as_i64()
-                    .expect("dim key");
-                let payload = &b.view.payloads[pi];
-                let mut out: HashMap<i64, f64> = HashMap::with_capacity(keys.len());
-                for (j, &k) in keys.iter().enumerate() {
-                    *out.entry(k).or_insert(0.0) += payload_value(b.dim, payload, j);
-                }
-                out
-            })
-            .collect();
-        let mut acc = 0.0;
-        'row: for i in 0..n {
-            let mut v = fact_access[t].eval(i);
-            if v == 0.0 {
-                continue;
+    let nterms = plan.terms.len();
+    // One term per work item (`chunk_rows` measures fact rows, but a term
+    // always scans all of them).
+    let term_cfg = cfg.with_chunk_rows(1);
+    run_chunked(
+        &term_cfg,
+        nterms,
+        vec![0.0; nterms],
+        |terms: Range<usize>| {
+            terms
+                .map(|t| {
+                    let term = &plan.terms[t];
+                    // Per-aggregate single-payload views (no sharing).
+                    let views: Vec<HashMap<i64, f64>> = bounds
+                        .iter()
+                        .zip(&term.dim_payload)
+                        .map(|(b, &pi)| {
+                            let keys = b
+                                .dim
+                                .rel
+                                .column(b.view.key_attrs[0].as_str())
+                                .expect("dim key column")
+                                .as_i64()
+                                .expect("dim key");
+                            let payload = &b.view.payloads[pi];
+                            let mut out: HashMap<i64, f64> = HashMap::with_capacity(keys.len());
+                            for (j, &k) in keys.iter().enumerate() {
+                                *out.entry(k).or_insert(0.0) += payload_value(b.dim, payload, j);
+                            }
+                            out
+                        })
+                        .collect();
+                    let fa = &fact_access[t];
+                    let mut acc = 0.0;
+                    'row: for i in 0..n {
+                        let mut v = fa.eval(i);
+                        if v == 0.0 {
+                            continue;
+                        }
+                        for (b, view) in bounds.iter().zip(&views) {
+                            match view.get(&b.fact_keys[i]) {
+                                Some(&p) => v *= p,
+                                None => continue 'row,
+                            }
+                        }
+                        acc += v;
+                    }
+                    (t, acc)
+                })
+                .collect::<Vec<_>>()
+        },
+        |results, partial| {
+            for (t, v) in partial {
+                results[t] = v;
             }
-            for (b, view) in bounds.iter().zip(&views) {
-                match view.get(&b.fact_keys[i]) {
-                    Some(&p) => v *= p,
-                    None => continue 'row,
-                }
-            }
-            acc += v;
-        }
-        results[t] = acc;
-    }
-    results
+        },
+    )
 }
 
 /// Fig. 7a "Merged Views + Multi Aggregate" / Fig. 7b "Compilation to C++
 /// and Mem Mgt": one merged view per dimension, one fused fact scan
 /// computing every aggregate.
 pub fn exec_merged(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    exec_merged_cfg(plan, db, ExecConfig::global())
+}
+
+/// [`exec_merged`] with the fused fact scan sharded across row chunks.
+pub fn exec_merged_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     let views: Vec<HashMap<i64, Vec<f64>>> = bounds.iter().map(build_merged_view).collect();
     let n = db.fact.len();
-    let mut results = vec![0.0; plan.terms.len()];
-    let mut payload_refs: Vec<&[f64]> = Vec::with_capacity(bounds.len());
-    'row: for i in 0..n {
-        payload_refs.clear();
-        for (b, view) in bounds.iter().zip(&views) {
-            match view.get(&b.fact_keys[i]) {
-                Some(p) => payload_refs.push(p),
-                None => continue 'row,
+    let nterms = plan.terms.len();
+    run_chunked_sums(cfg, n, nterms, |range: Range<usize>| {
+        let mut results = vec![0.0; nterms];
+        let mut payload_refs: Vec<&[f64]> = Vec::with_capacity(bounds.len());
+        'row: for i in range {
+            payload_refs.clear();
+            for (b, view) in bounds.iter().zip(&views) {
+                match view.get(&b.fact_keys[i]) {
+                    Some(p) => payload_refs.push(p),
+                    None => continue 'row,
+                }
+            }
+            for (t, term) in plan.terms.iter().enumerate() {
+                let mut v = fact_access[t].eval(i);
+                if v == 0.0 {
+                    continue;
+                }
+                for (di, &pi) in term.dim_payload.iter().enumerate() {
+                    v *= payload_refs[di][pi];
+                }
+                results[t] += v;
             }
         }
-        for (t, term) in plan.terms.iter().enumerate() {
-            let mut v = fact_access[t].eval(i);
-            if v == 0.0 {
-                continue;
-            }
-            for (di, &pi) in term.dim_payload.iter().enumerate() {
-                v *= payload_refs[di][pi];
-            }
-            results[t] += v;
-        }
-    }
-    results
+        results
+    })
 }
 
 /// Level analysis shared by the trie and sorted executors: the distinct
@@ -377,6 +446,11 @@ fn key_plan(plan: &ViewPlan, db: &StarDb) -> KeyPlan {
 /// level per hoistable key column, with leaves holding the row groups.
 /// Build it once with [`build_fact_trie`]; the paper's setup likewise
 /// assumes relations are indexed by their join attributes beforehand.
+///
+/// Nodes are key-ordered (`BTreeMap`) so iteration — and therefore the
+/// accumulation order of every executor over the trie — is deterministic
+/// run-to-run, a prerequisite for the sharded executor's reproducibility
+/// guarantee.
 #[derive(Debug)]
 pub struct FactTrie {
     prefix_cols: Vec<ifaq_ir::Sym>,
@@ -386,7 +460,7 @@ pub struct FactTrie {
 #[derive(Debug)]
 enum TrieNode {
     Leaf(Vec<u32>),
-    Node(HashMap<i64, TrieNode>),
+    Node(BTreeMap<i64, TrieNode>),
 }
 
 /// Builds the fact trie for `plan` over `db`.
@@ -409,7 +483,7 @@ pub fn build_fact_trie(plan: &ViewPlan, db: &StarDb) -> FactTrie {
             return TrieNode::Leaf(rows.to_vec());
         }
         let keys = key_cols[level];
-        let mut groups: HashMap<i64, Vec<u32>> = HashMap::new();
+        let mut groups: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
         for &r in rows {
             groups.entry(keys[r as usize]).or_default().push(r);
         }
@@ -431,6 +505,14 @@ pub fn build_fact_trie(plan: &ViewPlan, db: &StarDb) -> FactTrie {
 /// *once per group* and factorizing them out of the per-row inner loop;
 /// high-cardinality dimensions are looked up per row as before.
 pub fn exec_trie(plan: &ViewPlan, db: &StarDb, trie: &FactTrie) -> Vec<f64> {
+    exec_trie_cfg(plan, db, trie, ExecConfig::global())
+}
+
+/// [`exec_trie`] sharded across the trie's top-level key groups (the
+/// shard unit is a whole subtree, so per-group hoisting is untouched;
+/// groups per chunk are scaled so a chunk covers ≈ `chunk_rows` rows).
+/// With no hoistable prefix the single leaf's rows are sharded directly.
+pub fn exec_trie_cfg(plan: &ViewPlan, db: &StarDb, trie: &FactTrie, cfg: &ExecConfig) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     let views: Vec<HashMap<i64, Vec<f64>>> = bounds.iter().map(build_merged_view).collect();
@@ -441,22 +523,99 @@ pub fn exec_trie(plan: &ViewPlan, db: &StarDb, trie: &FactTrie) -> Vec<f64> {
         "trie was built for a different plan"
     );
     let nterms = plan.terms.len();
-    let mut results = vec![0.0; nterms];
-    let mut hoisted: Vec<Option<&[f64]>> = vec![None; bounds.len()];
-    let mut local = vec![0.0; kp.rowprogs.len().max(nterms)];
-    walk(
-        &trie.root,
-        0,
-        &kp,
-        &bounds,
-        &views,
-        &fact_access,
-        plan,
-        &mut hoisted,
-        &mut local,
-        &mut results,
-    );
-    return results;
+
+    /// Accumulates one leaf's row group into `results`, with the prefix
+    /// dimensions' payloads already hoisted.
+    #[allow(clippy::too_many_arguments)]
+    fn leaf<'a>(
+        rows: &[u32],
+        kp: &KeyPlan,
+        bounds: &[BoundDim<'_>],
+        views: &'a [HashMap<i64, Vec<f64>>],
+        fact_access: &[FactAccess<'_>],
+        plan: &ViewPlan,
+        hoisted: &mut [Option<&'a [f64]>],
+        local: &mut [f64],
+        results: &mut [f64],
+    ) {
+        local.iter_mut().for_each(|v| *v = 0.0);
+        let mut sigval = vec![0.0; kp.sig_reps.len()];
+        'row: for &r in rows {
+            let i = r as usize;
+            // Per-row lookups for the high-cardinality dims.
+            for &di in &kp.remainder {
+                match views[di].get(&bounds[di].fact_keys[i]) {
+                    Some(p) => hoisted[di] = Some(p),
+                    None => continue 'row,
+                }
+            }
+            // One fact-local evaluation per distinct signature…
+            for (s, &rep) in kp.sig_reps.iter().enumerate() {
+                sigval[s] = fact_access[rep].eval(i);
+            }
+            // …and one accumulation per distinct row program.
+            for (rp, (sig, rem)) in kp.rowprogs.iter().enumerate() {
+                let mut v = sigval[*sig];
+                if v == 0.0 {
+                    continue;
+                }
+                for (ri, &di) in kp.remainder.iter().enumerate() {
+                    v *= hoisted[di].expect("set above")[rem[ri]];
+                }
+                local[rp] += v;
+            }
+        }
+        // Group-constant payloads multiply once per term.
+        for (t, term) in plan.terms.iter().enumerate() {
+            let mut v = local[kp.rowprog_of[t]];
+            if v == 0.0 {
+                continue;
+            }
+            for (_, dims) in &kp.prefix {
+                for &di in dims {
+                    v *= hoisted[di].expect("prefix payload")[term.dim_payload[di]];
+                }
+            }
+            results[t] += v;
+        }
+    }
+
+    /// Hoists the payloads of the dims keyed at `level` for one child
+    /// group, then walks its subtree; a missed inner join drops the whole
+    /// group. Shared by the recursive walk and the top-level shards.
+    #[allow(clippy::too_many_arguments)]
+    fn enter_child<'a>(
+        k: &i64,
+        child: &TrieNode,
+        level: usize,
+        kp: &KeyPlan,
+        bounds: &[BoundDim<'_>],
+        views: &'a [HashMap<i64, Vec<f64>>],
+        fact_access: &[FactAccess<'_>],
+        plan: &ViewPlan,
+        hoisted: &mut Vec<Option<&'a [f64]>>,
+        local: &mut [f64],
+        results: &mut [f64],
+    ) {
+        for &di in &kp.prefix[level].1 {
+            match views[di].get(k) {
+                Some(p) => hoisted[di] = Some(p),
+                None => return, // inner join drops group
+            }
+        }
+        walk(
+            child,
+            level + 1,
+            kp,
+            bounds,
+            views,
+            fact_access,
+            plan,
+            hoisted,
+            local,
+            results,
+        );
+    }
 
     #[allow(clippy::too_many_arguments)]
     fn walk<'a>(
@@ -473,17 +632,11 @@ pub fn exec_trie(plan: &ViewPlan, db: &StarDb, trie: &FactTrie) -> Vec<f64> {
     ) {
         match node {
             TrieNode::Node(children) => {
-                let dims = &kp.prefix[level].1;
-                'child: for (k, child) in children {
-                    for &di in dims {
-                        match views[di].get(k) {
-                            Some(p) => hoisted[di] = Some(p),
-                            None => continue 'child, // inner join drops group
-                        }
-                    }
-                    walk(
+                for (k, child) in children {
+                    enter_child(
+                        k,
                         child,
-                        level + 1,
+                        level,
                         kp,
                         bounds,
                         views,
@@ -495,48 +648,69 @@ pub fn exec_trie(plan: &ViewPlan, db: &StarDb, trie: &FactTrie) -> Vec<f64> {
                     );
                 }
             }
-            TrieNode::Leaf(rows) => {
-                local.iter_mut().for_each(|v| *v = 0.0);
-                let mut sigval = vec![0.0; kp.sig_reps.len()];
-                'row: for &r in rows {
-                    let i = r as usize;
-                    // Per-row lookups for the high-cardinality dims.
-                    for &di in &kp.remainder {
-                        match views[di].get(&bounds[di].fact_keys[i]) {
-                            Some(p) => hoisted[di] = Some(p),
-                            None => continue 'row,
-                        }
-                    }
-                    // One fact-local evaluation per distinct signature…
-                    for (s, &rep) in kp.sig_reps.iter().enumerate() {
-                        sigval[s] = fact_access[rep].eval(i);
-                    }
-                    // …and one accumulation per distinct row program.
-                    for (rp, (sig, rem)) in kp.rowprogs.iter().enumerate() {
-                        let mut v = sigval[*sig];
-                        if v == 0.0 {
-                            continue;
-                        }
-                        for (ri, &di) in kp.remainder.iter().enumerate() {
-                            v *= hoisted[di].expect("set above")[rem[ri]];
-                        }
-                        local[rp] += v;
-                    }
+            TrieNode::Leaf(rows) => leaf(
+                rows,
+                kp,
+                bounds,
+                views,
+                fact_access,
+                plan,
+                hoisted,
+                local,
+                results,
+            ),
+        }
+    }
+
+    match &trie.root {
+        // No hoistable prefix: one leaf holds every row; shard its rows.
+        TrieNode::Leaf(rows) => run_chunked_sums(cfg, rows.len(), nterms, |range: Range<usize>| {
+            let mut results = vec![0.0; nterms];
+            let mut hoisted: Vec<Option<&[f64]>> = vec![None; bounds.len()];
+            let mut local = vec![0.0; kp.rowprogs.len().max(nterms)];
+            leaf(
+                &rows[range],
+                &kp,
+                &bounds,
+                &views,
+                &fact_access,
+                plan,
+                &mut hoisted,
+                &mut local,
+                &mut results,
+            );
+            results
+        }),
+        TrieNode::Node(children) => {
+            // Shard over top-level subtrees; the per-chunk group count is
+            // derived from `chunk_rows` and the data alone (never from the
+            // thread count), preserving the deterministic chunk layout.
+            let subtrees: Vec<(&i64, &TrieNode)> = children.iter().collect();
+            let total_rows = db.fact.len().max(1);
+            let groups_per_chunk =
+                (cfg.chunk_rows.max(1).saturating_mul(subtrees.len()) / total_rows).max(1);
+            let group_cfg = cfg.with_chunk_rows(groups_per_chunk);
+            run_chunked_sums(&group_cfg, subtrees.len(), nterms, |range: Range<usize>| {
+                let mut results = vec![0.0; nterms];
+                let mut hoisted: Vec<Option<&[f64]>> = vec![None; bounds.len()];
+                let mut local = vec![0.0; kp.rowprogs.len().max(nterms)];
+                for &(k, child) in &subtrees[range] {
+                    enter_child(
+                        k,
+                        child,
+                        0,
+                        &kp,
+                        &bounds,
+                        &views,
+                        &fact_access,
+                        plan,
+                        &mut hoisted,
+                        &mut local,
+                        &mut results,
+                    );
                 }
-                // Group-constant payloads multiply once per term.
-                for (t, term) in plan.terms.iter().enumerate() {
-                    let mut v = local[kp.rowprog_of[t]];
-                    if v == 0.0 {
-                        continue;
-                    }
-                    for (_, dims) in &kp.prefix {
-                        for &di in dims {
-                            v *= hoisted[di].expect("prefix payload")[term.dim_payload[di]];
-                        }
-                    }
-                    results[t] += v;
-                }
-            }
+                results
+            })
         }
     }
 }
@@ -592,31 +766,39 @@ fn build_dense_view(b: &BoundDim) -> DenseView {
 /// Fig. 7b "Dictionary to Array": merged views stored as dense
 /// key-indexed arrays, removing hashing from the fact scan entirely.
 pub fn exec_array(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    exec_array_cfg(plan, db, ExecConfig::global())
+}
+
+/// [`exec_array`] with the fact scan sharded across row chunks.
+pub fn exec_array_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     let views: Vec<DenseView> = bounds.iter().map(build_dense_view).collect();
     let n = db.fact.len();
-    let mut results = vec![0.0; plan.terms.len()];
-    let mut bases: Vec<usize> = vec![0; bounds.len()];
-    'row: for i in 0..n {
-        for (d, (b, view)) in bounds.iter().zip(&views).enumerate() {
-            match view.base_of(b.fact_keys[i]) {
-                Some(base) => bases[d] = base,
-                None => continue 'row,
+    let nterms = plan.terms.len();
+    run_chunked_sums(cfg, n, nterms, |range: Range<usize>| {
+        let mut results = vec![0.0; nterms];
+        let mut bases: Vec<usize> = vec![0; bounds.len()];
+        'row: for i in range {
+            for (d, (b, view)) in bounds.iter().zip(&views).enumerate() {
+                match view.base_of(b.fact_keys[i]) {
+                    Some(base) => bases[d] = base,
+                    None => continue 'row,
+                }
+            }
+            for (t, term) in plan.terms.iter().enumerate() {
+                let mut v = fact_access[t].eval(i);
+                if v == 0.0 {
+                    continue;
+                }
+                for (di, &pi) in term.dim_payload.iter().enumerate() {
+                    v *= views[di].data[bases[di] + pi];
+                }
+                results[t] += v;
             }
         }
-        for (t, term) in plan.terms.iter().enumerate() {
-            let mut v = fact_access[t].eval(i);
-            if v == 0.0 {
-                continue;
-            }
-            for (di, &pi) in term.dim_payload.iter().enumerate() {
-                v *= views[di].data[bases[di] + pi];
-            }
-            results[t] += v;
-        }
-    }
-    results
+        results
+    })
 }
 
 /// Preprocessed state for the sorted-trie executor: the fact table's row
@@ -667,6 +849,21 @@ pub fn build_sorted(plan: &ViewPlan, db: &StarDb) -> SortedStar {
 /// arrays. This composes the array layout with trie factorization, the
 /// paper's final and fastest rung.
 pub fn exec_sorted(plan: &ViewPlan, db: &StarDb, sorted: &SortedStar) -> Vec<f64> {
+    exec_sorted_cfg(plan, db, sorted, ExecConfig::global())
+}
+
+/// [`exec_sorted`] sharded across chunks of the sorted row order. A key
+/// group straddling a chunk boundary is flushed once per chunk; the two
+/// partial flushes sum to the whole-group flush (the group-constant
+/// payload product distributes over the split local sums), so chunking
+/// moves fp association only within the documented tolerance and stays
+/// deterministic for a fixed `chunk_rows`.
+pub fn exec_sorted_cfg(
+    plan: &ViewPlan,
+    db: &StarDb,
+    sorted: &SortedStar,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     let kp = key_plan(plan, db);
@@ -677,9 +874,6 @@ pub fn exec_sorted(plan: &ViewPlan, db: &StarDb, sorted: &SortedStar) -> Vec<f64
     );
     let views: Vec<DenseView> = bounds.iter().map(build_dense_view).collect();
     let nterms = plan.terms.len();
-    let mut results = vec![0.0; nterms];
-    let mut local = vec![0.0; kp.rowprogs.len().max(nterms)];
-    let mut sigval = vec![0.0; kp.sig_reps.len()];
     let prefix_key_cols: Vec<&[i64]> = kp
         .prefix
         .iter()
@@ -696,89 +890,100 @@ pub fn exec_sorted(plan: &ViewPlan, db: &StarDb, sorted: &SortedStar) -> Vec<f64
         .iter()
         .flat_map(|(_, ds)| ds.iter().copied())
         .collect();
-    let mut current: Vec<i64> = vec![i64::MIN; prefix_key_cols.len()];
-    let mut bases: Vec<usize> = vec![usize::MAX; bounds.len()];
-    // With no hoistable prefix the whole scan is one live group.
-    let mut group_ok = prefix_key_cols.is_empty();
-    let mut group_live = prefix_key_cols.is_empty();
 
-    let flush = |local: &mut [f64], bases: &[usize], results: &mut [f64]| {
-        for (t, term) in plan.terms.iter().enumerate() {
-            let mut v = local[kp.rowprog_of[t]];
-            if v == 0.0 {
-                continue;
-            }
-            for &di in &prefix_dims {
-                v *= views[di].data[bases[di] + term.dim_payload[di]];
-            }
-            results[t] += v;
-        }
-        local.iter_mut().for_each(|v| *v = 0.0);
-    };
+    run_chunked_sums(cfg, sorted.order.len(), nterms, |range: Range<usize>| {
+        let mut results = vec![0.0; nterms];
+        let mut local = vec![0.0; kp.rowprogs.len().max(nterms)];
+        let mut sigval = vec![0.0; kp.sig_reps.len()];
+        let mut current: Vec<i64> = vec![0; prefix_key_cols.len()];
+        let mut bases: Vec<usize> = vec![usize::MAX; bounds.len()];
+        // `current` holds no sentinel (any i64 is a legal key): `started`
+        // marks whether the chunk has opened its first group yet. With no
+        // hoistable prefix the whole chunk is one implicitly open group.
+        let mut started = prefix_key_cols.is_empty();
+        let mut group_ok = prefix_key_cols.is_empty();
+        let mut group_live = prefix_key_cols.is_empty();
 
-    for &r in &sorted.order {
-        let i = r as usize;
-        let changed = prefix_key_cols
-            .iter()
-            .enumerate()
-            .any(|(l, col)| col[i] != current[l]);
-        if changed {
-            if group_live && group_ok {
-                flush(&mut local, &bases, &mut results);
+        let flush = |local: &mut [f64], bases: &[usize], results: &mut [f64]| {
+            for (t, term) in plan.terms.iter().enumerate() {
+                let mut v = local[kp.rowprog_of[t]];
+                if v == 0.0 {
+                    continue;
+                }
+                for &di in &prefix_dims {
+                    v *= views[di].data[bases[di] + term.dim_payload[di]];
+                }
+                results[t] += v;
             }
             local.iter_mut().for_each(|v| *v = 0.0);
-            for (l, col) in prefix_key_cols.iter().enumerate() {
-                current[l] = col[i];
+        };
+
+        for &r in &sorted.order[range] {
+            let i = r as usize;
+            let changed = !started
+                || prefix_key_cols
+                    .iter()
+                    .enumerate()
+                    .any(|(l, col)| col[i] != current[l]);
+            if changed {
+                if group_live && group_ok {
+                    flush(&mut local, &bases, &mut results);
+                }
+                started = true;
+                local.iter_mut().for_each(|v| *v = 0.0);
+                for (l, col) in prefix_key_cols.iter().enumerate() {
+                    current[l] = col[i];
+                }
+                group_ok = true;
+                for &di in &prefix_dims {
+                    let k = bounds[di].fact_keys[i];
+                    match views[di].base_of(k) {
+                        Some(b) => bases[di] = b,
+                        None => {
+                            group_ok = false;
+                            break;
+                        }
+                    }
+                }
+                group_live = true;
             }
-            group_ok = true;
-            for &di in &prefix_dims {
+            if !group_ok {
+                continue;
+            }
+            // Per-row dense lookups for the high-cardinality dims.
+            let mut row_ok = true;
+            for &di in &kp.remainder {
                 let k = bounds[di].fact_keys[i];
                 match views[di].base_of(k) {
                     Some(b) => bases[di] = b,
                     None => {
-                        group_ok = false;
+                        row_ok = false;
                         break;
                     }
                 }
             }
-            group_live = true;
-        }
-        if !group_ok {
-            continue;
-        }
-        // Per-row dense lookups for the high-cardinality dims.
-        let mut row_ok = true;
-        for &di in &kp.remainder {
-            let k = bounds[di].fact_keys[i];
-            match views[di].base_of(k) {
-                Some(b) => bases[di] = b,
-                None => {
-                    row_ok = false;
-                    break;
-                }
-            }
-        }
-        if !row_ok {
-            continue;
-        }
-        for (s, &rep) in kp.sig_reps.iter().enumerate() {
-            sigval[s] = fact_access[rep].eval(i);
-        }
-        for (rp, (sig, rem)) in kp.rowprogs.iter().enumerate() {
-            let mut v = sigval[*sig];
-            if v == 0.0 {
+            if !row_ok {
                 continue;
             }
-            for (ri, &di) in kp.remainder.iter().enumerate() {
-                v *= views[di].data[bases[di] + rem[ri]];
+            for (s, &rep) in kp.sig_reps.iter().enumerate() {
+                sigval[s] = fact_access[rep].eval(i);
             }
-            local[rp] += v;
+            for (rp, (sig, rem)) in kp.rowprogs.iter().enumerate() {
+                let mut v = sigval[*sig];
+                if v == 0.0 {
+                    continue;
+                }
+                for (ri, &di) in kp.remainder.iter().enumerate() {
+                    v *= views[di].data[bases[di] + rem[ri]];
+                }
+                local[rp] += v;
+            }
         }
-    }
-    if group_live && group_ok {
-        flush(&mut local, &bases, &mut results);
-    }
-    results
+        if group_live && group_ok {
+            flush(&mut local, &bases, &mut results);
+        }
+        results
+    })
 }
 
 /// Fig. 7b "Optimized Aggregates Compiled to Scala": the merged-view
@@ -786,6 +991,14 @@ pub fn exec_sorted(plan: &ViewPlan, db: &StarDb, sorted: &SortedStar) -> Vec<f64
 /// in ordered dictionaries, accumulating through the generic ring
 /// operations. This models a managed-runtime implementation.
 pub fn exec_boxed_records(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    exec_boxed_records_cfg(plan, db, ExecConfig::global())
+}
+
+/// [`exec_boxed_records`] with the fact scan sharded across row chunks.
+/// Each chunk accumulates boxed values and unboxes its partials at the
+/// chunk boundary; ring addition on reals is `f64` addition, so the
+/// chunked reduction matches the boxed one exactly.
+pub fn exec_boxed_records_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     // Payload field names, precomputed per payload index.
@@ -829,34 +1042,43 @@ pub fn exec_boxed_records(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
         })
         .collect();
     let n = db.fact.len();
-    let mut results: Vec<Value> = vec![Value::real(0.0); plan.terms.len()];
-    'row: for i in 0..n {
-        let mut payload_recs: Vec<&Value> = Vec::with_capacity(bounds.len());
-        for (b, view) in bounds.iter().zip(&views) {
-            let key = Value::record([(b.view.key_attrs[0].clone(), Value::Int(b.fact_keys[i]))]);
-            match view.get(&key) {
-                Some(p) => payload_recs.push(p),
-                None => continue 'row,
+    let nterms = plan.terms.len();
+    run_chunked_sums(cfg, n, nterms, |range: Range<usize>| {
+        let mut results: Vec<Value> = vec![Value::real(0.0); nterms];
+        'row: for i in range {
+            let mut payload_recs: Vec<&Value> = Vec::with_capacity(bounds.len());
+            for (b, view) in bounds.iter().zip(&views) {
+                let key =
+                    Value::record([(b.view.key_attrs[0].clone(), Value::Int(b.fact_keys[i]))]);
+                match view.get(&key) {
+                    Some(p) => payload_recs.push(p),
+                    None => continue 'row,
+                }
+            }
+            for (t, term) in plan.terms.iter().enumerate() {
+                let mut v = Value::real(fact_access[t].eval(i));
+                for (di, &pi) in term.dim_payload.iter().enumerate() {
+                    let pv = payload_recs[di]
+                        .get_field(&fields[pi])
+                        .expect("payload field");
+                    v = v.mul(&pv).expect("boxed multiply");
+                }
+                results[t] = results[t].add(&v).expect("boxed add");
             }
         }
-        for (t, term) in plan.terms.iter().enumerate() {
-            let mut v = Value::real(fact_access[t].eval(i));
-            for (di, &pi) in term.dim_payload.iter().enumerate() {
-                let pv = payload_recs[di]
-                    .get_field(&fields[pi])
-                    .expect("payload field");
-                v = v.mul(&pv).expect("boxed multiply");
-            }
-            results[t] = results[t].add(&v).expect("boxed add");
-        }
-    }
-    results.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect()
+        results.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect()
+    })
 }
 
 /// Fig. 7b "Record Removal": boxed dictionary keys remain, but the
 /// single-field key records are replaced by their field (scalar
 /// replacement) and payload records by flat `f64` vectors.
 pub fn exec_boxed_scalars(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
+    exec_boxed_scalars_cfg(plan, db, ExecConfig::global())
+}
+
+/// [`exec_boxed_scalars`] with the fact scan sharded across row chunks.
+pub fn exec_boxed_scalars_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     let views: Vec<std::collections::BTreeMap<Value, Vec<f64>>> = bounds
@@ -882,49 +1104,52 @@ pub fn exec_boxed_scalars(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
         })
         .collect();
     let n = db.fact.len();
-    let mut results = vec![0.0; plan.terms.len()];
-    'row: for i in 0..n {
-        let mut payload_refs: Vec<&[f64]> = Vec::with_capacity(bounds.len());
-        for (b, view) in bounds.iter().zip(&views) {
-            match view.get(&Value::Int(b.fact_keys[i])) {
-                Some(p) => payload_refs.push(p),
-                None => continue 'row,
+    let nterms = plan.terms.len();
+    run_chunked_sums(cfg, n, nterms, |range: Range<usize>| {
+        let mut results = vec![0.0; nterms];
+        'row: for i in range {
+            let mut payload_refs: Vec<&[f64]> = Vec::with_capacity(bounds.len());
+            for (b, view) in bounds.iter().zip(&views) {
+                match view.get(&Value::Int(b.fact_keys[i])) {
+                    Some(p) => payload_refs.push(p),
+                    None => continue 'row,
+                }
+            }
+            for (t, term) in plan.terms.iter().enumerate() {
+                let mut v = fact_access[t].eval(i);
+                if v == 0.0 {
+                    continue;
+                }
+                for (di, &pi) in term.dim_payload.iter().enumerate() {
+                    v *= payload_refs[di][pi];
+                }
+                results[t] += v;
             }
         }
-        for (t, term) in plan.terms.iter().enumerate() {
-            let mut v = fact_access[t].eval(i);
-            if v == 0.0 {
-                continue;
-            }
-            for (di, &pi) in term.dim_payload.iter().enumerate() {
-                v *= payload_refs[di][pi];
-            }
-            results[t] += v;
-        }
-    }
-    results
+        results
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::star::running_example_star;
-    use ifaq_query::batch::{covar_batch, variance_batch, PredOp};
+    use ifaq_query::batch::{covar_batch, variance_batch, AggBatch, PredOp};
     use ifaq_query::{JoinTree, Predicate, ViewPlan};
 
-    fn setup() -> (StarDb, ViewPlan) {
+    fn setup() -> (StarDb, ViewPlan, AggBatch) {
         let db = running_example_star();
         let cat = db.catalog();
         let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
         let batch = covar_batch(&["city", "price"], "units");
         let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
-        (db, plan)
+        (db, plan, batch)
     }
 
     /// Hand-computed covar entries for the running example. Join rows
     /// (units, city, price): (10,100,1.5) (5,200,1.5) (3,100,2.5)
     /// (8,200,3.5) (2,200,2.5).
-    fn expected(plan: &ViewPlan) -> Vec<f64> {
+    fn expected(plan: &ViewPlan, batch: &AggBatch) -> Vec<f64> {
         let rows: [(f64, f64, f64); 5] = [
             (10.0, 100.0, 1.5),
             (5.0, 200.0, 1.5),
@@ -947,25 +1172,15 @@ mod tests {
                 other => panic!("unexpected aggregate {other}"),
             }
         };
-        // Terms are ordered as in the batch used by setup(); recover names
-        // through the plan ordering assumption: covar_batch(&["city",
-        // "price"], "units") yields that exact order.
-        let names = [
-            "m_city_city",
-            "m_city_price",
-            "m_city_units",
-            "m_price_price",
-            "m_price_units",
-            "m_units_units",
-            "m_city",
-            "m_price",
-            "m_units",
-            "count",
-        ];
-        assert_eq!(plan.terms.len(), names.len());
-        names
+        // Term `t` computes the batch aggregate `plan.terms[t].agg`; look
+        // its name up through the plan instead of assuming the batch's
+        // construction order.
+        plan.terms
             .iter()
-            .map(|n| rows.iter().map(|r| val(n, *r)).sum())
+            .map(|t| {
+                let name = &batch.aggs[t.agg].name;
+                rows.iter().map(|r| val(name, *r)).sum()
+            })
             .collect()
     }
 
@@ -981,14 +1196,14 @@ mod tests {
 
     #[test]
     fn materialized_matches_hand_computation() {
-        let (db, plan) = setup();
-        assert_close(&exec_materialized(&plan, &db), &expected(&plan));
+        let (db, plan, batch) = setup();
+        assert_close(&exec_materialized(&plan, &db), &expected(&plan, &batch));
     }
 
     #[test]
     fn all_engines_agree() {
-        let (db, plan) = setup();
-        let want = expected(&plan);
+        let (db, plan, batch) = setup();
+        let want = expected(&plan, &batch);
         assert_close(&exec_pushdown(&plan, &db), &want);
         assert_close(&exec_merged(&plan, &db), &want);
         assert_close(&exec_boxed_records(&plan, &db), &want);
@@ -1001,8 +1216,76 @@ mod tests {
     }
 
     #[test]
+    fn term_values_follow_the_plan_after_batch_reordering() {
+        // Regression for the old test helper, which assumed terms appear
+        // in `covar_batch` construction order: reorder the batch and check
+        // every engine's terms still line up with the names recovered
+        // through `plan.terms[t].agg`.
+        let db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let mut batch = covar_batch(&["city", "price"], "units");
+        batch.aggs.reverse();
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        assert_eq!(&batch.aggs[plan.terms[0].agg].name, "count");
+        let want = expected(&plan, &batch);
+        // `count` leads after the reversal: 5 joined rows.
+        assert_eq!(want[0], 5.0);
+        assert_close(&exec_materialized(&plan, &db), &want);
+        assert_close(&exec_merged(&plan, &db), &want);
+        assert_close(&exec_pushdown(&plan, &db), &want);
+        assert_close(&exec_array(&plan, &db), &want);
+        let trie = build_fact_trie(&plan, &db);
+        assert_close(&exec_trie(&plan, &db, &trie), &want);
+        let sorted = build_sorted(&plan, &db);
+        assert_close(&exec_sorted(&plan, &db, &sorted), &want);
+    }
+
+    #[test]
+    fn sharded_execution_is_thread_count_invariant() {
+        // For a fixed chunk size every executor must return bit-identical
+        // results at any thread count (chunk merge order is fixed).
+        type Exec<'a> = Box<dyn Fn(&ExecConfig) -> Vec<f64> + 'a>;
+        let (db, plan, _) = setup();
+        let trie = build_fact_trie(&plan, &db);
+        let sorted = build_sorted(&plan, &db);
+        for chunk in [1, 2, 1024] {
+            let base = ExecConfig::with_threads(1).with_chunk_rows(chunk);
+            let runs: Vec<(&str, Exec<'_>)> = vec![
+                (
+                    "materialized",
+                    Box::new(|c| exec_materialized_cfg(&plan, &db, c)),
+                ),
+                ("pushdown", Box::new(|c| exec_pushdown_cfg(&plan, &db, c))),
+                ("merged", Box::new(|c| exec_merged_cfg(&plan, &db, c))),
+                ("array", Box::new(|c| exec_array_cfg(&plan, &db, c))),
+                ("trie", Box::new(|c| exec_trie_cfg(&plan, &db, &trie, c))),
+                (
+                    "sorted",
+                    Box::new(|c| exec_sorted_cfg(&plan, &db, &sorted, c)),
+                ),
+                (
+                    "boxed_records",
+                    Box::new(|c| exec_boxed_records_cfg(&plan, &db, c)),
+                ),
+                (
+                    "boxed_scalars",
+                    Box::new(|c| exec_boxed_scalars_cfg(&plan, &db, c)),
+                ),
+            ];
+            for (name, run) in &runs {
+                let want = run(&base);
+                for threads in [2, 3, 8] {
+                    let got = run(&ExecConfig::with_threads(threads).with_chunk_rows(chunk));
+                    assert_eq!(want, got, "{name} at {threads} threads, chunk {chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn filtered_batch_respects_delta() {
-        let (db, _) = setup();
+        let (db, _, _) = setup();
         let cat = db.catalog();
         let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
         // δ: price <= 2.0 — keeps rows with item 1 (price 1.5): units 10, 5.
@@ -1022,7 +1305,7 @@ mod tests {
 
     #[test]
     fn fact_filter_on_fact_attr() {
-        let (db, _) = setup();
+        let (db, _, _) = setup();
         let cat = db.catalog();
         let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
         let delta = vec![Predicate::new("units", PredOp::Gt, 4.0)];
@@ -1036,7 +1319,7 @@ mod tests {
 
     #[test]
     fn dangling_fact_keys_are_dropped_by_every_engine() {
-        let (mut db, plan) = setup();
+        let (mut db, plan, _) = setup();
         // Append a fact row with a store key that has no dimension match.
         db.fact = ifaq_storage::ColRelation::new(
             "S",
@@ -1061,12 +1344,15 @@ mod tests {
 
     #[test]
     fn empty_fact_table() {
-        let (db, plan) = setup();
+        let (db, plan, _) = setup();
         let db = db.take_fact(0);
         let want = vec![0.0; plan.terms.len()];
         assert_close(&exec_merged(&plan, &db), &want);
         assert_close(&exec_materialized(&plan, &db), &want);
         let sorted = build_sorted(&plan, &db);
         assert_close(&exec_sorted(&plan, &db, &sorted), &want);
+        // Parallel configs on an empty table are fine too (zero chunks).
+        let cfg = ExecConfig::with_threads(4);
+        assert_close(&exec_merged_cfg(&plan, &db, &cfg), &want);
     }
 }

@@ -9,7 +9,7 @@
 //! solves the normal equations in closed form.
 
 use ifaq_engine::star::{StarDb, TrainMatrix};
-use ifaq_engine::{layout, Layout};
+use ifaq_engine::{layout, ExecConfig, Layout};
 use ifaq_query::batch::covar_batch;
 use ifaq_query::{JoinTree, ViewPlan};
 
@@ -111,6 +111,17 @@ pub fn moments_factorized(
     label: &str,
     layout_choice: Layout,
 ) -> Moments {
+    moments_factorized_cfg(db, features, label, layout_choice, ExecConfig::global())
+}
+
+/// [`moments_factorized`] with the batch scan sharded per `cfg`.
+pub fn moments_factorized_cfg(
+    db: &StarDb,
+    features: &[&str],
+    label: &str,
+    layout_choice: Layout,
+    cfg: &ExecConfig,
+) -> Moments {
     let cat = db.catalog();
     let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
     let tree =
@@ -118,7 +129,7 @@ pub fn moments_factorized(
     let batch = covar_batch(features, label);
     let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
     let prep = layout::prepare(layout_choice, &plan, db);
-    let results = layout::execute(layout_choice, &plan, db, &prep);
+    let results = layout::execute_with(layout_choice, &plan, db, &prep, cfg);
     moments_from_batch(features, label, &results)
 }
 
@@ -289,7 +300,30 @@ pub fn fit_factorized(
     learning_rate: f64,
     iterations: usize,
 ) -> LinearModel {
-    let moments = moments_factorized(db, features, label, layout_choice);
+    fit_factorized_cfg(
+        db,
+        features,
+        label,
+        layout_choice,
+        learning_rate,
+        iterations,
+        ExecConfig::global(),
+    )
+}
+
+/// [`fit_factorized`] with the moment computation sharded per `cfg` (BGD
+/// itself iterates over the hoisted moments only — nothing to shard).
+#[allow(clippy::too_many_arguments)]
+pub fn fit_factorized_cfg(
+    db: &StarDb,
+    features: &[&str],
+    label: &str,
+    layout_choice: Layout,
+    learning_rate: f64,
+    iterations: usize,
+    cfg: &ExecConfig,
+) -> LinearModel {
+    let moments = moments_factorized_cfg(db, features, label, layout_choice, cfg);
     fit_bgd(&moments, learning_rate, iterations)
 }
 

@@ -8,7 +8,7 @@ use ifaq_engine::Layout;
 use ifaq_ir::Expr;
 use ifaq_ml::linreg;
 use ifaq_ml::metrics::linreg_rmse;
-use ifaq_ml::tree::{fit_factorized, fit_materialized, thresholds_from_db, TreeConfig};
+use ifaq_ml::tree::{fit_factorized, fit_materialized, thresholds_from_db, Node, TreeConfig};
 use ifaq_storage::Value;
 use ifaq_transform::highlevel::linear_regression_program;
 
@@ -91,8 +91,52 @@ fn factorized_tree_equals_materialized_tree_on_retailer() {
     let matrix = ds.db.materialize();
     let thresholds = thresholds_from_db(&ds.db, &features, config.thresholds_per_feature);
     let t2 = fit_materialized(&matrix, &features, &ds.label, &thresholds, &config);
-    assert_eq!(t1, t2);
+    // The two paths accumulate the variance batches in different orders
+    // (factorized views vs a one-shot matrix scan), so leaf means match
+    // only up to fp association; the structure must match exactly.
+    assert_trees_match(&t1.root, &t2.root);
+    assert_eq!(t1.features, t2.features);
     assert!(t1.depth() <= 3);
+}
+
+/// Same splits and thresholds everywhere; leaf predictions/counts equal
+/// within fp-reassociation tolerance.
+fn assert_trees_match(a: &Node, b: &Node) {
+    match (a, b) {
+        (
+            Node::Leaf {
+                prediction: p1,
+                count: c1,
+            },
+            Node::Leaf {
+                prediction: p2,
+                count: c2,
+            },
+        ) => {
+            assert!((p1 - p2).abs() <= 1e-9 * (1.0 + p1.abs()), "{p1} vs {p2}");
+            assert!((c1 - c2).abs() <= 1e-9 * (1.0 + c1.abs()), "{c1} vs {c2}");
+        }
+        (
+            Node::Split {
+                attr: a1,
+                threshold: t1,
+                left: l1,
+                right: r1,
+            },
+            Node::Split {
+                attr: a2,
+                threshold: t2,
+                left: l2,
+                right: r2,
+            },
+        ) => {
+            assert_eq!(a1, a2);
+            assert_eq!(t1, t2);
+            assert_trees_match(l1, l2);
+            assert_trees_match(r1, r2);
+        }
+        (x, y) => panic!("tree shapes diverge: {x:?} vs {y:?}"),
+    }
 }
 
 #[test]
