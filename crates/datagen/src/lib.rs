@@ -24,6 +24,7 @@ pub use favorita::favorita;
 pub use retailer::retailer;
 
 use ifaq_engine::StarDb;
+use ifaq_storage::{ColRelation, Column};
 
 /// A generated dataset: the star database, the feature attributes, and
 /// the label attribute.
@@ -77,6 +78,42 @@ impl Dataset {
         names.extend(self.db.dims.iter().map(|d| d.rel.name.as_str()));
         names
     }
+
+    /// Derives the binary-classification variant of this dataset for the
+    /// logistic workload: a new 0/1 fact column `<label>_hi`, 1.0 where
+    /// the continuous label exceeds its (full-dataset) median, becomes
+    /// the label; the original label column stays in the fact table but
+    /// is no longer the target. Features and the train/test split are
+    /// unchanged. For Favorita this is "was this an above-median sales
+    /// day" — a churn/promotion-style target with real signal in
+    /// `onpromotion`, `holiday`, and the rest.
+    pub fn binarize_label(&self) -> Dataset {
+        let fact = &self.db.fact;
+        let col = fact.column(&self.label).expect("label column");
+        let mut sorted: Vec<f64> = (0..fact.len()).map(|i| col.get_f64(i)).collect();
+        sorted.sort_by(f64::total_cmp);
+        let median = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let bin: Vec<f64> = (0..fact.len())
+            .map(|i| if col.get_f64(i) > median { 1.0 } else { 0.0 })
+            .collect();
+        let bin_label = format!("{}_hi", self.label);
+        let mut attrs = fact.attrs.clone();
+        attrs.push(ifaq_ir::Sym::new(bin_label.as_str()));
+        let mut columns = fact.columns.clone();
+        columns.push(Column::F64(bin));
+        let fact = ColRelation::new(fact.name.clone(), attrs, columns);
+        Dataset {
+            name: self.name,
+            db: StarDb::new(fact, self.db.dims.clone()),
+            features: self.features.clone(),
+            label: bin_label,
+            test_fraction: self.test_fraction,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +134,41 @@ mod tests {
     fn feature_refs_match_features() {
         let ds = retailer(1_000, 3);
         assert_eq!(ds.feature_refs().len(), ds.features.len());
+    }
+
+    #[test]
+    fn binarize_label_splits_at_the_median() {
+        let ds = favorita(4_000, 9);
+        let bin = ds.binarize_label();
+        assert_eq!(bin.label, "unit_sales_hi");
+        assert_eq!(bin.features, ds.features);
+        let col = bin.db.fact.column("unit_sales_hi").unwrap();
+        let ones = (0..bin.db.fact_rows())
+            .filter(|&i| col.get_f64(i) == 1.0)
+            .count();
+        // Strictly-above-median split: roughly balanced, never degenerate.
+        assert!(
+            ones * 10 >= bin.db.fact_rows() * 2 && ones * 10 <= bin.db.fact_rows() * 8,
+            "{ones} positives of {}",
+            bin.db.fact_rows()
+        );
+        // Every value is exactly 0 or 1.
+        assert!((0..bin.db.fact_rows()).all(|i| {
+            let v = col.get_f64(i);
+            v == 0.0 || v == 1.0
+        }));
+        // The original continuous label column is still present.
+        assert!(bin.db.fact.column("unit_sales").is_some());
+        // The split and materialization still work on the augmented fact.
+        assert_eq!(bin.db.materialize().rows, bin.db.fact_rows());
+        let test = bin.test_matrix();
+        assert!(test.col("unit_sales_hi").is_some());
+    }
+
+    #[test]
+    fn binarize_label_works_on_retailer() {
+        let ds = retailer(1_000, 4).binarize_label();
+        assert_eq!(ds.label, "inventoryunits_hi");
+        assert!(ds.db.fact.column(&ds.label).is_some());
     }
 }

@@ -19,6 +19,21 @@ use std::collections::BTreeMap;
 /// Variable environment.
 pub type Env = BTreeMap<Sym, Value>;
 
+/// Numerically stable logistic function: branches on the sign of `x` so
+/// `exp` is only ever called on non-positive arguments and can never
+/// overflow. Exact at the extremes (`σ(1000) = 1`, `σ(-1000) = 0`) and
+/// monotone everywhere; shared by the interpreter's `UnOp::Sigmoid` and
+/// the `ifaq_ml` logistic-regression learners.
+#[inline]
+pub fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
 /// The interpreter. Stateless; exists to hang configuration on later
 /// (e.g. iteration limits).
 #[derive(Debug, Default, Clone)]
@@ -270,7 +285,7 @@ impl Interpreter {
                     UnOp::Sqrt => Value::real(x.sqrt()),
                     UnOp::Log => Value::real(x.ln()),
                     UnOp::Exp => Value::real(x.exp()),
-                    UnOp::Sigmoid => Value::real(1.0 / (1.0 + (-x).exp())),
+                    UnOp::Sigmoid => Value::real(stable_sigmoid(x)),
                     UnOp::Not => unreachable!(),
                 })
             }
@@ -365,6 +380,27 @@ mod tests {
         assert_eq!(eval("sqrt(9.0)"), Value::real(3.0));
         assert_eq!(eval("not(1 > 2)"), Value::Bool(true));
         assert_eq!(eval("sigmoid(0.0)"), Value::real(0.5));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extreme_arguments() {
+        // ±1e3 would overflow a naive `exp(-x)` on the negative side
+        // (`exp(1000) = inf`); the sign-branched form never calls `exp`
+        // on a positive argument.
+        assert_eq!(eval("sigmoid(1000.0)"), Value::real(1.0));
+        assert_eq!(eval("sigmoid(-1000.0)"), Value::real(0.0));
+        assert_eq!(stable_sigmoid(1e3), 1.0);
+        assert_eq!(stable_sigmoid(-1e3), 0.0);
+        assert_eq!(stable_sigmoid(0.0), 0.5);
+        for x in [-1e3, -50.0, -1.0, -1e-9, 0.0, 1e-9, 1.0, 50.0, 1e3] {
+            let s = stable_sigmoid(x);
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "σ({x}) = {s}");
+            // σ(x) + σ(-x) = 1 (the symmetry the two branches must share).
+            assert!((s + stable_sigmoid(-x) - 1.0).abs() < 1e-15, "σ({x})");
+        }
+        // Monotone across the branch point.
+        assert!(stable_sigmoid(-1e-12) <= stable_sigmoid(0.0));
+        assert!(stable_sigmoid(0.0) <= stable_sigmoid(1e-12));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod par;
 pub mod physical;
 pub mod star;
 
-pub use interp::{eval_expr, eval_program, Env, Interpreter};
+pub use interp::{eval_expr, eval_program, stable_sigmoid, Env, Interpreter};
 pub use layout::Layout;
 pub use par::ExecConfig;
 pub use star::{Dim, StarDb, TrainMatrix};

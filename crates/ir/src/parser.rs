@@ -20,6 +20,9 @@
 //! atom     := int | real | string | `field` | "true" | "false" | ident
 //!           | "(" expr ")" | "dom" "(" expr ")"
 //!           | uop "(" expr ")" | ("min"|"max") "(" expr "," expr ")"
+//!             -- builtin names (not, abs, sqrt, log, exp, sigmoid, min,
+//!             -- max) are only calls when immediately followed by "(";
+//!             -- otherwise they parse as ordinary variables
 //!           | "{" (ident "=" expr),* "}"      -- record
 //!           | "<" ident "=" expr ">"          -- variant
 //!           | "{|" (expr "->" expr),* "|}"    -- dictionary
@@ -461,14 +464,17 @@ impl Parser {
                     self.bump();
                     Ok(Expr::bool(false))
                 }
-                "dom" => {
+                "dom" if *self.peek2() == Tok::Punct("(") => {
                     self.bump();
                     self.eat_punct("(")?;
                     let e = self.expr()?;
                     self.eat_punct(")")?;
                     Ok(Expr::dom(e))
                 }
-                "min" | "max" => {
+                // Builtin calls commit only on a following `(`; a bare
+                // builtin name falls through to `Expr::Var` below, so
+                // `let exp = 3 in exp * 2` parses.
+                "min" | "max" if *self.peek2() == Tok::Punct("(") => {
                     let op = if id == "min" { BinOp::Min } else { BinOp::Max };
                     self.bump();
                     self.eat_punct("(")?;
@@ -478,14 +484,17 @@ impl Parser {
                     self.eat_punct(")")?;
                     Ok(Expr::Bin(op, Box::new(a), Box::new(b)))
                 }
-                "not" | "abs" | "sqrt" | "log" | "exp" | "sigmoid" => {
+                "not" | "abs" | "sqrt" | "log" | "exp" | "sigmoid"
+                    if *self.peek2() == Tok::Punct("(") =>
+                {
                     let op = match id.as_str() {
                         "not" => UnOp::Not,
                         "abs" => UnOp::Abs,
                         "sqrt" => UnOp::Sqrt,
                         "log" => UnOp::Log,
                         "exp" => UnOp::Exp,
-                        _ => UnOp::Sigmoid,
+                        "sigmoid" => UnOp::Sigmoid,
+                        other => unreachable!("unhandled builtin `{other}`"),
                     };
                     self.bump();
                     self.eat_punct("(")?;
@@ -716,6 +725,81 @@ mod tests {
         roundtrip("min(a, max(b, c))");
         roundtrip("not(a)");
         roundtrip("sigmoid(x) * exp(y) + log(z)");
+    }
+
+    #[test]
+    fn builtin_names_are_plain_variables_without_a_call() {
+        // Regression: the builtin arm used to `eat_punct("(")`
+        // unconditionally, making builtin names unusable as identifiers.
+        let e = parse_expr("let exp = 3 in exp * 2").unwrap();
+        assert_eq!(
+            e,
+            Expr::let_(
+                "exp",
+                Expr::int(3),
+                Expr::mul(Expr::var("exp"), Expr::int(2))
+            )
+        );
+        roundtrip("let exp = 3 in exp * 2");
+        for name in [
+            "not", "abs", "sqrt", "log", "exp", "sigmoid", "min", "max", "dom",
+        ] {
+            let src = format!("{name} + 1");
+            assert_eq!(
+                parse_expr(&src).unwrap(),
+                Expr::add(Expr::var(name), Expr::int(1)),
+                "{name} should parse as a variable"
+            );
+            roundtrip(&src);
+        }
+        // With a following `(`, the builtin call still wins.
+        assert_eq!(
+            parse_expr("exp(1)").unwrap(),
+            Expr::un(UnOp::Exp, Expr::int(1))
+        );
+        assert_eq!(
+            parse_expr("min(1, 2)").unwrap(),
+            Expr::Bin(BinOp::Min, Box::new(Expr::int(1)), Box::new(Expr::int(2)))
+        );
+    }
+
+    #[test]
+    fn applied_builtin_named_variables_round_trip() {
+        // Surface `exp(1)` is always the builtin call (the grammar commits
+        // on the following `(`)…
+        assert_eq!(
+            parse_expr("exp(1)").unwrap(),
+            Expr::un(UnOp::Exp, Expr::int(1))
+        );
+        // …so the printer parenthesizes an *applied variable* of that
+        // name, keeping the AST round-trip lossless.
+        let apply = Expr::apply(Expr::var("exp"), Expr::int(1));
+        assert_eq!(apply.to_string(), "(exp)(1)");
+        assert_eq!(parse_expr("(exp)(1)").unwrap(), apply);
+        // A dictionary bound to a builtin name stays applicable.
+        let e = Expr::let_(
+            "sigmoid",
+            Expr::DictLit(vec![(Expr::int(1), Expr::int(2))]),
+            Expr::apply(Expr::var("sigmoid"), Expr::int(1)),
+        );
+        assert_eq!(parse_expr(&e.to_string()).unwrap(), e);
+        // Non-builtin applied variables print without the parens.
+        assert_eq!(
+            Expr::apply(Expr::var("f"), Expr::int(1)).to_string(),
+            "f(1)"
+        );
+    }
+
+    #[test]
+    fn builtin_names_as_record_fields_round_trip() {
+        // `sigmoid` (and friends) as record field / projection names must
+        // survive the pretty-printer.
+        roundtrip("{sigmoid = 1, exp = 2}.sigmoid");
+        roundtrip("x.sigmoid + x.log");
+        roundtrip("x[`sigmoid`]");
+        let e = parse_expr("{sigmoid = 1}.sigmoid").unwrap();
+        let printed = e.to_string();
+        assert!(printed.contains("sigmoid"), "printed: {printed}");
     }
 
     #[test]

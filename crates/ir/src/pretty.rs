@@ -214,7 +214,23 @@ fn pp(e: &Expr, prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_char(')')
         }
         Expr::Apply(a, b) => {
+            // An applied variable whose name collides with a builtin
+            // (`exp(k)`) would reparse as the builtin call; parenthesize
+            // the callee so the application round-trips as `(exp)(k)`.
+            let shadowed_builtin = matches!(
+                a.as_ref(),
+                Expr::Var(x) if matches!(
+                    x.as_str(),
+                    "not" | "abs" | "sqrt" | "log" | "exp" | "sigmoid" | "min" | "max" | "dom"
+                )
+            );
+            if shadowed_builtin {
+                f.write_char('(')?;
+            }
             pp(a, PREC_POSTFIX, f)?;
+            if shadowed_builtin {
+                f.write_char(')')?;
+            }
             f.write_char('(')?;
             pp(b, PREC_LAMBDA, f)?;
             f.write_char(')')

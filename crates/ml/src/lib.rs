@@ -6,10 +6,12 @@
 //!   aggregates evaluated *directly over the input database* by the
 //!   `ifaq-engine` executors, without materializing the join. For linear
 //!   regression the batch is the covar matrix, computed once and reused by
-//!   every gradient-descent iteration (the §4.1 hoisting); for regression
-//!   trees it is a per-node batch of filtered variance aggregates (the
-//!   aggregates depend on the node's δ condition and cannot be hoisted,
-//!   §3).
+//!   every gradient-descent iteration (the §4.1 hoisting); for logistic
+//!   regression the σ-side gradient batch re-runs over the factorized
+//!   join every iteration (`σ(θᵀx)` is nonlinear in θ, so only the label
+//!   interactions hoist — see [`logreg`]); for regression trees it is a
+//!   per-node batch of filtered variance aggregates (the aggregates
+//!   depend on the node's δ condition and cannot be hoisted, §3).
 //! * **Materialized (baselines)** — the conventional pipeline: materialize
 //!   the training matrix first, then learn over it. [`baseline`]
 //!   reimplements the *shapes* of scikit-learn (closed form over the dense
@@ -22,9 +24,11 @@
 
 pub mod baseline;
 pub mod linreg;
+pub mod logreg;
 pub mod metrics;
 pub mod onehot;
 pub mod tree;
 
 pub use linreg::LinearModel;
+pub use logreg::LogisticModel;
 pub use tree::RegressionTree;

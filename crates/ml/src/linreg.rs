@@ -245,7 +245,6 @@ pub fn fit_bgd(moments: &Moments, learning_rate: f64, iterations: usize) -> Line
     // G'_{ij} = (G_{ij} - μ_i G_{0j} - μ_j G_{0i} + μ_i μ_j n)/(σ_i σ_j).
     let mut g2 = vec![0.0; d * d];
     let mut b2 = vec![0.0; d];
-    let y_mean = moments.xty[0] / n;
     for i in 0..d {
         let (mi, si) = if i == 0 {
             (0.0, 1.0)
@@ -264,7 +263,6 @@ pub fn fit_bgd(moments: &Moments, learning_rate: f64, iterations: usize) -> Line
                 / (si * sj);
         }
     }
-    let _ = y_mean;
     // BGD in standardized space: θ ← θ - (α/n)(G'θ - b').
     let mut theta = vec![0.0; d];
     for _ in 0..iterations {

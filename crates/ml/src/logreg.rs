@@ -1,0 +1,732 @@
+//! Logistic regression over factorized joins.
+//!
+//! The §3 D-IFAQ recipe extends beyond linear models, but with a twist:
+//! the log-loss gradient `Σ_x (σ(θᵀx) − y)·x_j` is *nonlinear* in θ, so —
+//! unlike the covar matrix — it cannot be hoisted out of the training
+//! loop. What still factorizes is each iteration's data pass:
+//!
+//! 1. the score `θᵀx` is linear over the joined tuple, so a per-row score
+//!    pass needs only one weighted view per dimension plus the fact
+//!    columns — no join materialization ([`fact_scores`]);
+//! 2. with the scores bound as a derived fact column `__sigma = σ(θᵀx)`,
+//!    the gradient aggregates `Σ σ` and `Σ σ·x_j` are ordinary
+//!    sum-of-product aggregates ([`ifaq_query::batch::logistic_gradient_batch`])
+//!    and run through [`ifaq_engine::layout::execute_with`] under any
+//!    physical layout and any [`ExecConfig`] sharding;
+//! 3. the loop-invariant side `Σ y·x_j` comes from a one-time covar pass
+//!    ([`crate::linreg::moments_factorized_cfg`]) and is hoisted, as are
+//!    the standardization moments.
+//!
+//! So the factorized win for GLMs is re-running a small aggregate batch
+//! per iteration over the *factorized* join instead of scanning a
+//! materialized matrix — `O(|fact| + Σ|dim|)` per iteration with tiny
+//! working state, versus `O(|fact|·width)` after an `O(|fact|·width)`
+//! materialization.
+//!
+//! Numerics: the sign-branched [`stable_sigmoid`] (shared with the
+//! interpreter's `UnOp::Sigmoid`) never overflows `exp`, and log-loss is
+//! computed from scores via [`log1p_exp`] (`ln(1+eˣ)` without overflow),
+//! so ±1e3 scores are exact.
+
+use crate::linreg::{moments_factorized_cfg, Moments};
+use ifaq_engine::par::run_chunked;
+use ifaq_engine::stable_sigmoid;
+use ifaq_engine::star::{StarDb, TrainMatrix};
+use ifaq_engine::{layout, ExecConfig, Layout};
+use ifaq_ir::Sym;
+use ifaq_query::batch::logistic_gradient_batch;
+use ifaq_query::{JoinTree, ViewPlan};
+use ifaq_storage::{ColRelation, Column};
+use std::ops::Range;
+
+/// Name of the derived fact column holding the per-row `σ(θᵀx)` values
+/// during factorized training. Chosen to collide with no generator
+/// attribute (double underscore, like the pipeline's `__agg<i>`).
+pub const SIGMA_COL: &str = "__sigma";
+
+/// `ln(1 + eˣ)` computed without overflow (the softplus function): for
+/// positive `x` the naive form computes `exp(1000) = inf`; rewriting as
+/// `x + ln(1 + e⁻ˣ)` keeps `exp` on non-positive arguments.
+#[inline]
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// A trained logistic model:
+/// `P(y=1|x) = σ(intercept + Σ weights[i]·x[fi])`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogisticModel {
+    /// Feature names, in weight order.
+    pub features: Vec<String>,
+    /// Intercept term of the linear score.
+    pub intercept: f64,
+    /// Per-feature weights of the linear score.
+    pub weights: Vec<f64>,
+}
+
+impl LogisticModel {
+    /// The linear score `intercept + Σ w·x` for row `i` of a matrix whose
+    /// columns include the model's features.
+    pub fn score_row(&self, m: &TrainMatrix, i: usize) -> f64 {
+        let row = m.row(i);
+        let mut s = self.intercept;
+        for (w, f) in self.weights.iter().zip(&self.features) {
+            s += w * row[m.col(f).expect("feature column")];
+        }
+        s
+    }
+
+    /// The predicted probability `σ(score)` for row `i`.
+    pub fn predict_proba_row(&self, m: &TrainMatrix, i: usize) -> f64 {
+        stable_sigmoid(self.score_row(m, i))
+    }
+
+    /// The predicted 0/1 label for row `i` (threshold 0.5).
+    pub fn predict_row(&self, m: &TrainMatrix, i: usize) -> f64 {
+        if self.score_row(m, i) >= 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// All row scores at once, with the feature columns resolved a single
+    /// time — use this (not [`Self::score_row`] in a loop) when scoring a
+    /// whole matrix: per-row column resolution is a string search per
+    /// feature.
+    pub fn scores(&self, m: &TrainMatrix) -> Vec<f64> {
+        let cols: Vec<usize> = self
+            .features
+            .iter()
+            .map(|f| m.col(f).expect("feature column"))
+            .collect();
+        (0..m.rows)
+            .map(|i| {
+                let row = m.row(i);
+                self.intercept
+                    + self
+                        .weights
+                        .iter()
+                        .zip(&cols)
+                        .map(|(w, &c)| w * row[c])
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Mean log-loss on a labeled matrix, computed stably from scores
+    /// (`loss = softplus(s) − y·s`), so extreme scores cannot produce
+    /// infinities through `ln(0)`.
+    pub fn mean_log_loss(&self, m: &TrainMatrix, label: &str) -> f64 {
+        let label_col = m.col(label).expect("label column");
+        if m.rows == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .scores(m)
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| log1p_exp(s) - m.row(i)[label_col] * s)
+            .sum();
+        total / m.rows as f64
+    }
+}
+
+/// Standardization parameters (mean 0 / variance 1 per feature, intercept
+/// untouched) shared by both training paths and the baseline shapes, so a
+/// single learning rate works across datasets — mirroring
+/// `linreg::fit_bgd`.
+pub(crate) struct Standardizer {
+    /// Per-column means; index 0 is the intercept (0.0).
+    pub(crate) mean: Vec<f64>,
+    /// Per-column standard deviations, floored at 1e-6; index 0 is 1.0.
+    pub(crate) std: Vec<f64>,
+}
+
+impl Standardizer {
+    fn from_stats(d: usize, n: f64, first: &[f64], second_diag: &[f64]) -> Standardizer {
+        let mut mean = vec![0.0; d];
+        let mut std = vec![1.0; d];
+        for i in 1..d {
+            mean[i] = first[i] / n;
+            let var = second_diag[i] / n - mean[i] * mean[i];
+            std[i] = var.max(1e-12).sqrt();
+        }
+        Standardizer { mean, std }
+    }
+
+    fn from_moments(moments: &Moments) -> Standardizer {
+        let d = moments.features.len() + 1;
+        let n = moments.count.max(1.0);
+        let first: Vec<f64> = (0..d).map(|i| moments.gram[i]).collect();
+        let diag: Vec<f64> = (0..d).map(|i| moments.gram[i * d + i]).collect();
+        Standardizer::from_stats(d, n, &first, &diag)
+    }
+
+    pub(crate) fn from_matrix(m: &TrainMatrix, cols: &[usize]) -> Standardizer {
+        let d = cols.len() + 1;
+        let n = (m.rows as f64).max(1.0);
+        let mut first = vec![0.0; d];
+        let mut diag = vec![0.0; d];
+        for r in 0..m.rows {
+            let row = m.row(r);
+            for (i, &c) in cols.iter().enumerate() {
+                first[i + 1] += row[c];
+                diag[i + 1] += row[c] * row[c];
+            }
+        }
+        Standardizer::from_stats(d, n, &first, &diag)
+    }
+
+    /// Maps standardized parameters back to raw-attribute space:
+    /// `w_j = θ_j/σ_j`, `b = θ_0 − Σ θ_j·μ_j/σ_j`. The same mapping turns
+    /// the current θ into the raw-space score weights each iteration uses.
+    pub(crate) fn to_raw(&self, theta: &[f64]) -> (f64, Vec<f64>) {
+        let mut bias = theta[0];
+        let mut weights = Vec::with_capacity(theta.len() - 1);
+        for (j, t) in theta.iter().enumerate().skip(1) {
+            weights.push(t / self.std[j]);
+            bias -= t * self.mean[j] / self.std[j];
+        }
+        (bias, weights)
+    }
+}
+
+/// Batch gradient descent on mean log-loss over a materialized training
+/// matrix — the conventional-pipeline path. Features are standardized
+/// internally; the returned model is in raw attribute space. Labels must
+/// be 0/1 (see `ifaq_datagen::Dataset::binarize_label`).
+pub fn fit_materialized(
+    m: &TrainMatrix,
+    features: &[&str],
+    label: &str,
+    learning_rate: f64,
+    iterations: usize,
+) -> LogisticModel {
+    let d = features.len() + 1;
+    let cols: Vec<usize> = features
+        .iter()
+        .map(|f| m.col(f).expect("feature column"))
+        .collect();
+    let label_col = m.col(label).expect("label column");
+    let n = (m.rows as f64).max(1.0);
+    let stdz = Standardizer::from_matrix(m, &cols);
+    let mut theta = vec![0.0; d];
+    let mut x = vec![0.0; d];
+    for _ in 0..iterations {
+        let mut grad = vec![0.0; d];
+        for r in 0..m.rows {
+            let row = m.row(r);
+            x[0] = 1.0;
+            for (i, &c) in cols.iter().enumerate() {
+                x[i + 1] = (row[c] - stdz.mean[i + 1]) / stdz.std[i + 1];
+            }
+            let s: f64 = theta.iter().zip(&x).map(|(t, xi)| t * xi).sum();
+            let err = stable_sigmoid(s) - row[label_col];
+            for i in 0..d {
+                grad[i] += err * x[i];
+            }
+        }
+        for i in 0..d {
+            theta[i] -= learning_rate / n * grad[i];
+        }
+    }
+    let (intercept, weights) = stdz.to_raw(&theta);
+    LogisticModel {
+        features: features.iter().map(|s| s.to_string()).collect(),
+        intercept,
+        weights,
+    }
+}
+
+/// Which relation stores an attribute.
+enum Owner {
+    /// The fact table stores it.
+    Fact,
+    /// Dimension `dims[i]` stores it.
+    Dim(usize),
+}
+
+/// Resolves attribute ownership with the view planner's rule: the fact
+/// table owns everything it stores; any other attribute belongs to the
+/// first dimension storing it.
+fn owner_of(db: &StarDb, attr: &str) -> Option<Owner> {
+    if db.fact.column(attr).is_some() {
+        return Some(Owner::Fact);
+    }
+    db.dims
+        .iter()
+        .position(|d| d.rel.column(attr).is_some())
+        .map(Owner::Dim)
+}
+
+/// Sentinel marking a fact row whose key misses a dimension.
+const MISS: u32 = u32::MAX;
+
+/// Loop-invariant preprocessing for the per-iteration score pass: for
+/// every dimension owning at least one feature, the fact-row → dimension-
+/// row resolution (an index join, resolved once per training run —
+/// duplicate dimension keys keep the last row, matching
+/// [`StarDb::materialize`]'s key index). With this hoisted, an
+/// iteration's score pass is pure dense arithmetic: no hashing.
+pub struct ScorePrep {
+    /// `(dimension index, per-fact-row dimension row or [`MISS`])`.
+    dim_rows: Vec<(usize, Vec<u32>)>,
+}
+
+/// Builds the [`ScorePrep`] for a feature set over a star database.
+pub fn prepare_scores(db: &StarDb, features: &[&str]) -> ScorePrep {
+    let mut featured: Vec<usize> = features
+        .iter()
+        .filter_map(|f| match owner_of(db, f) {
+            Some(Owner::Fact) => None,
+            Some(Owner::Dim(di)) => Some(di),
+            None => panic!("no relation stores attribute `{f}`"),
+        })
+        .collect();
+    featured.sort_unstable();
+    featured.dedup();
+    let dim_rows = featured
+        .into_iter()
+        .map(|di| {
+            let index = db.dims[di].key_index();
+            let fact_keys = db
+                .fact
+                .column(db.dims[di].key.as_str())
+                .expect("fact join key column")
+                .as_i64()
+                .expect("fact join key must be integer");
+            let rows: Vec<u32> = fact_keys
+                .iter()
+                .map(|k| index.get(k).map_or(MISS, |&j| j as u32))
+                .collect();
+            (di, rows)
+        })
+        .collect();
+    ScorePrep { dim_rows }
+}
+
+/// Computes the per-fact-row linear score `bias + Σ w_f·x_f` over the
+/// joined tuple without materializing the join: one `dim row → Σ w_f·x_f`
+/// weighted vector per featured dimension (rebuilt per call — the
+/// weights change every iteration) plus direct fact-column reads,
+/// resolved through the hoisted index join in `prep`. The scan shards
+/// per `cfg`; chunks emit disjoint ranges merged in ascending order, so
+/// results are identical at every thread count. Rows whose key misses a
+/// dimension score 0.0 — the inner join drops them everywhere the score
+/// is consumed.
+pub fn fact_scores_prepared(
+    db: &StarDb,
+    features: &[&str],
+    weights: &[f64],
+    bias: f64,
+    prep: &ScorePrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    assert_eq!(features.len(), weights.len());
+    let mut fact_cols: Vec<(&Column, f64)> = Vec::new();
+    let mut per_dim: Vec<Vec<(&Column, f64)>> = vec![Vec::new(); db.dims.len()];
+    for (f, &w) in features.iter().zip(weights) {
+        match owner_of(db, f) {
+            Some(Owner::Fact) => fact_cols.push((db.fact.column(f).unwrap(), w)),
+            Some(Owner::Dim(di)) => per_dim[di].push((db.dims[di].rel.column(f).unwrap(), w)),
+            None => panic!("no relation stores attribute `{f}`"),
+        }
+    }
+    // Per featured dimension: the weighted per-row sums for this θ.
+    let dim_views: Vec<(&[u32], Vec<f64>)> = prep
+        .dim_rows
+        .iter()
+        .map(|(di, rows)| {
+            let feats = &per_dim[*di];
+            assert!(
+                !feats.is_empty(),
+                "ScorePrep was built for a different feature set"
+            );
+            let len = db.dims[*di].rel.len();
+            let wsum: Vec<f64> = (0..len)
+                .map(|j| feats.iter().map(|(c, w)| w * c.get_f64(j)).sum())
+                .collect();
+            (rows.as_slice(), wsum)
+        })
+        .collect();
+    debug_assert_eq!(
+        dim_views.len(),
+        per_dim.iter().filter(|f| !f.is_empty()).count(),
+        "ScorePrep covers a different set of dimensions"
+    );
+    let n = db.fact.len();
+    run_chunked(
+        cfg,
+        n,
+        Vec::with_capacity(n),
+        |range: Range<usize>| {
+            let mut out = Vec::with_capacity(range.len());
+            'row: for i in range {
+                let mut s = bias;
+                for (rows, wsum) in &dim_views {
+                    let r = rows[i];
+                    if r == MISS {
+                        out.push(0.0);
+                        continue 'row;
+                    }
+                    s += wsum[r as usize];
+                }
+                for (col, w) in &fact_cols {
+                    s += w * col.get_f64(i);
+                }
+                out.push(s);
+            }
+            out
+        },
+        |acc: &mut Vec<f64>, p| acc.extend(p),
+    )
+}
+
+/// One-shot [`fact_scores_prepared`] (prepares the index join inline).
+pub fn fact_scores(
+    db: &StarDb,
+    features: &[&str],
+    weights: &[f64],
+    bias: f64,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    fact_scores_prepared(
+        db,
+        features,
+        weights,
+        bias,
+        &prepare_scores(db, features),
+        cfg,
+    )
+}
+
+/// Clones the star database with an extra all-zero `__sigma` fact column
+/// (replaced in place each training iteration).
+fn with_sigma_column(db: &StarDb) -> StarDb {
+    let mut attrs = db.fact.attrs.clone();
+    assert!(
+        !attrs.iter().any(|a| a.as_str() == SIGMA_COL),
+        "fact table already has a `{SIGMA_COL}` column"
+    );
+    attrs.push(Sym::new(SIGMA_COL));
+    let mut columns = db.fact.columns.clone();
+    columns.push(Column::F64(vec![0.0; db.fact.len()]));
+    StarDb::new(
+        ColRelation::new(db.fact.name.clone(), attrs, columns),
+        db.dims.clone(),
+    )
+}
+
+/// The IFAQ end-to-end path: per-iteration factorized gradient passes,
+/// never materializing the join. Uses the process-wide
+/// [`ExecConfig::global`].
+pub fn fit_factorized(
+    db: &StarDb,
+    features: &[&str],
+    label: &str,
+    layout_choice: Layout,
+    learning_rate: f64,
+    iterations: usize,
+) -> LogisticModel {
+    fit_factorized_cfg(
+        db,
+        features,
+        label,
+        layout_choice,
+        learning_rate,
+        iterations,
+        ExecConfig::global(),
+    )
+}
+
+/// [`fit_factorized`] with every data pass — the one-time covar pass, the
+/// per-iteration score pass, and the per-iteration gradient batch —
+/// sharded per `cfg`, composing with the deterministic chunk model of
+/// [`ifaq_engine::par`]. The gradient batch runs through
+/// [`layout::execute_with`] under `layout_choice`, so logistic training
+/// exercises the same physical ladder as the covar workloads.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_factorized_cfg(
+    db: &StarDb,
+    features: &[&str],
+    label: &str,
+    layout_choice: Layout,
+    learning_rate: f64,
+    iterations: usize,
+    cfg: &ExecConfig,
+) -> LogisticModel {
+    let d = features.len() + 1;
+    // Loop-invariant pass (hoisted, §4.1): standardization moments and the
+    // y-side gradient terms Σy, Σy·x_j from the covar batch.
+    let moments = moments_factorized_cfg(db, features, label, layout_choice, cfg);
+    let n = moments.count.max(1.0);
+    let stdz = Standardizer::from_moments(&moments);
+    // Standardized invariant gradient side: B_0 = Σy, B_j = Σy·x'_j.
+    let mut b = vec![0.0; d];
+    b[0] = moments.xty[0];
+    for (j, bj) in b.iter_mut().enumerate().skip(1) {
+        *bj = (moments.xty[j] - stdz.mean[j] * moments.xty[0]) / stdz.std[j];
+    }
+    // Plan and prepare the per-iteration gradient batch once: its shape
+    // does not depend on θ (θ only enters through the __sigma values).
+    let mut aug = with_sigma_column(db);
+    let cat = aug.catalog();
+    let dim_names: Vec<&str> = aug.dims.iter().map(|dm| dm.rel.name.as_str()).collect();
+    let tree =
+        JoinTree::build_with_root(&cat, aug.fact.name.as_str(), &dim_names).expect("join tree");
+    let batch = logistic_gradient_batch(features, SIGMA_COL);
+    let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
+    let prep = layout::prepare(layout_choice, &plan, &aug);
+    let g0 = batch.index_of("g_sigma").expect("g_sigma");
+    let gi: Vec<usize> = features
+        .iter()
+        .map(|f| batch.index_of(&format!("g_sigma_{f}")).expect("g_sigma_f"))
+        .collect();
+
+    // The fact-row → dim-row resolution is θ-free: hoist it (index join).
+    let score_prep = prepare_scores(&aug, features);
+
+    let mut theta = vec![0.0; d];
+    for _ in 0..iterations {
+        // Raw-space score weights for the current standardized θ.
+        let (bias, w) = stdz.to_raw(&theta);
+        let scores = fact_scores_prepared(&aug, features, &w, bias, &score_prep, cfg);
+        let sigma_col = aug.fact.columns.last_mut().expect("sigma column");
+        *sigma_col = Column::F64(scores.into_iter().map(stable_sigmoid).collect());
+        // σ-side aggregates through the chosen physical layout.
+        let g = layout::execute_with(layout_choice, &plan, &aug, &prep, cfg);
+        let s0 = g[g0];
+        theta[0] -= learning_rate / n * (s0 - b[0]);
+        for j in 1..d {
+            let aj = (g[gi[j - 1]] - stdz.mean[j] * s0) / stdz.std[j];
+            theta[j] -= learning_rate / n * (aj - b[j]);
+        }
+    }
+    let (intercept, weights) = stdz.to_raw(&theta);
+    LogisticModel {
+        features: features.iter().map(|s| s.to_string()).collect(),
+        intercept,
+        weights,
+    }
+}
+
+/// The exact semantics of
+/// `ifaq_transform::highlevel::logistic_regression_program`: raw-space
+/// (no standardization, no intercept) updates
+/// `θ_f ← θ_f − α·Σ_x Q(x)·(σ(Σ_{f'} θ_{f'}·x_{f'}) − y)·x_f`
+/// by re-scanning the materialized matrix every iteration. Returns the
+/// per-feature θ vector; used to differentially test the D-IFAQ
+/// interpreter on the optimized logistic program.
+pub fn fit_program_mirror(
+    m: &TrainMatrix,
+    features: &[&str],
+    label: &str,
+    alpha: f64,
+    iterations: usize,
+) -> Vec<f64> {
+    let cols: Vec<usize> = features
+        .iter()
+        .map(|f| m.col(f).expect("feature column"))
+        .collect();
+    let label_col = m.col(label).expect("label column");
+    let mut theta = vec![0.0; features.len()];
+    for _ in 0..iterations {
+        let mut grad = vec![0.0; features.len()];
+        for r in 0..m.rows {
+            let row = m.row(r);
+            let s: f64 = theta.iter().zip(&cols).map(|(t, &c)| t * row[c]).sum();
+            let err = stable_sigmoid(s) - row[label_col];
+            for (g, &c) in grad.iter_mut().zip(&cols) {
+                *g += err * row[c];
+            }
+        }
+        for (t, g) in theta.iter_mut().zip(&grad) {
+            *t -= alpha * g;
+        }
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifaq_engine::star::running_example_star;
+
+    /// A linearly separable-ish binary problem: y = 1 iff 2a - b > 4.5.
+    fn binary_matrix() -> TrainMatrix {
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for a in 0..10 {
+            for b in 0..10 {
+                let (a, b) = (a as f64, b as f64);
+                let y = if 2.0 * a - b > 4.5 { 1.0 } else { 0.0 };
+                data.extend([a, b, y]);
+                rows += 1;
+            }
+        }
+        TrainMatrix {
+            attrs: vec!["a".into(), "b".into(), "y".into()],
+            rows,
+            data,
+        }
+    }
+
+    /// The running-example star with `units` binarized at its median (5).
+    fn binary_star() -> StarDb {
+        let mut db = running_example_star();
+        let units: Vec<f64> = (0..db.fact.len())
+            .map(|i| db.fact.column("units").unwrap().get_f64(i))
+            .collect();
+        let bin: Vec<f64> = units
+            .iter()
+            .map(|&u| if u > 5.0 { 1.0 } else { 0.0 })
+            .collect();
+        let mut attrs = db.fact.attrs.clone();
+        attrs.push(Sym::new("hot"));
+        let mut cols = db.fact.columns.clone();
+        cols.push(Column::F64(bin));
+        db.fact = ColRelation::new("S", attrs, cols);
+        db
+    }
+
+    #[test]
+    fn log1p_exp_is_stable_and_correct() {
+        assert_eq!(log1p_exp(1000.0), 1000.0);
+        assert_eq!(log1p_exp(-1000.0), 0.0);
+        assert!((log1p_exp(0.0) - 2f64.ln()).abs() < 1e-15);
+        for x in [-30.0f64, -2.0, -0.1, 0.1, 2.0, 30.0] {
+            let naive = (1.0 + x.exp()).ln();
+            assert!((log1p_exp(x) - naive).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn materialized_fit_separates_the_classes() {
+        let m = binary_matrix();
+        let model = fit_materialized(&m, &["a", "b"], "y", 1.0, 500);
+        let correct = (0..m.rows)
+            .filter(|&i| model.predict_row(&m, i) == m.row(i)[2])
+            .count();
+        assert!(correct >= 95, "only {correct}/100 correct: {model:?}");
+        // Direction: more a ⇒ more likely 1, more b ⇒ less likely.
+        assert!(model.weights[0] > 0.0 && model.weights[1] < 0.0);
+        // Loss is finite and better than the coin-flip loss ln 2.
+        let loss = model.mean_log_loss(&m, "y");
+        assert!(loss.is_finite() && loss < 2f64.ln(), "loss {loss}");
+    }
+
+    #[test]
+    fn extreme_scores_keep_loss_finite() {
+        // Weights so large the scores hit ±1e3; the stable σ / softplus
+        // forms must return exact 0/1 probabilities and finite loss.
+        let m = binary_matrix();
+        let model = LogisticModel {
+            features: vec!["a".into(), "b".into()],
+            intercept: -500.0,
+            weights: vec![300.0, -300.0],
+        };
+        for i in 0..m.rows {
+            let p = model.predict_proba_row(&m, i);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+        assert!(model.mean_log_loss(&m, "y").is_finite());
+    }
+
+    #[test]
+    fn factorized_matches_materialized_on_running_example() {
+        let db = binary_star();
+        let m = db.materialize();
+        let features = ["city", "price"];
+        let reference = fit_materialized(&m, &features, "hot", 0.5, 200);
+        for &layout_choice in Layout::all() {
+            let got = fit_factorized(&db, &features, "hot", layout_choice, 0.5, 200);
+            assert!(
+                (got.intercept - reference.intercept).abs() < 1e-9,
+                "{layout_choice}: {got:?} vs {reference:?}"
+            );
+            for (a, b) in got.weights.iter().zip(&reference.weights) {
+                assert!((a - b).abs() < 1e-9, "{layout_choice}");
+            }
+        }
+    }
+
+    #[test]
+    fn factorized_is_thread_count_invariant() {
+        let db = binary_star();
+        let features = ["city", "price"];
+        let chunked = |threads: usize| {
+            fit_factorized_cfg(
+                &db,
+                &features,
+                "hot",
+                Layout::MergedHash,
+                0.5,
+                50,
+                &ExecConfig::with_threads(threads).with_chunk_rows(2),
+            )
+        };
+        let base = chunked(1);
+        for threads in [2, 4] {
+            assert_eq!(chunked(threads), base, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn fact_scores_factorize_the_linear_score() {
+        let db = running_example_star();
+        let m = db.materialize();
+        let features = ["city", "price", "units"];
+        let weights = [0.25, -1.5, 0.125];
+        let bias = 0.5;
+        let scores = fact_scores(&db, &features, &weights, bias, &ExecConfig::serial());
+        assert_eq!(scores.len(), db.fact.len());
+        for (i, score) in scores.iter().enumerate().take(m.rows) {
+            let row = m.row(i);
+            let want: f64 = bias
+                + weights
+                    .iter()
+                    .zip(&features)
+                    .map(|(w, f)| w * row[m.col(f).unwrap()])
+                    .sum::<f64>();
+            assert!((score - want).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn fact_scores_zero_on_dangling_keys() {
+        let mut db = running_example_star();
+        db.fact = ColRelation::new(
+            "S",
+            db.fact.attrs.clone(),
+            vec![
+                Column::I64(vec![1, 99]),
+                Column::I64(vec![1, 1]),
+                Column::F64(vec![10.0, 4.0]),
+            ],
+        );
+        let scores = fact_scores(&db, &["price"], &[2.0], 1.0, &ExecConfig::serial());
+        assert_eq!(scores, vec![1.0 + 2.0 * 1.5, 0.0]);
+    }
+
+    #[test]
+    fn program_mirror_moves_parameters_sensibly() {
+        let m = binary_matrix();
+        let theta = fit_program_mirror(&m, &["a", "b"], "y", 0.001, 50);
+        assert_eq!(theta.len(), 2);
+        assert!(theta.iter().all(|t| t.is_finite()));
+        assert!(theta[0] > theta[1], "a should outweigh b: {theta:?}");
+    }
+
+    #[test]
+    fn sigma_column_name_is_reserved() {
+        let db = binary_star();
+        let aug = with_sigma_column(&db);
+        assert_eq!(aug.fact.attrs.last().unwrap().as_str(), SIGMA_COL);
+        assert_eq!(aug.fact.len(), db.fact.len());
+    }
+}

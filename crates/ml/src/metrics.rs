@@ -1,7 +1,9 @@
-//! Model accuracy metrics (§5 compares systems by RMSE on the held-out
-//! last-month split).
+//! Model accuracy metrics: RMSE/MAE/R² for the regression workloads (§5
+//! compares systems by RMSE on the held-out last-month split) and
+//! log-loss/accuracy/AUC for the logistic workload.
 
 use crate::linreg::LinearModel;
+use crate::logreg::LogisticModel;
 use crate::tree::RegressionTree;
 use ifaq_engine::TrainMatrix;
 
@@ -47,6 +49,76 @@ pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
     1.0 - ss_res / ss_tot
 }
 
+/// Mean binary log-loss (cross-entropy) of predicted probabilities
+/// against 0/1 truths. Probabilities are clamped to `[1e-12, 1 − 1e-12]`
+/// so a confidently wrong prediction yields a large finite loss, never
+/// `inf` (prefer [`LogisticModel::mean_log_loss`], which computes from
+/// scores and needs no clamping, when the model is at hand).
+pub fn log_loss(prob: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(prob.len(), truth.len());
+    if prob.is_empty() {
+        return 0.0;
+    }
+    const EPS: f64 = 1e-12;
+    let total: f64 = prob
+        .iter()
+        .zip(truth)
+        .map(|(p, y)| {
+            let p = p.clamp(EPS, 1.0 - EPS);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum();
+    total / prob.len() as f64
+}
+
+/// Fraction of correct 0/1 predictions at the 0.5 probability threshold.
+pub fn accuracy(prob: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(prob.len(), truth.len());
+    if prob.is_empty() {
+        return 0.0;
+    }
+    let correct = prob
+        .iter()
+        .zip(truth)
+        .filter(|(p, y)| (**p >= 0.5) == (**y >= 0.5))
+        .count();
+    correct as f64 / prob.len() as f64
+}
+
+/// Area under the ROC curve, computed as the rank statistic
+/// `AUC = (Σ ranks(positives) − n₊(n₊+1)/2) / (n₊·n₋)` with midranks for
+/// tied scores. Degenerate inputs (a single class) return 0.5. Any
+/// monotone score works — probabilities or raw linear scores.
+pub fn auc(score: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(score.len(), truth.len());
+    let n = score.len();
+    let n_pos = truth.iter().filter(|y| **y >= 0.5).count();
+    let n_neg = n - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
+    // Assign midranks (1-based) to ties, accumulating positive ranks.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && score[idx[j]] == score[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + 1 + j) as f64 / 2.0; // mean of ranks i+1 ..= j
+        for &k in &idx[i..j] {
+            if truth[k] >= 0.5 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
 /// RMSE of a linear model on a test matrix.
 pub fn linreg_rmse(model: &LinearModel, m: &TrainMatrix, label: &str) -> f64 {
     let label_col = m.col(label).expect("label column");
@@ -61,6 +133,42 @@ pub fn tree_rmse(model: &RegressionTree, m: &TrainMatrix, label: &str) -> f64 {
     let pred: Vec<f64> = (0..m.rows).map(|i| model.predict_row(m, i)).collect();
     let truth: Vec<f64> = (0..m.rows).map(|i| m.row(i)[label_col]).collect();
     rmse(&pred, &truth)
+}
+
+fn logreg_scores_truth(
+    model: &LogisticModel,
+    m: &TrainMatrix,
+    label: &str,
+) -> (Vec<f64>, Vec<f64>) {
+    let label_col = m.col(label).expect("label column");
+    let truth: Vec<f64> = (0..m.rows).map(|i| m.row(i)[label_col]).collect();
+    (model.scores(m), truth)
+}
+
+/// Mean log-loss of a logistic model on a labeled matrix (computed stably
+/// from scores, no probability clamping needed).
+pub fn logreg_log_loss(model: &LogisticModel, m: &TrainMatrix, label: &str) -> f64 {
+    model.mean_log_loss(m, label)
+}
+
+/// Classification accuracy of a logistic model on a labeled matrix
+/// (probability threshold 0.5 ⇔ score threshold 0).
+pub fn logreg_accuracy(model: &LogisticModel, m: &TrainMatrix, label: &str) -> f64 {
+    let (scores, truth) = logreg_scores_truth(model, m, label);
+    let pred: Vec<f64> = scores
+        .iter()
+        .map(|&s| if s >= 0.0 { 1.0 } else { 0.0 })
+        .collect();
+    accuracy(&pred, &truth)
+}
+
+/// ROC AUC of a logistic model on a labeled matrix. Ranks the *raw
+/// linear scores*, not the probabilities: σ saturates to exactly 0.0/1.0
+/// at large |score|, which would collapse distinct scores into ties and
+/// drag the AUC toward 0.5 for confident models.
+pub fn logreg_auc(model: &LogisticModel, m: &TrainMatrix, label: &str) -> f64 {
+    let (scores, truth) = logreg_scores_truth(model, m, label);
+    auc(&scores, &truth)
 }
 
 #[cfg(test)]
@@ -91,5 +199,68 @@ mod tests {
     #[should_panic]
     fn mismatched_lengths_panic() {
         rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn log_loss_basics() {
+        // Perfectly confident and correct: essentially zero loss.
+        assert!(log_loss(&[1.0, 0.0], &[1.0, 0.0]) < 1e-10);
+        // Coin flips: ln 2.
+        let l = log_loss(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!((l - 2f64.ln()).abs() < 1e-12);
+        // Confidently wrong: large but finite (clamped, never inf).
+        let wrong = log_loss(&[0.0, 1.0], &[1.0, 0.0]);
+        assert!(wrong.is_finite() && wrong > 20.0);
+        assert_eq!(log_loss(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_thresholds_at_half() {
+        assert_eq!(accuracy(&[0.9, 0.4, 0.6, 0.1], &[1.0, 0.0, 0.0, 1.0]), 0.5);
+        assert_eq!(accuracy(&[0.7], &[1.0]), 1.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn auc_ranks_separation() {
+        // Perfect ranking.
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &[0.0, 0.0, 1.0, 1.0]), 1.0);
+        // Perfectly inverted.
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &[0.0, 0.0, 1.0, 1.0]), 0.0);
+        // All scores tied: chance level via midranks.
+        assert!((auc(&[0.5, 0.5, 0.5, 0.5], &[0.0, 1.0, 0.0, 1.0]) - 0.5).abs() < 1e-12);
+        // Single class: defined as 0.5.
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        // One swapped pair out of 2x2 = 4: AUC 0.75.
+        assert!((auc(&[0.1, 0.8, 0.6, 0.9], &[0.0, 0.0, 1.0, 1.0]) - 0.75).abs() < 1e-12);
+        // AUC is threshold-free: any monotone transform of scores agrees.
+        let scores = [0.3, -1.0, 2.0, 0.7, 0.0];
+        let truth = [1.0, 0.0, 1.0, 0.0, 1.0];
+        let probs: Vec<f64> = scores
+            .iter()
+            .map(|s| ifaq_engine::stable_sigmoid(*s))
+            .collect();
+        assert!((auc(&scores, &truth) - auc(&probs, &truth)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logreg_auc_survives_sigmoid_saturation() {
+        // A confident model saturates σ to exactly 0.0/1.0; ranking the
+        // probabilities would collapse distinct scores into ties (AUC 0.5
+        // here), while the raw scores still rank: AUC 0.75.
+        let m = TrainMatrix {
+            attrs: vec!["x".into(), "y".into()],
+            rows: 4,
+            data: vec![1.0, 0.0, 2.0, 1.0, 3.0, 0.0, 4.0, 1.0],
+        };
+        let model = LogisticModel {
+            features: vec!["x".into()],
+            intercept: -5000.0,
+            weights: vec![2000.0],
+        };
+        // Scores: -3000, -1000, 1000, 3000 → probabilities exactly 0,0,1,1.
+        let probs: Vec<f64> = (0..4).map(|i| model.predict_proba_row(&m, i)).collect();
+        assert_eq!(probs, vec![0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(logreg_auc(&model, &m, "y"), 0.75);
     }
 }

@@ -226,6 +226,23 @@ pub fn covar_batch(features: &[&str], label: &str) -> AggBatch {
     batch.with(AggSpec::count("count"))
 }
 
+/// Builds the per-iteration logistic-gradient batch: `Σ σ` and `Σ σ·fi`
+/// for every feature, where `sigma` names a fact-table column holding the
+/// current iteration's per-row `σ(θᵀx)` values. Unlike the covar batch
+/// these aggregates are *not* loop-invariant — `σ(θᵀx)` changes with θ —
+/// so logistic training re-runs this batch every iteration (still without
+/// materializing the join; the `θᵀx` score itself factorizes through the
+/// star schema). The label interactions `Σ y·fi` *are* invariant and come
+/// from a one-time [`covar_batch`] pass instead. Aggregate names are
+/// `g_sigma` and `g_sigma_fi`.
+pub fn logistic_gradient_batch(features: &[&str], sigma: &str) -> AggBatch {
+    let mut batch = AggBatch::new().with(AggSpec::new("g_sigma", &[sigma]));
+    for f in features {
+        batch = batch.with(AggSpec::new(format!("g_sigma_{f}"), &[sigma, f]));
+    }
+    batch
+}
+
 /// Builds the per-node variance batch for a CART regression tree (§3):
 /// `Σ label²·δ`, `Σ label·δ`, and `Σ δ`, all filtered by the node's path
 /// condition `delta`.
@@ -270,6 +287,19 @@ mod tests {
         assert!(b.index_of("m_p_c").is_none(), "only i <= j pairs");
         assert!(b.index_of("count").is_some());
         assert_eq!(b.aggs[b.index_of("m_u_u").unwrap()].degree(), 2);
+    }
+
+    #[test]
+    fn logistic_gradient_batch_shape() {
+        let b = logistic_gradient_batch(&["c", "p"], "__sigma");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.index_of("g_sigma"), Some(0));
+        assert_eq!(b.aggs[b.index_of("g_sigma_c").unwrap()].degree(), 2);
+        assert!(b
+            .aggs
+            .iter()
+            .all(|a| a.factors.first().map(|s| s.as_str()) == Some("__sigma")));
+        assert!(b.aggs.iter().all(|a| a.filter.is_empty()));
     }
 
     #[test]

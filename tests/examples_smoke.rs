@@ -1,5 +1,5 @@
-//! Smoke test for the repo-level `examples/`: all four must compile, and
-//! `quickstart` must run to completion.
+//! Smoke test for the repo-level `examples/`: all five must compile, and
+//! `quickstart` and `churn_or_promo` must run to completion.
 //!
 //! Shells out to the same `cargo` that is running this test. Nested cargo
 //! invocations are safe here: the outer process does not hold the build
@@ -43,5 +43,23 @@ fn quickstart_runs_to_completion() {
     assert!(
         stdout.contains("trained parameters"),
         "quickstart did not reach its final output; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn churn_or_promo_runs_to_completion() {
+    let output = cargo()
+        .args(["run", "--example", "churn_or_promo", "--offline"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "`cargo run --example churn_or_promo` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("trained logistic model"),
+        "churn_or_promo did not reach its final output; stdout:\n{stdout}"
     );
 }

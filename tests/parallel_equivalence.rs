@@ -13,6 +13,7 @@
 use ifaq_datagen::{favorita, retailer, Dataset};
 use ifaq_engine::layout::{execute_with, prepare, Prepared};
 use ifaq_engine::{ExecConfig, Layout};
+use ifaq_ml::logreg;
 use ifaq_query::batch::{covar_batch, variance_batch, AggBatch, PredOp, Predicate};
 use ifaq_query::{JoinTree, ViewPlan};
 
@@ -164,6 +165,79 @@ fn chunk_size_changes_stay_within_documented_tolerance() {
         let whole = run(100_000);
         for chunk_rows in [1, 64, 997] {
             assert_close(layout, &run(chunk_rows), &whole);
+        }
+    }
+}
+
+/// Logistic training re-runs its gradient batch (plus a sharded score
+/// pass) every iteration, so it exercises the whole sharding stack far
+/// harder than a single covar pass: the factorized path must match the
+/// materialized reference to ≤1e-6 at every layout and at 1 and 4
+/// threads, on both dataset shapes (the acceptance bar for the logistic
+/// workload).
+#[test]
+fn logistic_factorized_matches_materialized_every_layout_and_parallelism() {
+    for ds in [
+        favorita(2_500, 42).binarize_label(),
+        retailer(2_000, 43).binarize_label(),
+    ] {
+        let features: Vec<&str> = ds.feature_refs().into_iter().take(4).collect();
+        let m = ds.db.materialize();
+        let reference = logreg::fit_materialized(&m, &features, &ds.label, 0.5, 60);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()));
+        for &layout in Layout::all() {
+            for threads in [1usize, 4] {
+                let got = logreg::fit_factorized_cfg(
+                    &ds.db,
+                    &features,
+                    &ds.label,
+                    layout,
+                    0.5,
+                    60,
+                    &ExecConfig::with_threads(threads),
+                );
+                assert!(
+                    close(got.intercept, reference.intercept),
+                    "{} {layout} t{threads}: intercept {} vs {}",
+                    ds.name,
+                    got.intercept,
+                    reference.intercept
+                );
+                for ((a, b), f) in got.weights.iter().zip(&reference.weights).zip(&features) {
+                    assert!(
+                        close(*a, *b),
+                        "{} {layout} t{threads} weight {f}: {a} vs {b}",
+                        ds.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The per-iteration passes inherit the chunk-model determinism: for a
+/// fixed chunk size, logistic training is bit-identical at every thread
+/// count (the score pass emits disjoint ranges merged in order; the
+/// gradient batch uses the executors' guarantee).
+#[test]
+fn logistic_training_is_thread_count_invariant() {
+    let ds = favorita(1_500, 11).binarize_label();
+    let features = ds.feature_refs();
+    for &layout in &[Layout::MergedHash, Layout::SortedTrie] {
+        let run = |threads: usize| {
+            logreg::fit_factorized_cfg(
+                &ds.db,
+                &features,
+                &ds.label,
+                layout,
+                0.5,
+                30,
+                &ExecConfig::with_threads(threads),
+            )
+        };
+        let base = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), base, "{layout} at {threads} threads");
         }
     }
 }
