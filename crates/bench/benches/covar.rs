@@ -2,9 +2,10 @@
 //! ladder on a fixed covar workload, swept across thread counts.
 //!
 //! Each Fig. 7a layout runs at 1/2/4/8 threads (bench ids
-//! `<Layout>/t<threads>`) so thread scaling can be read off one report.
-//! Set `IFAQ_THREADS` to bench a single thread count instead, and
-//! `IFAQ_CHUNK_ROWS` to change the chunk granularity.
+//! `<Layout>/t<threads>`) so thread scaling can be read off one report,
+//! plus a `<Layout>/prepare` id timing the one-time θ-free state build
+//! that execute calls reuse. Set `IFAQ_THREADS` to bench a single thread
+//! count instead, and `IFAQ_CHUNK_ROWS` to change the chunk granularity.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ifaq_datagen::favorita;
@@ -36,6 +37,14 @@ fn bench_covar(c: &mut Criterion) {
         .filter(|&c| c > 0);
     let mut group = c.benchmark_group("covar_50k");
     for &layout in Layout::fig7a() {
+        // Prepare and execute are timed separately: prepare builds every
+        // piece of θ-free state once (single-threaded setup, outside the
+        // paper's measured region); execute is the per-call cost an
+        // iterative workload pays after caching the preparation.
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{layout:?}/prepare")),
+            |b| b.iter(|| prepare(layout, &plan, &ds.db)),
+        );
         let prep = prepare(layout, &plan, &ds.db);
         for &threads in &threads_sweep {
             let mut cfg = ExecConfig::with_threads(threads);

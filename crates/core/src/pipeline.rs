@@ -323,6 +323,35 @@ pub fn query_type(attrs: &[(Sym, ScalarType)]) -> Type {
     )
 }
 
+/// A compiled program's aggregate batch, planned and prepared once for a
+/// fixed database and layout: the join tree, view plan, and every piece
+/// of the layout's θ-free state ([`ifaq_engine::layout::Prepared`]).
+/// Build it with [`Compiled::prepare`], then run the batch any number of
+/// times with [`Compiled::run_batch_prepared`] /
+/// [`Compiled::execute_prepared`] — reuse is bit-identical to fresh
+/// prepare+execute. Staleness is guarded at both levels: the runner
+/// panics if the preparation came from a different [`Compiled`]
+/// (different batch), and the engine guard panics (naming both) on a
+/// layout or plan mismatch.
+#[derive(Debug)]
+pub struct PreparedBatch {
+    layout: Layout,
+    /// The batch the plan was derived from, kept so a `PreparedBatch`
+    /// cannot silently serve a *different* `Compiled`: the runner binds
+    /// result `i` to `__agg<i>`, so running program A's plan under
+    /// program B would feed B's loop the wrong aggregates with no error.
+    batch: AggBatch,
+    /// `None` when the compiled batch is empty (nothing to plan).
+    planned: Option<(ViewPlan, layout::Prepared)>,
+}
+
+impl PreparedBatch {
+    /// The layout this batch was prepared for.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+}
+
 impl Compiled {
     /// Executes the compiled program over a star database: evaluates the
     /// aggregate batch with the chosen physical layout (no join
@@ -341,7 +370,79 @@ impl Compiled {
         layout_choice: Layout,
         cfg: &ExecConfig,
     ) -> Result<Value, PipelineError> {
-        let results = self.run_batch_with(db, layout_choice, cfg)?;
+        let prepared = self.prepare(db, layout_choice)?;
+        self.execute_prepared(db, &prepared, cfg)
+    }
+
+    /// Plans the batch and builds the layout's θ-free state, once. Hoist
+    /// this out of any loop that runs the same compiled batch repeatedly
+    /// (training iterations, benchmark sweeps, per-δ tree nodes over an
+    /// unchanged plan).
+    pub fn prepare(
+        &self,
+        db: &StarDb,
+        layout_choice: Layout,
+    ) -> Result<PreparedBatch, PipelineError> {
+        if self.batch.is_empty() {
+            return Ok(PreparedBatch {
+                layout: layout_choice,
+                batch: self.batch.clone(),
+                planned: None,
+            });
+        }
+        let catalog = db.catalog();
+        let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
+        let tree = JoinTree::build_with_root(&catalog, db.fact.name.as_str(), &dim_names)
+            .map_err(|e| PipelineError::JoinTree(e.to_string()))?;
+        let plan = ViewPlan::plan(&self.batch, &tree, &catalog)
+            .map_err(|e| PipelineError::Plan(e.to_string()))?;
+        let prep = layout::prepare(layout_choice, &plan, db);
+        Ok(PreparedBatch {
+            layout: layout_choice,
+            batch: self.batch.clone(),
+            planned: Some((plan, prep)),
+        })
+    }
+
+    /// Runs just the aggregate batch over prepared state (the θ-dependent
+    /// scan only).
+    ///
+    /// # Panics
+    ///
+    /// If `prepared` was built by a different [`Compiled`] (its batch
+    /// differs from this program's) — results are positionally bound to
+    /// `__agg<i>` variables, so a foreign preparation would silently
+    /// misbind them. The engine guard additionally panics if `prepared`'s
+    /// layout or plan mismatches.
+    pub fn run_batch_prepared(
+        &self,
+        db: &StarDb,
+        prepared: &PreparedBatch,
+        cfg: &ExecConfig,
+    ) -> Vec<f64> {
+        assert!(
+            prepared.batch == self.batch,
+            "stale PreparedBatch: prepared for a different compiled program's batch \
+             ({} aggregates, this program extracts {}); call Compiled::prepare on \
+             the program being run",
+            prepared.batch.len(),
+            self.batch.len()
+        );
+        match &prepared.planned {
+            Some((plan, prep)) => layout::execute_with(prepared.layout, plan, db, prep, cfg),
+            None => vec![],
+        }
+    }
+
+    /// [`Compiled::execute_with`] over prepared state: batch scan, bind
+    /// results, interpret the residual program.
+    pub fn execute_prepared(
+        &self,
+        db: &StarDb,
+        prepared: &PreparedBatch,
+        cfg: &ExecConfig,
+    ) -> Result<Value, PipelineError> {
+        let results = self.run_batch_prepared(db, prepared, cfg);
         let mut env = Env::new();
         for (i, v) in results.iter().enumerate() {
             env.insert(Extraction::agg_var(i), Value::real(*v));
@@ -356,24 +457,16 @@ impl Compiled {
         self.run_batch_with(db, layout_choice, ExecConfig::global())
     }
 
-    /// [`Compiled::run_batch`] with the scan sharded per `cfg`.
+    /// [`Compiled::run_batch`] with the scan sharded per `cfg` (one-shot:
+    /// plans and prepares internally; see [`Compiled::prepare`] to reuse).
     pub fn run_batch_with(
         &self,
         db: &StarDb,
         layout_choice: Layout,
         cfg: &ExecConfig,
     ) -> Result<Vec<f64>, PipelineError> {
-        if self.batch.is_empty() {
-            return Ok(vec![]);
-        }
-        let catalog = db.catalog();
-        let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
-        let tree = JoinTree::build_with_root(&catalog, db.fact.name.as_str(), &dim_names)
-            .map_err(|e| PipelineError::JoinTree(e.to_string()))?;
-        let plan = ViewPlan::plan(&self.batch, &tree, &catalog)
-            .map_err(|e| PipelineError::Plan(e.to_string()))?;
-        let prep = layout::prepare(layout_choice, &plan, db);
-        Ok(layout::execute_with(layout_choice, &plan, db, &prep, cfg))
+        let prepared = self.prepare(db, layout_choice)?;
+        Ok(self.run_batch_prepared(db, &prepared, cfg))
     }
 }
 
@@ -450,6 +543,86 @@ mod tests {
         for &l in Layout::all() {
             assert_eq!(compiled.execute(&db, l).unwrap(), reference, "{l}");
         }
+    }
+
+    #[test]
+    fn prepared_batch_reuse_matches_fresh() {
+        let (db, compiled) = compile_lr(3);
+        let cfg = ExecConfig::global();
+        for &l in Layout::all() {
+            let prepared = compiled.prepare(&db, l).unwrap();
+            assert_eq!(prepared.layout(), l);
+            let fresh = compiled.run_batch(&db, l).unwrap();
+            for _ in 0..3 {
+                assert_eq!(
+                    compiled.run_batch_prepared(&db, &prepared, cfg),
+                    fresh,
+                    "{l}: cached batch diverged from fresh"
+                );
+            }
+            assert_eq!(
+                compiled.execute_prepared(&db, &prepared, cfg).unwrap(),
+                compiled.execute(&db, l).unwrap(),
+                "{l}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_prepared_batch_is_rejected() {
+        // A PreparedBatch from program A must not silently serve program
+        // B: results bind positionally to __agg variables.
+        let db = running_example_star();
+        let opts = CompileOptions::for_star_db(&db);
+        let a = Pipeline::new(db.catalog())
+            .compile(
+                &ifaq_ir::parser::parse_program("sum(x in dom(Q)) Q(x) * x.units").unwrap(),
+                &opts,
+            )
+            .unwrap();
+        let b = Pipeline::new(db.catalog())
+            .compile(
+                &ifaq_ir::parser::parse_program("sum(x in dom(Q)) Q(x) * x.price").unwrap(),
+                &opts,
+            )
+            .unwrap();
+        let prep_a = a.prepare(&db, Layout::MergedHash).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.run_batch_prepared(&db, &prep_a, ExecConfig::global())
+        }))
+        .expect_err("foreign preparation must be rejected");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("different compiled program"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_prepares_and_runs() {
+        // A program with no aggregates compiles to an empty batch; the
+        // prepared path must mirror `run_batch_with`'s empty result.
+        let db = running_example_star();
+        let program = ifaq_ir::parser::parse_program("1 + 2").unwrap();
+        let opts = CompileOptions::for_star_db(&db);
+        let compiled = Pipeline::new(db.catalog())
+            .compile(&program, &opts)
+            .unwrap();
+        assert!(compiled.batch.is_empty());
+        let prepared = compiled.prepare(&db, Layout::MergedHash).unwrap();
+        assert!(compiled
+            .run_batch_prepared(&db, &prepared, ExecConfig::global())
+            .is_empty());
+        assert_eq!(
+            compiled
+                .execute_prepared(&db, &prepared, ExecConfig::global())
+                .unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]

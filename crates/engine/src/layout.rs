@@ -83,18 +83,102 @@ impl fmt::Display for Layout {
     }
 }
 
-/// Preprocessed index state (built outside the measured region, like the
-/// paper's assumption that relations are pre-indexed by join attributes).
+/// All θ-free state a layout needs, built exactly once by [`prepare`]
+/// (outside the measured region, like the paper's assumption that
+/// relations are pre-indexed by join attributes) and borrowed read-only
+/// by any number of [`execute_with`] calls: merged hash views, dense
+/// key-indexed views, boxed dictionaries, per-aggregate pushdown views,
+/// the resolved join, the fact trie, the sorted order, and the level
+/// analysis. The state records the [`Layout`] and the [`ViewPlan`] it
+/// was built for; executing under a different layout panics with a
+/// message naming both layouts, and executing a different plan panics
+/// describing both shapes (a stale preparation would otherwise silently
+/// produce wrong results or index out of bounds).
+///
+/// Prepared state never captures **fact value** columns — executors
+/// read those live — so one preparation stays valid across iterative
+/// training that rewrites a derived fact column (logistic's `__sigma`).
+/// Everything else is baked in at prepare time: dimension payload
+/// values live inside the views, and join keys inside the indexes, so
+/// mutating either requires a fresh [`prepare`] (the guards catch
+/// layout, plan, and row-count drift; they cannot see content-level
+/// dimension edits).
+#[derive(Debug)]
 pub struct Prepared {
-    trie: Option<physical::FactTrie>,
-    sorted: Option<physical::SortedStar>,
+    layout: Layout,
+    /// The plan the state was derived from, kept for the staleness guard:
+    /// per-term view sets, payload orders, and level analyses are all
+    /// plan-shaped, so executing a different plan over them would index
+    /// out of bounds or silently mis-multiply. Plans are term/dim
+    /// metadata (not data-sized), so the clone and the per-execute
+    /// equality check are negligible next to any fact scan.
+    plan: ViewPlan,
+    /// Row counts of the database the state was built from (fact, then
+    /// each dimension): tries, sort orders, and the join index hold row
+    /// *indices*, so executing over a database whose shape changed (e.g.
+    /// `take_fact`) would read out of bounds or mis-join. *Fact value*
+    /// mutations keep the counts (and validity) intact — that is the
+    /// `__sigma` contract — while shape changes are caught here.
+    /// Mutating dimension *payload values* or join *keys* is
+    /// intentionally out of guard scope: dimension payloads are baked
+    /// into the prepared views and keys into the indexes, so either kind
+    /// of change means re-preparing (see the struct docs).
+    db_shape: Vec<usize>,
+    state: PrepState,
 }
 
-/// Builds the preprocessing required by `layout` (if any).
+fn db_shape(db: &StarDb) -> Vec<usize> {
+    std::iter::once(db.fact.len())
+        .chain(db.dims.iter().map(|d| d.rel.len()))
+        .collect()
+}
+
+#[derive(Debug)]
+enum PrepState {
+    Materialized(physical::MatPrep),
+    Pushdown(physical::PushdownPrep),
+    BoxedRecords(physical::BoxedRecordsPrep),
+    BoxedScalars(physical::BoxedScalarsPrep),
+    MergedHash(physical::MergedPrep),
+    Trie(physical::TriePrep),
+    Array(physical::ArrayPrep),
+    SortedTrie(physical::SortedPrep),
+}
+
+impl Prepared {
+    /// The layout this state was built for.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+}
+
+/// How many times [`prepare`] has run in this process. Monotonic;
+/// intended for tests asserting preparation is hoisted (built once per
+/// training run or batch loop, not once per call or iteration).
+pub fn prepare_invocations() -> usize {
+    PREPARE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static PREPARE_CALLS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Builds every piece of θ-free state `layout` needs over `plan` × `db`.
 pub fn prepare(layout: Layout, plan: &ViewPlan, db: &StarDb) -> Prepared {
+    PREPARE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let state = match layout {
+        Layout::Materialized => PrepState::Materialized(physical::prepare_materialized(db)),
+        Layout::Pushdown => PrepState::Pushdown(physical::prepare_pushdown(plan, db)),
+        Layout::BoxedRecords => PrepState::BoxedRecords(physical::prepare_boxed_records(plan, db)),
+        Layout::BoxedScalars => PrepState::BoxedScalars(physical::prepare_boxed_scalars(plan, db)),
+        Layout::MergedHash => PrepState::MergedHash(physical::prepare_merged(plan, db)),
+        Layout::Trie => PrepState::Trie(physical::prepare_trie(plan, db)),
+        Layout::Array => PrepState::Array(physical::prepare_array(plan, db)),
+        Layout::SortedTrie => PrepState::SortedTrie(physical::prepare_sorted(plan, db)),
+    };
     Prepared {
-        trie: (layout == Layout::Trie).then(|| physical::build_fact_trie(plan, db)),
-        sorted: (layout == Layout::SortedTrie).then(|| physical::build_sorted(plan, db)),
+        layout,
+        plan: plan.clone(),
+        db_shape: db_shape(db),
+        state,
     }
 }
 
@@ -104,8 +188,16 @@ pub fn execute(layout: Layout, plan: &ViewPlan, db: &StarDb, prep: &Prepared) ->
     execute_with(layout, plan, db, prep, ExecConfig::global())
 }
 
-/// Executes the batch under the given layout with a sharded scan per
-/// `cfg` (see [`crate::par`] for the determinism guarantee).
+/// Executes the batch under the given layout over state built by
+/// [`prepare`], with a sharded scan per `cfg` (see [`crate::par`] for the
+/// determinism guarantee). Only the θ-dependent work runs here: the fact
+/// scan(s), plus the value gather for the materialized baseline.
+///
+/// # Panics
+///
+/// If `prep` was built for a different layout than `layout` — the
+/// message names both, so a stale preparation is caught at the call
+/// site instead of producing wrong results.
 pub fn execute_with(
     layout: Layout,
     plan: &ViewPlan,
@@ -113,22 +205,50 @@ pub fn execute_with(
     prep: &Prepared,
     cfg: &ExecConfig,
 ) -> Vec<f64> {
-    match layout {
-        Layout::Materialized => physical::exec_materialized_cfg(plan, db, cfg),
-        Layout::Pushdown => physical::exec_pushdown_cfg(plan, db, cfg),
-        Layout::BoxedRecords => physical::exec_boxed_records_cfg(plan, db, cfg),
-        Layout::BoxedScalars => physical::exec_boxed_scalars_cfg(plan, db, cfg),
-        Layout::MergedHash => physical::exec_merged_cfg(plan, db, cfg),
-        Layout::Trie => {
-            physical::exec_trie_cfg(plan, db, prep.trie.as_ref().expect("prepare(Trie)"), cfg)
-        }
-        Layout::Array => physical::exec_array_cfg(plan, db, cfg),
-        Layout::SortedTrie => physical::exec_sorted_cfg(
-            plan,
-            db,
-            prep.sorted.as_ref().expect("prepare(SortedTrie)"),
-            cfg,
-        ),
+    if prep.layout != layout {
+        panic!(
+            "stale Prepared: state was built for layout `{built}` ({built_dbg:?}) but \
+             execute was called under layout `{want}` ({want_dbg:?}); \
+             call layout::prepare({want_dbg:?}, …) and pass that instead",
+            built = prep.layout,
+            built_dbg = prep.layout,
+            want = layout,
+            want_dbg = layout,
+        );
+    }
+    if prep.db_shape != db_shape(db) {
+        panic!(
+            "stale Prepared: state was built over a database shaped {built:?} \
+             (fact rows, then each dimension's rows) but execute was called over \
+             one shaped {want:?}; row-index state (join index, trie, sort order) \
+             would read out of bounds — rebuild with layout::prepare for the \
+             current database",
+            built = prep.db_shape,
+            want = db_shape(db),
+        );
+    }
+    if prep.plan != *plan {
+        panic!(
+            "stale Prepared: state was built for a different view plan \
+             ({built_terms} terms over {built_dims} dimension views, now \
+             {want_terms} terms over {want_dims}); per-term views and level \
+             analyses are plan-shaped, so rebuild with layout::prepare({layout:?}, …) \
+             for the plan being executed",
+            built_terms = prep.plan.terms.len(),
+            built_dims = prep.plan.dims.len(),
+            want_terms = plan.terms.len(),
+            want_dims = plan.dims.len(),
+        );
+    }
+    match &prep.state {
+        PrepState::Materialized(p) => physical::exec_materialized_prepared(plan, db, p, cfg),
+        PrepState::Pushdown(p) => physical::exec_pushdown_prepared(plan, db, p, cfg),
+        PrepState::BoxedRecords(p) => physical::exec_boxed_records_prepared(plan, db, p, cfg),
+        PrepState::BoxedScalars(p) => physical::exec_boxed_scalars_prepared(plan, db, p, cfg),
+        PrepState::MergedHash(p) => physical::exec_merged_prepared(plan, db, p, cfg),
+        PrepState::Trie(p) => physical::exec_trie_prepared(plan, db, p, cfg),
+        PrepState::Array(p) => physical::exec_array_prepared(plan, db, p, cfg),
+        PrepState::SortedTrie(p) => physical::exec_sorted_prepared(plan, db, p, cfg),
     }
 }
 
@@ -162,6 +282,144 @@ mod tests {
 
     // Thread-count invariance of `execute_with` is covered per executor in
     // `physical::tests` and end to end by `tests/parallel_equivalence.rs`.
+
+    #[test]
+    fn repeated_execution_over_one_prepared_is_bit_identical() {
+        let db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
+        for &layout in Layout::all() {
+            let prep = prepare(layout, &plan, &db);
+            assert_eq!(prep.layout(), layout);
+            let fresh = execute(layout, &plan, &db, &prepare(layout, &plan, &db));
+            let first = execute(layout, &plan, &db, &prep);
+            assert_eq!(first, fresh, "{layout}: reuse != fresh");
+            for _ in 0..3 {
+                assert_eq!(
+                    execute(layout, &plan, &db, &prep),
+                    first,
+                    "{layout} drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_prepared_panics_naming_both_layouts() {
+        let db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
+        let prep = prepare(Layout::Trie, &plan, &db);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(Layout::SortedTrie, &plan, &db, &prep)
+        }))
+        .expect_err("mismatched layout must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        // Anchor on the parenthesized Debug forms: `Trie` is a substring
+        // of `SortedTrie`, so a bare contains("Trie") would be vacuous.
+        assert!(
+            msg.contains("(Trie)") && msg.contains("(SortedTrie)") && msg.contains("stale"),
+            "message should name both layouts: {msg}"
+        );
+    }
+
+    #[test]
+    fn plan_mismatched_prepared_panics() {
+        // The layout tag alone cannot catch a prepared state reused for a
+        // different batch over the same layout; the plan guard must.
+        let db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan_a =
+            ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
+        let plan_b = ViewPlan::plan(&covar_batch(&["city"], "units"), &tree, &cat).unwrap();
+        for &layout in &[Layout::Pushdown, Layout::MergedHash, Layout::Trie] {
+            let prep = prepare(layout, &plan_a, &db);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute(layout, &plan_b, &db, &prep)
+            }))
+            .expect_err("plan mismatch must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("different view plan"),
+                "{layout}: unexpected message: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn db_shape_mismatched_prepared_panics() {
+        // Row-index state (join index, trie, sort order) is tied to the
+        // database's shape; executing over a truncated fact table must
+        // fail fast instead of reading out of bounds.
+        let db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
+        let prep = prepare(Layout::Materialized, &plan, &db);
+        let truncated = db.take_fact(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(Layout::Materialized, &plan, &truncated, &prep)
+        }))
+        .expect_err("shape mismatch must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("database shaped"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn value_mutation_keeps_prepared_valid() {
+        // The `__sigma` contract: rewriting a fact *value* column leaves
+        // the shape (and therefore the preparation) intact, and executes
+        // see the new values.
+        let mut db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city"], "units"), &tree, &cat).unwrap();
+        for &layout in Layout::all() {
+            let prep = prepare(layout, &plan, &db);
+            let before = execute(layout, &plan, &db, &prep);
+            let units: Vec<f64> = (0..db.fact.len())
+                .map(|i| db.fact.columns[2].get_f64(i) * 2.0)
+                .collect();
+            db.fact.columns[2] = ifaq_storage::Column::F64(units);
+            let after = execute(layout, &plan, &db, &prep);
+            assert_ne!(before, after, "{layout}: mutation must be visible");
+            // m_units doubles exactly; find it through the plan.
+            db.fact.columns[2] = ifaq_storage::Column::F64(
+                (0..db.fact.len())
+                    .map(|i| db.fact.columns[2].get_f64(i) / 2.0)
+                    .collect(),
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_invocations_is_monotonic() {
+        // Strict "execute never prepares" accounting needs a process with
+        // no concurrent tests; that lives in `ifaq_ml`'s single-test
+        // `prepare_once` integration binary. Here: the counter moves.
+        let db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city"], "units"), &tree, &cat).unwrap();
+        let before = prepare_invocations();
+        let _prep = prepare(Layout::MergedHash, &plan, &db);
+        assert!(prepare_invocations() > before);
+    }
 
     #[test]
     fn ladders_are_subsets_of_all() {

@@ -66,4 +66,4 @@ pub mod star;
 pub use interp::{eval_expr, eval_program, stable_sigmoid, Env, Interpreter};
 pub use layout::Layout;
 pub use par::ExecConfig;
-pub use star::{Dim, StarDb, TrainMatrix};
+pub use star::{Dim, JoinIndex, StarDb, TrainMatrix};

@@ -5,17 +5,29 @@
 //! the planned batch); they differ in data layout and loop structure. See
 //! the crate docs for the mapping to the paper's measurement points.
 //!
-//! Each executor comes in two forms: `exec_*`, which uses the process-wide
-//! [`ExecConfig::global`] (from `IFAQ_THREADS` / `IFAQ_CHUNK_ROWS`; one
-//! thread when unset), and `exec_*_cfg`, which shards the scan across
-//! threads per an explicit [`ExecConfig`]. Sharding follows the
-//! [`crate::par`] model: the scan's work items — fact-row chunks for most
-//! executors, top-level key groups for the trie, whole aggregates for
-//! pushdown — are claimed by workers, each produces a partial result, and
-//! partials merge in ascending item order, so results are identical at
-//! every thread count for a fixed `chunk_rows`. View building and other
-//! preprocessing stay single-threaded: they are the paper's
-//! out-of-measurement setup work.
+//! Each executor comes in three forms: `exec_*`, which uses the
+//! process-wide [`ExecConfig::global`] (from `IFAQ_THREADS` /
+//! `IFAQ_CHUNK_ROWS`; one thread when unset); `exec_*_cfg`, which shards
+//! the scan across threads per an explicit [`ExecConfig`]; and the
+//! `prepare_*` / `exec_*_prepared` split, where all θ-free state — the
+//! merged hash views, dense key-indexed views, boxed dictionaries,
+//! per-aggregate pushdown views, the resolved join, the fact trie, the
+//! sorted order, and the level analysis — is built exactly once and then
+//! borrowed by any number of execute calls. The one-shot forms are thin
+//! wrappers over the split, so reuse is bit-identical to fresh
+//! prepare+execute by construction; [`crate::layout::prepare`] dispatches
+//! the split uniformly across layouts. Prepared state never captures fact
+//! *value* columns (executors read those live), so iterative training
+//! that rewrites a derived fact column (logistic's `__sigma`) can reuse
+//! one preparation across every iteration.
+//!
+//! Sharding follows the [`crate::par`] model: the scan's work items —
+//! fact-row chunks for most executors, top-level key groups for the trie,
+//! whole aggregates for pushdown — are claimed by workers, each produces
+//! a partial result, and partials merge in ascending item order, so
+//! results are identical at every thread count for a fixed `chunk_rows`.
+//! View building and other preprocessing stay single-threaded: they are
+//! the paper's out-of-measurement setup work.
 
 use crate::par::{run_chunked, run_chunked_sums, ExecConfig};
 use crate::star::{Dim, StarDb};
@@ -177,7 +189,36 @@ pub fn exec_materialized(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
 /// [`exec_materialized`] with a sharded aggregate scan (materialization
 /// itself stays single-threaded, as in the conventional pipeline).
 pub fn exec_materialized_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
-    let m = db.materialize();
+    exec_materialized_prepared(plan, db, &prepare_materialized(db), cfg)
+}
+
+/// θ-free prepared state for the materialized baseline: the resolved
+/// project-join row structure ([`crate::star::JoinIndex`]). The index
+/// reads only join keys, so it survives fact *value* mutations (e.g. the
+/// per-iteration `__sigma` rewrite in logistic training); execute
+/// re-gathers current values through it without any hashing.
+#[derive(Clone, Debug)]
+pub struct MatPrep {
+    index: crate::star::JoinIndex,
+}
+
+/// Resolves the join once (hash lookups happen only here).
+pub fn prepare_materialized(db: &StarDb) -> MatPrep {
+    MatPrep {
+        index: db.join_index(),
+    }
+}
+
+/// [`exec_materialized_cfg`] over a prebuilt [`MatPrep`]: gathers the
+/// dense matrix from the current column values (bit-identical to
+/// [`StarDb::materialize`]) and aggregates over it.
+pub fn exec_materialized_prepared(
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &MatPrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    let m = db.materialize_via(&prep.index);
     batch_over_matrix_cfg(&m, plan, cfg)
 }
 
@@ -255,13 +296,77 @@ pub fn exec_pushdown(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
 }
 
 /// [`exec_pushdown`] sharded across *aggregates* rather than rows: every
-/// term's view build + fact scan is already an independent unit of work
-/// (that repetition is the point of this rung), so each worker computes
-/// whole terms — one thread scope for the batch, memory bounded to one
-/// view set per in-flight term, and since a term is never split its
-/// result is the plain sequential accumulation, identical for any thread
-/// count *and* any `chunk_rows`.
+/// term's fact scan is already an independent unit of work (the repeated
+/// per-aggregate scans are the point of this rung), so each worker
+/// computes whole terms — one thread scope for the batch, and since a
+/// term is never split its result is the plain sequential accumulation,
+/// identical for any thread count *and* any `chunk_rows`.
+///
+/// As a wrapper over the split, this one-shot form builds the whole
+/// [`PushdownPrep`] up front (single-threaded, all term view sets
+/// resident — see its memory note) before the sharded scan; the
+/// pre-split code instead built each term's views inside its worker.
+/// On wide batches over large dimensions that trade-off matters and a
+/// view-sharing layout is the right tool anyway.
 pub fn exec_pushdown_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
+    exec_pushdown_prepared(plan, db, &prepare_pushdown(plan, db), cfg)
+}
+
+/// θ-free prepared state for the pushdown executor: one single-payload
+/// view per (aggregate, dimension) pair — this rung's defining
+/// duplication, built once instead of once per execute call.
+///
+/// Memory note: all `terms × dims` view sets are resident at once
+/// (that is what caching them means), whereas the pre-split executor
+/// built each term's views inside its worker and peaked at one set per
+/// in-flight term. For very wide batches (a covar batch has O(f²)
+/// terms) over large dimensions, prefer a view-sharing layout like
+/// [`prepare_merged`] — pushdown is the ladder's deliberately redundant
+/// starting rung.
+#[derive(Clone, Debug)]
+pub struct PushdownPrep {
+    /// `views[term][dim]`: key → the term's payload at that dimension.
+    views: Vec<Vec<HashMap<i64, f64>>>,
+}
+
+/// Builds every term's private view set.
+pub fn prepare_pushdown(plan: &ViewPlan, db: &StarDb) -> PushdownPrep {
+    let bounds = bind_dims(plan, db);
+    let views = plan
+        .terms
+        .iter()
+        .map(|term| {
+            bounds
+                .iter()
+                .zip(&term.dim_payload)
+                .map(|(b, &pi)| {
+                    let keys = b
+                        .dim
+                        .rel
+                        .column(b.view.key_attrs[0].as_str())
+                        .expect("dim key column")
+                        .as_i64()
+                        .expect("dim key");
+                    let payload = &b.view.payloads[pi];
+                    let mut out: HashMap<i64, f64> = HashMap::with_capacity(keys.len());
+                    for (j, &k) in keys.iter().enumerate() {
+                        *out.entry(k).or_insert(0.0) += payload_value(b.dim, payload, j);
+                    }
+                    out
+                })
+                .collect()
+        })
+        .collect();
+    PushdownPrep { views }
+}
+
+/// [`exec_pushdown_cfg`] over prebuilt per-aggregate views.
+pub fn exec_pushdown_prepared(
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &PushdownPrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
     let n = db.fact.len();
@@ -276,27 +381,7 @@ pub fn exec_pushdown_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<
         |terms: Range<usize>| {
             terms
                 .map(|t| {
-                    let term = &plan.terms[t];
-                    // Per-aggregate single-payload views (no sharing).
-                    let views: Vec<HashMap<i64, f64>> = bounds
-                        .iter()
-                        .zip(&term.dim_payload)
-                        .map(|(b, &pi)| {
-                            let keys = b
-                                .dim
-                                .rel
-                                .column(b.view.key_attrs[0].as_str())
-                                .expect("dim key column")
-                                .as_i64()
-                                .expect("dim key");
-                            let payload = &b.view.payloads[pi];
-                            let mut out: HashMap<i64, f64> = HashMap::with_capacity(keys.len());
-                            for (j, &k) in keys.iter().enumerate() {
-                                *out.entry(k).or_insert(0.0) += payload_value(b.dim, payload, j);
-                            }
-                            out
-                        })
-                        .collect();
+                    let views = &prep.views[t];
                     let fa = &fact_access[t];
                     let mut acc = 0.0;
                     'row: for i in 0..n {
@@ -304,7 +389,7 @@ pub fn exec_pushdown_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<
                         if v == 0.0 {
                             continue;
                         }
-                        for (b, view) in bounds.iter().zip(&views) {
+                        for (b, view) in bounds.iter().zip(views) {
                             match view.get(&b.fact_keys[i]) {
                                 Some(&p) => v *= p,
                                 None => continue 'row,
@@ -333,9 +418,34 @@ pub fn exec_merged(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
 
 /// [`exec_merged`] with the fused fact scan sharded across row chunks.
 pub fn exec_merged_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
+    exec_merged_prepared(plan, db, &prepare_merged(plan, db), cfg)
+}
+
+/// θ-free prepared state for the merged-view executor: one merged hash
+/// view per dimension (key → payload vector).
+#[derive(Clone, Debug)]
+pub struct MergedPrep {
+    views: Vec<HashMap<i64, Vec<f64>>>,
+}
+
+/// Builds the merged view of every dimension.
+pub fn prepare_merged(plan: &ViewPlan, db: &StarDb) -> MergedPrep {
+    let bounds = bind_dims(plan, db);
+    MergedPrep {
+        views: bounds.iter().map(build_merged_view).collect(),
+    }
+}
+
+/// [`exec_merged_cfg`] over prebuilt merged views.
+pub fn exec_merged_prepared(
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &MergedPrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
-    let views: Vec<HashMap<i64, Vec<f64>>> = bounds.iter().map(build_merged_view).collect();
+    let views = &prep.views;
     let n = db.fact.len();
     let nterms = plan.terms.len();
     run_chunked_sums(cfg, n, nterms, |range: Range<usize>| {
@@ -343,7 +453,7 @@ pub fn exec_merged_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f6
         let mut payload_refs: Vec<&[f64]> = Vec::with_capacity(bounds.len());
         'row: for i in range {
             payload_refs.clear();
-            for (b, view) in bounds.iter().zip(&views) {
+            for (b, view) in bounds.iter().zip(views) {
                 match view.get(&b.fact_keys[i]) {
                     Some(p) => payload_refs.push(p),
                     None => continue 'row,
@@ -370,6 +480,7 @@ pub fn exec_merged_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f6
 /// cardinality and split into a *hoistable prefix* — levels whose group
 /// count stays well below the row count, so per-group work amortizes —
 /// and a per-row *remainder*.
+#[derive(Debug)]
 struct KeyPlan {
     /// Prefix levels: (fact key column name, dims served by this level).
     prefix: Vec<(ifaq_ir::Sym, Vec<usize>)>,
@@ -465,7 +576,10 @@ enum TrieNode {
 
 /// Builds the fact trie for `plan` over `db`.
 pub fn build_fact_trie(plan: &ViewPlan, db: &StarDb) -> FactTrie {
-    let kp = key_plan(plan, db);
+    build_fact_trie_from(&key_plan(plan, db), db)
+}
+
+fn build_fact_trie_from(kp: &KeyPlan, db: &StarDb) -> FactTrie {
     let key_cols: Vec<&[i64]> = kp
         .prefix
         .iter()
@@ -512,11 +626,55 @@ pub fn exec_trie(plan: &ViewPlan, db: &StarDb, trie: &FactTrie) -> Vec<f64> {
 /// shard unit is a whole subtree, so per-group hoisting is untouched;
 /// groups per chunk are scaled so a chunk covers ≈ `chunk_rows` rows).
 /// With no hoistable prefix the single leaf's rows are sharded directly.
+/// Rebuilds the merged views and level analysis on every call; use
+/// [`prepare_trie`] + [`exec_trie_prepared`] to hoist them.
 pub fn exec_trie_cfg(plan: &ViewPlan, db: &StarDb, trie: &FactTrie, cfg: &ExecConfig) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
-    let fact_access = FactAccess::bind(plan, db);
     let views: Vec<HashMap<i64, Vec<f64>>> = bounds.iter().map(build_merged_view).collect();
     let kp = key_plan(plan, db);
+    exec_trie_inner(plan, db, trie, &views, &kp, cfg)
+}
+
+/// θ-free prepared state for the trie executor: the fact trie, the
+/// merged per-dimension views, and the level analysis, all built once.
+#[derive(Debug)]
+pub struct TriePrep {
+    trie: FactTrie,
+    views: Vec<HashMap<i64, Vec<f64>>>,
+    kp: KeyPlan,
+}
+
+/// Builds the trie-executor state for `plan` over `db`.
+pub fn prepare_trie(plan: &ViewPlan, db: &StarDb) -> TriePrep {
+    let bounds = bind_dims(plan, db);
+    let kp = key_plan(plan, db);
+    TriePrep {
+        trie: build_fact_trie_from(&kp, db),
+        views: bounds.iter().map(build_merged_view).collect(),
+        kp,
+    }
+}
+
+/// [`exec_trie_cfg`] over fully prebuilt state.
+pub fn exec_trie_prepared(
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &TriePrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    exec_trie_inner(plan, db, &prep.trie, &prep.views, &prep.kp, cfg)
+}
+
+fn exec_trie_inner(
+    plan: &ViewPlan,
+    db: &StarDb,
+    trie: &FactTrie,
+    views: &[HashMap<i64, Vec<f64>>],
+    kp: &KeyPlan,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
     debug_assert_eq!(
         kp.prefix.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>(),
         trie.prefix_cols,
@@ -670,9 +828,9 @@ pub fn exec_trie_cfg(plan: &ViewPlan, db: &StarDb, trie: &FactTrie, cfg: &ExecCo
             let mut local = vec![0.0; kp.rowprogs.len().max(nterms)];
             leaf(
                 &rows[range],
-                &kp,
+                kp,
                 &bounds,
-                &views,
+                views,
                 &fact_access,
                 plan,
                 &mut hoisted,
@@ -699,9 +857,9 @@ pub fn exec_trie_cfg(plan: &ViewPlan, db: &StarDb, trie: &FactTrie, cfg: &ExecCo
                         k,
                         child,
                         0,
-                        &kp,
+                        kp,
                         &bounds,
-                        &views,
+                        views,
                         &fact_access,
                         plan,
                         &mut hoisted,
@@ -719,6 +877,7 @@ pub fn exec_trie_cfg(plan: &ViewPlan, db: &StarDb, trie: &FactTrie, cfg: &ExecCo
 /// `[key * width + payload]` plus a presence mask (the "Dictionary to
 /// Array" layout; valid because the generators produce compact
 /// non-negative integer keys).
+#[derive(Clone, Debug)]
 struct DenseView {
     width: usize,
     data: Vec<f64>,
@@ -771,16 +930,41 @@ pub fn exec_array(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
 
 /// [`exec_array`] with the fact scan sharded across row chunks.
 pub fn exec_array_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
+    exec_array_prepared(plan, db, &prepare_array(plan, db), cfg)
+}
+
+/// θ-free prepared state for the array executor: one dense key-indexed
+/// view per dimension.
+#[derive(Clone, Debug)]
+pub struct ArrayPrep {
+    views: Vec<DenseView>,
+}
+
+/// Builds the dense view of every dimension.
+pub fn prepare_array(plan: &ViewPlan, db: &StarDb) -> ArrayPrep {
+    let bounds = bind_dims(plan, db);
+    ArrayPrep {
+        views: bounds.iter().map(build_dense_view).collect(),
+    }
+}
+
+/// [`exec_array_cfg`] over prebuilt dense views.
+pub fn exec_array_prepared(
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &ArrayPrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
     let fact_access = FactAccess::bind(plan, db);
-    let views: Vec<DenseView> = bounds.iter().map(build_dense_view).collect();
+    let views = &prep.views;
     let n = db.fact.len();
     let nterms = plan.terms.len();
     run_chunked_sums(cfg, n, nterms, |range: Range<usize>| {
         let mut results = vec![0.0; nterms];
         let mut bases: Vec<usize> = vec![0; bounds.len()];
         'row: for i in range {
-            for (d, (b, view)) in bounds.iter().zip(&views).enumerate() {
+            for (d, (b, view)) in bounds.iter().zip(views).enumerate() {
                 match view.base_of(b.fact_keys[i]) {
                     Some(base) => bases[d] = base,
                     None => continue 'row,
@@ -813,7 +997,10 @@ pub struct SortedStar {
 
 /// Sorts the fact table by the plan's hoistable key columns.
 pub fn build_sorted(plan: &ViewPlan, db: &StarDb) -> SortedStar {
-    let kp = key_plan(plan, db);
+    build_sorted_from(&key_plan(plan, db), db)
+}
+
+fn build_sorted_from(kp: &KeyPlan, db: &StarDb) -> SortedStar {
     let key_cols: Vec<&[i64]> = kp
         .prefix
         .iter()
@@ -837,7 +1024,7 @@ pub fn build_sorted(plan: &ViewPlan, db: &StarDb) -> SortedStar {
     });
     SortedStar {
         order,
-        prefix_cols: kp.prefix.into_iter().map(|(c, _)| c).collect(),
+        prefix_cols: kp.prefix.iter().map(|(c, _)| c.clone()).collect(),
     }
 }
 
@@ -857,7 +1044,9 @@ pub fn exec_sorted(plan: &ViewPlan, db: &StarDb, sorted: &SortedStar) -> Vec<f64
 /// partial flushes sum to the whole-group flush (the group-constant
 /// payload product distributes over the split local sums), so chunking
 /// moves fp association only within the documented tolerance and stays
-/// deterministic for a fixed `chunk_rows`.
+/// deterministic for a fixed `chunk_rows`. Rebuilds the dense views and
+/// level analysis on every call; use [`prepare_sorted`] +
+/// [`exec_sorted_prepared`] to hoist them.
 pub fn exec_sorted_cfg(
     plan: &ViewPlan,
     db: &StarDb,
@@ -865,14 +1054,54 @@ pub fn exec_sorted_cfg(
     cfg: &ExecConfig,
 ) -> Vec<f64> {
     let bounds = bind_dims(plan, db);
-    let fact_access = FactAccess::bind(plan, db);
     let kp = key_plan(plan, db);
+    let views: Vec<DenseView> = bounds.iter().map(build_dense_view).collect();
+    exec_sorted_inner(plan, db, sorted, &views, &kp, cfg)
+}
+
+/// θ-free prepared state for the sorted-trie executor: the sorted fact
+/// order, the dense per-dimension views, and the level analysis.
+#[derive(Debug)]
+pub struct SortedPrep {
+    sorted: SortedStar,
+    views: Vec<DenseView>,
+    kp: KeyPlan,
+}
+
+/// Builds the sorted-trie state for `plan` over `db`.
+pub fn prepare_sorted(plan: &ViewPlan, db: &StarDb) -> SortedPrep {
+    let bounds = bind_dims(plan, db);
+    let views = bounds.iter().map(build_dense_view).collect();
+    let kp = key_plan(plan, db);
+    let sorted = build_sorted_from(&kp, db);
+    SortedPrep { sorted, views, kp }
+}
+
+/// [`exec_sorted_cfg`] over fully prebuilt state.
+pub fn exec_sorted_prepared(
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &SortedPrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    exec_sorted_inner(plan, db, &prep.sorted, &prep.views, &prep.kp, cfg)
+}
+
+fn exec_sorted_inner(
+    plan: &ViewPlan,
+    db: &StarDb,
+    sorted: &SortedStar,
+    views: &[DenseView],
+    kp: &KeyPlan,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
     debug_assert_eq!(
         kp.prefix.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>(),
         sorted.prefix_cols,
         "sorted order was built for a different plan"
     );
-    let views: Vec<DenseView> = bounds.iter().map(build_dense_view).collect();
     let nterms = plan.terms.len();
     let prefix_key_cols: Vec<&[i64]> = kp
         .prefix
@@ -999,8 +1228,21 @@ pub fn exec_boxed_records(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
 /// chunk boundary; ring addition on reals is `f64` addition, so the
 /// chunked reduction matches the boxed one exactly.
 pub fn exec_boxed_records_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
+    exec_boxed_records_prepared(plan, db, &prepare_boxed_records(plan, db), cfg)
+}
+
+/// θ-free prepared state for the boxed-record executor: per-dimension
+/// ordered dictionaries from boxed key records to boxed payload records.
+#[derive(Clone, Debug)]
+pub struct BoxedRecordsPrep {
+    /// Payload field names, per payload index.
+    fields: Vec<ifaq_ir::Sym>,
+    views: Vec<Dict>,
+}
+
+/// Builds the boxed dictionary view of every dimension.
+pub fn prepare_boxed_records(plan: &ViewPlan, db: &StarDb) -> BoxedRecordsPrep {
     let bounds = bind_dims(plan, db);
-    let fact_access = FactAccess::bind(plan, db);
     // Payload field names, precomputed per payload index.
     let max_payloads = plan
         .dims
@@ -1041,13 +1283,26 @@ pub fn exec_boxed_records_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) ->
             view
         })
         .collect();
+    BoxedRecordsPrep { fields, views }
+}
+
+/// [`exec_boxed_records_cfg`] over prebuilt boxed views.
+pub fn exec_boxed_records_prepared(
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &BoxedRecordsPrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    let BoxedRecordsPrep { fields, views } = prep;
     let n = db.fact.len();
     let nterms = plan.terms.len();
     run_chunked_sums(cfg, n, nterms, |range: Range<usize>| {
         let mut results: Vec<Value> = vec![Value::real(0.0); nterms];
         'row: for i in range {
             let mut payload_recs: Vec<&Value> = Vec::with_capacity(bounds.len());
-            for (b, view) in bounds.iter().zip(&views) {
+            for (b, view) in bounds.iter().zip(views) {
                 let key =
                     Value::record([(b.view.key_attrs[0].clone(), Value::Int(b.fact_keys[i]))]);
                 match view.get(&key) {
@@ -1079,9 +1334,20 @@ pub fn exec_boxed_scalars(plan: &ViewPlan, db: &StarDb) -> Vec<f64> {
 
 /// [`exec_boxed_scalars`] with the fact scan sharded across row chunks.
 pub fn exec_boxed_scalars_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<f64> {
+    exec_boxed_scalars_prepared(plan, db, &prepare_boxed_scalars(plan, db), cfg)
+}
+
+/// θ-free prepared state for the record-removal executor: per-dimension
+/// ordered dictionaries with boxed scalar keys and flat payload vectors.
+#[derive(Clone, Debug)]
+pub struct BoxedScalarsPrep {
+    views: Vec<std::collections::BTreeMap<Value, Vec<f64>>>,
+}
+
+/// Builds the scalar-keyed view of every dimension.
+pub fn prepare_boxed_scalars(plan: &ViewPlan, db: &StarDb) -> BoxedScalarsPrep {
     let bounds = bind_dims(plan, db);
-    let fact_access = FactAccess::bind(plan, db);
-    let views: Vec<std::collections::BTreeMap<Value, Vec<f64>>> = bounds
+    let views = bounds
         .iter()
         .map(|b| {
             let keys = b
@@ -1103,13 +1369,26 @@ pub fn exec_boxed_scalars_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) ->
             view
         })
         .collect();
+    BoxedScalarsPrep { views }
+}
+
+/// [`exec_boxed_scalars_cfg`] over prebuilt scalar-keyed views.
+pub fn exec_boxed_scalars_prepared(
+    plan: &ViewPlan,
+    db: &StarDb,
+    prep: &BoxedScalarsPrep,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    let bounds = bind_dims(plan, db);
+    let fact_access = FactAccess::bind(plan, db);
+    let views = &prep.views;
     let n = db.fact.len();
     let nterms = plan.terms.len();
     run_chunked_sums(cfg, n, nterms, |range: Range<usize>| {
         let mut results = vec![0.0; nterms];
         'row: for i in range {
             let mut payload_refs: Vec<&[f64]> = Vec::with_capacity(bounds.len());
-            for (b, view) in bounds.iter().zip(&views) {
+            for (b, view) in bounds.iter().zip(views) {
                 match view.get(&Value::Int(b.fact_keys[i])) {
                     Some(p) => payload_refs.push(p),
                     None => continue 'row,

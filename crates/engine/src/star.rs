@@ -156,15 +156,28 @@ impl StarDb {
         }
     }
 
-    /// Materializes the project-join: every fact row joined (inner) with
-    /// its dimension rows, producing all fact attributes followed by all
-    /// dimension payload attributes as dense `f64` columns.
-    pub fn materialize(&self) -> TrainMatrix {
-        let mut attrs: Vec<Sym> = self.fact.attrs.clone();
+    /// Resolves the project-join's row structure: which fact rows survive
+    /// the inner join and which dimension row each joins with. This is the
+    /// θ-free half of materialization — it reads only the join *keys*, so
+    /// it stays valid when fact or dimension value columns change (e.g.
+    /// the `__sigma` column rewritten each logistic iteration) and can be
+    /// built once and reused across [`StarDb::materialize_via`] calls.
+    pub fn join_index(&self) -> JoinIndex {
+        // Row numbers are stored as u32; fail loudly rather than let an
+        // `as` cast alias rows on >4Gi-row tables.
+        assert!(
+            self.fact.len() <= u32::MAX as usize,
+            "join_index supports at most u32::MAX fact rows (got {})",
+            self.fact.len()
+        );
         for d in &self.dims {
-            attrs.extend(d.payload_attrs());
+            assert!(
+                d.rel.len() <= u32::MAX as usize,
+                "join_index supports at most u32::MAX rows per dimension (`{}` has {})",
+                d.rel.name,
+                d.rel.len()
+            );
         }
-        let width = attrs.len();
         let indexes: Vec<HashMap<i64, usize>> = self.dims.iter().map(Dim::key_index).collect();
         let fact_key_cols: Vec<&[i64]> = self
             .dims
@@ -177,6 +190,40 @@ impl StarDb {
                     .expect("fact join key must be integer")
             })
             .collect();
+        let n = self.fact.len();
+        let mut fact_rows = Vec::new();
+        let mut dim_rows: Vec<Vec<u32>> = vec![Vec::new(); self.dims.len()];
+        'fact: for i in 0..n {
+            // Resolve all dimension rows first (inner join: skip on miss).
+            let mut resolved = Vec::with_capacity(self.dims.len());
+            for (d, keys) in indexes.iter().zip(&fact_key_cols) {
+                match d.get(&keys[i]) {
+                    Some(&j) => resolved.push(j as u32),
+                    None => continue 'fact,
+                }
+            }
+            fact_rows.push(i as u32);
+            for (per_dim, j) in dim_rows.iter_mut().zip(resolved) {
+                per_dim.push(j);
+            }
+        }
+        JoinIndex {
+            fact_rows,
+            dim_rows,
+        }
+    }
+
+    /// Materializes the project-join through a prebuilt [`JoinIndex`]: a
+    /// pure gather over the current column values (no hashing), producing
+    /// exactly the matrix [`StarDb::materialize`] would — all fact
+    /// attributes followed by all dimension payload attributes, in the
+    /// surviving fact rows' original order.
+    pub fn materialize_via(&self, index: &JoinIndex) -> TrainMatrix {
+        let mut attrs: Vec<Sym> = self.fact.attrs.clone();
+        for d in &self.dims {
+            attrs.extend(d.payload_attrs());
+        }
+        let width = attrs.len();
         let dim_payload_cols: Vec<Vec<&Column>> = self
             .dims
             .iter()
@@ -187,30 +234,46 @@ impl StarDb {
                     .collect()
             })
             .collect();
-
-        let n = self.fact.len();
-        let mut data = Vec::with_capacity(n * width);
-        let mut rows = 0;
-        'fact: for i in 0..n {
-            // Resolve all dimension rows first (inner join: skip on miss).
-            let mut dim_rows = Vec::with_capacity(self.dims.len());
-            for (d, keys) in indexes.iter().zip(&fact_key_cols) {
-                match d.get(&keys[i]) {
-                    Some(&j) => dim_rows.push(j),
-                    None => continue 'fact,
-                }
-            }
+        let rows = index.fact_rows.len();
+        let mut data = Vec::with_capacity(rows * width);
+        for (r, &i) in index.fact_rows.iter().enumerate() {
             for c in &self.fact.columns {
-                data.push(c.get_f64(i));
+                data.push(c.get_f64(i as usize));
             }
-            for (cols, &j) in dim_payload_cols.iter().zip(&dim_rows) {
+            for (cols, per_dim) in dim_payload_cols.iter().zip(&index.dim_rows) {
+                let j = per_dim[r] as usize;
                 for c in cols {
                     data.push(c.get_f64(j));
                 }
             }
-            rows += 1;
         }
         TrainMatrix { attrs, rows, data }
+    }
+
+    /// Materializes the project-join: every fact row joined (inner) with
+    /// its dimension rows, producing all fact attributes followed by all
+    /// dimension payload attributes as dense `f64` columns. Equivalent to
+    /// [`StarDb::join_index`] + [`StarDb::materialize_via`].
+    pub fn materialize(&self) -> TrainMatrix {
+        self.materialize_via(&self.join_index())
+    }
+}
+
+/// The resolved row structure of the project-join (see
+/// [`StarDb::join_index`]): θ-free prepared state for materialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinIndex {
+    /// Fact rows that survive the inner join, ascending.
+    pub fact_rows: Vec<u32>,
+    /// Per dimension, the joined dimension row for each surviving fact
+    /// row (parallel to `fact_rows`).
+    pub dim_rows: Vec<Vec<u32>>,
+}
+
+impl JoinIndex {
+    /// Number of joined rows.
+    pub fn rows(&self) -> usize {
+        self.fact_rows.len()
     }
 }
 
@@ -297,6 +360,28 @@ mod tests {
         assert_eq!(db.total_bytes(), (5 * 3 + 2 * 2 + 3 * 2) * 8);
         let m = db.materialize();
         assert_eq!(m.bytes(), 5 * 5 * 8);
+    }
+
+    #[test]
+    fn join_index_gather_reproduces_materialize() {
+        let db = running_example_star();
+        let index = db.join_index();
+        assert_eq!(index.rows(), 5);
+        assert_eq!(db.materialize_via(&index), db.materialize());
+    }
+
+    #[test]
+    fn join_index_survives_value_mutation() {
+        // The index reads only join keys, so rewriting a value column
+        // (the logistic `__sigma` pattern) must not invalidate it: the
+        // gather picks up the new values.
+        let mut db = running_example_star();
+        let index = db.join_index();
+        let units = db.fact.columns[2].as_f64_slice().unwrap().to_vec();
+        db.fact.columns[2] = Column::F64(units.iter().map(|u| u * 10.0).collect());
+        let m = db.materialize_via(&index);
+        assert_eq!(m, db.materialize());
+        assert_eq!(m.row(0)[2], 100.0);
     }
 
     #[test]

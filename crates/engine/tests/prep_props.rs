@@ -1,0 +1,172 @@
+//! Property tests for prepared-state execution: on random star schemas,
+//! random chunk layouts, and random thread counts, executing over a
+//! cached `layout::Prepared` must be bit-identical to fresh
+//! prepare+execute (the one-shot wrappers), and repeated execution over
+//! one `Prepared` must never drift — the executors may only *read* the
+//! prepared state, so any divergence exposes accidental interior
+//! mutation or a rebuild that took a different path.
+
+use ifaq_engine::layout::{execute_with, prepare};
+use ifaq_engine::par::ExecConfig;
+use ifaq_engine::{Dim, Layout, StarDb};
+use ifaq_ir::Sym;
+use ifaq_query::batch::covar_batch;
+use ifaq_query::{JoinTree, ViewPlan};
+use ifaq_storage::{ColRelation, Column};
+use proptest::prelude::*;
+
+fn cfg(threads: usize, chunk_rows: usize) -> ExecConfig {
+    ExecConfig::with_threads(threads).with_chunk_rows(chunk_rows)
+}
+
+/// A random star database over a fixed two-dimension schema:
+/// `F(k1, k2, x, y) ⋈ D1(k1, a) ⋈ D2(k2, b)`. Fact keys are drawn from a
+/// range one wider than each dimension, so some rows dangle and the
+/// inner join drops them — the executors' other code path.
+#[derive(Clone, Debug)]
+struct RandomStar {
+    k1: Vec<i64>,
+    k2: Vec<i64>,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl RandomStar {
+    fn db(&self) -> StarDb {
+        let fact = ColRelation::new(
+            "F",
+            vec![Sym::new("k1"), Sym::new("k2"), Sym::new("x"), Sym::new("y")],
+            vec![
+                Column::I64(self.k1.clone()),
+                Column::I64(self.k2.clone()),
+                Column::F64(self.x.clone()),
+                Column::F64(self.y.clone()),
+            ],
+        );
+        let d1 = ColRelation::new(
+            "D1",
+            vec![Sym::new("k1"), Sym::new("a")],
+            vec![
+                Column::I64((0..self.a.len() as i64).collect()),
+                Column::F64(self.a.clone()),
+            ],
+        );
+        let d2 = ColRelation::new(
+            "D2",
+            vec![Sym::new("k2"), Sym::new("b")],
+            vec![
+                Column::I64((0..self.b.len() as i64).collect()),
+                Column::F64(self.b.clone()),
+            ],
+        );
+        StarDb::new(fact, vec![Dim::new(d1, "k1"), Dim::new(d2, "k2")])
+    }
+}
+
+fn arb_star() -> impl Strategy<Value = RandomStar> {
+    // Row count 0..40 (covering rows < threads and the empty table),
+    // dimension cardinalities 1..8.
+    (0usize..40, 1usize..8, 1usize..8)
+        .prop_flat_map(|(rows, c1, c2)| {
+            (
+                proptest::collection::vec(0i64..(c1 as i64 + 1), rows..(rows + 1)),
+                proptest::collection::vec(0i64..(c2 as i64 + 1), rows..(rows + 1)),
+                proptest::collection::vec(-2.0f64..2.0, rows..(rows + 1)),
+                proptest::collection::vec(-2.0f64..2.0, rows..(rows + 1)),
+                proptest::collection::vec(-2.0f64..2.0, c1..(c1 + 1)),
+                proptest::collection::vec(-2.0f64..2.0, c2..(c2 + 1)),
+            )
+        })
+        .prop_map(|(k1, k2, x, y, a, b)| RandomStar { k1, k2, x, y, a, b })
+}
+
+fn plan_for(db: &StarDb) -> ViewPlan {
+    let cat = db.catalog();
+    let tree = JoinTree::build_with_root(&cat, "F", &["D1", "D2"]).unwrap();
+    let batch = covar_batch(&["a", "b", "x"], "y");
+    ViewPlan::plan(&batch, &tree, &cat).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One cached `Prepared` per layout: every execute over it (any
+    /// threads × chunk size) equals the fresh prepare+execute result,
+    /// bit for bit.
+    #[test]
+    fn reuse_equals_fresh_on_random_schemas(
+        star in arb_star(),
+        chunk_rows in 1usize..32,
+        threads in 1usize..9,
+    ) {
+        let db = star.db();
+        let plan = plan_for(&db);
+        let c = cfg(threads, chunk_rows);
+        for &layout in Layout::all() {
+            let cached = prepare(layout, &plan, &db);
+            let fresh = execute_with(layout, &plan, &db, &prepare(layout, &plan, &db), &c);
+            let reused = execute_with(layout, &plan, &db, &cached, &c);
+            prop_assert_eq!(&reused, &fresh, "{} reuse != fresh", layout);
+        }
+    }
+
+    /// Repeated execution over one `Prepared` never drifts, across a mix
+    /// of configs — guarding against interior mutation of the prepared
+    /// state by any executor.
+    #[test]
+    fn repeated_execution_never_drifts(
+        star in arb_star(),
+        chunk_rows in 1usize..32,
+        threads in 1usize..9,
+        layout_idx in 0usize..8,
+    ) {
+        let db = star.db();
+        let plan = plan_for(&db);
+        let layout = Layout::all()[layout_idx];
+        let cached = prepare(layout, &plan, &db);
+        let c = cfg(threads, chunk_rows);
+        let first = execute_with(layout, &plan, &db, &cached, &c);
+        for rep in 0..4 {
+            let again = execute_with(layout, &plan, &db, &cached, &c);
+            prop_assert_eq!(&again, &first, "{} drifted at repetition {}", layout, rep);
+        }
+        // Interleave a different config, then re-check the original: the
+        // state must be untouched by other execution shapes too.
+        let other = cfg(threads.max(2), chunk_rows + 1);
+        let _ = execute_with(layout, &plan, &db, &cached, &other);
+        prop_assert_eq!(
+            &execute_with(layout, &plan, &db, &cached, &c),
+            &first,
+            "{} drifted after an interleaved config",
+            layout
+        );
+    }
+
+    /// Cached-prep results still agree with the materialized reference
+    /// within the documented cross-engine tolerance.
+    #[test]
+    fn cached_prep_agrees_with_materialized_reference(
+        star in arb_star(),
+        chunk_rows in 1usize..32,
+        threads in 2usize..9,
+    ) {
+        let db = star.db();
+        let plan = plan_for(&db);
+        let reference = {
+            let p = prepare(Layout::Materialized, &plan, &db);
+            execute_with(Layout::Materialized, &plan, &db, &p, &ExecConfig::serial())
+        };
+        for &layout in Layout::all() {
+            let cached = prepare(layout, &plan, &db);
+            let got = execute_with(layout, &plan, &db, &cached, &cfg(threads, chunk_rows));
+            for (t, (p, q)) in got.iter().zip(&reference).enumerate() {
+                prop_assert!(
+                    (p - q).abs() <= 1e-9 * (1.0 + p.abs().max(q.abs())),
+                    "{} term {}: {} vs materialized {}", layout, t, p, q
+                );
+            }
+        }
+    }
+}

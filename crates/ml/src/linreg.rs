@@ -114,7 +114,9 @@ pub fn moments_factorized(
     moments_factorized_cfg(db, features, label, layout_choice, ExecConfig::global())
 }
 
-/// [`moments_factorized`] with the batch scan sharded per `cfg`.
+/// [`moments_factorized`] with the batch scan sharded per `cfg`
+/// (one-shot: plans and prepares internally; see [`prepare_moments`] to
+/// amortize that over repeated passes).
 pub fn moments_factorized_cfg(
     db: &StarDb,
     features: &[&str],
@@ -122,6 +124,39 @@ pub fn moments_factorized_cfg(
     layout_choice: Layout,
     cfg: &ExecConfig,
 ) -> Moments {
+    moments_factorized_prepared(
+        db,
+        &prepare_moments(db, features, label, layout_choice),
+        cfg,
+    )
+}
+
+/// θ-free prepared state for covar-moment passes: the planned covar
+/// batch plus the layout's [`layout::Prepared`], built once and reused
+/// by every [`moments_factorized_prepared`] call over the same database
+/// (repeated fits, cross-validation folds, bench sweeps).
+pub struct MomentsPrep {
+    features: Vec<String>,
+    label: String,
+    layout: Layout,
+    plan: ViewPlan,
+    prep: layout::Prepared,
+}
+
+impl MomentsPrep {
+    /// The layout the state was built for.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+}
+
+/// Plans the covar batch and builds `layout_choice`'s θ-free state.
+pub fn prepare_moments(
+    db: &StarDb,
+    features: &[&str],
+    label: &str,
+    layout_choice: Layout,
+) -> MomentsPrep {
     let cat = db.catalog();
     let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
     let tree =
@@ -129,8 +164,20 @@ pub fn moments_factorized_cfg(
     let batch = covar_batch(features, label);
     let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
     let prep = layout::prepare(layout_choice, &plan, db);
-    let results = layout::execute_with(layout_choice, &plan, db, &prep, cfg);
-    moments_from_batch(features, label, &results)
+    MomentsPrep {
+        features: features.iter().map(|s| s.to_string()).collect(),
+        label: label.to_string(),
+        layout: layout_choice,
+        plan,
+        prep,
+    }
+}
+
+/// [`moments_factorized_cfg`] over prebuilt state: just the batch scan.
+pub fn moments_factorized_prepared(db: &StarDb, mp: &MomentsPrep, cfg: &ExecConfig) -> Moments {
+    let results = layout::execute_with(mp.layout, &mp.plan, db, &mp.prep, cfg);
+    let features: Vec<&str> = mp.features.iter().map(|s| s.as_str()).collect();
+    moments_from_batch(&features, &mp.label, &results)
 }
 
 /// Computes [`Moments`] from a materialized training matrix — the
@@ -474,6 +521,25 @@ mod tests {
                 assert!((a - b).abs() < 1e-9);
             }
             assert_eq!(fact.count, mat.count);
+        }
+    }
+
+    #[test]
+    fn prepared_moments_reuse_equals_fresh() {
+        let db = running_example_star();
+        let features = ["city", "price"];
+        let cfg = ifaq_engine::ExecConfig::serial();
+        for &layout_choice in ifaq_engine::Layout::all() {
+            let mp = prepare_moments(&db, &features, "units", layout_choice);
+            assert_eq!(mp.layout(), layout_choice);
+            let fresh = moments_factorized_cfg(&db, &features, "units", layout_choice, &cfg);
+            for _ in 0..3 {
+                assert_eq!(
+                    moments_factorized_prepared(&db, &mp, &cfg),
+                    fresh,
+                    "{layout_choice:?}: cached moments diverged"
+                );
+            }
         }
     }
 

@@ -449,7 +449,9 @@ pub fn fit_factorized(
 /// sharded per `cfg`, composing with the deterministic chunk model of
 /// [`ifaq_engine::par`]. The gradient batch runs through
 /// [`layout::execute_with`] under `layout_choice`, so logistic training
-/// exercises the same physical ladder as the covar workloads.
+/// exercises the same physical ladder as the covar workloads. One-shot
+/// wrapper over [`FactorizedTrainer`], which exposes the prepare/fit
+/// split for timing and reuse.
 #[allow(clippy::too_many_arguments)]
 pub fn fit_factorized_cfg(
     db: &StarDb,
@@ -460,58 +462,124 @@ pub fn fit_factorized_cfg(
     iterations: usize,
     cfg: &ExecConfig,
 ) -> LogisticModel {
-    let d = features.len() + 1;
-    // Loop-invariant pass (hoisted, §4.1): standardization moments and the
-    // y-side gradient terms Σy, Σy·x_j from the covar batch.
-    let moments = moments_factorized_cfg(db, features, label, layout_choice, cfg);
-    let n = moments.count.max(1.0);
-    let stdz = Standardizer::from_moments(&moments);
-    // Standardized invariant gradient side: B_0 = Σy, B_j = Σy·x'_j.
-    let mut b = vec![0.0; d];
-    b[0] = moments.xty[0];
-    for (j, bj) in b.iter_mut().enumerate().skip(1) {
-        *bj = (moments.xty[j] - stdz.mean[j] * moments.xty[0]) / stdz.std[j];
-    }
-    // Plan and prepare the per-iteration gradient batch once: its shape
-    // does not depend on θ (θ only enters through the __sigma values).
-    let mut aug = with_sigma_column(db);
-    let cat = aug.catalog();
-    let dim_names: Vec<&str> = aug.dims.iter().map(|dm| dm.rel.name.as_str()).collect();
-    let tree =
-        JoinTree::build_with_root(&cat, aug.fact.name.as_str(), &dim_names).expect("join tree");
-    let batch = logistic_gradient_batch(features, SIGMA_COL);
-    let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
-    let prep = layout::prepare(layout_choice, &plan, &aug);
-    let g0 = batch.index_of("g_sigma").expect("g_sigma");
-    let gi: Vec<usize> = features
-        .iter()
-        .map(|f| batch.index_of(&format!("g_sigma_{f}")).expect("g_sigma_f"))
-        .collect();
+    FactorizedTrainer::new(db, features, label, layout_choice, cfg).fit(learning_rate, iterations)
+}
 
-    // The fact-row → dim-row resolution is θ-free: hoist it (index join).
-    let score_prep = prepare_scores(&aug, features);
+/// The factorized logistic trainer with its θ-free state hoisted:
+/// [`FactorizedTrainer::new`] runs the one-time covar pass and builds —
+/// exactly once per training run — the gradient-batch view plan, the
+/// layout's [`layout::Prepared`] (merged/dense views, trie, sorted
+/// order, …), and the score pass's index join ([`ScorePrep`]). Each
+/// [`FactorizedTrainer::fit`] iteration is then reduced to the `__sigma`
+/// score pass plus the aggregate scan over the cached state (safe
+/// because the prepared state never captures fact values — only the
+/// `__sigma` column changes between iterations, and executors read it
+/// live). `fit` may be called repeatedly; every call starts from θ = 0
+/// and reuses the same preparation, bit-identically.
+pub struct FactorizedTrainer {
+    features: Vec<String>,
+    layout: Layout,
+    cfg: ExecConfig,
+    /// The input star database plus the derived `__sigma` fact column.
+    aug: StarDb,
+    plan: ViewPlan,
+    prep: layout::Prepared,
+    score_prep: ScorePrep,
+    stdz: Standardizer,
+    /// Standardized invariant gradient side: `B_0 = Σy`, `B_j = Σy·x'_j`.
+    b: Vec<f64>,
+    n: f64,
+    g0: usize,
+    gi: Vec<usize>,
+}
 
-    let mut theta = vec![0.0; d];
-    for _ in 0..iterations {
-        // Raw-space score weights for the current standardized θ.
-        let (bias, w) = stdz.to_raw(&theta);
-        let scores = fact_scores_prepared(&aug, features, &w, bias, &score_prep, cfg);
-        let sigma_col = aug.fact.columns.last_mut().expect("sigma column");
-        *sigma_col = Column::F64(scores.into_iter().map(stable_sigmoid).collect());
-        // σ-side aggregates through the chosen physical layout.
-        let g = layout::execute_with(layout_choice, &plan, &aug, &prep, cfg);
-        let s0 = g[g0];
-        theta[0] -= learning_rate / n * (s0 - b[0]);
-        for j in 1..d {
-            let aj = (g[gi[j - 1]] - stdz.mean[j] * s0) / stdz.std[j];
-            theta[j] -= learning_rate / n * (aj - b[j]);
+impl FactorizedTrainer {
+    /// Runs the loop-invariant passes (§4.1 hoisting): covar moments for
+    /// standardization and the `Σy·x` side, then plans and prepares the
+    /// per-iteration gradient batch — the only [`layout::prepare`] call
+    /// the training loop will ever need.
+    pub fn new(
+        db: &StarDb,
+        features: &[&str],
+        label: &str,
+        layout_choice: Layout,
+        cfg: &ExecConfig,
+    ) -> FactorizedTrainer {
+        let d = features.len() + 1;
+        let moments = moments_factorized_cfg(db, features, label, layout_choice, cfg);
+        let n = moments.count.max(1.0);
+        let stdz = Standardizer::from_moments(&moments);
+        let mut b = vec![0.0; d];
+        b[0] = moments.xty[0];
+        for (j, bj) in b.iter_mut().enumerate().skip(1) {
+            *bj = (moments.xty[j] - stdz.mean[j] * moments.xty[0]) / stdz.std[j];
+        }
+        // Plan and prepare the per-iteration gradient batch once: its
+        // shape does not depend on θ (θ only enters through `__sigma`).
+        let aug = with_sigma_column(db);
+        let cat = aug.catalog();
+        let dim_names: Vec<&str> = aug.dims.iter().map(|dm| dm.rel.name.as_str()).collect();
+        let tree =
+            JoinTree::build_with_root(&cat, aug.fact.name.as_str(), &dim_names).expect("join tree");
+        let batch = logistic_gradient_batch(features, SIGMA_COL);
+        let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
+        let prep = layout::prepare(layout_choice, &plan, &aug);
+        let g0 = batch.index_of("g_sigma").expect("g_sigma");
+        let gi: Vec<usize> = features
+            .iter()
+            .map(|f| batch.index_of(&format!("g_sigma_{f}")).expect("g_sigma_f"))
+            .collect();
+        // The fact-row → dim-row resolution is θ-free: hoist it too.
+        let score_prep = prepare_scores(&aug, features);
+        FactorizedTrainer {
+            features: features.iter().map(|s| s.to_string()).collect(),
+            layout: layout_choice,
+            cfg: *cfg,
+            aug,
+            plan,
+            prep,
+            score_prep,
+            stdz,
+            b,
+            n,
+            g0,
+            gi,
         }
     }
-    let (intercept, weights) = stdz.to_raw(&theta);
-    LogisticModel {
-        features: features.iter().map(|s| s.to_string()).collect(),
-        intercept,
-        weights,
+
+    /// The layout the trainer's state was prepared for.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Trains from θ = 0 over the prepared state: per iteration, one
+    /// sharded score pass rewriting `__sigma` and one aggregate scan.
+    pub fn fit(&mut self, learning_rate: f64, iterations: usize) -> LogisticModel {
+        let d = self.features.len() + 1;
+        let features: Vec<&str> = self.features.iter().map(|s| s.as_str()).collect();
+        let mut theta = vec![0.0; d];
+        for _ in 0..iterations {
+            // Raw-space score weights for the current standardized θ.
+            let (bias, w) = self.stdz.to_raw(&theta);
+            let scores =
+                fact_scores_prepared(&self.aug, &features, &w, bias, &self.score_prep, &self.cfg);
+            let sigma_col = self.aug.fact.columns.last_mut().expect("sigma column");
+            *sigma_col = Column::F64(scores.into_iter().map(stable_sigmoid).collect());
+            // σ-side aggregates through the chosen physical layout.
+            let g = layout::execute_with(self.layout, &self.plan, &self.aug, &self.prep, &self.cfg);
+            let s0 = g[self.g0];
+            theta[0] -= learning_rate / self.n * (s0 - self.b[0]);
+            for j in 1..d {
+                let aj = (g[self.gi[j - 1]] - self.stdz.mean[j] * s0) / self.stdz.std[j];
+                theta[j] -= learning_rate / self.n * (aj - self.b[j]);
+            }
+        }
+        let (intercept, weights) = self.stdz.to_raw(&theta);
+        LogisticModel {
+            features: self.features.clone(),
+            intercept,
+            weights,
+        }
     }
 }
 
@@ -673,6 +741,24 @@ mod tests {
         let base = chunked(1);
         for threads in [2, 4] {
             assert_eq!(chunked(threads), base, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn trainer_refit_over_cached_prep_matches_fresh() {
+        // A trainer's θ-free state is built once; refitting over it must
+        // reproduce a fresh one-shot fit bit for bit, at every layout.
+        let db = binary_star();
+        let features = ["city", "price"];
+        let cfg = ExecConfig::serial();
+        for &layout_choice in Layout::all() {
+            let mut trainer = FactorizedTrainer::new(&db, &features, "hot", layout_choice, &cfg);
+            assert_eq!(trainer.layout(), layout_choice);
+            let first = trainer.fit(0.5, 100);
+            let again = trainer.fit(0.5, 100);
+            assert_eq!(first, again, "{layout_choice}: refit drifted");
+            let fresh = fit_factorized_cfg(&db, &features, "hot", layout_choice, 0.5, 100, &cfg);
+            assert_eq!(first, fresh, "{layout_choice}: cached prep != fresh");
         }
     }
 

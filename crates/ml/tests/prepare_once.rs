@@ -1,0 +1,100 @@
+//! Accounting test for prepared-state training: factorized logistic
+//! training must call `ifaq_engine::layout::prepare` a constant number of
+//! times per training run — once for the hoisted covar pass and once for
+//! the per-iteration gradient batch — **independent of the iteration
+//! count**. Before the prepared-state refactor, every iteration's
+//! `execute_with` rebuilt its merged/dense views; this pins the fix.
+//!
+//! This file deliberately holds a single `#[test]` so the process-global
+//! [`ifaq_engine::layout::prepare_invocations`] counter sees no
+//! concurrent tests and exact equality assertions are race-free.
+
+use ifaq_engine::layout::prepare_invocations;
+use ifaq_engine::{ExecConfig, Layout};
+use ifaq_ml::linreg;
+use ifaq_ml::logreg::{self, FactorizedTrainer};
+use ifaq_storage::{ColRelation, Column};
+
+/// The running-example star with a binarized label column, built inline
+/// (mirrors `logreg::tests::binary_star`, which is private to the crate).
+fn binary_star() -> ifaq_engine::StarDb {
+    let fact = ColRelation::new(
+        "S",
+        vec!["item".into(), "store".into(), "units".into(), "hot".into()],
+        vec![
+            Column::I64(vec![1, 1, 2, 3, 2]),
+            Column::I64(vec![1, 2, 1, 2, 2]),
+            Column::F64(vec![10.0, 5.0, 3.0, 8.0, 2.0]),
+            Column::F64(vec![1.0, 0.0, 0.0, 1.0, 0.0]),
+        ],
+    );
+    let r = ColRelation::new(
+        "R",
+        vec!["store".into(), "city".into()],
+        vec![Column::I64(vec![1, 2]), Column::F64(vec![100.0, 200.0])],
+    );
+    let i = ColRelation::new(
+        "I",
+        vec!["item".into(), "price".into()],
+        vec![Column::I64(vec![1, 2, 3]), Column::F64(vec![1.5, 2.5, 3.5])],
+    );
+    ifaq_engine::StarDb::new(
+        fact,
+        vec![
+            ifaq_engine::Dim::new(r, "store"),
+            ifaq_engine::Dim::new(i, "item"),
+        ],
+    )
+}
+
+#[test]
+fn training_prepares_exactly_once_per_run_regardless_of_iterations() {
+    let db = binary_star();
+    let features = ["city", "price"];
+    let cfg = ExecConfig::serial();
+
+    for &layout in Layout::all() {
+        // Logistic: 2 prepares per run — the hoisted covar pass plus the
+        // gradient batch — for 1 iteration and for 25 alike.
+        let mut counts = Vec::new();
+        for iterations in [1usize, 25] {
+            let before = prepare_invocations();
+            let _ =
+                logreg::fit_factorized_cfg(&db, &features, "hot", layout, 0.5, iterations, &cfg);
+            counts.push(prepare_invocations() - before);
+        }
+        assert_eq!(
+            counts[0], counts[1],
+            "{layout}: prepare count grew with iterations ({counts:?})"
+        );
+        assert_eq!(counts[0], 2, "{layout}: covar pass + gradient batch");
+
+        // The trainer splits the same run: all preparation in `new`,
+        // none in `fit` — however many times and iterations it runs.
+        let before = prepare_invocations();
+        let mut trainer = FactorizedTrainer::new(&db, &features, "hot", layout, &cfg);
+        let after_new = prepare_invocations();
+        assert_eq!(after_new - before, 2, "{layout}: trainer::new prepares");
+        let _ = trainer.fit(0.5, 1);
+        let _ = trainer.fit(0.5, 25);
+        assert_eq!(
+            prepare_invocations(),
+            after_new,
+            "{layout}: fit must never prepare"
+        );
+
+        // Linear: one covar pass per fit; prepared moments amortize it.
+        let before = prepare_invocations();
+        let _ = linreg::fit_factorized_cfg(&db, &features, "units", layout, 0.1, 25, &cfg);
+        assert_eq!(prepare_invocations() - before, 1, "{layout}: linreg fit");
+        let mp = linreg::prepare_moments(&db, &features, "units", layout);
+        let after_prep = prepare_invocations();
+        let _ = linreg::moments_factorized_prepared(&db, &mp, &cfg);
+        let _ = linreg::moments_factorized_prepared(&db, &mp, &cfg);
+        assert_eq!(
+            prepare_invocations(),
+            after_prep,
+            "{layout}: prepared moments must not re-prepare"
+        );
+    }
+}

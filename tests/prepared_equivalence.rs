@@ -1,0 +1,224 @@
+//! Differential tests for prepared-state execution: reusing one cached
+//! `layout::Prepared` across many execute calls must be **bit-identical**
+//! to fresh prepare+execute every time, for every layout, thread count,
+//! and dataset shape — and iterative training over cached preparation
+//! must still match the materialized reference.
+//!
+//! Why exactness is the right bar: the one-shot entry points are thin
+//! wrappers over the prepare/execute split, so reuse and fresh runs
+//! execute the *same* reduction over the *same* state — any divergence
+//! means the executor mutated its supposedly θ-free preparation (or
+//! rebuilt it differently), which is precisely the bug class this suite
+//! exists to catch.
+
+use ifaq::{CompileOptions, Pipeline};
+use ifaq_datagen::{favorita, retailer, Dataset};
+use ifaq_engine::layout::{execute_with, prepare};
+use ifaq_engine::{ExecConfig, Layout};
+use ifaq_ml::logreg::{self, FactorizedTrainer};
+use ifaq_ml::{linreg, logreg::LogisticModel};
+use ifaq_query::batch::{covar_batch, AggBatch};
+use ifaq_query::{JoinTree, ViewPlan};
+
+/// Parallelism levels required by the acceptance criteria.
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn plan_batch(ds: &Dataset, batch: &AggBatch) -> ViewPlan {
+    let cat = ds.db.catalog();
+    let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
+    ViewPlan::plan(batch, &tree, &cat).expect("view plan")
+}
+
+/// Retailer has 35 features; a 4-feature slice keeps the boxed executors
+/// fast in debug builds while exercising all five relations.
+fn covar_features(ds: &Dataset) -> Vec<&str> {
+    let mut f = ds.feature_refs();
+    f.truncate(4);
+    f
+}
+
+/// For every layout and thread count: executing `n` times against one
+/// cached `Prepared` must equal `n` fresh prepare+execute runs, bit for
+/// bit and with no drift between repetitions.
+fn check_reuse_equals_fresh(ds: &Dataset, n: usize) {
+    let features = covar_features(ds);
+    let batch = covar_batch(&features, &ds.label);
+    let plan = plan_batch(ds, &batch);
+    for &layout in Layout::all() {
+        let cached = prepare(layout, &plan, &ds.db);
+        for &threads in &THREADS {
+            let cfg = ExecConfig::with_threads(threads);
+            let mut reused = Vec::with_capacity(n);
+            let mut fresh = Vec::with_capacity(n);
+            for _ in 0..n {
+                reused.push(execute_with(layout, &plan, &ds.db, &cached, &cfg));
+                let p = prepare(layout, &plan, &ds.db);
+                fresh.push(execute_with(layout, &plan, &ds.db, &p, &cfg));
+            }
+            for (i, (r, f)) in reused.iter().zip(&fresh).enumerate() {
+                assert_eq!(
+                    r, f,
+                    "{} {layout} t{threads}: reuse #{i} != fresh #{i}",
+                    ds.name
+                );
+            }
+            for (i, r) in reused.iter().enumerate() {
+                assert_eq!(
+                    r, &reused[0],
+                    "{} {layout} t{threads}: repetition #{i} drifted",
+                    ds.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn favorita_reuse_is_bit_identical_to_fresh_every_layout_every_parallelism() {
+    check_reuse_equals_fresh(&favorita(3_000, 42), 3);
+}
+
+#[test]
+fn retailer_reuse_is_bit_identical_to_fresh_every_layout_every_parallelism() {
+    check_reuse_equals_fresh(&retailer(2_000, 43), 3);
+}
+
+fn assert_model_close(tag: &str, got: &LogisticModel, want: &LogisticModel) {
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()));
+    assert!(
+        close(got.intercept, want.intercept),
+        "{tag}: intercept {} vs {}",
+        got.intercept,
+        want.intercept
+    );
+    for ((a, b), f) in got.weights.iter().zip(&want.weights).zip(&got.features) {
+        assert!(close(*a, *b), "{tag} weight {f}: {a} vs {b}");
+    }
+}
+
+/// Logistic training over one cached preparation (the trainer prepares in
+/// `new`, never in `fit`) must match the materialized reference to ≤1e-6
+/// at all 8 layouts, and refitting over the same cached state must be bit
+/// -identical to the first fit.
+#[test]
+fn logreg_cached_prep_matches_materialized_at_every_layout() {
+    for ds in [
+        favorita(2_000, 42).binarize_label(),
+        retailer(1_500, 43).binarize_label(),
+    ] {
+        let features: Vec<&str> = ds.feature_refs().into_iter().take(4).collect();
+        let m = ds.db.materialize();
+        let reference = logreg::fit_materialized(&m, &features, &ds.label, 0.5, 40);
+        for &layout in Layout::all() {
+            let cfg = ExecConfig::with_threads(4);
+            let mut trainer = FactorizedTrainer::new(&ds.db, &features, &ds.label, layout, &cfg);
+            let got = trainer.fit(0.5, 40);
+            assert_model_close(&format!("{} {layout}", ds.name), &got, &reference);
+            let refit = trainer.fit(0.5, 40);
+            assert_eq!(got, refit, "{} {layout}: refit drifted", ds.name);
+        }
+    }
+}
+
+/// Linear training through cached covar preparation must match the
+/// materialized-moments path to ≤1e-6 at all 8 layouts.
+#[test]
+fn linreg_cached_prep_matches_materialized_at_every_layout() {
+    for ds in [favorita(2_000, 7), retailer(1_500, 9)] {
+        let features = covar_features(&ds);
+        let m = ds.db.materialize();
+        let reference = linreg::fit_bgd(
+            &linreg::moments_from_matrix(&m, &features, &ds.label),
+            0.5,
+            40,
+        );
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()));
+        for &layout in Layout::all() {
+            let cfg = ExecConfig::with_threads(4);
+            let mp = linreg::prepare_moments(&ds.db, &features, &ds.label, layout);
+            // Two passes over the cached prep: identical moments, and the
+            // model they train matches the materialized reference.
+            let moments = linreg::moments_factorized_prepared(&ds.db, &mp, &cfg);
+            assert_eq!(
+                moments,
+                linreg::moments_factorized_prepared(&ds.db, &mp, &cfg),
+                "{} {layout}: cached moments drifted",
+                ds.name
+            );
+            let got = linreg::fit_bgd(&moments, 0.5, 40);
+            assert!(
+                close(got.intercept, reference.intercept),
+                "{} {layout}: intercept {} vs {}",
+                ds.name,
+                got.intercept,
+                reference.intercept
+            );
+            for ((a, b), f) in got.weights.iter().zip(&reference.weights).zip(&features) {
+                assert!(close(*a, *b), "{} {layout} weight {f}: {a} vs {b}", ds.name);
+            }
+        }
+    }
+}
+
+/// The compiled pipeline's prepared batch: building once and running the
+/// batch repeatedly equals the one-shot path at every layout.
+#[test]
+fn compiled_prepared_batch_reuse_matches_one_shot() {
+    let ds = favorita(1_500, 5);
+    let program = ifaq_transform::highlevel::linear_regression_program(
+        &ds.feature_refs()[..2],
+        &ds.label,
+        ifaq_ir::Expr::var("Q"),
+        1e-6,
+        5,
+    );
+    let opts = CompileOptions::for_star_db(&ds.db);
+    let catalog = ds.db.catalog().with_var_size("Q", ds.db.fact_rows() as u64);
+    let compiled = Pipeline::new(catalog).compile(&program, &opts).unwrap();
+    for &layout in Layout::all() {
+        let prepared = compiled.prepare(&ds.db, layout).unwrap();
+        let cfg = ExecConfig::with_threads(4);
+        let one_shot = compiled.run_batch_with(&ds.db, layout, &cfg).unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                compiled.run_batch_prepared(&ds.db, &prepared, &cfg),
+                one_shot,
+                "{layout}: prepared batch diverged from one-shot"
+            );
+        }
+    }
+}
+
+/// Using a `Prepared` built for layout A under layout B must fail fast
+/// with a message naming both layouts (the staleness guard that replaced
+/// the old bare `expect("prepare(Trie)")`s).
+#[test]
+fn stale_prepared_fails_with_both_layout_names() {
+    let ds = favorita(500, 3);
+    let features = covar_features(&ds);
+    let batch = covar_batch(&features, &ds.label);
+    let plan = plan_batch(&ds, &batch);
+    for (built, used) in [
+        (Layout::Trie, Layout::MergedHash),
+        (Layout::SortedTrie, Layout::Trie),
+        (Layout::Materialized, Layout::Array),
+    ] {
+        let prep = prepare(built, &plan, &ds.db);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_with(used, &plan, &ds.db, &prep, &ExecConfig::serial())
+        }))
+        .expect_err("mismatched layout must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        // Anchor on the parenthesized Debug forms: `Trie` is a substring
+        // of `SortedTrie`, so bare contains checks would be vacuous for
+        // that pair.
+        assert!(
+            msg.contains(&format!("({built:?})")) && msg.contains(&format!("({used:?})")),
+            "message must name `{built:?}` and `{used:?}`: {msg}"
+        );
+    }
+}
