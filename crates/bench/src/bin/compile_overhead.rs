@@ -1,51 +1,168 @@
-//! §5 "Compilation Overhead": time `g++ -O3` on the C++ code generated for
-//! the linear-regression (covar) workloads of both datasets, plus a
-//! tree-node (filtered variance) workload.
+//! §5 "Compilation Overhead": time the host C++ compiler on the code
+//! generated for the linear-regression (covar) workloads of both
+//! datasets, plus a tree-node (filtered variance) workload — and, with
+//! `--run`, close the loop: export the data, execute the compiled
+//! binaries on it, and compare against the native engine.
 //!
-//! The paper reports 4.3s/8.3s (Retailer LR/tree) and 9.7s/2.4s (Favorita);
-//! absolute times depend on the g++ version, but the overhead should stay
-//! in single-digit seconds.
+//! The paper reports 4.3s/8.3s (Retailer LR/tree) and 9.7s/2.4s
+//! (Favorita); absolute times depend on the compiler version, but the
+//! overhead should stay in single-digit seconds.
 //!
 //! Run: `cargo run -p ifaq_bench --bin compile_overhead --release`
+//! Flags: `--scale <f>` grows/shrinks the datasets; `--run` also executes
+//! the generated binaries on exported data and prints compile vs. run vs.
+//! engine times (the EXPERIMENTS.md "Compiled execution" table).
+//!
+//! Degradation: with no host compiler on PATH the binary prints a clear
+//! "compiler not found, skipping" note and exits 0; a *genuine* compile
+//! error on generated code prints the captured compiler diagnostics and
+//! exits 1.
 
-use ifaq_bench::{print_header, print_row};
-use ifaq_codegen::cpp::{compile_with_gpp, emit_covar_program};
-use ifaq_datagen::{favorita, retailer};
+use ifaq_bench::{print_header, print_row, secs, time_once, HarnessArgs};
+use ifaq_codegen::cpp::{emit_program, Workload};
+use ifaq_codegen::harness;
+use ifaq_datagen::{favorita, retailer, Dataset};
+use ifaq_engine::{layout, ExecConfig, Layout};
 use ifaq_query::batch::{covar_batch, variance_batch};
 use ifaq_query::{JoinTree, PredOp, Predicate, ViewPlan};
+use std::path::Path;
+
+struct Planned {
+    name: String,
+    program: ifaq_codegen::CppProgram,
+    plan: ViewPlan,
+}
+
+fn plan_workloads(name: &str, ds: &Dataset) -> (Planned, Planned) {
+    let features = ds.feature_refs();
+    let cat = ds.db.catalog();
+    let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
+
+    let lr_batch = covar_batch(&features, &ds.label);
+    let lr_plan = ViewPlan::plan(&lr_batch, &tree, &cat).expect("plan");
+    let mut lr_prog = emit_program(
+        &lr_plan,
+        &lr_batch,
+        &Workload::Linreg {
+            features: ds.features.clone(),
+            label: ds.label.clone(),
+            alpha: 1e-9,
+            iterations: 20,
+        },
+    );
+    lr_prog.name = format!("covar_{name}");
+
+    let delta = vec![Predicate::new(features[0], PredOp::Le, 1.0)];
+    let tree_batch = variance_batch(&ds.label, &delta);
+    let tree_plan = ViewPlan::plan(&tree_batch, &tree, &cat).expect("plan");
+    let mut tree_prog = emit_program(&tree_plan, &tree_batch, &Workload::Aggregates);
+    tree_prog.name = format!("treenode_{name}");
+
+    (
+        Planned {
+            name: format!("{name}/linreg"),
+            program: lr_prog,
+            plan: lr_plan,
+        },
+        Planned {
+            name: format!("{name}/tree-node"),
+            program: tree_prog,
+            plan: tree_plan,
+        },
+    )
+}
+
+/// Compiles one unit, or exits with the captured diagnostics on a
+/// genuine compiler error.
+fn compile_or_die(p: &Planned, dir: &Path, cxx: &harness::Cxx) -> harness::CompiledBinary {
+    match harness::compile(&p.program, dir, cxx) {
+        Ok(bin) => bin,
+        Err(e) => {
+            eprintln!("compile_overhead: {} failed to build:\n{e}", p.name);
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
+    let args = HarnessArgs::parse();
+    let run_mode = std::env::args().any(|a| a == "--run");
+    let Some(cxx) = harness::find_cxx() else {
+        println!(
+            "compile_overhead: no host C++ compiler found (g++/clang++/c++, or set \
+             IFAQ_CXX); skipping — install g++ to measure compilation overhead"
+        );
+        return;
+    };
     let dir = std::env::temp_dir().join("ifaq_codegen");
     std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let datasets = [
+        ("favorita", favorita(args.rows(1_000), 1)),
+        ("retailer", retailer(args.rows(1_000), 2)),
+    ];
+
     print_header(
-        "Compilation overhead (g++ -O3), seconds",
+        &format!("Compilation overhead ({} -O3), seconds", cxx.command),
         &["linreg", "tree-node"],
     );
-    for (name, ds) in [
-        ("favorita", favorita(1_000, 1)),
-        ("retailer", retailer(1_000, 2)),
-    ] {
-        let features = ds.feature_refs();
-        let cat = ds.db.catalog();
-        let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
+    let mut compiled: Vec<(String, Planned, harness::CompiledBinary)> = Vec::new();
+    for (name, ds) in &datasets {
+        let (lr, tn) = plan_workloads(name, ds);
+        let lr_bin = compile_or_die(&lr, &dir, &cxx);
+        let tn_bin = compile_or_die(&tn, &dir, &cxx);
+        print_row(
+            name,
+            &[secs(lr_bin.compile_time), secs(tn_bin.compile_time)],
+        );
+        compiled.push((name.to_string(), lr, lr_bin));
+        compiled.push((format!("{name}-tree"), tn, tn_bin));
+    }
 
-        let lr_plan =
-            ViewPlan::plan(&covar_batch(&features, &ds.label), &tree, &cat).expect("plan");
-        let mut lr_prog = emit_covar_program(&lr_plan, &features, &ds.label);
-        lr_prog.name = format!("covar_{name}");
-        let lr_time = compile_with_gpp(&lr_prog, &dir).expect("compile");
-
-        let delta = vec![Predicate::new(features[0], PredOp::Le, 1.0)];
-        let tree_plan =
-            ViewPlan::plan(&variance_batch(&ds.label, &delta), &tree, &cat).expect("plan");
-        let mut tree_prog = emit_covar_program(&tree_plan, &features, &ds.label);
-        tree_prog.name = format!("treenode_{name}");
-        let tree_time = compile_with_gpp(&tree_prog, &dir).expect("compile");
-
-        let cell = |t: Option<std::time::Duration>| {
-            t.map_or("no g++".to_string(), |d| format!("{:.2}", d.as_secs_f64()))
-        };
-        print_row(name, &[cell(lr_time), cell(tree_time)]);
+    if run_mode {
+        // Close the loop: run every compiled binary on the exported data
+        // and time the native engine on the same plan for comparison.
+        print_header(
+            "Compiled execution (--run): generated binary vs native engine, seconds",
+            &["gen load", "gen train", "gen wall", "engine"],
+        );
+        let cfg = ExecConfig::global();
+        for (name, ds) in &datasets {
+            let data_dir = dir.join(format!("data_{name}"));
+            ds.db.export_dir(&data_dir).expect("export star");
+            for (_tag, planned, bin) in compiled.iter().filter(|(t, _, _)| t.contains(name)) {
+                let result = match harness::run(bin, &data_dir) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("compile_overhead: {} failed to run:\n{e}", planned.name);
+                        std::process::exit(1);
+                    }
+                };
+                // Engine side: prepare + execute the same plan natively
+                // (view build + fused scan — the analogue of `gen train`).
+                let (_, engine) = time_once(|| {
+                    let prep = layout::prepare(Layout::MergedHash, &planned.plan, &ds.db);
+                    layout::execute_with(Layout::MergedHash, &planned.plan, &ds.db, &prep, cfg)
+                });
+                print_row(
+                    &planned.name,
+                    &[
+                        secs(result.load_time),
+                        secs(result.train_time),
+                        secs(result.wall_time),
+                        secs(engine),
+                    ],
+                );
+                // `--run` is also a smoke gate: a silent wrong answer here
+                // would undermine the table, so sanity-check the shape.
+                assert_eq!(result.rows as usize, ds.db.fact_rows(), "{}", planned.name);
+                assert!(
+                    result.aggregates.iter().all(|(_, v)| v.is_finite()),
+                    "{}: non-finite aggregate",
+                    planned.name
+                );
+            }
+        }
     }
     println!("\ngenerated sources left in {}", dir.display());
 }

@@ -5,14 +5,24 @@
 //! merged-view payload (static records), dense `std::vector` views indexed
 //! by the compact surrogate keys (dictionary→array), stack-allocated
 //! accumulators for the fused fact scan (immutable→mutable + scalar
-//! replacement), and a moment-space BGD loop whose per-iteration cost is
-//! independent of the data size.
+//! replacement), and a training loop whose structure mirrors the residual
+//! program the pipeline leaves behind (moment-space BGD for linear
+//! regression; a per-iteration factorized score pass + gradient scan for
+//! logistic regression).
+//!
+//! Unlike a toy emitter, the generated `main` **runs on real data**: it
+//! loads a star database exported by `StarDb::export_dir` (the `IFAQTBL1`
+//! format of [`ifaq_storage::export`]), executes the plan, and prints the
+//! aggregate batch and fitted θ as machine-readable `agg`/`theta` lines
+//! that [`crate::harness`] parses back into engine types. The
+//! differential gate `tests/codegen_equivalence.rs` holds the generated
+//! code to the native engine within 1e-6.
 //!
 //! [`compile_with_gpp`] measures `g++ -O3` wall time over the generated
 //! file, reproducing the paper's compilation-overhead numbers (§5).
 
 use ifaq_query::plan::ViewPlan;
-use ifaq_query::Predicate;
+use ifaq_query::{AggBatch, Predicate};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
@@ -24,6 +34,47 @@ pub struct CppProgram {
     pub name: String,
     /// Complete C++17 source text.
     pub source: String,
+}
+
+/// What the generated program computes after the aggregate batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Workload {
+    /// Print the batch only (tree-node / variance workloads).
+    Aggregates,
+    /// Moment-space batch gradient descent in raw attribute space — the
+    /// exact semantics of the residual program the pipeline produces for
+    /// `linear_regression_program`: `θ_f ← θ_f − α·(Σ_f' θ_f'·M[f,f'] −
+    /// V[f])` over the hoisted covar aggregates, double-buffered like the
+    /// dict comprehension it mirrors.
+    Linreg {
+        /// Feature attributes, in θ order.
+        features: Vec<String>,
+        /// Label attribute.
+        label: String,
+        /// Learning rate (the program's `α` literal, baked in).
+        alpha: f64,
+        /// Iteration count, baked in.
+        iterations: usize,
+    },
+    /// Per-iteration factorized logistic gradient in raw attribute space
+    /// (no intercept, no standardization — the semantics of
+    /// `logistic_regression_program`): each iteration computes the score
+    /// `θᵀx` through the merged views without materializing the join,
+    /// rewrites the derived σ fact column, re-runs the fused gradient
+    /// scan, and updates `θ_f ← θ_f − α·(Σσ·x_f − Σy·x_f)`.
+    Logistic {
+        /// Feature attributes, in θ order.
+        features: Vec<String>,
+        /// Label attribute (0/1).
+        label: String,
+        /// Name of the derived σ fact column (not present in the export;
+        /// the generated program allocates and rewrites it).
+        sigma: String,
+        /// Learning rate, baked in.
+        alpha: f64,
+        /// Iteration count, baked in (must be ≥ 1).
+        iterations: usize,
+    },
 }
 
 fn sanitize(s: &str) -> String {
@@ -51,122 +102,253 @@ fn pred_code(p: &Predicate, idx: &str) -> String {
     )
 }
 
-/// Emits the covar-batch + BGD program for a planned workload.
-///
-/// The generated unit exposes:
-/// * `struct <Dim>Payload` and `build_view_<dim>(…)` per dimension;
-/// * `compute_batch(…)` — the fused multi-aggregate fact scan;
-/// * `bgd(…)` — gradient descent over the assembled moments;
-/// * a `main` that wires tiny in-file smoke data through the pipeline, so
-///   the unit compiles and runs standalone.
-pub fn emit_covar_program(plan: &ViewPlan, features: &[&str], label: &str) -> CppProgram {
-    let mut s = String::new();
-    let w = &mut s;
-    let nterms = plan.terms.len();
-    writeln!(
-        w,
-        "// Generated by IFAQ data-layout synthesis (do not edit)."
-    )
-    .unwrap();
-    writeln!(w, "// Workload: covar batch over {} aggregates,", nterms).unwrap();
-    writeln!(w, "// features: {:?}, label: {label:?}.", features).unwrap();
-    writeln!(w, "#include <cstddef>").unwrap();
-    writeln!(w, "#include <cstdio>").unwrap();
-    writeln!(w, "#include <vector>").unwrap();
-    writeln!(w).unwrap();
+/// A double literal that round-trips the exact `f64` bits (Rust's shortest
+/// round-trip repr, which C++ re-parses to the same value).
+fn flit(x: f64) -> String {
+    format!("{x:?}")
+}
 
-    // Static record representation: one struct per merged view.
-    for dim in &plan.dims {
-        let dn = sanitize(dim.relation.as_str());
-        writeln!(
-            w,
-            "// Merged view payload for {} (static record).",
-            dim.relation
-        )
-        .unwrap();
-        writeln!(w, "struct {dn}Payload {{").unwrap();
-        for (pi, p) in dim.payloads.iter().enumerate() {
-            let factors: Vec<String> = p.factors.iter().map(|f| f.as_str().to_string()).collect();
-            writeln!(
-                w,
-                "  double p{pi} = 0.0; // SUM({})",
-                if factors.is_empty() {
-                    "1".into()
-                } else {
-                    factors.join(" * ")
-                }
-            )
-            .unwrap();
-        }
-        writeln!(w, "  bool present = false;").unwrap();
-        writeln!(w, "}};").unwrap();
-        writeln!(w).unwrap();
-        // Dense-array view builder (dictionary → array).
-        writeln!(w, "// Dictionary-to-array view over {}.", dim.relation).unwrap();
-        write!(
-            w,
-            "static std::vector<{dn}Payload> build_view_{dn}(const long* key"
-        )
-        .unwrap();
-        let mut attrs: Vec<String> = Vec::new();
-        for p in &dim.payloads {
-            for f in &p.factors {
-                attrs.push(sanitize(f.as_str()));
-            }
-            for q in &p.filter {
-                attrs.push(sanitize(q.attr.as_str()));
-            }
-        }
-        attrs.sort();
-        attrs.dedup();
-        for a in &attrs {
-            write!(w, ", const double* {a}").unwrap();
-        }
-        writeln!(w, ", std::size_t n, std::size_t key_space) {{").unwrap();
-        writeln!(w, "  std::vector<{dn}Payload> view(key_space);").unwrap();
-        writeln!(w, "  for (std::size_t j = 0; j < n; ++j) {{").unwrap();
-        writeln!(w, "    auto& slot = view[key[j]];").unwrap();
-        writeln!(w, "    slot.present = true;").unwrap();
-        for (pi, p) in dim.payloads.iter().enumerate() {
-            let mut expr = String::from("1.0");
-            for f in &p.factors {
-                write!(expr, " * {}[j]", sanitize(f.as_str())).unwrap();
-            }
-            if p.filter.is_empty() {
-                writeln!(w, "    slot.p{pi} += {expr};").unwrap();
-            } else {
-                let conds: Vec<String> = p.filter.iter().map(|q| pred_code(q, "j")).collect();
-                writeln!(w, "    if ({}) slot.p{pi} += {expr};", conds.join(" && ")).unwrap();
-            }
-        }
-        writeln!(w, "  }}").unwrap();
-        writeln!(w, "  return view;").unwrap();
-        writeln!(w, "}}").unwrap();
-        writeln!(w).unwrap();
+/// Sorts, deduplicates, and returns *raw* attribute names in a canonical
+/// order (by sanitized identifier, then raw name). Every emission site —
+/// function signatures (which use `sanitize(name)`) and `main` call sites
+/// (which use the raw name for loader lookups) — derives from this one
+/// list, so parameter and argument orders can never diverge. Distinct raw
+/// names that collide after sanitization would silently bind the wrong
+/// column, so they are rejected at emit time.
+fn canonical_attrs(mut attrs: Vec<String>) -> Vec<String> {
+    attrs.sort();
+    attrs.dedup();
+    attrs.sort_by(|a, b| sanitize(a).cmp(&sanitize(b)).then(a.cmp(b)));
+    for pair in attrs.windows(2) {
+        assert!(
+            sanitize(&pair[0]) != sanitize(&pair[1]),
+            "attributes `{}` and `{}` collide as the C++ identifier `{}`; \
+             rename one before emitting",
+            pair[0],
+            pair[1],
+            sanitize(&pair[0])
+        );
     }
+    attrs
+}
 
-    // Fused fact scan (multi-aggregate iteration; mutable stack accums).
-    writeln!(w, "// Fused multi-aggregate fact scan.").unwrap();
-    write!(w, "static void compute_batch(std::size_t n").unwrap();
-    let mut fact_attrs: Vec<String> = Vec::new();
+/// The attribute columns a dimension's view builder needs (raw names,
+/// canonical order).
+fn dim_attrs(dim: &ifaq_query::plan::DimView) -> Vec<String> {
+    let mut attrs: Vec<String> = Vec::new();
+    for p in &dim.payloads {
+        for f in &p.factors {
+            attrs.push(f.as_str().to_string());
+        }
+        for q in &p.filter {
+            attrs.push(q.attr.as_str().to_string());
+        }
+    }
+    canonical_attrs(attrs)
+}
+
+/// The fact columns the fused scan needs (raw names, canonical order).
+fn fact_attrs(plan: &ViewPlan) -> Vec<String> {
+    let mut attrs: Vec<String> = Vec::new();
     for t in &plan.terms {
         for f in &t.fact_factors {
-            fact_attrs.push(sanitize(f.as_str()));
+            attrs.push(f.as_str().to_string());
         }
         for p in &t.fact_filter {
-            fact_attrs.push(sanitize(p.attr.as_str()));
+            attrs.push(p.attr.as_str().to_string());
         }
     }
-    fact_attrs.sort();
-    fact_attrs.dedup();
-    for a in &fact_attrs {
-        write!(w, ", const double* {a}").unwrap();
+    canonical_attrs(attrs)
+}
+
+/// Batch index of the aggregate whose factor multiset is `factors`
+/// (unfiltered), or a descriptive panic — the emitter refuses to generate
+/// a program whose training loop would read a missing aggregate.
+fn agg_index(batch: &AggBatch, factors: &[&str]) -> usize {
+    let mut want: Vec<&str> = factors.to_vec();
+    want.sort_unstable();
+    batch
+        .aggs
+        .iter()
+        .position(|a| {
+            if !a.filter.is_empty() {
+                return false;
+            }
+            let mut have: Vec<&str> = a.factors.iter().map(|s| s.as_str()).collect();
+            have.sort_unstable();
+            have == want
+        })
+        .unwrap_or_else(|| panic!("batch has no unfiltered aggregate over {factors:?}"))
+}
+
+/// Emits the shared runtime: the `IFAQTBL1` loader (mirroring
+/// `ifaq_storage::export`) and a steady-clock timer.
+fn emit_runtime(w: &mut String) {
+    *w += r#"// ---- IFAQTBL1 loader (see ifaq_storage::export for the format) ----
+namespace ifaq {
+
+[[noreturn]] static void die(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+struct Table {
+  std::string name;
+  std::size_t rows = 0;
+  std::vector<std::string> names;
+  // Every column as doubles (i64 converted); integer columns also raw.
+  std::vector<std::vector<double>> dcols;
+  std::vector<std::vector<int64_t>> icols;  // empty for f64 columns
+
+  std::size_t index(const std::string& attr) const {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == attr) return i;
+    die(name + ": no column `" + attr + "`");
+  }
+  const double* fcol(const std::string& attr) const {
+    return dcols[index(attr)].data();
+  }
+  const int64_t* icol(const std::string& attr) const {
+    const auto i = index(attr);
+    if (icols[i].empty() && rows != 0)
+      die(name + ": column `" + attr + "` is not an integer column");
+    return icols[i].data();
+  }
+};
+
+static Table load_table(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) die("cannot open " + path);
+  auto need = [&](void* buf, std::size_t n) {
+    if (std::fread(buf, 1, n, f) != n) die("truncated file " + path);
+  };
+  char magic[8];
+  need(magic, 8);
+  if (std::memcmp(magic, "IFAQTBL1", 8) != 0) die("bad magic in " + path);
+  auto read_str = [&]() {
+    uint32_t len = 0;
+    need(&len, 4);
+    std::string s(len, '\0');
+    need(s.data(), len);
+    return s;
+  };
+  Table t;
+  t.name = read_str();
+  uint64_t rows = 0;
+  need(&rows, 8);
+  t.rows = static_cast<std::size_t>(rows);
+  uint32_t ncols = 0;
+  need(&ncols, 4);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    t.names.push_back(read_str());
+    uint8_t kind = 0;
+    need(&kind, 1);
+    std::vector<double> d(t.rows);
+    std::vector<int64_t> i;
+    if (kind == 0) {
+      i.resize(t.rows);
+      need(i.data(), t.rows * 8);
+      for (std::size_t r = 0; r < t.rows; ++r) d[r] = static_cast<double>(i[r]);
+    } else if (kind == 1) {
+      need(d.data(), t.rows * 8);
+    } else {
+      die("unknown column kind in " + path);
+    }
+    t.dcols.push_back(std::move(d));
+    t.icols.push_back(std::move(i));
+  }
+  std::fclose(f);
+  return t;
+}
+
+static double now_s() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace ifaq
+
+"#;
+}
+
+/// Emits the payload struct and dense-array view builder for one
+/// dimension of the plan.
+fn emit_view_builder(w: &mut String, dim: &ifaq_query::plan::DimView) {
+    let dn = sanitize(dim.relation.as_str());
+    writeln!(
+        w,
+        "// Merged view payload for {} (static record).",
+        dim.relation
+    )
+    .unwrap();
+    writeln!(w, "struct {dn}Payload {{").unwrap();
+    for (pi, p) in dim.payloads.iter().enumerate() {
+        let factors: Vec<String> = p.factors.iter().map(|f| f.as_str().to_string()).collect();
+        writeln!(
+            w,
+            "  double p{pi} = 0.0; // SUM({})",
+            if factors.is_empty() {
+                "1".into()
+            } else {
+                factors.join(" * ")
+            }
+        )
+        .unwrap();
+    }
+    writeln!(w, "  bool present = false;").unwrap();
+    writeln!(w, "}};").unwrap();
+    writeln!(w).unwrap();
+    // Dense-array view builder (dictionary → array).
+    writeln!(w, "// Dictionary-to-array view over {}.", dim.relation).unwrap();
+    write!(
+        w,
+        "static std::vector<{dn}Payload> build_view_{dn}(const int64_t* key"
+    )
+    .unwrap();
+    for a in dim_attrs(dim) {
+        write!(w, ", const double* {}", sanitize(&a)).unwrap();
+    }
+    writeln!(w, ", std::size_t n, std::size_t key_space) {{").unwrap();
+    writeln!(w, "  std::vector<{dn}Payload> view(key_space);").unwrap();
+    writeln!(w, "  for (std::size_t j = 0; j < n; ++j) {{").unwrap();
+    writeln!(
+        w,
+        "    if (key[j] < 0 || (std::size_t)key[j] >= key_space) continue;"
+    )
+    .unwrap();
+    writeln!(w, "    auto& slot = view[key[j]];").unwrap();
+    writeln!(w, "    slot.present = true;").unwrap();
+    for (pi, p) in dim.payloads.iter().enumerate() {
+        let mut expr = String::from("1.0");
+        for f in &p.factors {
+            write!(expr, " * {}[j]", sanitize(f.as_str())).unwrap();
+        }
+        if p.filter.is_empty() {
+            writeln!(w, "    slot.p{pi} += {expr};").unwrap();
+        } else {
+            let conds: Vec<String> = p.filter.iter().map(|q| pred_code(q, "j")).collect();
+            writeln!(w, "    if ({}) slot.p{pi} += {expr};", conds.join(" && ")).unwrap();
+        }
+    }
+    writeln!(w, "  }}").unwrap();
+    writeln!(w, "  return view;").unwrap();
+    writeln!(w, "}}").unwrap();
+    writeln!(w).unwrap();
+}
+
+/// Emits the fused multi-aggregate fact scan over the plan's terms.
+fn emit_compute_batch(w: &mut String, plan: &ViewPlan) {
+    let nterms = plan.terms.len();
+    writeln!(w, "// Fused multi-aggregate fact scan.").unwrap();
+    write!(w, "static void compute_batch(std::size_t n").unwrap();
+    for a in fact_attrs(plan) {
+        write!(w, ", const double* {}", sanitize(&a)).unwrap();
     }
     for dim in &plan.dims {
         let dn = sanitize(dim.relation.as_str());
         write!(
             w,
-            ", const long* key_{dn}, const std::vector<{dn}Payload>& view_{dn}"
+            ", const int64_t* key_{dn}, const std::vector<{dn}Payload>& view_{dn}"
         )
         .unwrap();
     }
@@ -208,106 +390,408 @@ pub fn emit_covar_program(plan: &ViewPlan, features: &[&str], label: &str) -> Cp
     }
     writeln!(w, "}}").unwrap();
     writeln!(w).unwrap();
+}
 
-    // Moment-space BGD.
-    let d = features.len() + 1;
+/// The C++ expression that yields the fact-column pointer for `attr` in
+/// `main` — the σ column lives in a local vector, everything else comes
+/// from the loaded fact table.
+fn fact_ptr(attr: &str, sigma: Option<&str>) -> String {
+    if sigma == Some(attr) {
+        "sigma.data()".to_string()
+    } else {
+        format!("t_fact.fcol(\"{attr}\")")
+    }
+}
+
+/// The argument list for a `compute_batch` call site.
+fn compute_batch_args(plan: &ViewPlan, sigma: Option<&str>) -> String {
+    let mut s = String::from("n");
+    for a in fact_attrs(plan) {
+        write!(s, ", {}", fact_ptr(&a, sigma)).unwrap();
+    }
+    for dim in &plan.dims {
+        let dn = sanitize(dim.relation.as_str());
+        let key = dim.key_attrs.first().expect("dimension join key");
+        write!(s, ", t_fact.icol(\"{}\"), view_{dn}", key.as_str()).unwrap();
+    }
+    s += ", out";
+    s
+}
+
+/// Where a feature's score contribution comes from, resolved against the
+/// plan exactly as the planner assigns ownership.
+enum ScoreSource {
+    /// Fact-owned: read the fact column directly.
+    Fact(String),
+    /// Dimension-owned: read payload `p<idx>` of dimension `dims[d]`'s
+    /// merged view (the single-factor payload the σ·f aggregate uses).
+    Dim { dim: usize, payload: usize },
+}
+
+/// Resolves each logistic feature to its score source via the `{σ, f}`
+/// term of the batch.
+fn score_sources(
+    plan: &ViewPlan,
+    batch: &AggBatch,
+    features: &[String],
+    sigma: &str,
+) -> Vec<ScoreSource> {
+    features
+        .iter()
+        .map(|f| {
+            let term = &plan.terms[agg_index(batch, &[sigma, f.as_str()])];
+            if term.fact_factors.iter().any(|x| x.as_str() == f) {
+                return ScoreSource::Fact(f.clone());
+            }
+            for (d, &pi) in term.dim_payload.iter().enumerate() {
+                let payload = &plan.dims[d].payloads[pi];
+                if payload.filter.is_empty()
+                    && payload.factors.len() == 1
+                    && payload.factors[0].as_str() == f
+                {
+                    return ScoreSource::Dim {
+                        dim: d,
+                        payload: pi,
+                    };
+                }
+            }
+            panic!("no relation of the plan owns score feature `{f}`");
+        })
+        .collect()
+}
+
+/// Emits the covar-batch + training program for a planned workload.
+///
+/// `batch` must be the batch `plan` was planned from (same length, same
+/// order) — aggregate `i` of the printed output is `batch.aggs[i]`. The
+/// generated unit exposes:
+///
+/// * `struct <Dim>Payload` and `build_view_<dim>(…)` per dimension;
+/// * `compute_batch(…)` — the fused multi-aggregate fact scan;
+/// * a workload-specific training loop per [`Workload`];
+/// * a `main` that loads a star exported by `StarDb::export_dir` from
+///   `argv[1]`, runs the pipeline, and prints machine-readable output:
+///
+/// ```text
+/// rows <fact rows>
+/// agg <i> <name> <value>
+/// theta <feature> <value>     (training workloads only)
+/// time load <seconds>
+/// time train <seconds>
+/// ```
+pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> CppProgram {
+    assert_eq!(
+        batch.len(),
+        plan.terms.len(),
+        "batch/plan mismatch: {} aggregates vs {} plan terms",
+        batch.len(),
+        plan.terms.len()
+    );
+    let mut s = String::new();
+    let w = &mut s;
+    let nterms = plan.terms.len();
+    let fact_name = plan.tree.root.relation.as_str();
+    let sigma = match workload {
+        Workload::Logistic { sigma, .. } => Some(sigma.as_str()),
+        _ => None,
+    };
+    if let Workload::Logistic { iterations, .. } = workload {
+        assert!(*iterations >= 1, "logistic workload needs >= 1 iteration");
+    }
+
     writeln!(
         w,
-        "// Batch gradient descent over the hoisted covar matrix;"
+        "// Generated by IFAQ data-layout synthesis (do not edit)."
     )
     .unwrap();
-    writeln!(
-        w,
-        "// per-iteration cost is O(d^2), independent of the data."
-    )
-    .unwrap();
-    writeln!(
-        w,
-        "static void bgd(const double gram[{d}][{d}], const double xty[{d}], double n,"
-    )
-    .unwrap();
-    writeln!(
-        w,
-        "                double alpha, int iters, double theta[{d}]) {{"
-    )
-    .unwrap();
-    writeln!(w, "  for (int i = 0; i < {d}; ++i) theta[i] = 0.0;").unwrap();
-    writeln!(w, "  if (n <= 0.0) return;").unwrap();
-    writeln!(w, "  for (int it = 0; it < iters; ++it) {{").unwrap();
-    writeln!(w, "    double grad[{d}];").unwrap();
-    writeln!(w, "    for (int i = 0; i < {d}; ++i) {{").unwrap();
-    writeln!(w, "      grad[i] = -xty[i];").unwrap();
-    writeln!(
-        w,
-        "      for (int j = 0; j < {d}; ++j) grad[i] += gram[i][j] * theta[j];"
-    )
-    .unwrap();
-    writeln!(w, "    }}").unwrap();
-    writeln!(
-        w,
-        "    for (int i = 0; i < {d}; ++i) theta[i] -= alpha / n * grad[i];"
-    )
-    .unwrap();
-    writeln!(w, "  }}").unwrap();
-    writeln!(w, "}}").unwrap();
+    writeln!(w, "// Workload: batch over {} aggregates.", nterms).unwrap();
+    writeln!(w, "#include <chrono>").unwrap();
+    writeln!(w, "#include <cmath>").unwrap();
+    writeln!(w, "#include <cstddef>").unwrap();
+    writeln!(w, "#include <cstdint>").unwrap();
+    writeln!(w, "#include <cstdio>").unwrap();
+    writeln!(w, "#include <cstdlib>").unwrap();
+    writeln!(w, "#include <cstring>").unwrap();
+    writeln!(w, "#include <string>").unwrap();
+    writeln!(w, "#include <vector>").unwrap();
     writeln!(w).unwrap();
+    emit_runtime(w);
+    if sigma.is_some() {
+        *w += "// Sign-branched sigmoid, bit-matching the engine's stable_sigmoid.\n\
+               static double sigmoid_stable(double x) {\n\
+               \x20 if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));\n\
+               \x20 const double e = std::exp(x);\n\
+               \x20 return e / (1.0 + e);\n\
+               }\n\n";
+    }
 
-    // Smoke main.
-    writeln!(w, "int main() {{").unwrap();
+    for dim in &plan.dims {
+        emit_view_builder(w, dim);
+    }
+    emit_compute_batch(w, plan);
+
+    // main: load, build views, scan, train, print.
+    writeln!(w, "int main(int argc, char** argv) {{").unwrap();
+    writeln!(w, "  if (argc < 2) {{").unwrap();
+    writeln!(
+        w,
+        "    std::fprintf(stderr, \"usage: %s <export-dir>\\n\", argv[0]);"
+    )
+    .unwrap();
+    writeln!(w, "    return 2;").unwrap();
+    writeln!(w, "  }}").unwrap();
+    writeln!(w, "  const std::string dir = argv[1];").unwrap();
+    writeln!(w, "  const double t0 = ifaq::now_s();").unwrap();
+    writeln!(
+        w,
+        "  const ifaq::Table t_fact = ifaq::load_table(dir + \"/{}\");",
+        ifaq_storage::export::table_file_name(fact_name)
+    )
+    .unwrap();
+    for dim in &plan.dims {
+        let dn = sanitize(dim.relation.as_str());
+        writeln!(
+            w,
+            "  const ifaq::Table t_{dn} = ifaq::load_table(dir + \"/{}\");",
+            ifaq_storage::export::table_file_name(dim.relation.as_str())
+        )
+        .unwrap();
+    }
+    writeln!(w, "  const std::size_t n = t_fact.rows;").unwrap();
+    writeln!(w, "  const double t1 = ifaq::now_s();").unwrap();
+    // Dense-array key spaces and views (dictionary → array, §4.4).
+    for dim in &plan.dims {
+        let dn = sanitize(dim.relation.as_str());
+        let dim_key = dim.key_attrs.first().expect("dimension join key").as_str();
+        writeln!(
+            w,
+            "  std::size_t ks_{dn} = 0;\n  {{\n    const int64_t* k = t_{dn}.icol(\"{dim_key}\");\n    for (std::size_t j = 0; j < t_{dn}.rows; ++j)\n      if (k[j] >= 0 && (std::size_t)k[j] + 1 > ks_{dn}) ks_{dn} = (std::size_t)k[j] + 1;\n  }}"
+        )
+        .unwrap();
+        // This unit implements only the dictionary-to-array layout, which
+        // is sound only for compact surrogate keys (§4.4): fail with a
+        // diagnostic rather than attempt a key-space-sized allocation on
+        // sparse domains.
+        writeln!(
+            w,
+            "  if (ks_{dn} > {limit} * (t_{dn}.rows + 1))\n    \
+             ifaq::die(\"dimension {rel}: key domain (\" + std::to_string(ks_{dn}) + \
+             \" slots over \" + std::to_string(t_{dn}.rows) + \" rows) is too sparse for \
+             the dense-array layout this unit implements; re-export with compact \
+             surrogate keys\");",
+            limit = crate::layout::ARRAY_DENSITY_LIMIT,
+            rel = dim.relation
+        )
+        .unwrap();
+        write!(
+            w,
+            "  const auto view_{dn} = build_view_{dn}(t_{dn}.icol(\"{dim_key}\")"
+        )
+        .unwrap();
+        for a in dim_attrs(dim) {
+            write!(w, ", t_{dn}.fcol(\"{a}\")").unwrap();
+        }
+        writeln!(w, ", t_{dn}.rows, ks_{dn});").unwrap();
+    }
     writeln!(w, "  double out[{nterms}] = {{0}};").unwrap();
-    for dim in &plan.dims {
-        let dn = sanitize(dim.relation.as_str());
-        writeln!(w, "  const long {dn}_keys[1] = {{0}};").unwrap();
-        let mut attrs: Vec<String> = Vec::new();
-        for p in &dim.payloads {
-            for f in &p.factors {
-                attrs.push(sanitize(f.as_str()));
+    if let Some(sig) = sigma {
+        writeln!(
+            w,
+            "  std::vector<double> sigma(n, 0.0);  // derived `{sig}` column"
+        )
+        .unwrap();
+    }
+
+    match workload {
+        Workload::Aggregates => {
+            writeln!(w, "  compute_batch({});", compute_batch_args(plan, None)).unwrap();
+        }
+        Workload::Linreg {
+            features,
+            label,
+            alpha,
+            iterations,
+        } => {
+            writeln!(w, "  compute_batch({});", compute_batch_args(plan, None)).unwrap();
+            let d = features.len();
+            writeln!(w).unwrap();
+            writeln!(
+                w,
+                "  // Moment-space BGD (raw attribute space), mirroring the"
+            )
+            .unwrap();
+            writeln!(
+                w,
+                "  // residual program: per-iteration cost O(d^2), data-free."
+            )
+            .unwrap();
+            writeln!(w, "  const double alpha = {};", flit(*alpha)).unwrap();
+            writeln!(w, "  double th[{d}] = {{0}};").unwrap();
+            writeln!(w, "  double th_next[{d}];").unwrap();
+            writeln!(w, "  for (int it = 0; it < {iterations}; ++it) {{").unwrap();
+            for (i, f1) in features.iter().enumerate() {
+                let mut g = String::from("0.0");
+                for (j, f2) in features.iter().enumerate() {
+                    let idx = agg_index(batch, &[f1.as_str(), f2.as_str()]);
+                    write!(g, " + th[{j}] * out[{idx}]").unwrap();
+                }
+                let v = agg_index(batch, &[f1.as_str(), label.as_str()]);
+                writeln!(
+                    w,
+                    "    th_next[{i}] = th[{i}] - alpha * (({g}) - out[{v}]);"
+                )
+                .unwrap();
             }
-            for q in &p.filter {
-                attrs.push(sanitize(q.attr.as_str()));
+            writeln!(w, "    for (int j = 0; j < {d}; ++j) th[j] = th_next[j];").unwrap();
+            writeln!(w, "  }}").unwrap();
+        }
+        Workload::Logistic {
+            features,
+            label,
+            sigma: sig,
+            alpha,
+            iterations,
+        } => {
+            let d = features.len();
+            let sources = score_sources(plan, batch, features, sig);
+            writeln!(w).unwrap();
+            writeln!(
+                w,
+                "  // Per-iteration factorized logistic gradient: score pass"
+            )
+            .unwrap();
+            writeln!(
+                w,
+                "  // through the merged views, sigma rewrite, fused scan,"
+            )
+            .unwrap();
+            writeln!(w, "  // raw-space update (no intercept).").unwrap();
+            writeln!(w, "  const double alpha = {};", flit(*alpha)).unwrap();
+            writeln!(w, "  double th[{d}] = {{0}};").unwrap();
+            // Hoist the fact-owned feature columns and per-dim keys.
+            for (i, src) in sources.iter().enumerate() {
+                if let ScoreSource::Fact(attr) = src {
+                    writeln!(w, "  const double* x{i} = t_fact.fcol(\"{attr}\");").unwrap();
+                }
+            }
+            let score_dims: std::collections::BTreeSet<usize> = sources
+                .iter()
+                .filter_map(|s| match s {
+                    ScoreSource::Dim { dim, .. } => Some(*dim),
+                    ScoreSource::Fact(_) => None,
+                })
+                .collect();
+            for &di in &score_dims {
+                let dn = sanitize(plan.dims[di].relation.as_str());
+                let key = plan.dims[di].key_attrs.first().unwrap().as_str();
+                writeln!(w, "  const int64_t* sk_{dn} = t_fact.icol(\"{key}\");").unwrap();
+            }
+            writeln!(w, "  for (int it = 0; it < {iterations}; ++it) {{").unwrap();
+            writeln!(w, "    for (std::size_t i = 0; i < n; ++i) {{").unwrap();
+            writeln!(w, "      double sc = 0.0;").unwrap();
+            writeln!(w, "      bool ok = true;").unwrap();
+            for &di in &score_dims {
+                let dn = sanitize(plan.dims[di].relation.as_str());
+                writeln!(w, "      const auto k_{dn} = sk_{dn}[i];").unwrap();
+                writeln!(
+                    w,
+                    "      if (k_{dn} < 0 || (std::size_t)k_{dn} >= view_{dn}.size() || \
+                     !view_{dn}[k_{dn}].present) ok = false;"
+                )
+                .unwrap();
+            }
+            writeln!(w, "      if (ok) {{").unwrap();
+            for (i, src) in sources.iter().enumerate() {
+                match src {
+                    ScoreSource::Fact(_) => {
+                        writeln!(w, "        sc += th[{i}] * x{i}[i];").unwrap();
+                    }
+                    ScoreSource::Dim { dim, payload } => {
+                        let dn = sanitize(plan.dims[*dim].relation.as_str());
+                        writeln!(w, "        sc += th[{i}] * view_{dn}[k_{dn}].p{payload};")
+                            .unwrap();
+                    }
+                }
+            }
+            writeln!(w, "      }}").unwrap();
+            writeln!(w, "      sigma[i] = sigmoid_stable(ok ? sc : 0.0);").unwrap();
+            writeln!(w, "    }}").unwrap();
+            writeln!(
+                w,
+                "    compute_batch({});",
+                compute_batch_args(plan, Some(sig))
+            )
+            .unwrap();
+            for (i, f) in features.iter().enumerate() {
+                let g = agg_index(batch, &[sig.as_str(), f.as_str()]);
+                let v = agg_index(batch, &[label.as_str(), f.as_str()]);
+                writeln!(w, "    th[{i}] -= alpha * (out[{g}] - out[{v}]);").unwrap();
+            }
+            writeln!(w, "  }}").unwrap();
+        }
+    }
+
+    writeln!(w, "  const double t2 = ifaq::now_s();").unwrap();
+    writeln!(w, "  std::printf(\"rows %zu\\n\", n);").unwrap();
+    for (i, agg) in batch.aggs.iter().enumerate() {
+        writeln!(
+            w,
+            "  std::printf(\"agg {i} {} %.17e\\n\", out[{i}]);",
+            sanitize(&agg.name)
+        )
+        .unwrap();
+    }
+    match workload {
+        Workload::Aggregates => {}
+        Workload::Linreg { features, .. } | Workload::Logistic { features, .. } => {
+            for (i, f) in features.iter().enumerate() {
+                writeln!(
+                    w,
+                    "  std::printf(\"theta {} %.17e\\n\", th[{i}]);",
+                    sanitize(f)
+                )
+                .unwrap();
             }
         }
-        attrs.sort();
-        attrs.dedup();
-        for a in &attrs {
-            writeln!(w, "  const double {dn}_{a}[1] = {{1.0}};").unwrap();
-        }
-        write!(w, "  auto view_{dn} = build_view_{dn}({dn}_keys").unwrap();
-        for a in &attrs {
-            write!(w, ", {dn}_{a}").unwrap();
-        }
-        writeln!(w, ", 1, 1);").unwrap();
     }
-    for a in &fact_attrs {
-        writeln!(w, "  const double fact_{a}[1] = {{1.0}};").unwrap();
-    }
-    writeln!(w, "  const long fact_key[1] = {{0}};").unwrap();
-    write!(w, "  compute_batch(1").unwrap();
-    for a in &fact_attrs {
-        write!(w, ", fact_{a}").unwrap();
-    }
-    for dim in &plan.dims {
-        let dn = sanitize(dim.relation.as_str());
-        write!(w, ", fact_key, view_{dn}").unwrap();
-    }
-    writeln!(w, ", out);").unwrap();
-    writeln!(w, "  double gram[{d}][{d}] = {{}};").unwrap();
-    writeln!(w, "  double xty[{d}] = {{}};").unwrap();
-    writeln!(w, "  double theta[{d}] = {{}};").unwrap();
-    writeln!(w, "  gram[0][0] = out[{}];", nterms - 1).unwrap();
-    writeln!(w, "  bgd(gram, xty, gram[0][0], 0.001, 10, theta);").unwrap();
-    writeln!(w, "  std::printf(\"%f\\n\", out[0] + theta[0]);").unwrap();
+    writeln!(w, "  std::printf(\"time load %.6f\\n\", t1 - t0);").unwrap();
+    writeln!(w, "  std::printf(\"time train %.6f\\n\", t2 - t1);").unwrap();
     writeln!(w, "  return 0;").unwrap();
     writeln!(w, "}}").unwrap();
 
+    let kind = match workload {
+        Workload::Aggregates => "aggbatch",
+        Workload::Linreg { .. } => "covar",
+        Workload::Logistic { .. } => "logistic",
+    };
     CppProgram {
-        name: format!("covar_{}", sanitize(plan.tree.root.relation.as_str())),
+        name: format!("{kind}_{}", sanitize(fact_name)),
         source: s,
     }
 }
 
+/// Emits the linear-regression (covar) program for a planned workload:
+/// [`emit_program`] with a [`Workload::Linreg`] over the standard
+/// [`ifaq_query::batch::covar_batch`] of `features` × `label`, which must
+/// be the batch `plan` was planned from.
+pub fn emit_covar_program(plan: &ViewPlan, features: &[&str], label: &str) -> CppProgram {
+    let batch = ifaq_query::batch::covar_batch(features, label);
+    emit_program(
+        plan,
+        &batch,
+        &Workload::Linreg {
+            features: features.iter().map(|s| s.to_string()).collect(),
+            label: label.to_string(),
+            alpha: 1e-9,
+            iterations: 20,
+        },
+    )
+}
+
 /// Compiles a program with `g++ -O3`, returning the wall-clock compile
 /// time, or `None` when no `g++` is on `PATH`. Artifacts go to `dir`.
+/// (See [`crate::harness`] for the compiler-agnostic compile-and-run
+/// path with captured diagnostics.)
 pub fn compile_with_gpp(program: &CppProgram, dir: &Path) -> std::io::Result<Option<Duration>> {
     let src = dir.join(format!("{}.cpp", program.name));
     std::fs::write(&src, &program.source)?;
@@ -337,8 +821,9 @@ pub fn compile_with_gpp(program: &CppProgram, dir: &Path) -> std::io::Result<Opt
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ifaq_query::batch::covar_batch;
-    use ifaq_query::{JoinTree, ViewPlan};
+    use crate::layout::ARRAY_DENSITY_LIMIT;
+    use ifaq_query::batch::{covar_batch, variance_batch};
+    use ifaq_query::{JoinTree, PredOp, ViewPlan};
 
     fn program() -> CppProgram {
         let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
@@ -354,8 +839,11 @@ mod tests {
         assert!(p.source.contains("struct IPayload"));
         assert!(p.source.contains("build_view_R"));
         assert!(p.source.contains("compute_batch"));
-        assert!(p.source.contains("static void bgd"));
-        assert!(p.source.contains("int main()"));
+        assert!(p.source.contains("int main("));
+        // The program loads real data rather than wiring smoke values.
+        assert!(p.source.contains("load_table"));
+        assert!(p.source.contains("S.ifaqtbl"));
+        assert!(p.source.contains("R.ifaqtbl"));
     }
 
     #[test]
@@ -372,6 +860,100 @@ mod tests {
         // 10 aggregates for 2 features + label.
         assert!(p.source.contains("acc9"));
         assert!(!p.source.contains("acc10"));
+    }
+
+    #[test]
+    fn prints_machine_readable_output() {
+        let p = program();
+        assert!(p.source.contains("\"agg 0 m_city_city %.17e\\n\""));
+        assert!(p.source.contains("\"theta city %.17e\\n\""));
+        assert!(p.source.contains("\"theta price %.17e\\n\""));
+        assert!(p.source.contains("time load"));
+        assert!(p.source.contains("time train"));
+    }
+
+    #[test]
+    fn aggregates_workload_emits_no_theta() {
+        let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let delta = vec![Predicate::new("price", PredOp::Le, 2.0)];
+        let batch = variance_batch("units", &delta);
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        let p = emit_program(&plan, &batch, &Workload::Aggregates);
+        assert!(!p.source.contains("theta"));
+        assert!(p.source.contains("agg 0 sum_label_sq"));
+        // The δ condition survives into the scan.
+        assert!(p.source.contains("<= 2"), "{}", p.source);
+    }
+
+    #[test]
+    fn logistic_workload_emits_sigma_loop() {
+        let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        // σ lives on the fact table; features span fact + dims.
+        let cat = {
+            // Add __sigma to S's schema so planning routes it to the fact.
+            let mut c = ifaq_ir::Catalog::new();
+            for r in cat.relations() {
+                let mut r2 = r.clone();
+                if r2.name.as_str() == "S" {
+                    r2.attrs.push(ifaq_ir::Attribute::new(
+                        ifaq_ir::Sym::new("__sigma"),
+                        ifaq_ir::ScalarType::Real,
+                        1,
+                    ));
+                }
+                c.add_relation(r2);
+            }
+            c
+        };
+        let mut batch = ifaq_query::batch::logistic_gradient_batch(&["city", "price"], "__sigma");
+        for f in ["city", "price"] {
+            batch = batch.with(ifaq_query::AggSpec::new(format!("v_{f}"), &["units", f]));
+        }
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        let p = emit_program(
+            &plan,
+            &batch,
+            &Workload::Logistic {
+                features: vec!["city".into(), "price".into()],
+                label: "units".into(),
+                sigma: "__sigma".into(),
+                alpha: 0.01,
+                iterations: 3,
+            },
+        );
+        assert!(p.source.contains("sigmoid_stable"));
+        assert!(p.source.contains("sigma.data()"));
+        assert!(p.source.contains("theta city"));
+        let open = p.source.matches('{').count();
+        assert_eq!(open, p.source.matches('}').count());
+    }
+
+    #[test]
+    fn sparse_key_domains_get_a_runtime_guard() {
+        // The generated loader must refuse a key-space-sized allocation
+        // on sparse domains instead of attempting it.
+        let p = program();
+        assert!(p.source.contains("too sparse for"), "{}", p.source);
+        assert!(p
+            .source
+            .contains(&format!("ks_R > {} * (t_R.rows + 1)", ARRAY_DENSITY_LIMIT)));
+    }
+
+    #[test]
+    #[should_panic(expected = "collide as the C++ identifier")]
+    fn sanitize_collisions_are_rejected_at_emit_time() {
+        // Distinct raw attributes that sanitize to one identifier would
+        // bind the wrong column; the emitter must refuse.
+        super::canonical_attrs(vec!["a.b".into(), "a-b".into()]);
+    }
+
+    #[test]
+    fn float_literals_round_trip() {
+        assert_eq!(flit(1e-9), "1e-9");
+        assert_eq!(flit(0.5), "0.5");
+        assert_eq!(flit(2.0), "2.0");
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Compile-and-run harness for generated C++ programs — the missing last
+//! inch of the §4.4 loop: detect a host compiler, build the emitted unit,
+//! execute it against a `StarDb::export_dir` directory, and parse its
+//! machine-readable output back into engine types.
+//!
+//! Everything degrades explicitly: [`find_cxx`] returns `None` when no
+//! compiler exists (callers print a skip message), and compile/run
+//! failures carry the captured stderr so a broken emitter produces a
+//! readable diagnostic instead of a bare exit status.
+
+use crate::cpp::CppProgram;
+use ifaq_storage::Value;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// A detected host C++ compiler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cxx {
+    /// Command to invoke (e.g. `g++`).
+    pub command: String,
+}
+
+/// Detects a host C++ compiler: the `IFAQ_CXX` environment variable when
+/// set, otherwise the first of `g++`, `clang++`, `c++` that answers
+/// `--version`. Returns `None` when nothing is available — callers must
+/// skip (with a message), never fail.
+pub fn find_cxx() -> Option<Cxx> {
+    let candidates: Vec<String> = match std::env::var("IFAQ_CXX") {
+        Ok(c) if !c.trim().is_empty() => vec![c],
+        _ => ["g++", "clang++", "c++"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    find_cxx_among(&candidates)
+}
+
+/// [`find_cxx`] over an explicit candidate list (the testable core: no
+/// environment reads).
+pub fn find_cxx_among(candidates: &[String]) -> Option<Cxx> {
+    candidates.iter().find_map(|c| {
+        Command::new(c)
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|_| Cxx { command: c.clone() })
+    })
+}
+
+/// A harness failure, with captured diagnostics.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// Filesystem / process-spawn failure.
+    Io(std::io::Error),
+    /// The compiler rejected the generated unit.
+    Compile {
+        /// Compiler command line, for reproduction.
+        command: String,
+        /// Captured compiler stderr.
+        stderr: String,
+    },
+    /// The generated binary exited nonzero.
+    Run {
+        /// Exit status description.
+        status: String,
+        /// Captured stderr.
+        stderr: String,
+    },
+    /// The binary's output did not follow the `agg`/`theta` protocol.
+    Parse(String),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Io(e) => write!(f, "harness io error: {e}"),
+            HarnessError::Compile { command, stderr } => {
+                write!(f, "generated code failed to compile ({command}):\n{stderr}")
+            }
+            HarnessError::Run { status, stderr } => {
+                write!(f, "generated binary failed ({status}):\n{stderr}")
+            }
+            HarnessError::Parse(m) => write!(f, "unparseable generated output: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<std::io::Error> for HarnessError {
+    fn from(e: std::io::Error) -> Self {
+        HarnessError::Io(e)
+    }
+}
+
+/// A compiled generated program.
+#[derive(Clone, Debug)]
+pub struct CompiledBinary {
+    /// Path to the executable.
+    pub path: PathBuf,
+    /// Path to the source it was built from.
+    pub source: PathBuf,
+    /// Wall-clock compile time.
+    pub compile_time: Duration,
+    /// Compiler used.
+    pub compiler: String,
+}
+
+/// Writes `program` to `dir` and compiles it with `cxx -O3 -std=c++17`.
+pub fn compile(
+    program: &CppProgram,
+    dir: &Path,
+    cxx: &Cxx,
+) -> Result<CompiledBinary, HarnessError> {
+    std::fs::create_dir_all(dir)?;
+    let src = dir.join(format!("{}.cpp", program.name));
+    std::fs::write(&src, &program.source)?;
+    let bin = dir.join(&program.name);
+    let start = Instant::now();
+    let output = Command::new(&cxx.command)
+        .arg("-O3")
+        .arg("-std=c++17")
+        .arg(&src)
+        .arg("-o")
+        .arg(&bin)
+        .output()?;
+    if !output.status.success() {
+        return Err(HarnessError::Compile {
+            command: format!(
+                "{} -O3 -std=c++17 {} -o {}",
+                cxx.command,
+                src.display(),
+                bin.display()
+            ),
+            stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+        });
+    }
+    Ok(CompiledBinary {
+        path: bin,
+        source: src,
+        compile_time: start.elapsed(),
+        compiler: cxx.command.clone(),
+    })
+}
+
+/// Parsed output of one generated-program run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Fact rows the program loaded (the `rows` line).
+    pub rows: u64,
+    /// The aggregate batch, in batch order: `(name, value)` per `agg` line.
+    pub aggregates: Vec<(String, f64)>,
+    /// Fitted parameters, in feature order (empty for aggregate-only
+    /// workloads).
+    pub theta: Vec<(String, f64)>,
+    /// The program's own data-loading time (`time load`).
+    pub load_time: Duration,
+    /// The program's own view-build + scan + training time (`time train`).
+    pub train_time: Duration,
+    /// Total process wall time observed from the harness.
+    pub wall_time: Duration,
+}
+
+impl RunResult {
+    /// Aggregate values alone, in batch order — directly comparable to
+    /// `Compiled::run_batch_prepared`'s `Vec<f64>`.
+    pub fn aggregate_values(&self) -> Vec<f64> {
+        self.aggregates.iter().map(|(_, v)| *v).collect()
+    }
+
+    /// θ as the engine's record value, shaped like
+    /// `Compiled::execute_prepared`'s result for a training program.
+    pub fn theta_record(&self) -> Value {
+        Value::record(
+            self.theta
+                .iter()
+                .map(|(f, v)| (ifaq_ir::Sym::new(f.as_str()), Value::real(*v)))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Parses the `rows`/`agg`/`theta`/`time` protocol of a generated program.
+pub fn parse_output(stdout: &str) -> Result<RunResult, HarnessError> {
+    let mut rows = None;
+    let mut aggregates: Vec<(usize, String, f64)> = Vec::new();
+    let mut theta = Vec::new();
+    let (mut load_time, mut train_time) = (None, None);
+    let err = |line: &str, why: &str| HarnessError::Parse(format!("{why}: `{line}`"));
+    for line in stdout.lines() {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["rows", n] => rows = Some(n.parse().map_err(|_| err(line, "bad row count"))?),
+            ["agg", i, name, v] => aggregates.push((
+                i.parse().map_err(|_| err(line, "bad aggregate index"))?,
+                name.to_string(),
+                v.parse().map_err(|_| err(line, "bad aggregate value"))?,
+            )),
+            ["theta", name, v] => theta.push((
+                name.to_string(),
+                v.parse().map_err(|_| err(line, "bad theta value"))?,
+            )),
+            ["time", "load", s] => {
+                load_time = Some(Duration::from_secs_f64(
+                    s.parse().map_err(|_| err(line, "bad load time"))?,
+                ))
+            }
+            ["time", "train", s] => {
+                train_time = Some(Duration::from_secs_f64(
+                    s.parse().map_err(|_| err(line, "bad train time"))?,
+                ))
+            }
+            [] => {}
+            _ => return Err(err(line, "unknown output line")),
+        }
+    }
+    for (pos, (i, _, _)) in aggregates.iter().enumerate() {
+        if *i != pos {
+            return Err(HarnessError::Parse(format!(
+                "aggregate indices out of order: saw {i} at position {pos}"
+            )));
+        }
+    }
+    Ok(RunResult {
+        rows: rows.ok_or_else(|| HarnessError::Parse("missing `rows` line".into()))?,
+        aggregates: aggregates.into_iter().map(|(_, n, v)| (n, v)).collect(),
+        theta,
+        load_time: load_time.ok_or_else(|| HarnessError::Parse("missing `time load`".into()))?,
+        train_time: train_time.ok_or_else(|| HarnessError::Parse("missing `time train`".into()))?,
+        wall_time: Duration::ZERO,
+    })
+}
+
+/// Runs a compiled generated program against an exported star directory
+/// and parses its output.
+pub fn run(bin: &CompiledBinary, data_dir: &Path) -> Result<RunResult, HarnessError> {
+    let start = Instant::now();
+    let output = Command::new(&bin.path).arg(data_dir).output()?;
+    let wall = start.elapsed();
+    if !output.status.success() {
+        return Err(HarnessError::Run {
+            status: output.status.to_string(),
+            stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+        });
+    }
+    let mut result = parse_output(&String::from_utf8_lossy(&output.stdout))?;
+    result.wall_time = wall;
+    Ok(result)
+}
+
+/// One-call convenience: compile `program` into `work_dir` and run it on
+/// `data_dir`. Returns `Ok(None)` when no host compiler exists, so
+/// callers can skip with a message instead of failing.
+pub fn compile_and_run(
+    program: &CppProgram,
+    work_dir: &Path,
+    data_dir: &Path,
+) -> Result<Option<(CompiledBinary, RunResult)>, HarnessError> {
+    let Some(cxx) = find_cxx() else {
+        return Ok(None);
+    };
+    let bin = compile(program, work_dir, &cxx)?;
+    let result = run(&bin, data_dir)?;
+    Ok(Some((bin, result)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_output_protocol() {
+        let out = "rows 5\nagg 0 m_c_c 1.25e2\nagg 1 count 5e0\n\
+                   theta city 2.5e-1\ntime load 0.001\ntime train 0.002\n";
+        let r = parse_output(out).unwrap();
+        assert_eq!(r.rows, 5);
+        assert_eq!(r.aggregate_values(), vec![125.0, 5.0]);
+        assert_eq!(r.aggregates[1].0, "count");
+        assert_eq!(r.theta, vec![("city".to_string(), 0.25)]);
+        assert_eq!(r.load_time, Duration::from_millis(1));
+        match r.theta_record() {
+            Value::Record(fs) => {
+                assert_eq!(fs.len(), 1);
+                assert_eq!(fs[0].0.as_str(), "city");
+            }
+            other => panic!("expected record, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_compilers_are_not_found() {
+        // The skip path must report `None`, never error, when every
+        // candidate is absent.
+        assert_eq!(
+            find_cxx_among(&["/definitely/not/a/compiler".to_string()]),
+            None
+        );
+        assert_eq!(find_cxx_among(&[]), None);
+    }
+
+    #[test]
+    fn rejects_malformed_output() {
+        assert!(parse_output("agg zero x 1.0\nrows 1").is_err());
+        assert!(parse_output("what is this").is_err());
+        let missing_rows = "agg 0 x 1.0\ntime load 0\ntime train 0";
+        assert!(matches!(
+            parse_output(missing_rows),
+            Err(HarnessError::Parse(_))
+        ));
+        // Out-of-order aggregate indices are a protocol violation.
+        let unordered = "rows 1\nagg 1 x 1.0\ntime load 0\ntime train 0";
+        assert!(parse_output(unordered).is_err());
+    }
+
+    #[test]
+    fn compile_reports_diagnostics_and_run_round_trips() {
+        let Some(cxx) = find_cxx() else {
+            eprintln!("no host C++ compiler; skipping harness compile test");
+            return;
+        };
+        let dir = std::env::temp_dir().join(format!("ifaq_harness_{}", std::process::id()));
+        // A broken unit must surface the compiler's stderr.
+        let broken = CppProgram {
+            name: "broken".into(),
+            source: "int main() { return undefined_symbol; }\n".into(),
+        };
+        match compile(&broken, &dir, &cxx) {
+            Err(HarnessError::Compile { stderr, .. }) => {
+                assert!(stderr.contains("undefined_symbol"), "stderr: {stderr}")
+            }
+            other => panic!("expected compile error, got {other:?}"),
+        }
+        // A unit speaking the protocol parses end to end.
+        let ok = CppProgram {
+            name: "protocol".into(),
+            source: "#include <cstdio>\nint main() {\n\
+                     std::printf(\"rows 3\\nagg 0 a 1.5\\ntheta f -2.0\\n\");\n\
+                     std::printf(\"time load 0.0\\ntime train 0.0\\n\");\n\
+                     return 0; }\n"
+                .into(),
+        };
+        let bin = compile(&ok, &dir, &cxx).unwrap();
+        let r = run(&bin, &dir).unwrap();
+        assert_eq!(r.rows, 3);
+        assert_eq!(r.aggregate_values(), vec![1.5]);
+        assert_eq!(r.theta, vec![("f".to_string(), -2.0)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -98,20 +98,39 @@ pub fn synthesize(plan: &ViewPlan, catalog: &Catalog) -> LayoutReport {
                 reason: format!("{} payload fields known statically", dim.payloads.len()),
             });
         }
-        // Key layout: dense array vs hash vs sorted.
-        let stats = catalog
-            .relation(dim.relation.as_str())
-            .and_then(|r| dim.key_attrs.first().and_then(|k| r.attr(k.as_str())));
-        match stats {
-            Some(attr) if attr.distinct > 0 => {
-                let entries = attr.distinct;
-                // Surrogate keys are 0-based in our generators, so the key
-                // space is ≈ the distinct count.
-                if entries.saturating_mul(1) <= entries.saturating_mul(ARRAY_DENSITY_LIMIT) {
+        // Key layout: dense array vs hash vs sorted. The view holds at
+        // most one entry per dimension row; the array is justified when
+        // the key-domain span stays within `ARRAY_DENSITY_LIMIT`× the
+        // entry count. The span estimate is the catalog's `distinct` for
+        // the key attribute — exact for hand-built statistics catalogs,
+        // but *clamped to the row count* by `StarDb::catalog` (which
+        // derives it from the key range), so data-derived catalogs can
+        // under-report sparse domains and land in the dense branch. The
+        // generated loader independently measures the real span at run
+        // time and dies with a diagnostic past the same limit, so a
+        // mis-estimate here cannot silently allocate a huge view.
+        let rel = catalog.relation(dim.relation.as_str());
+        let stats = rel.and_then(|r| dim.key_attrs.first().and_then(|k| r.attr(k.as_str())));
+        match (rel, stats) {
+            (Some(rel), Some(attr)) if attr.distinct > 0 => {
+                let entries = rel.cardinality.max(1);
+                let key_space = attr.distinct;
+                if key_space <= entries.saturating_mul(ARRAY_DENSITY_LIMIT) {
                     report.decisions.push(LayoutDecision {
                         subject: subject.clone(),
                         choice: "dense array",
-                        reason: format!("compact integer key domain ({entries} distinct values)"),
+                        reason: format!(
+                            "compact integer key domain ({key_space} keys over {entries} rows)"
+                        ),
+                    });
+                } else {
+                    report.decisions.push(LayoutDecision {
+                        subject: subject.clone(),
+                        choice: "hash dictionary",
+                        reason: format!(
+                            "key domain too sparse ({key_space} keys over {entries} rows \
+                             exceeds the {ARRAY_DENSITY_LIMIT}x density limit)"
+                        ),
                     });
                 }
             }
@@ -147,14 +166,117 @@ pub fn synthesize(plan: &ViewPlan, catalog: &Catalog) -> LayoutReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ifaq_ir::{Attribute, RelSchema, ScalarType};
     use ifaq_query::batch::covar_batch;
-    use ifaq_query::JoinTree;
+    use ifaq_query::{AggSpec, JoinTree};
 
     fn plan() -> (ViewPlan, Catalog) {
         let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
         let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
         let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
         (plan, cat)
+    }
+
+    /// A two-relation star whose dimension `D` has `entries` rows and a
+    /// key domain spanning `key_space` values — the knobs of the
+    /// dictionary-to-array decision.
+    fn density_plan(entries: u64, key_space: u64) -> (ViewPlan, Catalog) {
+        let cat = Catalog::new()
+            .with_relation(RelSchema::new(
+                "F",
+                vec![
+                    Attribute::new("k", ScalarType::Int, key_space),
+                    Attribute::new("m", ScalarType::Real, 100),
+                ],
+                100,
+            ))
+            .with_relation(RelSchema::new(
+                "D",
+                vec![
+                    Attribute::new("k", ScalarType::Int, key_space),
+                    Attribute::new("v", ScalarType::Real, entries),
+                ],
+                entries,
+            ));
+        let tree = JoinTree::build_with_root(&cat, "F", &["D"]).unwrap();
+        let batch = ifaq_query::AggBatch::new().with(AggSpec::new("m_v", &["v"]));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        (plan, cat)
+    }
+
+    /// The key-layout decision for the single dimension of [`density_plan`].
+    fn key_choice(entries: u64, key_space: u64) -> &'static str {
+        let (plan, cat) = density_plan(entries, key_space);
+        let report = synthesize(&plan, &cat);
+        report
+            .decisions
+            .iter()
+            .find(|d| {
+                d.subject.starts_with("view D")
+                    && (d.choice == "dense array" || d.choice == "hash dictionary")
+            })
+            .expect("key-layout decision for D")
+            .choice
+    }
+
+    #[test]
+    fn dense_array_exactly_at_the_density_limit() {
+        // key_space == ARRAY_DENSITY_LIMIT * entries: still dense.
+        assert_eq!(key_choice(10, 10 * ARRAY_DENSITY_LIMIT), "dense array");
+        // The trivially compact case.
+        assert_eq!(key_choice(10, 10), "dense array");
+    }
+
+    #[test]
+    fn hash_dictionary_just_over_the_density_limit() {
+        let report_choice = key_choice(10, 10 * ARRAY_DENSITY_LIMIT + 1);
+        assert_eq!(report_choice, "hash dictionary");
+        // And the reason names the sparsity, not missing statistics.
+        let (plan, cat) = density_plan(10, 10 * ARRAY_DENSITY_LIMIT + 1);
+        let report = synthesize(&plan, &cat);
+        let d = report.with_choice("hash dictionary")[0];
+        assert!(d.reason.contains("too sparse"), "{}", d.reason);
+        assert!(!report.uses_dense_arrays());
+    }
+
+    #[test]
+    fn missing_statistics_fall_back_to_hash() {
+        // A catalog that knows the relations but not the key attribute.
+        let (plan, _) = density_plan(10, 10);
+        let cat = Catalog::new()
+            .with_relation(RelSchema::new("F", vec![], 100))
+            .with_relation(RelSchema::new("D", vec![], 10));
+        let report = synthesize(&plan, &cat);
+        let d = report.with_choice("hash dictionary")[0];
+        assert!(d.reason.contains("no statistics"), "{}", d.reason);
+    }
+
+    #[test]
+    fn single_field_payload_is_scalar_replaced() {
+        // One aggregate over one dimension attribute: the payload record
+        // has exactly one field, so it is replaced by the field itself.
+        let (plan, cat) = density_plan(10, 10);
+        let report = synthesize(&plan, &cat);
+        let removals = report.with_choice("single-field-record removal");
+        assert_eq!(removals.len(), 1);
+        assert!(removals[0].reason.contains("one field"));
+        assert!(report.with_choice("static struct payload").is_empty());
+    }
+
+    #[test]
+    fn multi_payload_views_keep_the_struct() {
+        // Two distinct payloads ⇒ a static struct, never scalar-replaced.
+        let cat = density_plan(10, 10).1;
+        let tree = JoinTree::build_with_root(&cat, "F", &["D"]).unwrap();
+        let batch = ifaq_query::AggBatch::new()
+            .with(AggSpec::new("m_v", &["v"]))
+            .with(AggSpec::new("m_vv", &["v", "v"]));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        let report = synthesize(&plan, &cat);
+        let structs = report.with_choice("static struct payload");
+        assert_eq!(structs.len(), 1);
+        assert!(structs[0].reason.contains("2 payload fields"));
+        assert!(report.with_choice("single-field-record removal").is_empty());
     }
 
     #[test]

@@ -7,15 +7,24 @@
 //!   field, dense array, sorted trie) and report why. The decisions drive
 //!   both the C++ emitter and the native executors in `ifaq-engine`.
 //! * [`cpp`] — emits a self-contained C++17 translation unit implementing
-//!   the planned aggregate batch (merged views + fused fact scan) and the
-//!   moment-space gradient-descent loop, specialized to the workload: one
+//!   the planned aggregate batch (merged views + fused fact scan) and a
+//!   workload-specific training loop, specialized to the workload: one
 //!   struct per view payload, dense arrays for compact keys, stack-local
-//!   accumulators. [`cpp::compile_with_gpp`] times `g++ -O3` on the result
-//!   when a compiler is available — the paper's "compilation overhead"
+//!   accumulators. The generated `main` loads a star database exported by
+//!   `StarDb::export_dir` and prints machine-readable results.
+//!   [`cpp::compile_with_gpp`] times `g++ -O3` on the result when a
+//!   compiler is available — the paper's "compilation overhead"
 //!   measurement (§5).
+//! * [`harness`] — closes the loop: detects a host compiler, compiles the
+//!   emitted unit, runs it on exported data, and parses the output back
+//!   into engine types. The differential gate
+//!   `tests/codegen_equivalence.rs` uses it to hold generated code to the
+//!   native engine within 1e-6.
 
 pub mod cpp;
+pub mod harness;
 pub mod layout;
 
-pub use cpp::{emit_covar_program, CppProgram};
+pub use cpp::{emit_covar_program, emit_program, CppProgram, Workload};
+pub use harness::{compile_and_run, find_cxx, RunResult};
 pub use layout::{synthesize, LayoutDecision, LayoutReport};

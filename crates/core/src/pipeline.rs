@@ -350,6 +350,15 @@ impl PreparedBatch {
     pub fn layout(&self) -> Layout {
         self.layout
     }
+
+    /// The view plan the engine executes for this batch (`None` when the
+    /// compiled batch is empty). This is the exact plan the C++ emitter
+    /// must be fed so the generated program computes the same fused scan
+    /// in the same aggregate order — see `ifaq_codegen::emit_program` and
+    /// the `codegen_equivalence` gate.
+    pub fn plan(&self) -> Option<&ViewPlan> {
+        self.planned.as_ref().map(|(plan, _)| plan)
+    }
 }
 
 impl Compiled {

@@ -12,6 +12,7 @@
 use ifaq_ir::{Attribute, Catalog, RelSchema, ScalarType, Sym};
 use ifaq_storage::{ColRelation, Column};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// A dimension table: a columnar relation joined to the fact table on
 /// `key` (an integer attribute present in both).
@@ -257,6 +258,83 @@ impl StarDb {
     pub fn materialize(&self) -> TrainMatrix {
         self.materialize_via(&self.join_index())
     }
+
+    /// Serializes the whole star to `dir`: one `IFAQTBL1` file per
+    /// relation (named by [`ifaq_storage::export::table_file_name`]) plus
+    /// a `star.manifest` recording which file is the fact table and each
+    /// dimension's join key. This is the data the *generated* C++
+    /// programs load — see `ifaq_codegen` — and [`StarDb::import_dir`]
+    /// reads it back for round-trip checks.
+    ///
+    /// # Panics
+    ///
+    /// If two relations map to the same file name (relation names must be
+    /// unique up to file-name sanitization), or if a relation or join-key
+    /// name contains whitespace — the manifest is whitespace-delimited,
+    /// so such a name would export fine but never re-import.
+    pub fn export_dir(&self, dir: &Path) -> std::io::Result<()> {
+        use ifaq_storage::export::{table_file_name, write_relation};
+        std::fs::create_dir_all(dir)?;
+        let no_ws = |kind: &str, name: &str| {
+            assert!(
+                !name.chars().any(char::is_whitespace),
+                "{kind} `{name}` contains whitespace; the star.manifest format \
+                 cannot represent it"
+            );
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut manifest = String::from("ifaq-star v1\n");
+        let mut write = |rel: &ColRelation| -> std::io::Result<String> {
+            no_ws("relation name", rel.name.as_str());
+            let file = table_file_name(rel.name.as_str());
+            assert!(
+                seen.insert(file.clone()),
+                "relation `{}` collides with another relation's file name `{file}`",
+                rel.name
+            );
+            write_relation(rel, &dir.join(&file))?;
+            Ok(file)
+        };
+        let fact_file = write(&self.fact)?;
+        manifest.push_str(&format!("fact {fact_file} {}\n", self.fact.name));
+        for d in &self.dims {
+            no_ws("join key", d.key.as_str());
+            let file = write(&d.rel)?;
+            manifest.push_str(&format!("dim {file} {} {}\n", d.rel.name, d.key));
+        }
+        std::fs::write(dir.join("star.manifest"), manifest)
+    }
+
+    /// Reads a star previously written by [`StarDb::export_dir`].
+    pub fn import_dir(dir: &Path) -> std::io::Result<StarDb> {
+        use ifaq_storage::export::read_relation;
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let manifest = std::fs::read_to_string(dir.join("star.manifest"))?;
+        let mut lines = manifest.lines();
+        if lines.next() != Some("ifaq-star v1") {
+            return Err(bad(format!(
+                "{}: not an ifaq-star v1 manifest",
+                dir.display()
+            )));
+        }
+        let mut fact = None;
+        let mut dims = Vec::new();
+        for line in lines {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["fact", file, _name] => fact = Some(read_relation(&dir.join(file))?),
+                ["dim", file, _name, key] => {
+                    dims.push(Dim::new(read_relation(&dir.join(file))?, *key));
+                }
+                [] => {}
+                other => return Err(bad(format!("bad manifest line: {other:?}"))),
+            }
+        }
+        Ok(StarDb::new(
+            fact.ok_or_else(|| bad("manifest has no fact entry".into()))?,
+            dims,
+        ))
+    }
 }
 
 /// The resolved row structure of the project-join (see
@@ -389,6 +467,45 @@ mod tests {
         let db = running_example_star().take_fact(2);
         assert_eq!(db.fact_rows(), 2);
         assert_eq!(db.materialize().rows, 2);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let db = running_example_star();
+        let dir = std::env::temp_dir().join(format!("ifaq_star_rt_{}", std::process::id()));
+        db.export_dir(&dir).unwrap();
+        assert!(dir.join("star.manifest").exists());
+        assert!(dir.join("S.ifaqtbl").exists());
+        let back = StarDb::import_dir(&dir).unwrap();
+        assert_eq!(back.fact, db.fact);
+        assert_eq!(back.dims.len(), db.dims.len());
+        for (a, b) in back.dims.iter().zip(&db.dims) {
+            assert_eq!(a.rel, b.rel);
+            assert_eq!(a.key, b.key);
+        }
+        assert_eq!(back.materialize(), db.materialize());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "contains whitespace")]
+    fn export_rejects_whitespace_relation_names() {
+        // The manifest is whitespace-delimited: a name with a space would
+        // export fine and then never re-import, so it must fail loudly.
+        let mut db = running_example_star();
+        db.fact.name = Sym::new("My Sales");
+        let dir = std::env::temp_dir().join(format!("ifaq_star_ws_{}", std::process::id()));
+        let _ = db.export_dir(&dir);
+    }
+
+    #[test]
+    fn import_rejects_foreign_manifest() {
+        let dir = std::env::temp_dir().join(format!("ifaq_star_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("star.manifest"), "something else\n").unwrap();
+        let err = StarDb::import_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("ifaq-star"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! computation — which these reimplementations preserve (see DESIGN.md
 //! "Substitutions"):
 //!
-//! * [`scikit_like`]: closed-form least squares over the materialized
+//! * [`scikit_like_linreg`] / [`scikit_like_tree`] /
+//!   [`scikit_like_logreg`]: closed-form least squares over the materialized
 //!   matrix (scikit-learn's `LinearRegression`), or CART over the matrix.
-//! * [`tf_like`]: one epoch of mini-batch SGD (batch size 100 000, the
+//! * [`tf_like_linreg`] / [`tf_like_logreg`]: one epoch of mini-batch SGD
+//!   (batch size 100 000, the
 //!   paper's setting) over the materialized matrix.
-//! * [`mlpack_like`]: mlpack copies the matrix to compute its transpose;
+//! * [`mlpack_like_linreg`] / [`mlpack_like_logreg`]: mlpack copies the
+//!   matrix to compute its transpose;
 //!   the paper reports it running out of memory on every workload. The
 //!   reimplementation checks the doubled allocation against a memory
 //!   budget and fails the same way.

@@ -2,7 +2,7 @@
 //!
 //! Relations are nodes; an edge between two nodes is annotated with the
 //! attributes on which they join. The paper assumes the join order is given
-//! by a query optimizer [25]; here we use the standard heuristic for the
+//! by a query optimizer \[25\]; here we use the standard heuristic for the
 //! acyclic feature-extraction joins of the workloads: the largest relation
 //! (the fact table) is the root, and every other relation attaches to the
 //! node it shares attributes with.

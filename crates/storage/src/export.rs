@@ -1,0 +1,203 @@
+//! On-disk export of columnar relations, consumed by both the native
+//! engine ([`read_relation`]) and the *generated* C++ programs of
+//! `ifaq-codegen` — the data half of closing the §4.4 compilation loop:
+//! the emitted code is specialized to the workload, and this format hands
+//! it the workload's data without any parsing logic beyond `fread`.
+//!
+//! Format `IFAQTBL1` (all integers little-endian; one file per relation):
+//!
+//! ```text
+//! magic   8 bytes  "IFAQTBL1"
+//! u32     relation-name length, then that many bytes (UTF-8)
+//! u64     row count
+//! u32     column count
+//! per column:
+//!   u32   column-name length, then that many bytes (UTF-8)
+//!   u8    kind: 0 = i64, 1 = f64
+//!   rows × 8 bytes of raw column data
+//! ```
+//!
+//! The format is deliberately dumb: fixed-width scalars only, column
+//! data inline after each header, no compression, no alignment games —
+//! a C++ loader is ~40 lines (see `ifaq_codegen::cpp`, which emits one
+//! into every generated program).
+
+use crate::columnar::{ColRelation, Column};
+use ifaq_ir::Sym;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic for the relation format, version 1.
+pub const MAGIC: &[u8; 8] = b"IFAQTBL1";
+
+/// Canonical file name for an exported relation: the relation name with
+/// every non-alphanumeric byte replaced by `_`, plus the `.ifaqtbl`
+/// extension. Shared contract between [`write_relation`] callers (the
+/// engine's `StarDb::export_dir`) and the C++ emitter, which bakes these
+/// names into the generated loader.
+pub fn table_file_name(relation: &str) -> String {
+    let stem: String = relation
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("{stem}.ifaqtbl")
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    w.write_all(&(u32::try_from(bytes.len()).map_err(|_| bad("name too long"))?).to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| bad(format!("non-UTF-8 name: {e}")))
+}
+
+/// Writes one relation to `path` in the `IFAQTBL1` format.
+pub fn write_relation(rel: &ColRelation, path: &Path) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_str(&mut w, rel.name.as_str())?;
+    w.write_all(&(rel.len() as u64).to_le_bytes())?;
+    w.write_all(
+        &(u32::try_from(rel.attrs.len()).map_err(|_| bad("too many columns"))?).to_le_bytes(),
+    )?;
+    for (attr, col) in rel.attrs.iter().zip(&rel.columns) {
+        write_str(&mut w, attr.as_str())?;
+        match col {
+            Column::I64(v) => {
+                w.write_all(&[0u8])?;
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            Column::F64(v) => {
+                w.write_all(&[1u8])?;
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Reads a relation previously written by [`write_relation`].
+pub fn read_relation(path: &Path) -> io::Result<ColRelation> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad(format!(
+            "{}: bad magic {:?} (expected IFAQTBL1)",
+            path.display(),
+            magic
+        )));
+    }
+    let name = read_str(&mut r)?;
+    let mut rows8 = [0u8; 8];
+    r.read_exact(&mut rows8)?;
+    let rows = u64::from_le_bytes(rows8) as usize;
+    let mut cols4 = [0u8; 4];
+    r.read_exact(&mut cols4)?;
+    let ncols = u32::from_le_bytes(cols4) as usize;
+    let mut attrs = Vec::with_capacity(ncols);
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        attrs.push(Sym::new(read_str(&mut r)?));
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind)?;
+        let mut raw = vec![0u8; rows * 8];
+        r.read_exact(&mut raw)?;
+        let cells = raw.chunks_exact(8);
+        columns.push(match kind[0] {
+            0 => Column::I64(
+                cells
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            1 => Column::F64(
+                cells
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            k => return Err(bad(format!("{}: unknown column kind {k}", path.display()))),
+        });
+    }
+    Ok(ColRelation::new(name, attrs, columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ColRelation {
+        ColRelation::new(
+            "S",
+            vec![Sym::new("item"), Sym::new("units")],
+            vec![
+                Column::I64(vec![1, -2, i64::MAX]),
+                Column::F64(vec![1.5, -0.0, f64::MIN_POSITIVE]),
+            ],
+        )
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ifaq_export_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let rel = sample();
+        let path = tmp("roundtrip.ifaqtbl");
+        write_relation(&rel, &path).unwrap();
+        let back = read_relation(&path).unwrap();
+        assert_eq!(back, rel);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn round_trips_empty_relation() {
+        let rel = ColRelation::new("E", vec![Sym::new("k")], vec![Column::I64(vec![])]);
+        let path = tmp("empty.ifaqtbl");
+        write_relation(&rel, &path).unwrap();
+        assert_eq!(read_relation(&path).unwrap(), rel);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("bad.ifaqtbl");
+        std::fs::write(&path, b"NOTATBL1xxxxxxxxxxxx").unwrap();
+        let err = read_relation(&path).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let rel = sample();
+        let path = tmp("trunc.ifaqtbl");
+        write_relation(&rel, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_relation(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn file_names_are_sanitized_and_stable() {
+        assert_eq!(table_file_name("Sales"), "Sales.ifaqtbl");
+        assert_eq!(table_file_name("a b/c"), "a_b_c.ifaqtbl");
+    }
+}

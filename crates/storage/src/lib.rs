@@ -19,9 +19,12 @@
 //!   after data-layout synthesis (§4.4 "Dictionary to Array").
 //! * [`trie::Trie`] — nested-dictionary tries grouped by join attributes
 //!   (§4.3 "Dictionary to Trie").
+//! * [`export`] — the `IFAQTBL1` on-disk column format shared by the
+//!   native engine and the generated C++ programs of `ifaq-codegen`.
 
 pub mod columnar;
 pub mod dict;
+pub mod export;
 pub mod relation;
 pub mod trie;
 pub mod value;

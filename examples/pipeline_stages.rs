@@ -7,7 +7,7 @@
 //! ```
 
 use ifaq::{CompileOptions, Pipeline};
-use ifaq_codegen::{emit_covar_program, synthesize};
+use ifaq_codegen::{emit_program, synthesize, Workload};
 use ifaq_engine::star::running_example_star;
 use ifaq_ir::pretty::pretty_indented;
 use ifaq_ir::Expr;
@@ -80,7 +80,18 @@ fn main() {
     println!("{}", synthesize(&plan, &catalog));
 
     banner("stage 6: generated C++ (first 60 lines)");
-    let cpp = emit_covar_program(&plan, &["city", "price"], "units");
+    // Emit from the *extracted* batch and its plan, so the generated unit
+    // computes exactly the aggregates the residual program consumes.
+    let cpp = emit_program(
+        &plan,
+        &compiled.batch,
+        &Workload::Linreg {
+            features: vec!["city".into(), "price".into()],
+            label: "units".into(),
+            alpha: 0.000001,
+            iterations: 50,
+        },
+    );
     for line in cpp.source.lines().take(60) {
         println!("{line}");
     }

@@ -1,0 +1,311 @@
+//! The compiled-backend differential gate: the C++ programs emitted by
+//! `ifaq_codegen` must, when compiled by a host compiler and run on
+//! *exported real data*, reproduce the native engine's aggregate batches
+//! and fitted θ within 1e-6 (relative) — on both dataset shapes, for both
+//! the linear-regression and logistic workloads.
+//!
+//! The engine side of every comparison goes through
+//! `Compiled::prepare` / `execute_prepared` — the same prepared-state
+//! path the rest of the tree uses — so this gate pins the *entire* §4.4
+//! story: plan → emit → g++ → run-on-exported-data ≡ plan → prepare →
+//! native scan → interpret residual.
+//!
+//! Without a host C++ compiler each test skips with an explanatory
+//! message (the CI `codegen-e2e` job exercises the compiler-present path
+//! on every push).
+
+use ifaq::{CompileOptions, Pipeline};
+use ifaq_codegen::cpp::{emit_program, Workload};
+use ifaq_codegen::harness::{self, Cxx, RunResult};
+use ifaq_datagen::{favorita, retailer, Dataset};
+use ifaq_engine::{stable_sigmoid, ExecConfig, Layout, StarDb};
+use ifaq_ir::{Expr, Program, Sym};
+use ifaq_ml::logreg;
+use ifaq_storage::{ColRelation, Column, Value};
+use ifaq_transform::highlevel::linear_regression_program;
+use std::path::PathBuf;
+
+const SKIP: &str = "no host C++ compiler (g++/clang++/c++, or set IFAQ_CXX) found; \
+                    skipping the codegen equivalence gate — install g++ to run it";
+
+/// Relative 1e-6 agreement, the gate's acceptance bound.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn dirs(tag: &str) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("ifaq_cge_{}_{tag}", std::process::id()));
+    (base.join("work"), base.join("data"))
+}
+
+fn cleanup(tag: &str) {
+    let base = std::env::temp_dir().join(format!("ifaq_cge_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(base);
+}
+
+/// Exports `db`, compiles `program`, runs it, and hands back the parsed
+/// result. Panics with the captured compiler/runtime diagnostics on any
+/// failure — a broken emitter must fail loudly here.
+fn run_generated(
+    db: &StarDb,
+    program: &ifaq_codegen::CppProgram,
+    cxx: &Cxx,
+    tag: &str,
+) -> RunResult {
+    let (work, data) = dirs(tag);
+    db.export_dir(&data).expect("export star");
+    let bin = harness::compile(program, &work, cxx).unwrap_or_else(|e| panic!("{tag}: {e}"));
+    harness::run(&bin, &data).unwrap_or_else(|e| panic!("{tag}: {e}"))
+}
+
+fn assert_aggs_match(run: &RunResult, engine: &[f64], tag: &str) {
+    assert_eq!(
+        run.aggregates.len(),
+        engine.len(),
+        "{tag}: aggregate count mismatch"
+    );
+    for (i, ((name, got), want)) in run.aggregates.iter().zip(engine).enumerate() {
+        assert!(
+            close(*got, *want),
+            "{tag}: aggregate {i} ({name}): generated {got} vs engine {want}"
+        );
+    }
+}
+
+fn theta_field(theta: &Value, feature: &str) -> f64 {
+    match theta {
+        Value::Record(fs) => fs
+            .iter()
+            .find(|(n, _)| n.as_str() == feature)
+            .unwrap_or_else(|| panic!("engine θ has no field `{feature}`"))
+            .1
+            .as_f64()
+            .expect("numeric θ entry"),
+        other => panic!("expected θ record, got {other}"),
+    }
+}
+
+/// Linear regression: compile the §3 D-IFAQ program through the full
+/// pipeline, run it natively over prepared state, and hold the generated
+/// C++ (same plan, same batch, same residual-loop semantics) to it.
+fn linreg_gate(ds: &Dataset, features: &[&str], alpha: f64, iters: usize, tag: &str) {
+    let Some(cxx) = harness::find_cxx() else {
+        eprintln!("{SKIP}");
+        return;
+    };
+    let db = &ds.db;
+    let program =
+        linear_regression_program(features, &ds.label, Expr::var("Q"), alpha, iters as i64);
+    let catalog = db.catalog().with_var_size("Q", db.fact_rows() as u64);
+    let compiled = Pipeline::new(catalog)
+        .compile(&program, &CompileOptions::for_star_db(db))
+        .expect("pipeline compile");
+    let cfg = ExecConfig::global();
+    let prepared = compiled.prepare(db, Layout::MergedHash).expect("prepare");
+    let engine_aggs = compiled.run_batch_prepared(db, &prepared, cfg);
+    let engine_theta = compiled
+        .execute_prepared(db, &prepared, cfg)
+        .expect("engine execute");
+    let plan = prepared.plan().expect("nonempty linreg batch");
+    let cpp = emit_program(
+        plan,
+        &compiled.batch,
+        &Workload::Linreg {
+            features: features.iter().map(|s| s.to_string()).collect(),
+            label: ds.label.clone(),
+            alpha,
+            iterations: iters,
+        },
+    );
+    let run = run_generated(db, &cpp, &cxx, tag);
+    assert_eq!(run.rows as usize, db.fact_rows(), "{tag}: row count");
+    assert_aggs_match(&run, &engine_aggs, tag);
+    assert_eq!(run.theta.len(), features.len(), "{tag}: θ width");
+    for (f, got) in &run.theta {
+        let want = theta_field(&engine_theta, f);
+        assert!(got.is_finite(), "{tag}: θ[{f}] not finite");
+        assert!(
+            close(*got, want),
+            "{tag}: θ[{f}]: generated {got} vs engine {want}"
+        );
+    }
+    // The fit did move: an all-zero θ would match a broken loop trivially.
+    assert!(
+        run.theta.iter().any(|(_, v)| v.abs() > 0.0),
+        "{tag}: θ never moved"
+    );
+    cleanup(tag);
+}
+
+/// Clones a star with an extra all-zero `__sigma` fact column.
+fn with_sigma(db: &StarDb) -> StarDb {
+    let mut attrs = db.fact.attrs.clone();
+    attrs.push(Sym::new(logreg::SIGMA_COL));
+    let mut columns = db.fact.columns.clone();
+    columns.push(Column::F64(vec![0.0; db.fact.len()]));
+    StarDb::new(
+        ColRelation::new(db.fact.name.clone(), attrs, columns),
+        db.dims.clone(),
+    )
+}
+
+/// The logistic gradient program: a record of `Σ Q(x)·x.σ·x.f` (the
+/// θ-dependent side, re-run per iteration over the rewritten σ column)
+/// and `Σ Q(x)·x.label·x.f` (the hoisted invariant side) per feature.
+fn logistic_gradient_program(features: &[&str], label: &str) -> Program {
+    let q = Expr::var("Q");
+    let sum2 = |a: &str, b: &str| {
+        Expr::sum(
+            "x",
+            Expr::dom(q.clone()),
+            Expr::mul(
+                Expr::mul(
+                    Expr::apply(q.clone(), Expr::var("x")),
+                    Expr::get(Expr::var("x"), a),
+                ),
+                Expr::get(Expr::var("x"), b),
+            ),
+        )
+    };
+    let mut fields: Vec<(Sym, Expr)> = Vec::new();
+    for f in features {
+        fields.push((Sym::new(format!("g_{f}")), sum2(logreg::SIGMA_COL, f)));
+    }
+    for f in features {
+        fields.push((Sym::new(format!("v_{f}")), sum2(label, f)));
+    }
+    Program::expression(Expr::Record(fields))
+}
+
+fn record_field(v: &Value, name: &str) -> f64 {
+    match v {
+        Value::Record(fs) => fs
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .unwrap_or_else(|| panic!("record has no field `{name}`"))
+            .1
+            .as_f64()
+            .expect("numeric field"),
+        other => panic!("expected record, got {other}"),
+    }
+}
+
+/// Logistic regression: the engine side runs the raw-space
+/// `logistic_regression_program` semantics factorized — per iteration a
+/// sharded score pass rewrites σ, then **one `Compiled::prepare`-ed
+/// gradient batch executes via `execute_prepared`** (the PR-4 contract:
+/// fact-value rewrites keep prepared state valid). The generated C++
+/// implements the identical loop natively and must match θ and the final
+/// iteration's aggregates.
+fn logistic_gate(ds: &Dataset, features: &[&str], alpha: f64, iters: usize, tag: &str) {
+    let Some(cxx) = harness::find_cxx() else {
+        eprintln!("{SKIP}");
+        return;
+    };
+    assert!(iters >= 1);
+    let ds = ds.binarize_label();
+    let mut aug = with_sigma(&ds.db);
+    let program = logistic_gradient_program(features, &ds.label);
+    let catalog = aug.catalog().with_var_size("Q", aug.fact_rows() as u64);
+    let compiled = Pipeline::new(catalog)
+        .compile(&program, &CompileOptions::for_star_db(&aug))
+        .expect("pipeline compile");
+    assert_eq!(
+        compiled.batch.len(),
+        2 * features.len(),
+        "gradient + invariant aggregates"
+    );
+    let cfg = ExecConfig::global();
+    let prepared = compiled.prepare(&aug, Layout::MergedHash).expect("prepare");
+    let score_prep = logreg::prepare_scores(&aug, features);
+    let mut theta = vec![0.0; features.len()];
+    for _ in 0..iters {
+        let scores = logreg::fact_scores_prepared(&aug, features, &theta, 0.0, &score_prep, cfg);
+        *aug.fact.columns.last_mut().expect("σ column") =
+            Column::F64(scores.into_iter().map(stable_sigmoid).collect());
+        let grad = compiled
+            .execute_prepared(&aug, &prepared, cfg)
+            .expect("engine gradient record");
+        for (j, f) in features.iter().enumerate() {
+            theta[j] -= alpha
+                * (record_field(&grad, &format!("g_{f}")) - record_field(&grad, &format!("v_{f}")));
+        }
+    }
+    // Aggregates at the final σ state, for the batch comparison.
+    let engine_aggs = compiled.run_batch_prepared(&aug, &prepared, cfg);
+
+    let plan = prepared.plan().expect("nonempty logistic batch");
+    let cpp = emit_program(
+        plan,
+        &compiled.batch,
+        &Workload::Logistic {
+            features: features.iter().map(|s| s.to_string()).collect(),
+            label: ds.label.clone(),
+            sigma: logreg::SIGMA_COL.to_string(),
+            alpha,
+            iterations: iters,
+        },
+    );
+    // The generated program computes σ itself: export the *un-augmented*
+    // database shape, minus nothing — the σ column must not be in the
+    // files (the emitter allocates it), so export the original star.
+    let run = run_generated(&ds.db, &cpp, &cxx, tag);
+    assert_eq!(run.rows as usize, ds.db.fact_rows(), "{tag}: row count");
+    assert_aggs_match(&run, &engine_aggs, tag);
+    assert_eq!(run.theta.len(), features.len(), "{tag}: θ width");
+    for ((f, got), want) in run.theta.iter().zip(&theta) {
+        assert!(got.is_finite(), "{tag}: θ[{f}] not finite");
+        assert!(
+            close(*got, *want),
+            "{tag}: θ[{f}]: generated {got} vs engine {want}"
+        );
+    }
+    assert!(
+        run.theta.iter().any(|(_, v)| v.abs() > 0.0),
+        "{tag}: θ never moved"
+    );
+    cleanup(tag);
+}
+
+// Retailer features deliberately span every dimension (Location, Census,
+// Item, Weather); Favorita's include the fact-owned `onpromotion` plus
+// all four dimensions — together the two shapes cover fact-owned and
+// dim-owned score/aggregate routing.
+const RETAILER_FEATURES: [&str; 4] = ["l1", "c1", "i1", "w1"];
+
+#[test]
+fn generated_linreg_matches_engine_on_favorita() {
+    let ds = favorita(2_000, 71);
+    let features = ds.feature_refs();
+    linreg_gate(&ds, &features, 1e-9, 12, "lin_fav");
+}
+
+#[test]
+fn generated_linreg_matches_engine_on_retailer() {
+    let ds = retailer(2_000, 72);
+    linreg_gate(&ds, &RETAILER_FEATURES, 1e-8, 12, "lin_ret");
+}
+
+#[test]
+fn generated_logistic_matches_engine_on_favorita() {
+    let ds = favorita(2_000, 73);
+    let features = ds.feature_refs();
+    logistic_gate(&ds, &features, 1e-6, 8, "log_fav");
+}
+
+#[test]
+fn generated_logistic_matches_engine_on_retailer() {
+    let ds = retailer(2_000, 74);
+    logistic_gate(&ds, &RETAILER_FEATURES, 1e-5, 8, "log_ret");
+}
+
+/// The skip path itself must stay honest: an absent compiler reports
+/// `None` (the gate then skips with [`SKIP`]) rather than erroring.
+#[test]
+fn compilerless_hosts_skip_cleanly() {
+    assert_eq!(
+        harness::find_cxx_among(&["/definitely/not/a/compiler".to_string()]),
+        None,
+        "a bogus compiler candidate must not be 'found'"
+    );
+}
