@@ -479,14 +479,68 @@ fn score_sources(
 /// time load <seconds>
 /// time train <seconds>
 /// ```
+/// Structural verification of the emitter's plan/batch inputs, run by
+/// [`emit_program`] before any code is printed (part of the phase-gated
+/// verification layer — see `ifaq_ir::verify`). The emitter indexes
+/// freely across the two structures, so a mismatched pair would emit
+/// compiling-but-wrong C++; this catches it at generation time instead:
+///
+/// * `plan.terms` and `batch.aggs` must pair up one-to-one, in order;
+/// * aggregate names must be unique (they key the printed `agg` lines);
+/// * every term's `dim_payload` must index a payload of every dimension;
+/// * every dimension needs a join key attribute.
+pub fn verify_plan_inputs(plan: &ViewPlan, batch: &AggBatch) -> Result<(), String> {
+    if batch.len() != plan.terms.len() {
+        return Err(format!(
+            "batch/plan mismatch: {} aggregates vs {} plan terms",
+            batch.len(),
+            plan.terms.len()
+        ));
+    }
+    let mut names = std::collections::BTreeSet::new();
+    for agg in &batch.aggs {
+        if !names.insert(agg.name.as_str()) {
+            return Err(format!("duplicate aggregate name `{}`", agg.name));
+        }
+    }
+    for (i, term) in plan.terms.iter().enumerate() {
+        if term.agg != i {
+            return Err(format!(
+                "plan term {i} computes aggregate {} — terms must pair with the \
+                 batch in order",
+                term.agg
+            ));
+        }
+        if term.dim_payload.len() != plan.dims.len() {
+            return Err(format!(
+                "plan term {i} carries {} dimension payloads for {} dimensions",
+                term.dim_payload.len(),
+                plan.dims.len()
+            ));
+        }
+        for (d, &pi) in term.dim_payload.iter().enumerate() {
+            if pi >= plan.dims[d].payloads.len() {
+                return Err(format!(
+                    "plan term {i} references payload {pi} of dimension `{}`, which \
+                     has {}",
+                    plan.dims[d].relation,
+                    plan.dims[d].payloads.len()
+                ));
+            }
+        }
+    }
+    for dim in &plan.dims {
+        if dim.key_attrs.is_empty() {
+            return Err(format!("dimension `{}` has no join key", dim.relation));
+        }
+    }
+    Ok(())
+}
+
 pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> CppProgram {
-    assert_eq!(
-        batch.len(),
-        plan.terms.len(),
-        "batch/plan mismatch: {} aggregates vs {} plan terms",
-        batch.len(),
-        plan.terms.len()
-    );
+    if let Err(msg) = verify_plan_inputs(plan, batch) {
+        panic!("cannot emit C++: {msg}");
+    }
     let mut s = String::new();
     let w = &mut s;
     let nterms = plan.terms.len();

@@ -25,6 +25,6 @@ pub mod cpp;
 pub mod harness;
 pub mod layout;
 
-pub use cpp::{emit_covar_program, emit_program, CppProgram, Workload};
+pub use cpp::{emit_covar_program, emit_program, verify_plan_inputs, CppProgram, Workload};
 pub use harness::{compile_and_run, find_cxx, RunResult};
 pub use layout::{synthesize, LayoutDecision, LayoutReport};

@@ -5,7 +5,8 @@ use ifaq_engine::star::StarDb;
 use ifaq_engine::{layout, ExecConfig, Layout};
 use ifaq_ir::types::TypeEnv;
 use ifaq_ir::vars::occurs_free;
-use ifaq_ir::{Catalog, Program, ScalarType, Sym, Type, TypeChecker};
+use ifaq_ir::verify::{Verifier, VerifyError, VerifyLevel};
+use ifaq_ir::{Catalog, Program, ScalarType, Sym, Type, TypeChecker, TypeError};
 use ifaq_query::extract::{extract_aggregates, Extraction};
 use ifaq_query::{AggBatch, JoinTree, ViewPlan};
 use ifaq_storage::Value;
@@ -61,6 +62,9 @@ impl CompileOptions {
 pub enum PipelineError {
     /// The specialized program does not satisfy the S-IFAQ typing rules.
     Type(ifaq_ir::TypeError),
+    /// The program failed static verification (scope closure /
+    /// well-formedness) before planning.
+    Verify(VerifyError),
     /// Join-tree construction failed.
     JoinTree(String),
     /// Planning the aggregate batch failed.
@@ -73,6 +77,7 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Type(e) => write!(f, "{e}"),
+            PipelineError::Verify(e) => write!(f, "{e}"),
             PipelineError::JoinTree(m) => write!(f, "join tree: {m}"),
             PipelineError::Plan(m) => write!(f, "plan: {m}"),
             PipelineError::Eval(m) => write!(f, "evaluation: {m}"),
@@ -133,8 +138,13 @@ impl Pipeline {
         let input = program.clone();
         // §4.1 high-level optimizations.
         let (high_level, high_level_report) = optimize_program(program, &self.catalog);
-        // §4.2 schema specialization, then the S-IFAQ type check.
+        // §4.2 schema specialization, then static verification of the
+        // S-IFAQ program (scope closure under the catalog + `Q`) and the
+        // S-IFAQ type check — the program must be closed and well-typed
+        // before anything downstream plans over it.
         let (specialized, _) = specialize_program(&high_level);
+        self.verify(&specialized, options, "specialize", 0, &input)
+            .map_err(PipelineError::Verify)?;
         self.type_check(&specialized, options)?;
         // §4.3 aggregate extraction, per expression of the program.
         let mut batch = AggBatch::new();
@@ -146,6 +156,10 @@ impl Pipeline {
         // Dead bindings (typically the `Q` join definition) drop once no
         // expression scans the query result any more.
         let residual = prune_dead_lets(&residual, &options.q_var);
+        // The residual may only reference context the runner provides:
+        // the catalog, `Q`, and the `__agg<i>` batch results.
+        self.verify(&residual, options, "extract", batch.len(), &input)
+            .map_err(PipelineError::Verify)?;
         Ok(Compiled {
             stages: StageSnapshots {
                 input,
@@ -158,6 +172,37 @@ impl Pipeline {
             batch,
             options: options.clone(),
         })
+    }
+
+    /// Statically verifies a program at the `IFAQ_VERIFY` level: every
+    /// variable must resolve to a binder, a catalog relation, `Q`, one
+    /// of the `n_aggs` batch-result variables, or something already free
+    /// in the user's *input* program (opaque functions the interpreter
+    /// binds from its environment are context, not a rewrite bug).
+    /// Rewrites may only consume scope, never invent it — the optimizer
+    /// gates enforce that per phase; this pins the whole-program result.
+    fn verify(
+        &self,
+        program: &Program,
+        options: &CompileOptions,
+        phase: &str,
+        n_aggs: usize,
+        input: &Program,
+    ) -> Result<(), VerifyError> {
+        let level = VerifyLevel::from_env();
+        if !level.enabled() {
+            return Ok(());
+        }
+        let mut globals: std::collections::BTreeSet<Sym> =
+            self.catalog.relations().map(|r| r.name.clone()).collect();
+        globals.insert(options.q_var.clone());
+        for i in 0..n_aggs {
+            globals.insert(Extraction::agg_var(i));
+        }
+        globals.extend(ifaq_ir::verify::program_free_vars(input));
+        Verifier::new(phase, globals)
+            .strict(level == VerifyLevel::Strict)
+            .check_program(program)
     }
 
     /// Type-checks a specialized program under the S-IFAQ rules, with `Q`
@@ -197,19 +242,19 @@ impl Pipeline {
             .infer(&loop_env, &program.cond)
             .map_err(PipelineError::Type)?;
         if t_cond != Type::Bool {
-            return Err(PipelineError::Type(ifaq_ir::TypeError {
-                message: format!("loop condition has type {t_cond}, expected bool"),
-                expr: program.cond.to_string(),
-            }));
+            return Err(PipelineError::Type(TypeError::with_message(
+                format!("loop condition has type {t_cond}, expected bool"),
+                program.cond.to_string(),
+            )));
         }
         let t_step = checker
             .infer(&loop_env, &program.step)
             .map_err(PipelineError::Type)?;
         if t_step != t_init {
-            return Err(PipelineError::Type(ifaq_ir::TypeError {
-                message: format!("loop step has type {t_step} but the state has type {t_init}"),
-                expr: program.step.to_string(),
-            }));
+            return Err(PipelineError::Type(TypeError::with_message(
+                format!("loop step has type {t_step} but the state has type {t_init}"),
+                program.step.to_string(),
+            )));
         }
         checker
             .infer(&loop_env, &program.result)

@@ -162,7 +162,37 @@ pub fn prepare_invocations() -> usize {
 static PREPARE_CALLS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
 /// Builds every piece of θ-free state `layout` needs over `plan` × `db`.
+///
+/// # Panics
+///
+/// If a dimension payload of `plan` references an *iteration column*
+/// (the `__`-prefixed derived-per-iteration convention of
+/// [`ifaq_ir::analysis::is_iteration_column`], e.g. logistic's
+/// `__sigma`). Dimension payload values are baked into the prepared
+/// views, so a θ-dependent column there would freeze iteration 0's
+/// values into every subsequent iteration. Iteration columns must be
+/// fact-owned, where executors read values live — this assertion is the
+/// static half of the prepare/execute contract the differential suites
+/// check dynamically.
 pub fn prepare(layout: Layout, plan: &ViewPlan, db: &StarDb) -> Prepared {
+    for dim in &plan.dims {
+        for payload in &dim.payloads {
+            let theta_dependent = payload
+                .factors
+                .iter()
+                .map(|f| f.as_str())
+                .chain(payload.filter.iter().map(|p| p.attr.as_str()))
+                .find(|a| ifaq_ir::analysis::is_iteration_column(a));
+            if let Some(attr) = theta_dependent {
+                panic!(
+                    "cannot prepare layout state: dimension `{}` owns iteration column \
+                     `{attr}`, which changes per training iteration; prepared views would \
+                     bake stale values — iteration columns must live on the fact table",
+                    dim.relation
+                );
+            }
+        }
+    }
     PREPARE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let state = match layout {
         Layout::Materialized => PrepState::Materialized(physical::prepare_materialized(db)),

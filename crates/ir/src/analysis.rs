@@ -1,0 +1,252 @@
+//! Binding-time / θ-dependence analysis.
+//!
+//! The whole point of the paper's §4.1 ladder — static memoization and
+//! loop-invariant code motion in particular — is separating the part of a
+//! program that depends on the training state θ (recomputed every
+//! iteration) from the part that does not (computed once, hoisted in front
+//! of the loop, and ultimately baked into the engine's prepared state).
+//! Before this module that distinction lived in three independent
+//! `free_vars` call sites with subtly different volatile sets; this is the
+//! one shared definition all of them (and the engine's prepare/execute
+//! split) consume.
+//!
+//! Terminology, following the paper's running example where the loop
+//! state is the parameter dictionary θ:
+//!
+//! * **θ-dependent**: mentions the loop state variable or one of the
+//!   per-iteration evaluator builtins (`_iter`, `_prev`). Must re-run
+//!   every iteration; can never be hoisted or memoized across the loop.
+//! * **data-dependent** (θ-free): mentions free variables (the query `Q`,
+//!   relations, globals) but nothing volatile. Computable once per
+//!   database — this is what LICM hoists and what `prepare` bakes in.
+//! * **static**: closed. Computable at compile time.
+
+use crate::expr::{Expr, Program};
+use crate::sym::Sym;
+use crate::vars::{free_vars, occurs_free};
+use std::collections::BTreeSet;
+
+/// Evaluator builtins re-bound on every `while`-loop iteration: the
+/// iteration counter and the previous state. Anything mentioning them is
+/// θ-dependent even if it avoids the state variable itself.
+pub const LOOP_BUILTINS: [&str; 2] = ["_iter", "_prev"];
+
+/// The binding time of an expression: when its value becomes available.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BindingTime {
+    /// Closed: no free variables at all. Available at compile time.
+    Static,
+    /// θ-free but data-dependent: free variables exist, none volatile.
+    /// Available once per database, before the training loop runs.
+    Data,
+    /// Mentions the loop state or a per-iteration builtin. Only
+    /// available inside the loop, fresh every iteration.
+    ThetaDependent,
+}
+
+/// The set of variables whose value changes per iteration of `prog`'s
+/// `while` loop: the loop state variable plus [`LOOP_BUILTINS`]. This is
+/// *the* volatile set — `memo`, `licm`, and the optimizer driver all
+/// derive theirs from here.
+pub fn loop_state_vars(prog: &Program) -> BTreeSet<Sym> {
+    let mut out: BTreeSet<Sym> = LOOP_BUILTINS.iter().map(|b| Sym::new(*b)).collect();
+    out.insert(prog.var.clone());
+    out
+}
+
+/// True when `e` does not depend on `binder` — the Fig. 4e side condition
+/// for hoisting a `let` out of a `Σ`/`λ` over `binder`.
+pub fn is_invariant_under(binder: &Sym, e: &Expr) -> bool {
+    !occurs_free(binder, e)
+}
+
+/// True for fact-column names that are *derived per training iteration*
+/// rather than stored data — the engine's `__`-prefix convention (e.g.
+/// logistic regression's `__sigma = σ(θᵀx)` score column). Prepared
+/// layout state must never bake such a column into a dimension view:
+/// executors read θ-dependent fact values live so one preparation stays
+/// valid across iterations.
+pub fn is_iteration_column(name: &str) -> bool {
+    name.starts_with("__")
+}
+
+/// θ-dependence analysis for a fixed volatile set.
+#[derive(Clone, Debug, Default)]
+pub struct ThetaAnalysis {
+    volatile: BTreeSet<Sym>,
+}
+
+impl ThetaAnalysis {
+    /// Analysis over an explicit volatile set (empty = nothing is
+    /// θ-dependent, as for a program's `init` and top-level bindings).
+    pub fn new(volatile: BTreeSet<Sym>) -> Self {
+        ThetaAnalysis { volatile }
+    }
+
+    /// The analysis for `prog`'s loop body: volatile =
+    /// [`loop_state_vars`].
+    pub fn for_program(prog: &Program) -> Self {
+        ThetaAnalysis::new(loop_state_vars(prog))
+    }
+
+    /// The volatile set in force.
+    pub fn volatile(&self) -> &BTreeSet<Sym> {
+        &self.volatile
+    }
+
+    /// True when `e` mentions no volatile variable: safe to compute once
+    /// and reuse across loop iterations (hoist, memoize, prepare).
+    pub fn is_theta_free(&self, e: &Expr) -> bool {
+        free_vars(e).is_disjoint(&self.volatile)
+    }
+
+    /// Classifies `e` by binding time.
+    pub fn classify(&self, e: &Expr) -> BindingTime {
+        let fv = free_vars(e);
+        if fv.is_empty() {
+            BindingTime::Static
+        } else if fv.is_disjoint(&self.volatile) {
+            BindingTime::Data
+        } else {
+            BindingTime::ThetaDependent
+        }
+    }
+
+    /// Classifies every subexpression of `e`, scope-aware: a bound
+    /// occurrence of a volatile name (a binder shadowing θ) does *not*
+    /// make its subtree θ-dependent. Returns `(subexpression,
+    /// binding_time)` pairs in pre-order — a whole-program summary for
+    /// diagnostics and for tests pinning the prepare/execute split to
+    /// the analysis.
+    pub fn summarize<'e>(&self, e: &'e Expr) -> Vec<(&'e Expr, BindingTime)> {
+        let mut out = Vec::new();
+        self.walk(e, &mut Vec::new(), &mut out);
+        out
+    }
+
+    fn walk<'e>(&self, e: &'e Expr, bound: &mut Vec<Sym>, out: &mut Vec<(&'e Expr, BindingTime)>) {
+        // Free variables of `e` minus the binders enclosing it.
+        let fv: BTreeSet<Sym> = free_vars(e)
+            .into_iter()
+            .filter(|v| !bound.contains(v))
+            .collect();
+        let bt = if fv.is_empty() {
+            BindingTime::Static
+        } else if fv.is_disjoint(&self.volatile) {
+            BindingTime::Data
+        } else {
+            BindingTime::ThetaDependent
+        };
+        out.push((e, bt));
+        match e {
+            Expr::Sum { var, coll, body }
+            | Expr::DictComp {
+                var,
+                dom: coll,
+                body,
+            } => {
+                self.walk(coll, bound, out);
+                bound.push(var.clone());
+                self.walk(body, bound, out);
+                bound.pop();
+            }
+            Expr::Let { var, val, body } => {
+                self.walk(val, bound, out);
+                bound.push(var.clone());
+                self.walk(body, bound, out);
+                bound.pop();
+            }
+            _ => {
+                for c in e.children() {
+                    self.walk(c, bound, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn theta() -> ThetaAnalysis {
+        ThetaAnalysis::new(
+            ["theta", "_iter", "_prev"]
+                .into_iter()
+                .map(Sym::new)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn loop_state_vars_cover_state_and_builtins() {
+        let p = parse_program("x := 0;\nwhile (_iter < 3) { x := x + 1 }\nx").unwrap();
+        let v = loop_state_vars(&p);
+        assert!(v.contains("x") && v.contains("_iter") && v.contains("_prev"));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn classification_matches_the_three_tiers() {
+        let a = theta();
+        assert_eq!(
+            a.classify(&parse_expr("1 + 2").unwrap()),
+            BindingTime::Static
+        );
+        assert_eq!(
+            a.classify(&parse_expr("sum(x in dom(Q)) Q(x) * x[`u`]").unwrap()),
+            BindingTime::Data
+        );
+        assert_eq!(
+            a.classify(&parse_expr("theta(f) * 2").unwrap()),
+            BindingTime::ThetaDependent
+        );
+        assert_eq!(
+            a.classify(&parse_expr("_iter + 1").unwrap()),
+            BindingTime::ThetaDependent
+        );
+    }
+
+    #[test]
+    fn bound_theta_is_not_volatile() {
+        // A binder shadowing θ makes the body's occurrences non-volatile.
+        let a = theta();
+        let e = parse_expr("let theta = 1 in theta + 1").unwrap();
+        assert!(a.is_theta_free(&e));
+        // Every subexpression in the summary is θ-free too: the inner
+        // `theta` occurrence is bound.
+        assert!(a
+            .summarize(&e)
+            .iter()
+            .all(|(_, bt)| *bt != BindingTime::ThetaDependent));
+    }
+
+    #[test]
+    fn summary_finds_the_theta_dependent_core() {
+        let a = theta();
+        // The logistic gradient shape: θ-free label interaction times a
+        // θ-dependent sigmoid score.
+        let e = parse_expr("sum(x in dom(Q)) Q(x) * sigmoid(theta(f) * x[f])").unwrap();
+        let summary = a.summarize(&e);
+        assert_eq!(summary[0].1, BindingTime::ThetaDependent);
+        assert!(summary
+            .iter()
+            .any(|(sub, bt)| *bt == BindingTime::Data && sub.to_string() == "Q(x)"));
+    }
+
+    #[test]
+    fn iteration_columns_follow_the_double_underscore_convention() {
+        assert!(is_iteration_column("__sigma"));
+        assert!(is_iteration_column("__agg0"));
+        assert!(!is_iteration_column("price"));
+        assert!(!is_iteration_column("_iter"));
+    }
+
+    #[test]
+    fn invariance_is_binder_absence() {
+        let e = parse_expr("f(a) * 2").unwrap();
+        assert!(is_invariant_under(&Sym::new("x"), &e));
+        assert!(!is_invariant_under(&Sym::new("a"), &e));
+    }
+}

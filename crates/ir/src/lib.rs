@@ -25,7 +25,13 @@
 //!   the surface syntax accepted by the parser (round-trip tested).
 //! * [`cost`] — static cardinality/cost estimation used by the loop
 //!   scheduling optimization (§4.1 of the paper).
+//! * [`analysis`] — binding-time / θ-dependence analysis: the one shared
+//!   definition of "safe to hoist/memoize/prepare" consumed by the
+//!   optimizer and the engine's prepare/execute split.
+//! * [`verify`] — phase-gated well-formedness and scope/type-preservation
+//!   checking, run after every rewrite phase under `IFAQ_VERIFY`.
 
+pub mod analysis;
 pub mod cost;
 pub mod expr;
 pub mod parser;
@@ -35,8 +41,11 @@ pub mod schema;
 pub mod sym;
 pub mod types;
 pub mod vars;
+pub mod verify;
 
+pub use analysis::{BindingTime, ThetaAnalysis};
 pub use expr::{BinOp, CmpOp, Const, Expr, Program, UnOp, R};
 pub use schema::{Attribute, Catalog, RelSchema, ScalarType};
 pub use sym::Sym;
 pub use types::{Type, TypeChecker, TypeError};
+pub use verify::{Gate, Verifier, VerifyError, VerifyLevel};

@@ -130,6 +130,13 @@ pub struct TypeError {
     pub message: String,
     /// Rendering of the offending expression.
     pub expr: String,
+    /// Rendering of the nearest *enclosing* expression, when the error
+    /// arose inside a larger one — so `unbound variable `x`` also shows
+    /// the aggregate it sits in, as Figure 1 renders its errors.
+    pub context: Option<String>,
+    /// Variable names in scope at the error site (populated for unbound
+    /// variables: the candidates the user probably meant).
+    pub in_scope: Vec<String>,
 }
 
 impl TypeError {
@@ -137,13 +144,54 @@ impl TypeError {
         TypeError {
             message: message.into(),
             expr: expr.to_string(),
+            context: None,
+            in_scope: Vec::new(),
         }
+    }
+
+    /// A `TypeError` with only `message` and `expr` set — for callers
+    /// outside the checker (e.g. the pipeline's loop-shape checks).
+    pub fn with_message(message: impl Into<String>, expr: impl Into<String>) -> Self {
+        TypeError {
+            message: message.into(),
+            expr: expr.into(),
+            context: None,
+            in_scope: Vec::new(),
+        }
+    }
+
+    /// Records `e` as the nearest enclosing expression, once: the first
+    /// ancestor a bubbling error passes through wins.
+    fn within(mut self, e: &Expr) -> Self {
+        if self.context.is_none() {
+            let rendered = e.to_string();
+            if rendered != self.expr {
+                self.context = Some(rendered);
+            }
+        }
+        self
     }
 }
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "type error: {} in `{}`", self.message, self.expr)
+        write!(f, "type error: {} in `{}`", self.message, self.expr)?;
+        if !self.in_scope.is_empty() {
+            const SHOWN: usize = 12;
+            write!(
+                f,
+                " (in scope: {}",
+                self.in_scope[..self.in_scope.len().min(SHOWN)].join(", ")
+            )?;
+            if self.in_scope.len() > SHOWN {
+                write!(f, ", … {} more", self.in_scope.len() - SHOWN)?;
+            }
+            f.write_str(")")?;
+        }
+        if let Some(ctx) = &self.context {
+            write!(f, " — within `{ctx}`")?;
+        }
+        Ok(())
     }
 }
 
@@ -163,7 +211,15 @@ impl TypeChecker {
     }
 
     /// Infers the type of `e` under `env`, enforcing S-IFAQ invariants.
+    ///
+    /// Errors carry the offending subtree, the in-scope bindings (for
+    /// unbound variables), and the nearest enclosing expression the
+    /// error bubbled through ([`TypeError::context`]).
     pub fn infer(&self, env: &TypeEnv, e: &Expr) -> Result<Type, TypeError> {
+        self.infer_node(env, e).map_err(|err| err.within(e))
+    }
+
+    fn infer_node(&self, env: &TypeEnv, e: &Expr) -> Result<Type, TypeError> {
         match e {
             Expr::Const(c) => Ok(match c {
                 Const::Int(_) => Type::Int,
@@ -172,10 +228,11 @@ impl TypeChecker {
                 Const::Str(_) => Type::Str,
                 Const::Field(_) => Type::FieldName,
             }),
-            Expr::Var(x) => env
-                .get(x)
-                .cloned()
-                .ok_or_else(|| TypeError::new(format!("unbound variable `{x}`"), e)),
+            Expr::Var(x) => env.get(x).cloned().ok_or_else(|| {
+                let mut err = TypeError::new(format!("unbound variable `{x}`"), e);
+                err.in_scope = env.keys().map(|s| s.to_string()).collect();
+                err
+            }),
             Expr::Add(a, b) => {
                 let ta = self.infer(env, a)?;
                 let tb = self.infer(env, b)?;
@@ -488,6 +545,33 @@ mod tests {
     fn unbound_variable_is_an_error() {
         let err = infer(&TypeEnv::new(), "x").unwrap_err();
         assert!(err.message.contains("unbound"));
+    }
+
+    #[test]
+    fn unbound_variable_reports_scope_and_enclosing_expression() {
+        // The error names the variable, lists what *is* in scope (the
+        // binder and the environment entries), and shows the nearest
+        // enclosing expression, not just the bare name.
+        let q = Type::dict(Type::record([("u", Type::Real)]), Type::Int);
+        let env = env_with(&[("Q", q)]);
+        let err = infer(&env, "sum(x in dom(Q)) Q(x) * y").unwrap_err();
+        assert!(err.message.contains("unbound variable `y`"));
+        assert_eq!(err.expr, "y");
+        assert!(
+            err.in_scope.contains(&"Q".to_string()),
+            "{:?}",
+            err.in_scope
+        );
+        assert!(
+            err.in_scope.contains(&"x".to_string()),
+            "{:?}",
+            err.in_scope
+        );
+        let ctx = err.context.as_deref().expect("enclosing expression");
+        assert!(ctx.contains("Q(x)"), "context: {ctx}");
+        let shown = err.to_string();
+        assert!(shown.contains("in scope:"), "{shown}");
+        assert!(shown.contains("within"), "{shown}");
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! Phase-gated well-formedness verification for the IFAQ IR.
+//!
+//! The compiler is a tower of rewrite phases (Figure 3); each phase
+//! assumes the invariants the previous one was supposed to preserve.
+//! This module makes those assumptions checkable: a [`Verifier`] walks an
+//! expression or program and reports — as a structured [`VerifyError`]
+//! carrying the phase name, the pretty-printed offending subtree, and the
+//! binding trail — any of:
+//!
+//! * a variable used without a binding (scope closure),
+//! * a rewrite *introducing* a free variable its input did not have
+//!   (the classic ill-scoped hoist),
+//! * duplicate record fields or duplicate constant dictionary keys,
+//! * (strict) binders shadowing reserved evaluator names (`_iter`,
+//!   `_prev`, the `__agg` result namespace) or builtin names — shadowing
+//!   those silently changes evaluator semantics,
+//! * (strict) dictionary literals mixing constant key shapes (field
+//!   names with ints/strings), which schema specialization (§4.2) cannot
+//!   turn into a record,
+//! * type preservation via the existing [`TypeChecker`], where a typing
+//!   environment is available and the expression is FieldDyn-free.
+//!
+//! The optimizer drivers call these checks through a [`Gate`] after every
+//! phase; the level is read from `IFAQ_VERIFY` (`off` / `on` / `strict`,
+//! default `on`). Gates panic with the error's `Display` — the drivers
+//! are infallible APIs — while the `Result`-returning methods underneath
+//! are what tests (including the mutation test proving a broken hoist is
+//! rejected) consume.
+
+use crate::expr::{Const, Expr, Program};
+use crate::sym::Sym;
+use crate::types::{TypeChecker, TypeEnv};
+use crate::vars::free_vars;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How much verification the phase gates perform.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VerifyLevel {
+    /// Gates are no-ops.
+    Off,
+    /// Scope closure + structural well-formedness after every phase.
+    #[default]
+    On,
+    /// `On` plus reserved-name shadowing and dictionary key-shape rules.
+    Strict,
+}
+
+impl VerifyLevel {
+    /// Reads the level from the `IFAQ_VERIFY` environment variable:
+    /// `off`/`0`, `on`/`1` (the default), `strict`/`2`.
+    pub fn from_env() -> VerifyLevel {
+        match std::env::var("IFAQ_VERIFY").as_deref() {
+            Ok("off") | Ok("0") => VerifyLevel::Off,
+            Ok("strict") | Ok("2") => VerifyLevel::Strict,
+            _ => VerifyLevel::On,
+        }
+    }
+
+    /// True unless `Off`.
+    pub fn enabled(self) -> bool {
+        self != VerifyLevel::Off
+    }
+}
+
+/// A structured verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The rewrite phase whose output failed (e.g. `licm`).
+    pub phase: String,
+    /// What is wrong.
+    pub message: String,
+    /// Pretty-printed offending subtree.
+    pub expr: String,
+    /// Binders enclosing the offending subtree, outermost first.
+    pub trail: Vec<Sym>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verification failed after phase `{}`: {} in `{}`",
+            self.phase, self.message, self.expr
+        )?;
+        if self.trail.is_empty() {
+            write!(f, " (at top level)")
+        } else {
+            let trail: Vec<&str> = self.trail.iter().map(Sym::as_str).collect();
+            write!(f, " (under binders {})", trail.join(" > "))
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Variable names with builtin meaning to the parser/printer: binding or
+/// referencing them as plain variables indicates a rewrite dismantled a
+/// builtin application (the bug class PR 3 fixed in the parser).
+const BUILTIN_NAMES: [&str; 9] = [
+    "not", "abs", "sqrt", "log", "exp", "sigmoid", "min", "max", "dom",
+];
+
+fn is_reserved_binder(name: &str) -> bool {
+    crate::analysis::LOOP_BUILTINS.contains(&name)
+        || name.starts_with("__agg")
+        || BUILTIN_NAMES.contains(&name)
+}
+
+/// A well-formedness checker for one phase's output.
+#[derive(Clone, Debug)]
+pub struct Verifier {
+    phase: String,
+    /// Variables bound by the surrounding context (relations, `Q`,
+    /// `__agg<i>` results, free variables of the phase's input).
+    globals: BTreeSet<Sym>,
+    strict: bool,
+}
+
+impl Verifier {
+    /// A checker for `phase` output with `globals` bound by context.
+    pub fn new(phase: impl Into<String>, globals: BTreeSet<Sym>) -> Self {
+        Verifier {
+            phase: phase.into(),
+            globals,
+            strict: false,
+        }
+    }
+
+    /// Enables the strict-only rules.
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    fn err(&self, message: String, e: &Expr, trail: &[Sym]) -> VerifyError {
+        VerifyError {
+            phase: self.phase.clone(),
+            message,
+            expr: e.to_string(),
+            trail: trail.to_vec(),
+        }
+    }
+
+    /// Checks scope closure and structural well-formedness of `e`.
+    pub fn check_expr(&self, e: &Expr) -> Result<(), VerifyError> {
+        self.walk(e, &mut Vec::new())
+    }
+
+    /// Checks that the rewrite `before → after` preserved scope: `after`
+    /// is well-formed and every free variable of `after` was already free
+    /// in `before` or bound by context. A hoist that moves an expression
+    /// past its binder fails here — the moved occurrence turns free.
+    pub fn check_rewrite(&self, before: &Expr, after: &Expr) -> Result<(), VerifyError> {
+        let mut scoped = self.clone();
+        scoped.globals.extend(free_vars(before));
+        scoped.walk(after, &mut Vec::new())
+    }
+
+    /// Checks a whole program: bindings in order, then `init` under the
+    /// bindings, then `cond`/`step`/`result` with the loop state variable
+    /// and the `_iter`/`_prev` builtins additionally in scope.
+    pub fn check_program(&self, prog: &Program) -> Result<(), VerifyError> {
+        let mut scoped = self.clone();
+        for (name, val) in &prog.lets {
+            scoped.walk(val, &mut Vec::new())?;
+            scoped.globals.insert(name.clone());
+        }
+        scoped.walk(&prog.init, &mut Vec::new())?;
+        scoped
+            .globals
+            .extend(crate::analysis::loop_state_vars(prog));
+        scoped.walk(&prog.cond, &mut Vec::new())?;
+        scoped.walk(&prog.step, &mut Vec::new())?;
+        scoped.walk(&prog.result, &mut Vec::new())
+    }
+
+    /// [`Verifier::check_rewrite`] at program granularity: `after` must
+    /// be well-formed with no free variable the `before` program did not
+    /// already have free.
+    pub fn check_program_rewrite(
+        &self,
+        before: &Program,
+        after: &Program,
+    ) -> Result<(), VerifyError> {
+        let mut scoped = self.clone();
+        scoped.globals.extend(program_free_vars(before));
+        scoped.check_program(after)
+    }
+
+    /// Type preservation through a rewrite: when `before` type-checks
+    /// under `env` (S-IFAQ; FieldDyn-free), `after` must type-check to
+    /// the *same* type. An untypeable `before` (D-IFAQ) is skipped — the
+    /// dialect only becomes statically typed after specialization.
+    pub fn check_type_preservation(
+        &self,
+        env: &TypeEnv,
+        before: &Expr,
+        after: &Expr,
+    ) -> Result<(), VerifyError> {
+        let checker = TypeChecker::new();
+        let Ok(t_before) = checker.infer(env, before) else {
+            return Ok(());
+        };
+        match checker.infer(env, after) {
+            Ok(t_after) if t_after == t_before => Ok(()),
+            Ok(t_after) => Err(self.err(
+                format!("rewrite changed the type from {t_before} to {t_after}"),
+                after,
+                &[],
+            )),
+            Err(te) => Err(self.err(format!("rewrite broke typing: {te}"), after, &[])),
+        }
+    }
+
+    fn walk(&self, e: &Expr, trail: &mut Vec<Sym>) -> Result<(), VerifyError> {
+        match e {
+            Expr::Var(x) => {
+                if !trail.contains(x) && !self.globals.contains(x) {
+                    return Err(self.err(format!("unbound variable `{x}`"), e, trail));
+                }
+                Ok(())
+            }
+            Expr::Sum { var, coll, body }
+            | Expr::DictComp {
+                var,
+                dom: coll,
+                body,
+            } => {
+                self.check_binder(var, e, trail)?;
+                self.walk(coll, trail)?;
+                trail.push(var.clone());
+                let r = self.walk(body, trail);
+                trail.pop();
+                r
+            }
+            Expr::Let { var, val, body } => {
+                self.check_binder(var, e, trail)?;
+                self.walk(val, trail)?;
+                trail.push(var.clone());
+                let r = self.walk(body, trail);
+                trail.pop();
+                r
+            }
+            Expr::Record(fields) => {
+                let mut seen = BTreeSet::new();
+                for (name, val) in fields {
+                    if !seen.insert(name.clone()) {
+                        return Err(self.err(format!("duplicate record field `{name}`"), e, trail));
+                    }
+                    self.walk(val, trail)?;
+                }
+                Ok(())
+            }
+            Expr::DictLit(kvs) => {
+                let mut const_keys: Vec<&Const> = Vec::new();
+                for (k, v) in kvs {
+                    if let Expr::Const(c) = k {
+                        if const_keys.contains(&c) {
+                            return Err(self.err(
+                                format!("duplicate dictionary key `{k}`"),
+                                e,
+                                trail,
+                            ));
+                        }
+                        if self.strict {
+                            if let Some(first) = const_keys.first() {
+                                if std::mem::discriminant(*first) != std::mem::discriminant(c) {
+                                    return Err(self.err(
+                                        "dictionary literal mixes constant key shapes".into(),
+                                        e,
+                                        trail,
+                                    ));
+                                }
+                            }
+                        }
+                        const_keys.push(c);
+                    }
+                    self.walk(k, trail)?;
+                    self.walk(v, trail)?;
+                }
+                Ok(())
+            }
+            _ => {
+                for c in e.children() {
+                    self.walk(c, trail)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_binder(&self, var: &Sym, e: &Expr, trail: &[Sym]) -> Result<(), VerifyError> {
+        if self.strict && is_reserved_binder(var.as_str()) {
+            return Err(self.err(
+                format!("binder `{var}` shadows a reserved evaluator name"),
+                e,
+                trail,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Free variables of a whole program, respecting the sequential scope of
+/// its bindings and the loop-bound `var`/`_iter`/`_prev`.
+pub fn program_free_vars(prog: &Program) -> BTreeSet<Sym> {
+    let mut bound: BTreeSet<Sym> = BTreeSet::new();
+    let mut out = BTreeSet::new();
+    let mut take = |e: &Expr, bound: &BTreeSet<Sym>| {
+        out.extend(free_vars(e).into_iter().filter(|v| !bound.contains(v)));
+    };
+    for (name, val) in &prog.lets {
+        take(val, &bound);
+        bound.insert(name.clone());
+    }
+    take(&prog.init, &bound);
+    bound.extend(crate::analysis::loop_state_vars(prog));
+    take(&prog.cond, &bound);
+    take(&prog.step, &bound);
+    take(&prog.result, &bound);
+    out
+}
+
+/// A phase gate: the panicking wrapper the optimizer drivers call after
+/// every rewrite phase. Construct once per driver run (reads the level
+/// from the environment once), then invoke per phase.
+#[derive(Clone, Copy, Debug)]
+pub struct Gate {
+    level: VerifyLevel,
+}
+
+impl Gate {
+    /// A gate at the `IFAQ_VERIFY` level.
+    pub fn from_env() -> Gate {
+        Gate {
+            level: VerifyLevel::from_env(),
+        }
+    }
+
+    /// A gate at an explicit level.
+    pub fn with_level(level: VerifyLevel) -> Gate {
+        Gate { level }
+    }
+
+    /// The level in force.
+    pub fn level(&self) -> VerifyLevel {
+        self.level
+    }
+
+    fn verifier(&self, phase: &str) -> Verifier {
+        Verifier::new(phase, BTreeSet::new()).strict(self.level == VerifyLevel::Strict)
+    }
+
+    /// Verifies one expression-level rewrite; panics with the
+    /// [`VerifyError`] display on failure.
+    pub fn rewrite(&self, phase: &str, before: &Expr, after: &Expr) {
+        if !self.level.enabled() {
+            return;
+        }
+        if let Err(e) = self.verifier(phase).check_rewrite(before, after) {
+            panic!("{e}");
+        }
+    }
+
+    /// Verifies one program-level rewrite; panics on failure.
+    pub fn program(&self, phase: &str, before: &Program, after: &Program) {
+        if !self.level.enabled() {
+            return;
+        }
+        if let Err(e) = self.verifier(phase).check_program_rewrite(before, after) {
+            panic!("{e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn globals(names: &[&str]) -> BTreeSet<Sym> {
+        names.iter().map(|n| Sym::new(*n)).collect()
+    }
+
+    #[test]
+    fn closed_expression_passes() {
+        let v = Verifier::new("test", globals(&["Q"]));
+        let e = parse_expr("sum(x in dom(Q)) Q(x) * x[`u`]").unwrap();
+        assert!(v.check_expr(&e).is_ok());
+    }
+
+    #[test]
+    fn unbound_variable_reports_phase_expr_and_trail() {
+        let v = Verifier::new("memoize", globals(&["Q"]));
+        let e = parse_expr("sum(x in dom(Q)) Q(x) * y").unwrap();
+        let err = v.check_expr(&e).unwrap_err();
+        assert_eq!(err.phase, "memoize");
+        assert!(err.message.contains("unbound variable `y`"));
+        assert_eq!(err.trail, vec![Sym::new("x")]);
+        let shown = err.to_string();
+        assert!(shown.contains("after phase `memoize`"), "{shown}");
+        assert!(shown.contains("under binders x"), "{shown}");
+    }
+
+    #[test]
+    fn rewrite_may_drop_but_not_add_free_variables() {
+        let v = Verifier::new("cleanup", BTreeSet::new());
+        let before = parse_expr("a + b").unwrap();
+        // Dropping `b` is fine (dead-code elimination)…
+        assert!(v.check_rewrite(&before, &parse_expr("a").unwrap()).is_ok());
+        // …introducing `c` is not.
+        let err = v
+            .check_rewrite(&before, &parse_expr("a + c").unwrap())
+            .unwrap_err();
+        assert!(err.message.contains("unbound variable `c`"));
+    }
+
+    #[test]
+    fn ill_scoped_hoist_is_rejected() {
+        // The mutation the gates exist to catch: hoisting a let past the
+        // binder its value depends on.
+        let v = Verifier::new("licm", globals(&["Q", "f"]));
+        let before = parse_expr("sum(x in Q) (let y = f(x) in y * x)").unwrap();
+        let after = parse_expr("let y = f(x) in sum(x in Q) y * x").unwrap();
+        let err = v.check_rewrite(&before, &after).unwrap_err();
+        assert!(err.message.contains("unbound variable `x`"), "{err}");
+    }
+
+    #[test]
+    fn program_scope_threads_lets_and_loop_state() {
+        let v = Verifier::new("pipeline", globals(&["S", "f"]));
+        let p = parse_program(
+            "let Q = f(S);\n\
+             t := 0;\n\
+             while (_iter < 3) { t := t + sum(x in dom(Q)) Q(x) }\n\
+             t",
+        )
+        .unwrap();
+        assert!(v.check_program(&p).is_ok());
+        // Without `S` in globals the first binding fails.
+        let v2 = Verifier::new("pipeline", BTreeSet::new());
+        let err = v2.check_program(&p).unwrap_err();
+        assert!(err.message.contains("unbound variable `f`") || err.message.contains("`S`"));
+    }
+
+    #[test]
+    fn program_free_vars_respects_binding_order() {
+        let p = parse_program(
+            "let Q = f(S);\n\
+             t := g(Q);\n\
+             while (_iter < 3) { t := t + h(Q) }\n\
+             t",
+        )
+        .unwrap();
+        let fv = program_free_vars(&p);
+        assert!(fv.contains("S") && fv.contains("f") && fv.contains("g") && fv.contains("h"));
+        assert!(!fv.contains("Q") && !fv.contains("t") && !fv.contains("_iter"));
+    }
+
+    #[test]
+    fn duplicate_record_fields_and_dict_keys_rejected() {
+        let v = Verifier::new("specialize", BTreeSet::new());
+        let dup_rec = parse_expr("{a = 1, a = 2}").unwrap();
+        assert!(v.check_expr(&dup_rec).is_err());
+        let dup_dict = parse_expr("{|`a` -> 1, `a` -> 2|}").unwrap();
+        assert!(v.check_expr(&dup_dict).is_err());
+    }
+
+    #[test]
+    fn strict_rejects_reserved_binders_and_mixed_dict_keys() {
+        let lax = Verifier::new("test", BTreeSet::new());
+        let strict = lax.clone().strict(true);
+        let shadow = parse_expr("sum(_iter in [|1|]) _iter").unwrap();
+        assert!(lax.check_expr(&shadow).is_ok());
+        let err = strict.check_expr(&shadow).unwrap_err();
+        assert!(err.message.contains("reserved"), "{err}");
+        let mixed = parse_expr("{|`a` -> 1, 3 -> 2|}").unwrap();
+        assert!(lax.check_expr(&mixed).is_ok());
+        assert!(strict.check_expr(&mixed).is_err());
+        // Shadowing an *ordinary* variable stays legal even in strict:
+        // alpha-renaming makes it meaningless, not wrong.
+        let ordinary = parse_expr("let t = 1 in let t = t + 1 in t").unwrap();
+        assert!(strict.check_expr(&ordinary).is_ok());
+    }
+
+    #[test]
+    fn type_preservation_catches_type_changes() {
+        use crate::types::Type;
+        let v = Verifier::new("normalize", BTreeSet::new());
+        let env: TypeEnv = [(Sym::new("a"), Type::Int)].into();
+        let before = parse_expr("a + 1").unwrap();
+        assert!(v
+            .check_type_preservation(&env, &before, &parse_expr("1 + a").unwrap())
+            .is_ok());
+        let err = v
+            .check_type_preservation(&env, &before, &parse_expr("a + 1.0").unwrap())
+            .unwrap_err();
+        assert!(err.message.contains("changed the type"), "{err}");
+        let err2 = v
+            .check_type_preservation(&env, &before, &parse_expr("a + true").unwrap())
+            .unwrap_err();
+        assert!(err2.message.contains("broke typing"), "{err2}");
+    }
+
+    #[test]
+    fn levels_parse_from_env_values() {
+        // from_env reads the real environment; exercise the mapping via
+        // explicit gates instead of mutating process state.
+        assert!(!Gate::with_level(VerifyLevel::Off).level().enabled());
+        assert!(Gate::with_level(VerifyLevel::On).level().enabled());
+        assert!(VerifyLevel::Strict > VerifyLevel::On);
+    }
+
+    #[test]
+    fn gate_panics_with_phase_tagged_message() {
+        let gate = Gate::with_level(VerifyLevel::On);
+        let before = parse_expr("sum(x in Q) (let y = f(x) in y * x)").unwrap();
+        let after = parse_expr("let y = f(x) in sum(x in Q) y * x").unwrap();
+        let err = std::panic::catch_unwind(|| gate.rewrite("licm", &before, &after))
+            .expect_err("gate must reject the broken hoist");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("after phase `licm`"), "{msg}");
+        assert!(msg.contains("unbound variable `x`"), "{msg}");
+    }
+}

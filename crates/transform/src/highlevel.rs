@@ -4,9 +4,10 @@
 //! before and after.
 
 use crate::{factorize, generic, licm, memo, normalize, schedule};
+use ifaq_ir::analysis::ThetaAnalysis;
 use ifaq_ir::rewrite::Trace;
-use ifaq_ir::{Catalog, Expr, Program, Sym};
-use std::collections::BTreeSet;
+use ifaq_ir::verify::Gate;
+use ifaq_ir::{Catalog, Expr, Program};
 
 /// Per-stage report of the high-level pipeline.
 #[derive(Debug, Default, Clone)]
@@ -67,24 +68,33 @@ fn inline_trivial_program_lets(prog: &Program) -> Program {
 }
 
 /// Runs one expression through normalize → schedule → factorize → memoize
-/// → LICM → cleanup, accumulating traces into `report`.
+/// → LICM → cleanup, accumulating traces into `report`. Each phase's
+/// output passes through the verification `gate` (scope closure and
+/// well-formedness relative to the phase's input; see [`ifaq_ir::verify`])
+/// before the next phase consumes it.
 fn optimize_expr(
     e: &Expr,
     catalog: &Catalog,
-    volatile: &BTreeSet<Sym>,
+    analysis: &ThetaAnalysis,
     report: &mut HighLevelReport,
+    gate: &Gate,
 ) -> Expr {
-    let (e, t) = normalize::normalize(e);
+    let (e1, t) = normalize::normalize(e);
+    gate.rewrite("normalize", e, &e1);
     report.normalize.absorb(&t);
-    let (e, t) = schedule::schedule(&e, catalog);
+    let (e2, t) = schedule::schedule(&e1, catalog);
+    gate.rewrite("schedule", &e1, &e2);
     report.schedule.absorb(&t);
-    let (e, t) = factorize::factorize(&e);
+    let (e3, t) = factorize::factorize(&e2);
+    gate.rewrite("factorize", &e2, &e3);
     report.factorize.absorb(&t);
-    let (e, n) = memo::memoize(&e, volatile);
+    let (e4, n) = memo::memoize(&e3, analysis);
+    gate.rewrite("memoize", &e3, &e4);
     report.memoized += n;
-    let (e, t) = licm::licm_expr(&e);
+    let (e5, t) = licm::licm_expr(&e4);
+    gate.rewrite("licm", &e4, &e5);
     report.licm.absorb(&t);
-    e
+    e5
 }
 
 /// Applies the full §4.1 high-level optimization suite to a program.
@@ -97,38 +107,43 @@ fn optimize_expr(
 /// training loop.
 pub fn optimize_program(prog: &Program, catalog: &Catalog) -> (Program, HighLevelReport) {
     let mut report = HighLevelReport::default();
+    let gate = Gate::from_env();
     let mut prog = inline_trivial_program_lets(prog);
 
-    // Variables whose value changes per loop iteration: aggregates that
-    // mention them cannot be hoisted, so memoizing them is not profitable.
-    let volatile: BTreeSet<Sym> = [prog.var.clone(), Sym::new("_iter"), Sym::new("_prev")].into();
-    let no_volatile = BTreeSet::new();
+    // θ-dependence: aggregates mentioning the loop state (or the
+    // `_iter`/`_prev` builtins) cannot be hoisted, so memoizing them is
+    // not profitable. `init` and the top-level bindings evaluate outside
+    // the loop, where nothing is volatile.
+    let theta = ThetaAnalysis::for_program(&prog);
+    let outside_loop = ThetaAnalysis::default();
 
-    prog.init = optimize_expr(&prog.init, catalog, &no_volatile, &mut report);
-    prog.step = optimize_expr(&prog.step, catalog, &volatile, &mut report);
+    prog.init = optimize_expr(&prog.init, catalog, &outside_loop, &mut report, &gate);
+    prog.step = optimize_expr(&prog.step, catalog, &theta, &mut report, &gate);
     prog.lets = prog
         .lets
         .iter()
         .map(|(n, e)| {
             (
                 n.clone(),
-                optimize_expr(e, catalog, &no_volatile, &mut report),
+                optimize_expr(e, catalog, &outside_loop, &mut report, &gate),
             )
         })
         .collect();
 
     // Program-level LICM: move invariant bindings in front of the loop.
     let (hoisted_prog, n) = licm::licm_program(&prog);
+    gate.program("licm-program", &prog, &hoisted_prog);
     prog = hoisted_prog;
     report.hoisted_out_of_loop = n;
 
     // Final generic cleanup on every expression.
-    prog = prog.map_exprs(|e| {
+    let cleaned = prog.map_exprs(|e| {
         let (e2, t) = generic::cleanup(e);
         report.generic.absorb(&t);
         e2
     });
-    (prog, report)
+    gate.program("cleanup", &prog, &cleaned);
+    (cleaned, report)
 }
 
 /// Builds the D-IFAQ linear-regression training program of §3 for a

@@ -9,6 +9,7 @@
 //!   what hoists the memoized covar matrix out of the gradient-descent
 //!   iteration.
 
+use ifaq_ir::analysis::{is_invariant_under, ThetaAnalysis};
 use ifaq_ir::rewrite::{RuleSet, Trace};
 use ifaq_ir::sym::gensym;
 use ifaq_ir::vars::{occurs_free, subst};
@@ -42,7 +43,7 @@ fn hoist_from_binder(var: &Sym, coll: &Expr, body: &Expr, is_sum: bool) -> Optio
     else {
         return None;
     };
-    if occurs_free(var, val) {
+    if !is_invariant_under(var, val) {
         return None;
     }
     // Rename y when it collides with the loop variable or the collection.
@@ -66,20 +67,17 @@ pub fn licm_expr(e: &Expr) -> (Expr, Trace) {
     rules().rewrite(e)
 }
 
-/// Builtin variables bound inside the `while` loop by the evaluator.
-const LOOP_BUILTINS: [&str; 2] = ["_iter", "_prev"];
-
 /// Program-level LICM: moves leading `let`s of the loop body in front of
-/// the `while` loop when their values do not depend on the loop state
-/// (the loop variable or the `_iter`/`_prev` builtins). Returns the new
-/// program and the number of hoisted bindings.
+/// the `while` loop when their values are θ-free per the shared
+/// [`ThetaAnalysis`] (no dependence on the loop variable or the
+/// `_iter`/`_prev` builtins). Returns the new program and the number of
+/// hoisted bindings.
 pub fn licm_program(prog: &Program) -> (Program, usize) {
+    let analysis = ThetaAnalysis::for_program(prog);
     let mut prog = prog.clone();
     let mut hoisted = 0;
     while let Expr::Let { var, val, body } = &prog.step {
-        let depends_on_state = occurs_free(&prog.var, val)
-            || LOOP_BUILTINS.iter().any(|b| occurs_free(&Sym::new(b), val));
-        if depends_on_state {
+        if !analysis.is_theta_free(val) {
             break;
         }
         // Avoid colliding with an existing program-level binding name.

@@ -17,6 +17,7 @@
 //! hoists the `let` out of the training loop.
 
 use crate::util::is_static_finite;
+use ifaq_ir::analysis::ThetaAnalysis;
 use ifaq_ir::sym::gensym;
 use ifaq_ir::vars::free_vars;
 use ifaq_ir::{Expr, Sym};
@@ -36,15 +37,14 @@ struct Candidate {
 /// the number of memoized aggregates (each becomes one `let`-bound
 /// dictionary at the top of the expression).
 ///
-/// `volatile` names variables whose value changes per `while`-loop
-/// iteration (the loop variable and the `_iter`/`_prev` builtins).
-/// Aggregates mentioning them are not memoized: the paper notes that
-/// "the impact of static memoization becomes positive once it is combined
-/// with loop-invariant code motion", and a volatile-dependent table could
-/// never be hoisted.
-pub fn memoize(e: &Expr, volatile: &BTreeSet<Sym>) -> (Expr, usize) {
+/// `analysis` is the shared θ-dependence analysis (volatile = the loop
+/// variable and the `_iter`/`_prev` builtins). θ-dependent aggregates are
+/// not memoized: the paper notes that "the impact of static memoization
+/// becomes positive once it is combined with loop-invariant code motion",
+/// and a θ-dependent table could never be hoisted.
+pub fn memoize(e: &Expr, analysis: &ThetaAnalysis) -> (Expr, usize) {
     let mut candidates: Vec<Candidate> = Vec::new();
-    collect(e, &mut Vec::new(), 0, volatile, &mut candidates);
+    collect(e, &mut Vec::new(), 0, analysis, &mut candidates);
     if candidates.is_empty() {
         return (e.clone(), 0);
     }
@@ -84,11 +84,11 @@ fn collect(
     e: &Expr,
     scope: &mut Vec<(Sym, Expr)>,
     direct_depth: usize,
-    volatile: &BTreeSet<Sym>,
+    analysis: &ThetaAnalysis,
     out: &mut Vec<Candidate>,
 ) {
     if let Expr::Sum { coll, .. } = e {
-        if !is_static_finite(coll) && free_vars(e).is_disjoint(volatile) {
+        if !is_static_finite(coll) && analysis.is_theta_free(e) {
             if let Some(deps) = memo_deps(e, scope) {
                 let direct_suffix: BTreeSet<&Sym> = scope
                     [scope.len() - direct_depth.min(scope.len())..]
@@ -120,18 +120,18 @@ fn collect(
             dom: coll,
             body,
         } => {
-            collect(coll, scope, 0, volatile, out);
+            collect(coll, scope, 0, analysis, out);
             scope.push((var.clone(), (**coll).clone()));
-            collect(body, scope, direct_depth + 1, volatile, out);
+            collect(body, scope, direct_depth + 1, analysis, out);
             scope.pop();
         }
         Expr::Let { var: _, val, body } => {
-            collect(val, scope, 0, volatile, out);
-            collect(body, scope, 0, volatile, out);
+            collect(val, scope, 0, analysis, out);
+            collect(body, scope, 0, analysis, out);
         }
         _ => {
             for c in e.children() {
-                collect(c, scope, 0, volatile, out);
+                collect(c, scope, 0, analysis, out);
             }
         }
     }
@@ -221,7 +221,7 @@ mod tests {
         // Σ_{f∈F} Γ(Σ_{x∈Q} g(x)(f)) with F a literal.
         let e =
             parse_expr("sum(f in [|`a`, `b`|]) theta(f) * sum(x in dom(Q)) Q(x) * x[f]").unwrap();
-        let (out, n) = memoize(&e, &BTreeSet::new());
+        let (out, n) = memoize(&e, &ThetaAnalysis::default());
         assert_eq!(n, 1);
         let Expr::Let { var, val, body } = &out else {
             panic!("expected let, got {out}");
@@ -242,7 +242,7 @@ mod tests {
              theta(f2) * sum(x in dom(Q)) Q(x) * x[f2] * x[f1]",
         )
         .unwrap();
-        let (out, n) = memoize(&e, &BTreeSet::new());
+        let (out, n) = memoize(&e, &ThetaAnalysis::default());
         assert_eq!(n, 1);
         let Expr::Let { var, val, body } = &out else {
             panic!("expected let, got {out}");
@@ -276,7 +276,7 @@ mod tests {
     fn no_memo_without_finite_binder() {
         // The enclosing loop ranges over a relation (data): not static.
         let e = parse_expr("sum(t in dom(S)) sum(x in dom(Q)) Q(x) * g(t)").unwrap();
-        let (out, n) = memoize(&e, &BTreeSet::new());
+        let (out, n) = memoize(&e, &ThetaAnalysis::default());
         assert_eq!(n, 0);
         assert_eq!(out, e);
     }
@@ -286,7 +286,7 @@ mod tests {
         // The inner sum does not mention the loop variable: plain LICM
         // territory, not memoization.
         let e = parse_expr("sum(f in [|`a`|]) sum(x in dom(Q)) Q(x)").unwrap();
-        let (_, n) = memoize(&e, &BTreeSet::new());
+        let (_, n) = memoize(&e, &ThetaAnalysis::default());
         assert_eq!(n, 0);
     }
 
@@ -294,7 +294,7 @@ mod tests {
     fn finite_sum_over_literal_is_not_a_target() {
         // Σ over a literal is itself cheap; memoizing it would be useless.
         let e = parse_expr("sum(f in [|`a`|]) sum(g in [|`b`|]) h(f)(g)").unwrap();
-        let (_, n) = memoize(&e, &BTreeSet::new());
+        let (_, n) = memoize(&e, &ThetaAnalysis::default());
         assert_eq!(n, 0);
     }
 
@@ -309,7 +309,7 @@ mod tests {
              sum(g in [|`a`|]) (sum(x in dom(Q)) Q(x) * x[g])",
         )
         .unwrap();
-        let (out, n) = memoize(&e, &BTreeSet::new());
+        let (out, n) = memoize(&e, &ThetaAnalysis::default());
         assert_eq!(n, 1);
         let Expr::Let { body, .. } = &out else {
             panic!()
@@ -323,7 +323,7 @@ mod tests {
         // could never be hoisted out of the training loop, so skip it.
         let e = parse_expr("sum(f in [|`a`, `b`|]) g(f) * sum(x in dom(Q)) Q(x) * theta(f) * x[f]")
             .unwrap();
-        let volatile: BTreeSet<ifaq_ir::Sym> = [ifaq_ir::Sym::new("theta")].into();
+        let volatile = ThetaAnalysis::new([ifaq_ir::Sym::new("theta")].into());
         let (out, n) = memoize(&e, &volatile);
         assert_eq!(n, 0);
         assert_eq!(out, e);
@@ -334,7 +334,7 @@ mod tests {
         // The binder's domain mentions an outer loop variable: cannot hoist.
         let e = parse_expr("sum(s in dom(S)) sum(f in dom(S(s))) sum(x in dom(Q)) Q(x) * x[f]")
             .unwrap();
-        let (_, n) = memoize(&e, &BTreeSet::new());
+        let (_, n) = memoize(&e, &ThetaAnalysis::default());
         assert_eq!(n, 0);
     }
 }

@@ -85,11 +85,15 @@ pub fn specialize_expr(e: &Expr) -> (Expr, Trace) {
     }
 }
 
-/// Specializes every expression of a program.
+/// Specializes every expression of a program. Each expression's
+/// specialized form passes the `IFAQ_VERIFY` phase gate (scope closure
+/// and well-formedness relative to its input) before it is accepted.
 pub fn specialize_program(prog: &Program) -> (Program, Trace) {
+    let gate = ifaq_ir::verify::Gate::from_env();
     let mut trace = Trace::default();
     let out = prog.map_exprs(|e| {
         let (e2, t) = specialize_expr(e);
+        gate.rewrite("specialize", e, &e2);
         trace.absorb(&t);
         e2
     });

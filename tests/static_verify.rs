@@ -1,0 +1,391 @@
+//! Static-verification tests: every optimizer phase individually preserves
+//! closed scope, typing, and interpreter semantics on random expressions;
+//! the verifier *rejects* deliberately broken rewrites (mutation tests);
+//! and the θ-dependence analysis statically agrees with the engine's
+//! prepare/execute split — hoisted bindings are θ-free, the `__sigma`
+//! iteration column lives on the fact table, and `prepare` refuses plans
+//! that would bake an iteration column into a dimension view.
+
+use ifaq::{CompileOptions, Pipeline};
+use ifaq_engine::interp::{eval_expr, Env};
+use ifaq_engine::star::{Dim, StarDb};
+use ifaq_engine::Layout;
+use ifaq_ir::analysis::is_iteration_column;
+use ifaq_ir::parser::parse_expr;
+use ifaq_ir::schema::running_example_catalog;
+use ifaq_ir::types::TypeEnv;
+use ifaq_ir::{BindingTime, Expr, Sym, ThetaAnalysis, Type, Verifier};
+use ifaq_query::batch::logistic_gradient_batch;
+use ifaq_query::{JoinTree, ViewPlan};
+use ifaq_storage::{ColRelation, Column, Value};
+use ifaq_transform::highlevel::{linear_regression_program, logistic_regression_program};
+use ifaq_transform::{factorize, generic, licm, memo, normalize, parteval, specialize};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Per-phase preservation properties
+// ---------------------------------------------------------------------------
+
+/// Random arithmetic/sum expressions over variables `a`, `b` (ints) and a
+/// collection `C` (set of ints) — the same shape `rewrite_semantics.rs`
+/// uses, so the per-phase checks below complement its end-to-end ones.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::int),
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::add(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::mul(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::sub(x, y)),
+            inner.clone().prop_map(Expr::neg),
+            inner
+                .clone()
+                .prop_map(|b| Expr::sum("x", Expr::var("C"), b)),
+            inner.clone().prop_map(|b| Expr::sum(
+                "x",
+                Expr::var("C"),
+                Expr::mul(Expr::var("x"), b)
+            )),
+            (inner.clone(), inner).prop_map(|(v, b)| Expr::let_("t", v, b)),
+        ]
+    })
+}
+
+fn env(a: i64, b: i64, coll: &[i64]) -> Env {
+    let mut e = Env::new();
+    e.insert("a".into(), Value::Int(a));
+    e.insert("b".into(), Value::Int(b));
+    e.insert(
+        "C".into(),
+        Value::Set(coll.iter().map(|&v| Value::Int(v)).collect()),
+    );
+    e
+}
+
+fn globals() -> BTreeSet<Sym> {
+    ["a", "b", "C"].into_iter().map(Sym::new).collect()
+}
+
+fn type_env() -> TypeEnv {
+    [
+        (Sym::new("a"), Type::Int),
+        (Sym::new("b"), Type::Int),
+        (Sym::new("C"), Type::Set(Box::new(Type::Int))),
+    ]
+    .into()
+}
+
+/// The three per-phase invariants the gates enforce, checked through the
+/// same `Verifier` the pipeline uses: the output is closed over the input's
+/// scope, type-preserving where the input is typeable, and
+/// semantics-preserving under the interpreter.
+fn check_phase(phase: &str, before: &Expr, after: &Expr, env: &Env) -> Result<(), TestCaseError> {
+    let v = Verifier::new(phase, globals());
+    if let Err(e) = v.check_rewrite(before, after) {
+        return Err(TestCaseError::fail(format!("{phase} broke scope: {e}")));
+    }
+    if let Err(e) = v.check_type_preservation(&type_env(), before, after) {
+        return Err(TestCaseError::fail(format!("{phase} broke typing: {e}")));
+    }
+    prop_assert_eq!(
+        eval_expr(env, before),
+        eval_expr(env, after),
+        "{} changed semantics",
+        phase
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Walks the §4.1 chain in pipeline order, verifying each phase's
+    /// individual step — not just the end-to-end composition.
+    #[test]
+    fn each_highlevel_phase_preserves_scope_typing_and_semantics(
+        e in arb_expr(), a in -5i64..5, b in -5i64..5,
+        coll in proptest::collection::btree_set(-4i64..4, 0..5)
+    ) {
+        let coll: Vec<i64> = coll.into_iter().collect();
+        let env = env(a, b, &coll);
+        let cat = running_example_catalog(100, 10, 5);
+        let theta = ThetaAnalysis::default();
+
+        let (e1, _) = normalize::normalize(&e);
+        check_phase("normalize", &e, &e1, &env)?;
+        let (e2, _) = ifaq_transform::schedule::schedule(&e1, &cat);
+        check_phase("schedule", &e1, &e2, &env)?;
+        let (e3, _) = factorize::factorize(&e2);
+        check_phase("factorize", &e2, &e3, &env)?;
+        let (e4, _) = memo::memoize(&e3, &theta);
+        check_phase("memoize", &e3, &e4, &env)?;
+        let (e5, _) = licm::licm_expr(&e4);
+        check_phase("licm", &e4, &e5, &env)?;
+        let (e6, _) = generic::cleanup(&e5);
+        check_phase("cleanup", &e5, &e6, &env)?;
+    }
+
+    /// The §4.2 phases, each on its pipeline-realistic input.
+    #[test]
+    fn each_specialization_phase_preserves_scope_typing_and_semantics(
+        e in arb_expr(), a in -5i64..5, b in -5i64..5,
+        coll in proptest::collection::btree_set(-4i64..4, 0..5)
+    ) {
+        let coll: Vec<i64> = coll.into_iter().collect();
+        let env = env(a, b, &coll);
+        let (e1, _) = parteval::partial_eval(&e);
+        check_phase("parteval", &e, &e1, &env)?;
+        let (e2, _) = specialize::specialize_expr(&e1);
+        check_phase("specialize", &e1, &e2, &env)?;
+    }
+
+    /// Memoization with a non-empty volatile set never hoists a binding
+    /// that mentions a volatile variable — the analysis and the rewrite
+    /// agree on what is θ-free.
+    #[test]
+    fn memoization_respects_the_volatile_set(
+        e in arb_expr(),
+    ) {
+        let theta = ThetaAnalysis::new([Sym::new("a")].into());
+        let (e2, _) = memo::memoize(&e, &theta);
+        // Every introduced memo binding must be θ-free.
+        let mut stack = vec![&e2];
+        while let Some(cur) = stack.pop() {
+            if let Expr::Let { var, val, .. } = cur {
+                if var.as_str().starts_with("__memo") {
+                    prop_assert!(
+                        theta.is_theta_free(val),
+                        "memoized a volatile expression: {}", val
+                    );
+                }
+            }
+            stack.extend(cur.children());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation tests: the verifier must *reject* broken rewrites
+// ---------------------------------------------------------------------------
+
+/// The classic ill-scoped hoist — a `let` moved past the `Σ` binder its
+/// value depends on. The verifier must reject it with a phase-tagged,
+/// pretty-printed error.
+#[test]
+fn verifier_rejects_a_hoist_past_its_binder() {
+    let v = Verifier::new("licm", ["Q", "f"].into_iter().map(Sym::new).collect());
+    let before = parse_expr("sum(x in Q) (let y = f(x) in y * x)").unwrap();
+    let broken = parse_expr("let y = f(x) in sum(x in Q) y * x").unwrap();
+    let err = v
+        .check_rewrite(&before, &broken)
+        .expect_err("the broken hoist must be rejected");
+    assert_eq!(err.phase, "licm");
+    assert!(err.message.contains("unbound variable `x`"), "{err}");
+    assert_eq!(err.expr, "x");
+    let shown = err.to_string();
+    assert!(shown.contains("after phase `licm`"), "{shown}");
+    assert!(shown.contains("unbound variable `x`"), "{shown}");
+}
+
+/// A "memoization" that replaces an expression with a reference to a memo
+/// binding it never introduced.
+#[test]
+fn verifier_rejects_a_dangling_memo_reference() {
+    let v = Verifier::new("memoize", ["Q", "f"].into_iter().map(Sym::new).collect());
+    let before = parse_expr("sum(x in dom(Q)) f(x)").unwrap();
+    let broken = parse_expr("__memo0 * 1").unwrap();
+    let err = v.check_rewrite(&before, &broken).unwrap_err();
+    assert!(err.message.contains("unbound variable `__memo0`"), "{err}");
+}
+
+/// A rewrite that changes an expression's type is rejected even when it
+/// stays well-scoped.
+#[test]
+fn verifier_rejects_a_type_changing_rewrite() {
+    let v = Verifier::new("parteval", BTreeSet::new());
+    let env: TypeEnv = [(Sym::new("a"), Type::Int)].into();
+    let before = parse_expr("a * 2").unwrap();
+    let broken = parse_expr("a * 2.0").unwrap();
+    let err = v
+        .check_type_preservation(&env, &before, &broken)
+        .unwrap_err();
+    assert!(err.message.contains("changed the type"), "{err}");
+}
+
+/// The codegen input gate: emitting C++ for a batch that does not pair
+/// with the plan must fail loudly, not emit garbage.
+#[test]
+fn codegen_gate_rejects_mismatched_plan_and_batch() {
+    let db = star_db(false);
+    let cat = db.catalog();
+    let tree = JoinTree::build_with_root(&cat, "F", &["D1", "D2"]).unwrap();
+    let batch = ifaq_query::batch::covar_batch(&["p1", "p2"], "m");
+    let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+    assert!(ifaq_codegen::verify_plan_inputs(&plan, &batch).is_ok());
+    let mut short = batch.clone();
+    short.aggs.pop();
+    let err = ifaq_codegen::verify_plan_inputs(&plan, &short).unwrap_err();
+    assert!(err.contains("aggregate"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// θ-analysis agrees with the prepare/execute split
+// ---------------------------------------------------------------------------
+
+/// A small fixed star database: fact `F(d1, d2, m)` with two dimensions
+/// `D1(d1, p1)` and `D2(d2, p2)`. With `sigma`, the fact additionally
+/// carries the per-iteration `__sigma` score column.
+fn star_db(sigma: bool) -> StarDb {
+    let mut attrs: Vec<Sym> = ["d1", "d2", "m"].into_iter().map(Sym::new).collect();
+    let mut cols = vec![
+        Column::I64(vec![0, 1, 2, 0, 1]),
+        Column::I64(vec![0, 0, 1, 1, 0]),
+        Column::F64(vec![1.0, -2.0, 0.5, 3.0, -1.0]),
+    ];
+    if sigma {
+        attrs.push(Sym::new(ifaq_ml::logreg::SIGMA_COL));
+        cols.push(Column::F64(vec![0.5, 0.5, 0.5, 0.5, 0.5]));
+    }
+    let fact = ColRelation::new("F", attrs, cols);
+    let dim1 = ColRelation::new(
+        "D1",
+        vec!["d1".into(), "p1".into()],
+        vec![Column::I64(vec![0, 1, 2]), Column::F64(vec![0.1, 0.2, 0.3])],
+    );
+    let dim2 = ColRelation::new(
+        "D2",
+        vec!["d2".into(), "p2".into()],
+        vec![Column::I64(vec![0, 1]), Column::F64(vec![-0.5, 0.7])],
+    );
+    StarDb::new(fact, vec![Dim::new(dim1, "d1"), Dim::new(dim2, "d2")])
+}
+
+/// Every binding the optimizer hoists in front of the training loop must
+/// be θ-free according to `ThetaAnalysis::for_program` — the static
+/// justification for the engine preparing them once and reusing across
+/// iterations (PR 4's prepare/execute split).
+#[test]
+fn hoisted_bindings_are_theta_free_by_analysis() {
+    let db = star_db(false);
+    let program = linear_regression_program(&["p1", "p2"], "m", Expr::var("Q"), 0.001, 3);
+    let catalog = db.catalog().with_var_size("Q", db.fact_rows() as u64);
+    let options = CompileOptions::for_star_db(&db);
+    let compiled = Pipeline::new(catalog)
+        .compile(&program, &options)
+        .expect("compile");
+
+    let high = &compiled.stages.high_level;
+    let theta = ThetaAnalysis::for_program(high);
+    assert!(
+        !high.lets.is_empty(),
+        "expected the optimizer to hoist at least one binding"
+    );
+    for (name, val) in &high.lets {
+        assert!(
+            theta.is_theta_free(val),
+            "hoisted binding `{name}` is θ-dependent: {val}"
+        );
+        assert_ne!(
+            theta.classify(val),
+            BindingTime::ThetaDependent,
+            "classification disagrees for `{name}`"
+        );
+    }
+    // The loop step, by contrast, is where θ-dependence lives.
+    assert_eq!(
+        theta.classify(&high.step),
+        BindingTime::ThetaDependent,
+        "the gradient step must depend on the loop state"
+    );
+}
+
+/// Logistic regression cannot hoist its data scan (the sigmoid couples θ
+/// to every tuple); the engine's answer is the per-iteration `__sigma`
+/// fact column. The analysis agrees on both halves: the program's step is
+/// θ-dependent, and `__sigma` is an iteration column that the plan keeps
+/// on the fact side — never inside a dimension view that `prepare` would
+/// bake once.
+#[test]
+fn sigma_column_is_fact_owned_in_the_logistic_plan() {
+    let program = logistic_regression_program(&["p1", "p2"], "m", Expr::var("Q"), 0.1, 3);
+    let theta = ThetaAnalysis::for_program(&program);
+    assert_eq!(theta.classify(&program.step), BindingTime::ThetaDependent);
+
+    assert!(is_iteration_column(ifaq_ml::logreg::SIGMA_COL));
+
+    let db = star_db(true);
+    let cat = db.catalog();
+    let tree = JoinTree::build_with_root(&cat, "F", &["D1", "D2"]).unwrap();
+    let batch = logistic_gradient_batch(&["p1", "p2"], ifaq_ml::logreg::SIGMA_COL);
+    let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+
+    // The fact side owns the iteration column…
+    assert!(
+        plan.terms.iter().any(|t| t
+            .fact_factors
+            .iter()
+            .any(|f| is_iteration_column(f.as_str()))),
+        "no fact term owns `{}`",
+        ifaq_ml::logreg::SIGMA_COL
+    );
+    // …and no dimension payload does, so prepared state stays valid
+    // across iterations for every layout.
+    for dim in &plan.dims {
+        for payload in &dim.payloads {
+            for attr in payload
+                .factors
+                .iter()
+                .chain(payload.filter.iter().map(|p| &p.attr))
+            {
+                assert!(
+                    !is_iteration_column(attr.as_str()),
+                    "dimension `{}` owns iteration column `{attr}`",
+                    dim.relation
+                );
+            }
+        }
+    }
+    for &layout in Layout::all() {
+        let _ = ifaq_engine::layout::prepare(layout, &plan, &db);
+    }
+}
+
+/// The runtime half of the same contract: a plan that *does* put an
+/// iteration column into a dimension payload is refused by `prepare`
+/// before any state is built.
+#[test]
+fn prepare_rejects_dimension_owned_iteration_columns() {
+    let fact = ColRelation::new(
+        "F",
+        vec!["d1".into(), "m".into()],
+        vec![Column::I64(vec![0, 1, 0]), Column::F64(vec![1.0, 2.0, 3.0])],
+    );
+    let dim1 = ColRelation::new(
+        "D1",
+        vec!["d1".into(), "__bad".into()],
+        vec![Column::I64(vec![0, 1]), Column::F64(vec![0.5, 0.5])],
+    );
+    let db = StarDb::new(fact, vec![Dim::new(dim1, "d1")]);
+    let cat = db.catalog();
+    let tree = JoinTree::build_with_root(&cat, "F", &["D1"]).unwrap();
+    let batch = ifaq_query::batch::covar_batch(&["__bad"], "m");
+    let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+    assert!(
+        plan.dims.iter().any(|d| d
+            .payloads
+            .iter()
+            .any(|p| p.factors.iter().any(|f| f.as_str() == "__bad"))),
+        "test setup: the plan must put `__bad` into a dimension payload"
+    );
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ifaq_engine::layout::prepare(Layout::MergedHash, &plan, &db)
+    }))
+    .expect_err("prepare must refuse a dimension-owned iteration column");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("iteration column"), "{msg}");
+    assert!(msg.contains("__bad"), "{msg}");
+}
