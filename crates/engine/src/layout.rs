@@ -101,8 +101,9 @@ impl fmt::Display for Layout {
 /// Everything else is baked in at prepare time: dimension payload
 /// values live inside the views, and join keys inside the indexes, so
 /// mutating either requires a fresh [`prepare`] (the guards catch
-/// layout, plan, and row-count drift; they cannot see content-level
-/// dimension edits).
+/// layout, plan, row-count, and generation drift — see
+/// [`StarDb::bump_generation`] for the delta-maintenance epoch; they
+/// cannot see content-level dimension edits made without a bump).
 #[derive(Debug)]
 pub struct Prepared {
     layout: Layout,
@@ -124,6 +125,12 @@ pub struct Prepared {
     /// into the prepared views and keys into the indexes, so either kind
     /// of change means re-preparing (see the struct docs).
     db_shape: Vec<usize>,
+    /// The database's mutation epoch ([`StarDb::generation`]) at prepare
+    /// time. Incremental maintenance bumps the generation on every
+    /// applied delta, so this guard catches the case the shape guard
+    /// cannot: a delta that deletes and inserts equally many rows keeps
+    /// the row counts but moves the data out from under row-index state.
+    db_generation: u64,
     state: PrepState,
 }
 
@@ -208,6 +215,7 @@ pub fn prepare(layout: Layout, plan: &ViewPlan, db: &StarDb) -> Prepared {
         layout,
         plan: plan.clone(),
         db_shape: db_shape(db),
+        db_generation: db.generation(),
         state,
     }
 }
@@ -244,6 +252,17 @@ pub fn execute_with(
             built_dbg = prep.layout,
             want = layout,
             want_dbg = layout,
+        );
+    }
+    if prep.db_generation != db.generation() {
+        panic!(
+            "stale Prepared: state was built at database generation {built} but \
+             execute was called at generation {now}; a delta was applied in \
+             between, so row-index state (join index, trie, sort order) and \
+             baked views may no longer match the data — rebuild with \
+             layout::prepare over the current database",
+            built = prep.db_generation,
+            now = db.generation(),
         );
     }
     if prep.db_shape != db_shape(db) {
@@ -408,6 +427,34 @@ mod tests {
             .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
             .unwrap_or_default();
         assert!(msg.contains("database shaped"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn generation_bumped_prepared_panics_naming_both_generations() {
+        // A delta that deletes one row and inserts another keeps the
+        // database shape, so only the generation guard can catch the
+        // stale state. Simulate it with a direct bump: same shape, new
+        // epoch.
+        let mut db = running_example_star();
+        let cat = db.catalog();
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
+        let prep = prepare(Layout::Trie, &plan, &db);
+        db.bump_generation();
+        db.bump_generation();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(Layout::Trie, &plan, &db, &prep)
+        }))
+        .expect_err("generation mismatch must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("generation 0") && msg.contains("generation 2") && msg.contains("stale"),
+            "message should name both generations: {msg}"
+        );
     }
 
     #[test]

@@ -62,6 +62,13 @@ pub struct StarDb {
     pub fact: ColRelation,
     /// Dimension tables.
     pub dims: Vec<Dim>,
+    /// Mutation epoch: bumped by [`StarDb::bump_generation`] whenever a
+    /// delta is applied to the database. `layout::Prepared` records the
+    /// generation it was built at, so state prepared before a delta
+    /// fails fast instead of silently executing over changed rows.
+    /// Private so the only way to move it is the explicit bump; cloning
+    /// preserves it (a snapshot is the same epoch).
+    generation: u64,
 }
 
 /// The materialized training matrix: dense row-major `f64` data over the
@@ -95,9 +102,41 @@ impl TrainMatrix {
 }
 
 impl StarDb {
-    /// Creates a star database.
+    /// Creates a star database (at generation 0).
     pub fn new(fact: ColRelation, dims: Vec<Dim>) -> Self {
-        StarDb { fact, dims }
+        StarDb {
+            fact,
+            dims,
+            generation: 0,
+        }
+    }
+
+    /// The database's mutation epoch (see [`StarDb::bump_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances the mutation epoch and returns the new generation.
+    ///
+    /// Call this after applying a delta (fact rows inserted or deleted):
+    /// every [`crate::layout::Prepared`] built before the bump becomes
+    /// stale and panics on use, naming both generations. Pure fact
+    /// *value* rewrites of an iteration column (logistic's `__sigma`)
+    /// intentionally do **not** bump — prepared state never captures
+    /// fact values, so it stays valid across them (the PR 4 contract).
+    pub fn bump_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// A new database with the same dimensions but a different fact
+    /// table — the Δ-`StarDb` view used for delta-scoped execution: a
+    /// fact table holding only the Δ rows joins against the resident
+    /// dimensions, so the existing executors compute exactly the Δ
+    /// partial of any aggregate batch. Starts a fresh epoch
+    /// (generation 0): it is a new database, not a mutation of this one.
+    pub fn with_fact(&self, fact: ColRelation) -> StarDb {
+        StarDb::new(fact, self.dims.clone())
     }
 
     /// Number of fact tuples.
@@ -150,11 +189,10 @@ impl StarDb {
     }
 
     /// Restricts the fact table to its first `n` rows (scaled variants).
+    /// Like [`StarDb::with_fact`], the result is a new database at
+    /// generation 0.
     pub fn take_fact(&self, n: usize) -> StarDb {
-        StarDb {
-            fact: self.fact.take(n),
-            dims: self.dims.clone(),
-        }
+        self.with_fact(self.fact.take(n))
     }
 
     /// Resolves the project-join's row structure: which fact rows survive
@@ -467,6 +505,34 @@ mod tests {
         let db = running_example_star().take_fact(2);
         assert_eq!(db.fact_rows(), 2);
         assert_eq!(db.materialize().rows, 2);
+    }
+
+    #[test]
+    fn generation_bumps_and_clones_preserve_it() {
+        let mut db = running_example_star();
+        assert_eq!(db.generation(), 0);
+        assert_eq!(db.bump_generation(), 1);
+        assert_eq!(db.bump_generation(), 2);
+        // A clone is a snapshot of the same epoch…
+        assert_eq!(db.clone().generation(), 2);
+        // …while derived databases start a fresh epoch.
+        assert_eq!(db.take_fact(2).generation(), 0);
+        assert_eq!(db.with_fact(db.fact.take(1)).generation(), 0);
+    }
+
+    #[test]
+    fn with_fact_is_a_delta_view() {
+        // Aggregating over a Δ fact against the resident dimensions
+        // yields exactly the Δ rows' contribution: materializing the
+        // 2-row view gives the first two joined rows of the full join.
+        let db = running_example_star();
+        let delta = db.with_fact(db.fact.take(2));
+        assert_eq!(delta.dims.len(), db.dims.len());
+        let m = delta.materialize();
+        let full = db.materialize();
+        assert_eq!(m.rows, 2);
+        assert_eq!(m.row(0), full.row(0));
+        assert_eq!(m.row(1), full.row(1));
     }
 
     #[test]

@@ -165,6 +165,73 @@ impl ThetaAnalysis {
     }
 }
 
+/// Whether a subplan must be recomputed when a delta arrives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Maintenance {
+    /// Depends only on relations the delta left untouched: the cached
+    /// value (a prepared view, a hoisted binding) stays valid and is
+    /// reused as-is.
+    Reusable,
+    /// Mentions a changed relation: must re-run — but only over the Δ
+    /// rows, since factorized aggregates are additive in the fact table.
+    DeltaAffected,
+}
+
+/// Δ-dependence analysis: which subplans a delta invalidates.
+///
+/// This is the same free-variable machinery as [`ThetaAnalysis`] with a
+/// different volatile set — an incremental view is exactly a θ-free
+/// subplan whose *inputs* changed. Where θ-analysis separates
+/// per-iteration work from hoistable work, Δ-analysis separates the
+/// state a resident engine must refresh on `apply_delta` (anything
+/// reading a changed relation, typically just the fact scan) from the
+/// prepared state it keeps (dimension views, key indexes — everything
+/// derived from unchanged relations).
+#[derive(Clone, Debug)]
+pub struct DeltaAnalysis {
+    changed: BTreeSet<Sym>,
+}
+
+impl DeltaAnalysis {
+    /// Analysis for an explicit set of changed relations.
+    pub fn new(changed: impl IntoIterator<Item = Sym>) -> Self {
+        DeltaAnalysis {
+            changed: changed.into_iter().collect(),
+        }
+    }
+
+    /// The star-schema serving case: deltas touch only the fact table;
+    /// every dimension is unchanged.
+    pub fn fact_only(fact: impl Into<Sym>) -> Self {
+        DeltaAnalysis::new([fact.into()])
+    }
+
+    /// The changed-relation set in force.
+    pub fn changed(&self) -> &BTreeSet<Sym> {
+        &self.changed
+    }
+
+    /// Classifies a subplan by the relations it reads (e.g. a dimension
+    /// view's source relation, or a fact scan's fact table).
+    pub fn classify_deps<'a>(&self, deps: impl IntoIterator<Item = &'a str>) -> Maintenance {
+        if deps.into_iter().any(|d| self.changed.contains(d)) {
+            Maintenance::DeltaAffected
+        } else {
+            Maintenance::Reusable
+        }
+    }
+
+    /// Classifies an expression by its free variables: mentioning a
+    /// changed relation makes it Δ-affected.
+    pub fn classify_expr(&self, e: &Expr) -> Maintenance {
+        if free_vars(e).is_disjoint(&self.changed) {
+            Maintenance::Reusable
+        } else {
+            Maintenance::DeltaAffected
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +308,31 @@ mod tests {
         assert!(is_iteration_column("__agg0"));
         assert!(!is_iteration_column("price"));
         assert!(!is_iteration_column("_iter"));
+    }
+
+    #[test]
+    fn delta_analysis_splits_affected_from_reusable() {
+        let a = DeltaAnalysis::fact_only("S");
+        // A dimension view reads only its own relation: reusable.
+        assert_eq!(a.classify_deps(["R"]), Maintenance::Reusable);
+        assert_eq!(a.classify_deps(["R", "I"]), Maintenance::Reusable);
+        // The fused fact scan reads the fact table: Δ-affected.
+        assert_eq!(a.classify_deps(["S"]), Maintenance::DeltaAffected);
+        assert_eq!(a.classify_deps(["R", "S"]), Maintenance::DeltaAffected);
+        assert_eq!(a.classify_deps([]), Maintenance::Reusable);
+        assert!(a.changed().contains("S"));
+    }
+
+    #[test]
+    fn delta_analysis_classifies_expressions_by_free_vars() {
+        let a = DeltaAnalysis::fact_only("Q");
+        let affected = parse_expr("sum(x in dom(Q)) Q(x) * x[`u`]").unwrap();
+        assert_eq!(a.classify_expr(&affected), Maintenance::DeltaAffected);
+        let reusable = parse_expr("sum(x in dom(R)) R(x) * x[`a`]").unwrap();
+        assert_eq!(a.classify_expr(&reusable), Maintenance::Reusable);
+        // A binder shadowing the changed name keeps the body reusable.
+        let shadowed = parse_expr("let Q = 1 in Q + 1").unwrap();
+        assert_eq!(a.classify_expr(&shadowed), Maintenance::Reusable);
     }
 
     #[test]

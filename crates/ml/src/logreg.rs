@@ -69,6 +69,29 @@ pub struct LogisticModel {
 }
 
 impl LogisticModel {
+    /// The linear score for a feature vector given in the model's
+    /// feature order — the serving-path entry point.
+    ///
+    /// # Panics
+    ///
+    /// If `x.len()` differs from the number of features.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.weights.len(),
+            "feature vector has {} values but the model has {} features",
+            x.len(),
+            self.weights.len()
+        );
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+
+    /// The predicted probability `σ(score)` for a feature vector in the
+    /// model's feature order.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        stable_sigmoid(self.score(x))
+    }
+
     /// The linear score `intercept + Σ w·x` for row `i` of a matrix whose
     /// columns include the model's features.
     pub fn score_row(&self, m: &TrainMatrix, i: usize) -> f64 {
@@ -193,6 +216,22 @@ impl Standardizer {
             bias -= t * self.mean[j] / self.std[j];
         }
         (bias, weights)
+    }
+
+    /// The inverse of [`Standardizer::to_raw`]: lifts a raw-space model
+    /// `(b, w)` into standardized θ — `θ_j = w_j·σ_j`,
+    /// `θ_0 = b + Σ w_j·μ_j`. Warm-started training resumes from here.
+    pub(crate) fn to_standardized(&self, intercept: f64, weights: &[f64]) -> Vec<f64> {
+        let mut theta = Vec::with_capacity(weights.len() + 1);
+        let mut t0 = intercept;
+        for (j, w) in weights.iter().enumerate() {
+            t0 += w * self.mean[j + 1];
+        }
+        theta.push(t0);
+        for (j, w) in weights.iter().enumerate() {
+            theta.push(w * self.std[j + 1]);
+        }
+        theta
     }
 }
 
@@ -505,10 +544,37 @@ impl FactorizedTrainer {
         layout_choice: Layout,
         cfg: &ExecConfig,
     ) -> FactorizedTrainer {
-        let d = features.len() + 1;
         let moments = moments_factorized_cfg(db, features, label, layout_choice, cfg);
+        FactorizedTrainer::with_moments(db, features, layout_choice, cfg, &moments)
+    }
+
+    /// [`FactorizedTrainer::new`] with the covar pass skipped: the
+    /// standardization statistics and the invariant `Σy·x` gradient side
+    /// are taken from `moments` instead of being recomputed from `db`.
+    /// This is the serving path's refit entry point — a resident engine
+    /// maintains the moments incrementally under deltas, so a logistic
+    /// refit only pays for the per-iteration passes, never a fresh covar
+    /// scan. `moments.features` must match `features` in order.
+    pub fn with_moments(
+        db: &StarDb,
+        features: &[&str],
+        layout_choice: Layout,
+        cfg: &ExecConfig,
+        moments: &Moments,
+    ) -> FactorizedTrainer {
+        assert!(
+            moments
+                .features
+                .iter()
+                .map(String::as_str)
+                .eq(features.iter().copied()),
+            "moments were computed for features {:?} but the trainer wants {:?}",
+            moments.features,
+            features
+        );
+        let d = features.len() + 1;
         let n = moments.count.max(1.0);
-        let stdz = Standardizer::from_moments(&moments);
+        let stdz = Standardizer::from_moments(moments);
         let mut b = vec![0.0; d];
         b[0] = moments.xty[0];
         for (j, bj) in b.iter_mut().enumerate().skip(1) {
@@ -555,9 +621,41 @@ impl FactorizedTrainer {
     /// Trains from θ = 0 over the prepared state: per iteration, one
     /// sharded score pass rewriting `__sigma` and one aggregate scan.
     pub fn fit(&mut self, learning_rate: f64, iterations: usize) -> LogisticModel {
+        let theta = vec![0.0; self.features.len() + 1];
+        self.fit_from(theta, learning_rate, iterations)
+    }
+
+    /// Warm-started training: resumes gradient descent from an existing
+    /// raw-space model instead of θ = 0. The serving path uses this after
+    /// a delta — the pre-delta model is usually close to the new optimum,
+    /// so far fewer iterations reach the same loss. The start model's
+    /// parameters are lifted into the trainer's *current* standardized
+    /// space (the inverse of the standardizer's raw-space mapping); its feature list must
+    /// match the trainer's.
+    pub fn fit_warm(
+        &mut self,
+        start: &LogisticModel,
+        learning_rate: f64,
+        iterations: usize,
+    ) -> LogisticModel {
+        assert_eq!(
+            start.features, self.features,
+            "warm-start model was trained on different features"
+        );
+        let theta = self.stdz.to_standardized(start.intercept, &start.weights);
+        self.fit_from(theta, learning_rate, iterations)
+    }
+
+    /// The shared descent loop behind [`FactorizedTrainer::fit`] and
+    /// [`FactorizedTrainer::fit_warm`].
+    fn fit_from(
+        &mut self,
+        mut theta: Vec<f64>,
+        learning_rate: f64,
+        iterations: usize,
+    ) -> LogisticModel {
         let d = self.features.len() + 1;
         let features: Vec<&str> = self.features.iter().map(|s| s.as_str()).collect();
-        let mut theta = vec![0.0; d];
         for _ in 0..iterations {
             // Raw-space score weights for the current standardized θ.
             let (bias, w) = self.stdz.to_raw(&theta);
@@ -806,6 +904,123 @@ mod tests {
         assert_eq!(theta.len(), 2);
         assert!(theta.iter().all(|t| t.is_finite()));
         assert!(theta[0] > theta[1], "a should outweigh b: {theta:?}");
+    }
+
+    #[test]
+    fn vector_score_and_proba_match_row_paths() {
+        let model = LogisticModel {
+            features: vec!["a".into(), "b".into()],
+            intercept: 0.5,
+            weights: vec![2.0, -1.0],
+        };
+        let x = [3.0, 4.0];
+        assert_eq!(model.score(&x), 0.5 + 2.0 * 3.0 - 4.0);
+        assert_eq!(model.predict_proba(&x), stable_sigmoid(model.score(&x)));
+        let m = binary_matrix();
+        for i in [0, 17, 99] {
+            let row = m.row(i);
+            assert_eq!(model.score(&row[..2]), model.score_row(&m, i), "row {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector has 3 values but the model has 2 features")]
+    fn vector_score_rejects_wrong_arity() {
+        let model = LogisticModel {
+            features: vec!["a".into(), "b".into()],
+            intercept: 0.0,
+            weights: vec![1.0, 1.0],
+        };
+        model.score(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn with_moments_matches_fresh_trainer() {
+        // A trainer seeded from externally supplied moments must be
+        // indistinguishable from one that ran the covar pass itself —
+        // this is what lets a resident engine refit from maintained
+        // totals without rescanning the fact table.
+        let db = binary_star();
+        let features = ["city", "price"];
+        let cfg = ExecConfig::serial();
+        let moments = moments_factorized_cfg(&db, &features, "hot", Layout::MergedHash, &cfg);
+        let fresh =
+            FactorizedTrainer::new(&db, &features, "hot", Layout::MergedHash, &cfg).fit(0.5, 100);
+        let seeded =
+            FactorizedTrainer::with_moments(&db, &features, Layout::MergedHash, &cfg, &moments)
+                .fit(0.5, 100);
+        assert_eq!(fresh, seeded);
+    }
+
+    #[test]
+    #[should_panic(expected = "moments were computed for features")]
+    fn with_moments_rejects_mismatched_feature_order() {
+        let db = binary_star();
+        let cfg = ExecConfig::serial();
+        let moments =
+            moments_factorized_cfg(&db, &["city", "price"], "hot", Layout::Materialized, &cfg);
+        FactorizedTrainer::with_moments(
+            &db,
+            &["price", "city"],
+            Layout::Materialized,
+            &cfg,
+            &moments,
+        );
+    }
+
+    #[test]
+    fn warm_start_from_zero_model_equals_cold_fit() {
+        // A warm start from the all-zero raw model is the same θ = 0
+        // starting point fit uses, so the runs must agree bitwise.
+        let db = binary_star();
+        let features = ["city", "price"];
+        let cfg = ExecConfig::serial();
+        let mut trainer = FactorizedTrainer::new(&db, &features, "hot", Layout::MergedHash, &cfg);
+        let zero = LogisticModel {
+            features: vec!["city".into(), "price".into()],
+            intercept: 0.0,
+            weights: vec![0.0, 0.0],
+        };
+        let cold = trainer.fit(0.5, 80);
+        let warm = trainer.fit_warm(&zero, 0.5, 80);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn warm_continuation_approximates_one_long_run() {
+        // 100 iterations, vs 60 then warm-resume for 40 more: the only
+        // difference is a raw↔standardized θ round-trip at the split, so
+        // the results agree to fp round-off, not exactly.
+        let db = binary_star();
+        let features = ["city", "price"];
+        let cfg = ExecConfig::serial();
+        let mut trainer = FactorizedTrainer::new(&db, &features, "hot", Layout::MergedHash, &cfg);
+        let long = trainer.fit(0.5, 100);
+        let part = trainer.fit(0.5, 60);
+        let resumed = trainer.fit_warm(&part, 0.5, 40);
+        assert!(
+            (resumed.intercept - long.intercept).abs() <= 1e-9 * long.intercept.abs().max(1.0),
+            "intercept {} vs {}",
+            resumed.intercept,
+            long.intercept
+        );
+        for (a, b) in resumed.weights.iter().zip(&long.weights) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn standardizer_round_trip_is_close() {
+        let stdz = Standardizer {
+            mean: vec![0.0, 3.5, -1.25],
+            std: vec![1.0, 2.0, 0.5],
+        };
+        let theta = vec![0.75, -2.0, 1.5];
+        let (b, w) = stdz.to_raw(&theta);
+        let back = stdz.to_standardized(b, &w);
+        for (a, t) in back.iter().zip(&theta) {
+            assert!((a - t).abs() < 1e-12, "{a} vs {t}");
+        }
     }
 
     #[test]

@@ -203,6 +203,54 @@ impl AggBatch {
     }
 }
 
+/// Adds a delta's batch results into accumulated totals, element-wise.
+///
+/// Factorized aggregate batches are *additive* in the fact table: every
+/// aggregate is a sum of independent per-fact-row contributions, so the
+/// batch over `fact ∪ Δ` equals the batch over `fact` plus the batch
+/// over `Δ` (run against the same dimensions). This is the algebra
+/// incremental maintenance rests on: a resident engine keeps `acc` and
+/// absorbs inserts by executing the batch over only the Δ rows.
+///
+/// # Panics
+///
+/// If the slices have different lengths — mismatched widths mean the
+/// delta was computed for a different batch, and silently zipping would
+/// corrupt every total after the shorter slice.
+pub fn add_results(acc: &mut [f64], delta: &[f64]) {
+    assert_eq!(
+        acc.len(),
+        delta.len(),
+        "batch-result width mismatch: accumulated totals hold {} aggregates, delta {}",
+        acc.len(),
+        delta.len()
+    );
+    for (a, d) in acc.iter_mut().zip(delta) {
+        *a += d;
+    }
+}
+
+/// Subtracts a delta's batch results from accumulated totals — the
+/// delete half of [`add_results`]'s additivity: removing fact rows
+/// subtracts exactly their contribution, computed by executing the
+/// batch over a Δ fact holding just the deleted rows.
+///
+/// # Panics
+///
+/// If the slices have different lengths (see [`add_results`]).
+pub fn sub_results(acc: &mut [f64], delta: &[f64]) {
+    assert_eq!(
+        acc.len(),
+        delta.len(),
+        "batch-result width mismatch: accumulated totals hold {} aggregates, delta {}",
+        acc.len(),
+        delta.len()
+    );
+    for (a, d) in acc.iter_mut().zip(delta) {
+        *a -= d;
+    }
+}
+
 /// Builds the covar-matrix batch for linear regression over `features`
 /// with the given `label`: the non-centered second moments `Σ fi·fj`
 /// (i ≤ j), the label interactions `Σ fi·label`, the first moments `Σ fi`
@@ -318,6 +366,27 @@ mod tests {
         let fb = b.filtered(&p);
         assert!(fb.aggs.iter().all(|a| a.filter.last() == Some(&p)));
         assert_eq!(b.len(), fb.len());
+    }
+
+    #[test]
+    fn results_add_and_sub_are_inverse_elementwise() {
+        let mut acc = vec![1.0, 2.0, 3.0];
+        add_results(&mut acc, &[0.5, -1.0, 2.0]);
+        assert_eq!(acc, vec![1.5, 1.0, 5.0]);
+        sub_results(&mut acc, &[0.5, -1.0, 2.0]);
+        assert_eq!(acc, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn results_add_rejects_width_mismatch() {
+        add_results(&mut [1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn results_sub_rejects_width_mismatch() {
+        sub_results(&mut [1.0], &[1.0, 2.0]);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Concurrency test for the resident serving engine: N reader threads
+//! hammer `snapshot` / `predict` / `theta` / aggregate reads while one
+//! writer appends delta batches and refits. The torn-read detector is
+//! exact arithmetic: every applied batch inserts `BATCH` known-joinable
+//! rows, so the joined-row count aggregate at generation `g` must equal
+//! `base + g·BATCH` — as an integer-valued f64, exactly. A snapshot
+//! whose totals and generation were read across a writer's commit would
+//! violate that equality; a single consistent lock acquisition cannot.
+//!
+//! CI runs this suite under `IFAQ_THREADS=4`, so the engine's internal
+//! aggregate scans shard while the outer threads contend for the lock.
+
+use ifaq_datagen::favorita;
+use ifaq_engine::Layout;
+use ifaq_serve::{DeltaBatch, ServeConfig, ServeEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Rows per writer batch.
+const BATCH: usize = 10;
+/// Batches the writer applies.
+const WRITES: usize = 25;
+/// Concurrent reader threads.
+const READERS: usize = 4;
+
+#[test]
+fn readers_never_observe_torn_state_while_writer_appends() {
+    let ds = favorita(800, 77);
+    let features: Vec<&str> = ds.feature_refs().into_iter().take(4).collect();
+    let engine = Arc::new(ServeEngine::new(
+        ds.train(),
+        &features,
+        &ds.label,
+        ServeConfig::new(Layout::MergedHash),
+    ));
+
+    // The insert template: a stored fact row, verified to join into
+    // every dimension so each insert raises the joined count by exactly
+    // one (a dangling template would make the expected-count arithmetic
+    // silently vacuous).
+    let db = engine.db_snapshot();
+    let template: Vec<f64> = db.fact.columns.iter().map(|c| c.get_f64(3)).collect();
+    for dim in &db.dims {
+        let key_col = db.fact.attr_index(dim.key.as_str()).unwrap();
+        let key = template[key_col] as i64;
+        assert!(
+            dim.key_index().contains_key(&key),
+            "template row dangles on {}",
+            dim.rel.name
+        );
+    }
+    let base_count = engine.aggregate("count").unwrap();
+    let base_gen = engine.generation();
+    let ci = engine.batch().index_of("count").unwrap();
+    let x_probe: Vec<f64> = vec![1.0; features.len()];
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for reader in 0..READERS {
+        let engine = Arc::clone(&engine);
+        let done = Arc::clone(&done);
+        let x_probe = x_probe.clone();
+        handles.push(thread::spawn(move || {
+            let mut seen = 0u64;
+            let mut last_gen = 0u64;
+            while !done.load(Ordering::Acquire) {
+                // The invariant: count and generation from ONE snapshot
+                // must satisfy the writer's arithmetic exactly.
+                let snap = engine.snapshot();
+                let expect = base_count + ((snap.generation - base_gen) as f64) * BATCH as f64;
+                assert_eq!(
+                    snap.totals[ci], expect,
+                    "reader {reader}: torn snapshot at generation {}",
+                    snap.generation
+                );
+                assert!(snap.fact_rows > 0);
+                // Generations must be monotone from any single reader.
+                assert!(
+                    snap.generation >= last_gen,
+                    "reader {reader}: generation went backwards"
+                );
+                last_gen = snap.generation;
+                // Model reads stay finite mid-write.
+                assert!(engine.predict(&x_probe).is_finite());
+                assert!(engine.theta().intercept.is_finite());
+                seen += 1;
+            }
+            seen
+        }));
+    }
+
+    // The writer: append batches, refit every fifth one.
+    for g in 0..WRITES {
+        let rows = std::iter::repeat_with(|| template.clone()).take(BATCH);
+        let report = engine.apply_delta(&DeltaBatch::from_inserts(rows)).unwrap();
+        assert_eq!(report.inserted, BATCH);
+        assert_eq!(report.generation, base_gen + g as u64 + 1);
+        if g % 5 == 4 {
+            engine.refit();
+        }
+    }
+    done.store(true, Ordering::Release);
+
+    let mut total_reads = 0;
+    for h in handles {
+        total_reads += h.join().expect("reader panicked");
+    }
+    assert!(total_reads > 0, "readers never ran");
+
+    // Final state: every batch landed, and the arithmetic closes.
+    assert_eq!(engine.generation(), base_gen + WRITES as u64);
+    assert_eq!(
+        engine.aggregate("count").unwrap(),
+        base_count + (WRITES * BATCH) as f64
+    );
+    assert_eq!(engine.fact_rows(), db.fact.len() + WRITES * BATCH);
+}
