@@ -49,13 +49,14 @@ fn plan_workloads(name: &str, ds: &Dataset) -> (Planned, Planned) {
             alpha: 1e-9,
             iterations: 20,
         },
+        &cat,
     );
     lr_prog.name = format!("covar_{name}");
 
     let delta = vec![Predicate::new(features[0], PredOp::Le, 1.0)];
     let tree_batch = variance_batch(&ds.label, &delta);
     let tree_plan = ViewPlan::plan(&tree_batch, &tree, &cat).expect("plan");
-    let mut tree_prog = emit_program(&tree_plan, &tree_batch, &Workload::Aggregates);
+    let mut tree_prog = emit_program(&tree_plan, &tree_batch, &Workload::Aggregates, &cat);
     tree_prog.name = format!("treenode_{name}");
 
     (

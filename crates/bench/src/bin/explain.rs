@@ -1,0 +1,156 @@
+//! Static plan analysis "explain": for the covar workload of both
+//! datasets, print the analyzer's per-layout cost table next to measured
+//! execute times, the Spearman rank correlation between the two
+//! orderings, the CSE summary, and every lint diagnostic — the
+//! human-readable surface of `ifaq_query::analysis`.
+//!
+//! Run: `cargo run -p ifaq_bench --bin explain --release`
+//! Flags: `--scale <f>` grows/shrinks the datasets; `--gate` exits 1
+//! unless the model-vs-measured Spearman ρ is ≥ 0.7 on every dataset
+//! (the EXPERIMENTS.md validation gate for the cost model).
+//!
+//! Error-severity diagnostics always exit 1: a plan the analyzer calls
+//! unsound should never pass silently through a reporting tool.
+
+use ifaq_bench::{print_header, print_row, secs, time_best_of, HarnessArgs};
+use ifaq_datagen::{favorita, retailer, Dataset};
+use ifaq_engine::{layout, ExecConfig};
+use ifaq_query::analysis::{self, Analysis, Layout};
+use ifaq_query::batch::covar_batch;
+use ifaq_query::{JoinTree, ViewPlan};
+use std::time::Duration;
+
+/// Average ranks (1-based, ties share the mean of their positions) —
+/// the standard pre-step of Spearman's ρ.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank-correlation coefficient between two value vectors.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = a.len() as f64;
+    let mean = (n + 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - mean) * (y - mean);
+        va += (x - mean) * (x - mean);
+        vb += (y - mean) * (y - mean);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+/// One dataset's explain pass: print the table, return the Spearman ρ.
+fn explain(name: &str, ds: &Dataset, cfg: &ExecConfig) -> f64 {
+    let features = ds.feature_refs();
+    let cat = ds.db.catalog();
+    let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
+    let batch = covar_batch(&features, &ds.label);
+    let plan = ViewPlan::plan(&batch, &tree, &cat).expect("plan");
+    let report: Analysis = analysis::analyze(&cat, &plan, &batch);
+
+    // Measure every layout on the real engine: prepare once (outside the
+    // timer — the model's `execute` column is the per-execution cost),
+    // then best-of-3 executions.
+    let measured: Vec<Duration> = Layout::all()
+        .iter()
+        .map(|&l| {
+            let prep = layout::prepare(l, &plan, &ds.db);
+            time_best_of(3, || layout::execute_with(l, &plan, &ds.db, &prep, cfg)).1
+        })
+        .collect();
+
+    print_header(
+        &format!(
+            "{name}: covar batch, {} fact rows, {} aggregates ({} after CSE)",
+            ds.db.fact_rows(),
+            batch.len(),
+            report.dedup.unique.len()
+        ),
+        &["model exec", "model prep", "resident MB", "measured s"],
+    );
+    for (c, m) in report.costs.iter().zip(&measured) {
+        let marker = if c.layout == report.chosen { " *" } else { "" };
+        print_row(
+            &format!("{:?}{marker}", c.layout),
+            &[
+                c.execute.to_string(),
+                c.prepare.to_string(),
+                format!("{:.1}", c.resident_bytes as f64 / 1e6),
+                secs(*m),
+            ],
+        );
+    }
+
+    let model: Vec<f64> = report.costs.iter().map(|c| c.execute as f64).collect();
+    let wall: Vec<f64> = measured.iter().map(|d| d.as_secs_f64()).collect();
+    let rho = spearman(&model, &wall);
+    let fastest = Layout::all()[wall
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("eight layouts")
+        .0];
+    println!(
+        "chosen: {:?} (model), fastest measured: {fastest:?}, Spearman rho = {rho:.3}",
+        report.chosen
+    );
+    if report.dedup.savings() > 0 {
+        println!(
+            "cse: {} of {} aggregates eliminated",
+            report.dedup.savings(),
+            batch.len()
+        );
+    }
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    assert!(
+        !report.has_errors(),
+        "{name}: analyzer reported error diagnostics"
+    );
+    rho
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let gate = std::env::args().any(|a| a == "--gate");
+    let cfg = ExecConfig::serial();
+    let datasets = [
+        ("favorita", favorita(args.rows(300_000), 1)),
+        ("retailer", retailer(args.rows(200_000), 2)),
+    ];
+    let mut worst: f64 = 1.0;
+    for (name, ds) in &datasets {
+        worst = worst.min(explain(name, ds, &cfg));
+    }
+    if gate {
+        assert!(
+            worst >= 0.7,
+            "cost-model ranking diverged from measurements: worst Spearman rho {worst:.3} < 0.7"
+        );
+        println!("\ngate: worst Spearman rho {worst:.3} >= 0.7, cost model validated");
+    }
+}

@@ -2,13 +2,16 @@
 //!
 //! The emitter produces one self-contained C++17 translation unit,
 //! specialized to the workload exactly as §4.4 describes: one `struct` per
-//! merged-view payload (static records), dense `std::vector` views indexed
-//! by the compact surrogate keys (dictionary→array), stack-allocated
-//! accumulators for the fused fact scan (immutable→mutable + scalar
-//! replacement), and a training loop whose structure mirrors the residual
-//! program the pipeline leaves behind (moment-space BGD for linear
-//! regression; a per-iteration factorized score pass + gradient scan for
-//! logistic regression).
+//! merged-view payload (static records), per-dimension views whose key
+//! layout follows the [`crate::layout::synthesize`] cost decision — a
+//! dense `std::vector` indexed by compact surrogate keys
+//! (dictionary→array) when the resident-byte model favors it, a
+//! `std::unordered_map` otherwise — stack-allocated accumulators for the
+//! fused fact scan (immutable→mutable + scalar replacement), and a
+//! training loop whose structure mirrors the residual program the
+//! pipeline leaves behind (moment-space BGD for linear regression; a
+//! per-iteration factorized score pass + gradient scan for logistic
+//! regression).
 //!
 //! Unlike a toy emitter, the generated `main` **runs on real data**: it
 //! loads a star database exported by `StarDb::export_dir` (the `IFAQTBL1`
@@ -271,9 +274,12 @@ static double now_s() {
 "#;
 }
 
-/// Emits the payload struct and dense-array view builder for one
-/// dimension of the plan.
-fn emit_view_builder(w: &mut String, dim: &ifaq_query::plan::DimView) {
+/// Emits the payload struct and view builder for one dimension of the
+/// plan. `dense` selects the key layout the synthesis report chose for
+/// this view: a dense `std::vector` spanning the key domain
+/// (dictionary→array, compact surrogate keys) or a `std::unordered_map`
+/// keyed directly by the join key (sparse domains).
+fn emit_view_builder(w: &mut String, dim: &ifaq_query::plan::DimView, dense: bool) {
     let dn = sanitize(dim.relation.as_str());
     writeln!(
         w,
@@ -298,25 +304,43 @@ fn emit_view_builder(w: &mut String, dim: &ifaq_query::plan::DimView) {
     writeln!(w, "  bool present = false;").unwrap();
     writeln!(w, "}};").unwrap();
     writeln!(w).unwrap();
-    // Dense-array view builder (dictionary → array).
-    writeln!(w, "// Dictionary-to-array view over {}.", dim.relation).unwrap();
-    write!(
-        w,
-        "static std::vector<{dn}Payload> build_view_{dn}(const int64_t* key"
-    )
-    .unwrap();
+    if dense {
+        // Dense-array view builder (dictionary → array).
+        writeln!(w, "// Dictionary-to-array view over {}.", dim.relation).unwrap();
+        write!(
+            w,
+            "static std::vector<{dn}Payload> build_view_{dn}(const int64_t* key"
+        )
+        .unwrap();
+    } else {
+        // Hash-dictionary view builder (sparse key domain).
+        writeln!(w, "// Hash-dictionary view over {}.", dim.relation).unwrap();
+        write!(
+            w,
+            "static std::unordered_map<int64_t, {dn}Payload> build_view_{dn}(const int64_t* key"
+        )
+        .unwrap();
+    }
     for a in dim_attrs(dim) {
         write!(w, ", const double* {}", sanitize(&a)).unwrap();
     }
-    writeln!(w, ", std::size_t n, std::size_t key_space) {{").unwrap();
-    writeln!(w, "  std::vector<{dn}Payload> view(key_space);").unwrap();
-    writeln!(w, "  for (std::size_t j = 0; j < n; ++j) {{").unwrap();
-    writeln!(
-        w,
-        "    if (key[j] < 0 || (std::size_t)key[j] >= key_space) continue;"
-    )
-    .unwrap();
-    writeln!(w, "    auto& slot = view[key[j]];").unwrap();
+    if dense {
+        writeln!(w, ", std::size_t n, std::size_t key_space) {{").unwrap();
+        writeln!(w, "  std::vector<{dn}Payload> view(key_space);").unwrap();
+        writeln!(w, "  for (std::size_t j = 0; j < n; ++j) {{").unwrap();
+        writeln!(
+            w,
+            "    if (key[j] < 0 || (std::size_t)key[j] >= key_space) continue;"
+        )
+        .unwrap();
+        writeln!(w, "    auto& slot = view[key[j]];").unwrap();
+    } else {
+        writeln!(w, ", std::size_t n) {{").unwrap();
+        writeln!(w, "  std::unordered_map<int64_t, {dn}Payload> view;").unwrap();
+        writeln!(w, "  view.reserve(n);").unwrap();
+        writeln!(w, "  for (std::size_t j = 0; j < n; ++j) {{").unwrap();
+        writeln!(w, "    auto& slot = view[key[j]];").unwrap();
+    }
     writeln!(w, "    slot.present = true;").unwrap();
     for (pi, p) in dim.payloads.iter().enumerate() {
         let mut expr = String::from("1.0");
@@ -336,19 +360,30 @@ fn emit_view_builder(w: &mut String, dim: &ifaq_query::plan::DimView) {
     writeln!(w).unwrap();
 }
 
+/// The C++ type of a dimension view under the chosen key layout.
+fn view_type(dn: &str, dense: bool) -> String {
+    if dense {
+        format!("std::vector<{dn}Payload>")
+    } else {
+        format!("std::unordered_map<int64_t, {dn}Payload>")
+    }
+}
+
 /// Emits the fused multi-aggregate fact scan over the plan's terms.
-fn emit_compute_batch(w: &mut String, plan: &ViewPlan) {
+/// `dense[d]` is the key layout chosen for `plan.dims[d]`'s view.
+fn emit_compute_batch(w: &mut String, plan: &ViewPlan, dense: &[bool]) {
     let nterms = plan.terms.len();
     writeln!(w, "// Fused multi-aggregate fact scan.").unwrap();
     write!(w, "static void compute_batch(std::size_t n").unwrap();
     for a in fact_attrs(plan) {
         write!(w, ", const double* {}", sanitize(&a)).unwrap();
     }
-    for dim in &plan.dims {
+    for (di, dim) in plan.dims.iter().enumerate() {
         let dn = sanitize(dim.relation.as_str());
         write!(
             w,
-            ", const int64_t* key_{dn}, const std::vector<{dn}Payload>& view_{dn}"
+            ", const int64_t* key_{dn}, const {}& view_{dn}",
+            view_type(&dn, dense[di])
         )
         .unwrap();
     }
@@ -357,16 +392,22 @@ fn emit_compute_batch(w: &mut String, plan: &ViewPlan) {
         writeln!(w, "  double acc{t} = 0.0;").unwrap();
     }
     writeln!(w, "  for (std::size_t i = 0; i < n; ++i) {{").unwrap();
-    for dim in &plan.dims {
+    for (di, dim) in plan.dims.iter().enumerate() {
         let dn = sanitize(dim.relation.as_str());
         writeln!(w, "    const auto k_{dn} = key_{dn}[i];").unwrap();
-        writeln!(
-            w,
-            "    if (k_{dn} < 0 || (std::size_t)k_{dn} >= view_{dn}.size() || \
-             !view_{dn}[k_{dn}].present) continue;"
-        )
-        .unwrap();
-        writeln!(w, "    const auto& w_{dn} = view_{dn}[k_{dn}];").unwrap();
+        if dense[di] {
+            writeln!(
+                w,
+                "    if (k_{dn} < 0 || (std::size_t)k_{dn} >= view_{dn}.size() || \
+                 !view_{dn}[k_{dn}].present) continue;"
+            )
+            .unwrap();
+            writeln!(w, "    const auto& w_{dn} = view_{dn}[k_{dn}];").unwrap();
+        } else {
+            writeln!(w, "    const auto it_{dn} = view_{dn}.find(k_{dn});").unwrap();
+            writeln!(w, "    if (it_{dn} == view_{dn}.end()) continue;").unwrap();
+            writeln!(w, "    const auto& w_{dn} = it_{dn}->second;").unwrap();
+        }
     }
     for (t, term) in plan.terms.iter().enumerate() {
         let mut expr = String::from("1.0");
@@ -537,10 +578,24 @@ pub fn verify_plan_inputs(plan: &ViewPlan, batch: &AggBatch) -> Result<(), Strin
     Ok(())
 }
 
-pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> CppProgram {
+pub fn emit_program(
+    plan: &ViewPlan,
+    batch: &AggBatch,
+    workload: &Workload,
+    catalog: &ifaq_ir::Catalog,
+) -> CppProgram {
     if let Err(msg) = verify_plan_inputs(plan, batch) {
         panic!("cannot emit C++: {msg}");
     }
+    // Per-view key layout follows the synthesis report — the same
+    // cost-model decision the native engine's callers consult — instead
+    // of hardcoding the dense array.
+    let report = crate::layout::synthesize(plan, catalog);
+    let dense: Vec<bool> = plan
+        .dims
+        .iter()
+        .map(|d| report.dense_view(d.relation.as_str()))
+        .collect();
     let mut s = String::new();
     let w = &mut s;
     let nterms = plan.terms.len();
@@ -567,6 +622,9 @@ pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> C
     writeln!(w, "#include <cstdlib>").unwrap();
     writeln!(w, "#include <cstring>").unwrap();
     writeln!(w, "#include <string>").unwrap();
+    if dense.iter().any(|&d| !d) {
+        writeln!(w, "#include <unordered_map>").unwrap();
+    }
     writeln!(w, "#include <vector>").unwrap();
     writeln!(w).unwrap();
     emit_runtime(w);
@@ -579,10 +637,10 @@ pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> C
                }\n\n";
     }
 
-    for dim in &plan.dims {
-        emit_view_builder(w, dim);
+    for (di, dim) in plan.dims.iter().enumerate() {
+        emit_view_builder(w, dim, dense[di]);
     }
-    emit_compute_batch(w, plan);
+    emit_compute_batch(w, plan, &dense);
 
     // main: load, build views, scan, train, print.
     writeln!(w, "int main(int argc, char** argv) {{").unwrap();
@@ -613,30 +671,37 @@ pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> C
     }
     writeln!(w, "  const std::size_t n = t_fact.rows;").unwrap();
     writeln!(w, "  const double t1 = ifaq::now_s();").unwrap();
-    // Dense-array key spaces and views (dictionary → array, §4.4).
-    for dim in &plan.dims {
+    // Per-dimension views, each under the key layout the synthesis
+    // report chose (dense arrays measure the key space; hash views
+    // accept any key domain).
+    for (di, dim) in plan.dims.iter().enumerate() {
         let dn = sanitize(dim.relation.as_str());
         let dim_key = dim.key_attrs.first().expect("dimension join key").as_str();
-        writeln!(
-            w,
-            "  std::size_t ks_{dn} = 0;\n  {{\n    const int64_t* k = t_{dn}.icol(\"{dim_key}\");\n    for (std::size_t j = 0; j < t_{dn}.rows; ++j)\n      if (k[j] >= 0 && (std::size_t)k[j] + 1 > ks_{dn}) ks_{dn} = (std::size_t)k[j] + 1;\n  }}"
-        )
-        .unwrap();
-        // This unit implements only the dictionary-to-array layout, which
-        // is sound only for compact surrogate keys (§4.4): fail with a
-        // diagnostic rather than attempt a key-space-sized allocation on
-        // sparse domains.
-        writeln!(
-            w,
-            "  if (ks_{dn} > {limit} * (t_{dn}.rows + 1))\n    \
-             ifaq::die(\"dimension {rel}: key domain (\" + std::to_string(ks_{dn}) + \
-             \" slots over \" + std::to_string(t_{dn}.rows) + \" rows) is too sparse for \
-             the dense-array layout this unit implements; re-export with compact \
-             surrogate keys\");",
-            limit = crate::layout::ARRAY_DENSITY_LIMIT,
-            rel = dim.relation
-        )
-        .unwrap();
+        if dense[di] {
+            writeln!(
+                w,
+                "  std::size_t ks_{dn} = 0;\n  {{\n    const int64_t* k = t_{dn}.icol(\"{dim_key}\");\n    for (std::size_t j = 0; j < t_{dn}.rows; ++j)\n      if (k[j] >= 0 && (std::size_t)k[j] + 1 > ks_{dn}) ks_{dn} = (std::size_t)k[j] + 1;\n  }}"
+            )
+            .unwrap();
+            // The dense layout is sound only for compact surrogate keys
+            // (§4.4). The synthesis report's statistics said this domain
+            // is compact, but data-derived catalogs can under-report
+            // sparse domains (StarDb::catalog clamps the span to the row
+            // count) — so measure the real span and fail with a
+            // diagnostic rather than attempt a key-space-sized
+            // allocation the model never priced.
+            writeln!(
+                w,
+                "  if (ks_{dn} > {limit} * (t_{dn}.rows + 1))\n    \
+                 ifaq::die(\"dimension {rel}: key domain (\" + std::to_string(ks_{dn}) + \
+                 \" slots over \" + std::to_string(t_{dn}.rows) + \" rows) is too sparse for \
+                 the dense-array layout chosen for this unit; re-export with compact \
+                 surrogate keys\");",
+                limit = crate::layout::ARRAY_DENSITY_LIMIT,
+                rel = dim.relation
+            )
+            .unwrap();
+        }
         write!(
             w,
             "  const auto view_{dn} = build_view_{dn}(t_{dn}.icol(\"{dim_key}\")"
@@ -645,7 +710,11 @@ pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> C
         for a in dim_attrs(dim) {
             write!(w, ", t_{dn}.fcol(\"{a}\")").unwrap();
         }
-        writeln!(w, ", t_{dn}.rows, ks_{dn});").unwrap();
+        if dense[di] {
+            writeln!(w, ", t_{dn}.rows, ks_{dn});").unwrap();
+        } else {
+            writeln!(w, ", t_{dn}.rows);").unwrap();
+        }
     }
     writeln!(w, "  double out[{nterms}] = {{0}};").unwrap();
     if let Some(sig) = sigma {
@@ -747,12 +816,17 @@ pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> C
             for &di in &score_dims {
                 let dn = sanitize(plan.dims[di].relation.as_str());
                 writeln!(w, "      const auto k_{dn} = sk_{dn}[i];").unwrap();
-                writeln!(
-                    w,
-                    "      if (k_{dn} < 0 || (std::size_t)k_{dn} >= view_{dn}.size() || \
-                     !view_{dn}[k_{dn}].present) ok = false;"
-                )
-                .unwrap();
+                if dense[di] {
+                    writeln!(
+                        w,
+                        "      if (k_{dn} < 0 || (std::size_t)k_{dn} >= view_{dn}.size() || \
+                         !view_{dn}[k_{dn}].present) ok = false;"
+                    )
+                    .unwrap();
+                } else {
+                    writeln!(w, "      const auto it_{dn} = view_{dn}.find(k_{dn});").unwrap();
+                    writeln!(w, "      if (it_{dn} == view_{dn}.end()) ok = false;").unwrap();
+                }
             }
             writeln!(w, "      if (ok) {{").unwrap();
             for (i, src) in sources.iter().enumerate() {
@@ -762,8 +836,13 @@ pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> C
                     }
                     ScoreSource::Dim { dim, payload } => {
                         let dn = sanitize(plan.dims[*dim].relation.as_str());
-                        writeln!(w, "        sc += th[{i}] * view_{dn}[k_{dn}].p{payload};")
-                            .unwrap();
+                        if dense[*dim] {
+                            writeln!(w, "        sc += th[{i}] * view_{dn}[k_{dn}].p{payload};")
+                                .unwrap();
+                        } else {
+                            writeln!(w, "        sc += th[{i}] * it_{dn}->second.p{payload};")
+                                .unwrap();
+                        }
                     }
                 }
             }
@@ -828,7 +907,12 @@ pub fn emit_program(plan: &ViewPlan, batch: &AggBatch, workload: &Workload) -> C
 /// [`emit_program`] with a [`Workload::Linreg`] over the standard
 /// [`ifaq_query::batch::covar_batch`] of `features` × `label`, which must
 /// be the batch `plan` was planned from.
-pub fn emit_covar_program(plan: &ViewPlan, features: &[&str], label: &str) -> CppProgram {
+pub fn emit_covar_program(
+    plan: &ViewPlan,
+    features: &[&str],
+    label: &str,
+    catalog: &ifaq_ir::Catalog,
+) -> CppProgram {
     let batch = ifaq_query::batch::covar_batch(features, label);
     emit_program(
         plan,
@@ -839,6 +923,7 @@ pub fn emit_covar_program(plan: &ViewPlan, features: &[&str], label: &str) -> Cp
             alpha: 1e-9,
             iterations: 20,
         },
+        catalog,
     )
 }
 
@@ -883,7 +968,35 @@ mod tests {
         let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
         let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
         let plan = ViewPlan::plan(&covar_batch(&["city", "price"], "units"), &tree, &cat).unwrap();
-        emit_covar_program(&plan, &["city", "price"], "units")
+        emit_covar_program(&plan, &["city", "price"], "units", &cat)
+    }
+
+    /// A two-relation star whose dimension `D` spans `key_space` key
+    /// values over `entries` rows — the knobs of the dictionary-to-array
+    /// decision the emitter now follows.
+    fn density_program(entries: u64, key_space: u64) -> CppProgram {
+        use ifaq_ir::{Attribute, RelSchema, ScalarType};
+        let cat = ifaq_ir::Catalog::new()
+            .with_relation(RelSchema::new(
+                "F",
+                vec![
+                    Attribute::new("k", ScalarType::Int, key_space),
+                    Attribute::new("m", ScalarType::Real, 100),
+                ],
+                100,
+            ))
+            .with_relation(RelSchema::new(
+                "D",
+                vec![
+                    Attribute::new("k", ScalarType::Int, key_space),
+                    Attribute::new("v", ScalarType::Real, entries),
+                ],
+                entries,
+            ));
+        let tree = JoinTree::build_with_root(&cat, "F", &["D"]).unwrap();
+        let batch = ifaq_query::AggBatch::new().with(ifaq_query::AggSpec::new("m_v", &["v"]));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        emit_program(&plan, &batch, &Workload::Aggregates, &cat)
     }
 
     #[test]
@@ -933,7 +1046,7 @@ mod tests {
         let delta = vec![Predicate::new("price", PredOp::Le, 2.0)];
         let batch = variance_batch("units", &delta);
         let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
-        let p = emit_program(&plan, &batch, &Workload::Aggregates);
+        let p = emit_program(&plan, &batch, &Workload::Aggregates, &cat);
         assert!(!p.source.contains("theta"));
         assert!(p.source.contains("agg 0 sum_label_sq"));
         // The δ condition survives into the scan.
@@ -976,6 +1089,7 @@ mod tests {
                 alpha: 0.01,
                 iterations: 3,
             },
+            &cat,
         );
         assert!(p.source.contains("sigmoid_stable"));
         assert!(p.source.contains("sigma.data()"));
@@ -993,6 +1107,71 @@ mod tests {
         assert!(p
             .source
             .contains(&format!("ks_R > {} * (t_R.rows + 1)", ARRAY_DENSITY_LIMIT)));
+    }
+
+    #[test]
+    fn sparse_key_domains_emit_hash_views_without_a_guard() {
+        // Past the density boundary the synthesis report chooses the
+        // hash dictionary, and the emitter must follow it: an
+        // unordered_map view, no key-space measurement, no density
+        // guard (the hash layout accepts any key domain).
+        let p = density_program(10, 10 * ARRAY_DENSITY_LIMIT + 1);
+        assert!(
+            p.source.contains("std::unordered_map<int64_t, DPayload>"),
+            "{}",
+            p.source
+        );
+        assert!(p.source.contains("#include <unordered_map>"));
+        assert!(!p.source.contains("too sparse for"));
+        assert!(!p.source.contains("ks_D"));
+        assert!(p.source.contains("view_D.find(k_D)"));
+        // And the dense boundary case keeps the vector + guard.
+        let p = density_program(10, 10 * ARRAY_DENSITY_LIMIT);
+        assert!(p.source.contains("std::vector<DPayload>"), "{}", p.source);
+        assert!(!p.source.contains("unordered_map"));
+        assert!(p.source.contains("ks_D"));
+    }
+
+    #[test]
+    fn emitter_layout_choice_matches_synthesize() {
+        // Acceptance gate: for every bundled-style catalog the emitted
+        // per-view container agrees with `layout::synthesize`'s report —
+        // one cost decision shared by both backends.
+        for (entries, key_space) in [
+            (10, 10),
+            (10, 10 * ARRAY_DENSITY_LIMIT),
+            (10, 10 * ARRAY_DENSITY_LIMIT + 1),
+            (1000, 50_000),
+        ] {
+            use ifaq_ir::{Attribute, RelSchema, ScalarType};
+            let cat = ifaq_ir::Catalog::new()
+                .with_relation(RelSchema::new(
+                    "F",
+                    vec![
+                        Attribute::new("k", ScalarType::Int, key_space),
+                        Attribute::new("m", ScalarType::Real, 100),
+                    ],
+                    100,
+                ))
+                .with_relation(RelSchema::new(
+                    "D",
+                    vec![
+                        Attribute::new("k", ScalarType::Int, key_space),
+                        Attribute::new("v", ScalarType::Real, entries),
+                    ],
+                    entries,
+                ));
+            let tree = ifaq_query::JoinTree::build_with_root(&cat, "F", &["D"]).unwrap();
+            let batch = ifaq_query::AggBatch::new().with(ifaq_query::AggSpec::new("m_v", &["v"]));
+            let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+            let report = crate::layout::synthesize(&plan, &cat);
+            let p = emit_program(&plan, &batch, &Workload::Aggregates, &cat);
+            assert_eq!(
+                p.source.contains("std::vector<DPayload>"),
+                report.dense_view("D"),
+                "emitter and synthesize disagree at entries={entries} key_space={key_space}"
+            );
+        }
     }
 
     #[test]

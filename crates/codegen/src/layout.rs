@@ -11,17 +11,29 @@
 //!   become their field.
 //! * **Dictionary to array** — a view keyed by a compact integer domain
 //!   becomes a dense array when the key space is within
-//!   [`ARRAY_DENSITY_LIMIT`]× the entry count.
+//!   [`ARRAY_DENSITY_LIMIT`]× the entry count. The boundary is derived
+//!   from the resident-byte model in `ifaq_query::analysis::key_layout`
+//!   (a dense span costs no more than the hash dictionary's per-entry
+//!   overhead), not a free-standing heuristic.
 //! * **Sorted dictionary** — chosen when the fact table is (or will be)
 //!   sorted by the join keys.
+//!
+//! Beyond the per-structure decisions, [`synthesize`] consults the
+//! shared per-layout cost model (`ifaq_query::analysis::cost_table`) and
+//! records the execution [`Layout`] it ranks cheapest — the decision the
+//! C++ emitter and the native engine's callers follow.
 
 use ifaq_ir::Catalog;
+use ifaq_query::analysis::{self, Layout};
 use ifaq_query::ViewPlan;
 use std::fmt;
 
 /// How densely populated a key space must be for the dense-array layout:
-/// `max_key + 1 <= ARRAY_DENSITY_LIMIT * entries`.
-pub const ARRAY_DENSITY_LIMIT: u64 = 4;
+/// `max_key + 1 <= ARRAY_DENSITY_LIMIT * entries`. Equal by construction
+/// to the cost model's hash resident-byte overhead factor — the density
+/// boundary *is* the point where a dense span stops being cheaper than
+/// the hash dictionary's slack.
+pub const ARRAY_DENSITY_LIMIT: u64 = analysis::HASH_RESIDENT_OVERHEAD;
 
 /// One synthesis decision with its justification.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +57,9 @@ impl fmt::Display for LayoutDecision {
 pub struct LayoutReport {
     /// All decisions, in the order they were made.
     pub decisions: Vec<LayoutDecision>,
+    /// The execution layout the shared cost model ranks cheapest for
+    /// this plan (also recorded as an "execution layout" decision).
+    pub chosen: Option<Layout>,
 }
 
 impl LayoutReport {
@@ -59,6 +74,15 @@ impl LayoutReport {
     /// True if any view was laid out as a dense array.
     pub fn uses_dense_arrays(&self) -> bool {
         !self.with_choice("dense array").is_empty()
+    }
+
+    /// Whether the key layout chosen for the view over `relation` is the
+    /// dense array (the emitter's per-dimension dispatch).
+    pub fn dense_view(&self, relation: &str) -> bool {
+        let prefix = format!("view {relation}[");
+        self.decisions
+            .iter()
+            .any(|d| d.subject.starts_with(&prefix) && d.choice == "dense array")
     }
 }
 
@@ -99,28 +123,34 @@ pub fn synthesize(plan: &ViewPlan, catalog: &Catalog) -> LayoutReport {
             });
         }
         // Key layout: dense array vs hash vs sorted. The view holds at
-        // most one entry per dimension row; the array is justified when
-        // the key-domain span stays within `ARRAY_DENSITY_LIMIT`× the
-        // entry count. The span estimate is the catalog's `distinct` for
-        // the key attribute — exact for hand-built statistics catalogs,
-        // but *clamped to the row count* by `StarDb::catalog` (which
-        // derives it from the key range), so data-derived catalogs can
-        // under-report sparse domains and land in the dense branch. The
-        // generated loader independently measures the real span at run
-        // time and dies with a diagnostic past the same limit, so a
-        // mis-estimate here cannot silently allocate a huge view.
+        // most one entry per dimension row; the cost model's resident-
+        // byte comparison (`analysis::key_layout`) justifies the array
+        // when the key-domain span costs no more than the hash
+        // dictionary's per-entry overhead — algebraically the old
+        // `key_space <= ARRAY_DENSITY_LIMIT × entries` rule. The span
+        // estimate is the catalog's `distinct` for the key attribute —
+        // exact for hand-built statistics catalogs, but *clamped to the
+        // row count* by `StarDb::catalog` (which derives it from the key
+        // range), so data-derived catalogs can under-report sparse
+        // domains and land in the dense branch. The generated loader
+        // independently measures the real span at run time and dies with
+        // a diagnostic past the same limit, so a mis-estimate here
+        // cannot silently allocate a huge view.
         let rel = catalog.relation(dim.relation.as_str());
         let stats = rel.and_then(|r| dim.key_attrs.first().and_then(|k| r.attr(k.as_str())));
         match (rel, stats) {
             (Some(rel), Some(attr)) if attr.distinct > 0 => {
                 let entries = rel.cardinality.max(1);
                 let key_space = attr.distinct;
-                if key_space <= entries.saturating_mul(ARRAY_DENSITY_LIMIT) {
+                let kl = analysis::key_layout(entries, key_space, dim.payloads.len());
+                if kl.dense {
                     report.decisions.push(LayoutDecision {
                         subject: subject.clone(),
                         choice: "dense array",
                         reason: format!(
-                            "compact integer key domain ({key_space} keys over {entries} rows)"
+                            "compact integer key domain ({key_space} keys over {entries} \
+                             rows; {} B dense <= {} B hash-resident)",
+                            kl.dense_bytes, kl.hash_bytes
                         ),
                     });
                 } else {
@@ -129,7 +159,9 @@ pub fn synthesize(plan: &ViewPlan, catalog: &Catalog) -> LayoutReport {
                         choice: "hash dictionary",
                         reason: format!(
                             "key domain too sparse ({key_space} keys over {entries} rows \
-                             exceeds the {ARRAY_DENSITY_LIMIT}x density limit)"
+                             exceeds the {ARRAY_DENSITY_LIMIT}x density limit: {} B dense \
+                             > {} B hash-resident)",
+                            kl.dense_bytes, kl.hash_bytes
                         ),
                     });
                 }
@@ -160,6 +192,26 @@ pub fn synthesize(plan: &ViewPlan, catalog: &Catalog) -> LayoutReport {
         choice: "sorted dictionary",
         reason: "sorting by join keys enables merge-pointer view lookups".into(),
     });
+    // Execution layout: rank all eight physical layouts through the
+    // shared cost model and record the winner. This replaces the single
+    // density heuristic as the top-level decision both backends follow.
+    let ranked = analysis::rank_layouts(catalog, plan);
+    let best = &ranked[0];
+    report.decisions.push(LayoutDecision {
+        subject: "execution layout".into(),
+        choice: best.layout.label(),
+        reason: format!(
+            "lowest modeled execute cost among {} layouts ({} units/exec, {} to prepare, \
+             {} B resident; runner-up `{}` at {} units/exec)",
+            ranked.len(),
+            best.execute,
+            best.prepare,
+            best.resident_bytes,
+            ranked[1].layout.label(),
+            ranked[1].execute,
+        ),
+    });
+    report.chosen = Some(best.layout);
     report
 }
 
@@ -307,5 +359,32 @@ mod tests {
         let text = report.to_string();
         assert_eq!(text.lines().count(), report.decisions.len());
         assert!(text.contains("view R[store]"));
+    }
+
+    #[test]
+    fn synthesis_records_the_cost_ranked_execution_layout() {
+        // The report's chosen layout must agree with the shared cost
+        // oracle — the property that keeps both backends on one decision.
+        let (plan, cat) = plan();
+        let report = synthesize(&plan, &cat);
+        let expected = ifaq_query::analysis::choose_layout(&cat, &plan);
+        assert_eq!(report.chosen, Some(expected));
+        let decision = report
+            .decisions
+            .iter()
+            .find(|d| d.subject == "execution layout")
+            .expect("execution-layout decision");
+        assert_eq!(decision.choice, expected.label());
+        assert!(decision.reason.contains("lowest modeled execute cost"));
+    }
+
+    #[test]
+    fn dense_view_reflects_the_key_decision() {
+        let (plan, cat) = density_plan(10, 10);
+        assert!(synthesize(&plan, &cat).dense_view("D"));
+        let (plan, cat) = density_plan(10, 10 * ARRAY_DENSITY_LIMIT + 1);
+        let report = synthesize(&plan, &cat);
+        assert!(!report.dense_view("D"));
+        assert!(!report.dense_view("nonexistent"));
     }
 }

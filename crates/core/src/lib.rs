@@ -20,12 +20,20 @@
 //!   │  join tree + view plan         (§4.3: pushdown, merge views,
 //!   │                                 multi-aggregate iteration)
 //!   ▼
-//! factorized execution / C++ emission (§4.4 data-layout synthesis)
+//! view plan  ── static plan analysis (ifaq_query::analysis: per-layout
+//!   │           cost/size model, batch CSE, lint diagnostics; error-
+//!   │           severity findings refuse to prepare)
+//!   ▼
+//! factorized execution / C++ emission (§4.4 data-layout synthesis,
+//!                                      driven by the same cost model)
 //! ```
 //!
 //! The [`Pipeline`] type drives all stages and records per-stage
 //! [`snapshots`](Compiled::stages); [`Compiled::execute`] runs the result
-//! directly over a star database without materializing the join.
+//! directly over a star database without materializing the join, and
+//! [`Compiled::analyze`] exposes the plan-analysis report
+//! (cost table, chosen layout, CSE summary, diagnostics) without running
+//! anything.
 //!
 //! ## Quick start
 //!

@@ -7,6 +7,7 @@ use ifaq_ir::types::TypeEnv;
 use ifaq_ir::vars::occurs_free;
 use ifaq_ir::verify::{Verifier, VerifyError, VerifyLevel};
 use ifaq_ir::{Catalog, Program, ScalarType, Sym, Type, TypeChecker, TypeError};
+use ifaq_query::analysis::{self, Analysis};
 use ifaq_query::extract::{extract_aggregates, Extraction};
 use ifaq_query::{AggBatch, JoinTree, ViewPlan};
 use ifaq_storage::Value;
@@ -69,6 +70,9 @@ pub enum PipelineError {
     JoinTree(String),
     /// Planning the aggregate batch failed.
     Plan(String),
+    /// The static plan analyzer found error-severity diagnostics (see
+    /// `ifaq_query::analysis`); the message carries every finding.
+    Analysis(String),
     /// Runtime evaluation failed.
     Eval(String),
 }
@@ -80,6 +84,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Verify(e) => write!(f, "{e}"),
             PipelineError::JoinTree(m) => write!(f, "join tree: {m}"),
             PipelineError::Plan(m) => write!(f, "plan: {m}"),
+            PipelineError::Analysis(m) => write!(f, "analysis: {m}"),
             PipelineError::Eval(m) => write!(f, "evaluation: {m}"),
         }
     }
@@ -428,21 +433,12 @@ impl Compiled {
         self.execute_prepared(db, &prepared, cfg)
     }
 
-    /// Plans the batch and builds the layout's θ-free state, once. Hoist
-    /// this out of any loop that runs the same compiled batch repeatedly
-    /// (training iterations, benchmark sweeps, per-δ tree nodes over an
-    /// unchanged plan).
-    pub fn prepare(
-        &self,
-        db: &StarDb,
-        layout_choice: Layout,
-    ) -> Result<PreparedBatch, PipelineError> {
+    /// Plans the compiled batch against a star database (the exact plan
+    /// [`Compiled::prepare`] builds state for), or `None` when the batch
+    /// is empty.
+    fn plan_for(&self, db: &StarDb) -> Result<Option<(Catalog, ViewPlan)>, PipelineError> {
         if self.batch.is_empty() {
-            return Ok(PreparedBatch {
-                layout: layout_choice,
-                batch: self.batch.clone(),
-                planned: None,
-            });
+            return Ok(None);
         }
         let catalog = db.catalog();
         let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
@@ -450,6 +446,46 @@ impl Compiled {
             .map_err(|e| PipelineError::JoinTree(e.to_string()))?;
         let plan = ViewPlan::plan(&self.batch, &tree, &catalog)
             .map_err(|e| PipelineError::Plan(e.to_string()))?;
+        Ok(Some((catalog, plan)))
+    }
+
+    /// Runs the static plan analyzer (`ifaq_query::analysis`) over the
+    /// compiled batch as planned for `db`: the per-layout cost table and
+    /// cost-driven layout choice, batch CSE, and all lint diagnostics.
+    /// Returns `None` when the batch is empty (nothing to analyze).
+    pub fn analyze(&self, db: &StarDb) -> Result<Option<Analysis>, PipelineError> {
+        Ok(self
+            .plan_for(db)?
+            .map(|(catalog, plan)| analysis::analyze(&catalog, &plan, &self.batch)))
+    }
+
+    /// Plans the batch and builds the layout's θ-free state, once. Hoist
+    /// this out of any loop that runs the same compiled batch repeatedly
+    /// (training iterations, benchmark sweeps, per-δ tree nodes over an
+    /// unchanged plan).
+    ///
+    /// The static analyzer runs first and error-severity diagnostics
+    /// fail the preparation ([`PipelineError::Analysis`]): a plan that
+    /// bakes a per-iteration column into a prepared view, or a batch
+    /// with shadowed result names, would execute and silently return
+    /// wrong or stale numbers.
+    pub fn prepare(
+        &self,
+        db: &StarDb,
+        layout_choice: Layout,
+    ) -> Result<PreparedBatch, PipelineError> {
+        let Some((catalog, plan)) = self.plan_for(db)? else {
+            return Ok(PreparedBatch {
+                layout: layout_choice,
+                batch: self.batch.clone(),
+                planned: None,
+            });
+        };
+        let report = analysis::analyze(&catalog, &plan, &self.batch);
+        if report.has_errors() {
+            let msgs: Vec<String> = report.errors().iter().map(|d| d.to_string()).collect();
+            return Err(PipelineError::Analysis(msgs.join("; ")));
+        }
         let prep = layout::prepare(layout_choice, &plan, db);
         Ok(PreparedBatch {
             layout: layout_choice,
@@ -620,6 +656,61 @@ mod tests {
                 "{l}"
             );
         }
+    }
+
+    #[test]
+    fn analyze_surfaces_the_cost_decision_without_findings() {
+        // The bundled linear-regression workload is clean: the analyzer
+        // reports the full cost table and a chosen layout, no errors.
+        let (db, compiled) = compile_lr(3);
+        let report = compiled.analyze(&db).unwrap().expect("nonempty batch");
+        assert_eq!(report.costs.len(), Layout::all().len());
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert_eq!(report.chosen, report.ranked()[0].layout);
+        assert_eq!(report.dedup.savings(), 0, "covar batch has no duplicates");
+        // And an empty batch has nothing to analyze.
+        let empty = Pipeline::new(db.catalog())
+            .compile(
+                &ifaq_ir::parser::parse_program("1 + 2").unwrap(),
+                &CompileOptions::for_star_db(&db),
+            )
+            .unwrap();
+        assert!(empty.analyze(&db).unwrap().is_none());
+    }
+
+    #[test]
+    fn prepare_rejects_theta_dependent_prepared_views() {
+        // A per-iteration (`__`-prefixed) column owned by a *dimension*
+        // would be baked into the prepared view at iteration 0; the
+        // analyzer proves it and `prepare` must refuse.
+        use ifaq_engine::star::Dim;
+        use ifaq_storage::{ColRelation, Column};
+        let fact = ColRelation::new(
+            "F",
+            vec![Sym::new("k"), Sym::new("m")],
+            vec![Column::I64(vec![0, 1, 1]), Column::F64(vec![1.0, 2.0, 3.0])],
+        );
+        let dim = ColRelation::new(
+            "D",
+            vec![Sym::new("k"), Sym::new("__sigma")],
+            vec![Column::I64(vec![0, 1]), Column::F64(vec![0.5, 0.25])],
+        );
+        let db = StarDb::new(fact, vec![Dim::new(dim, "k")]);
+        let program = ifaq_ir::parser::parse_program("sum(x in dom(Q)) Q(x) * x.__sigma").unwrap();
+        let opts = CompileOptions::for_star_db(&db);
+        let compiled = Pipeline::new(db.catalog())
+            .compile(&program, &opts)
+            .unwrap();
+        let err = compiled.prepare(&db, Layout::MergedHash).unwrap_err();
+        match &err {
+            PipelineError::Analysis(m) => {
+                assert!(m.contains("IFAQ-T001"), "unexpected findings: {m}")
+            }
+            other => panic!("expected analysis error, got {other}"),
+        }
+        // `analyze` reports the same finding without failing.
+        let report = compiled.analyze(&db).unwrap().expect("nonempty batch");
+        assert!(report.has_errors());
     }
 
     #[test]

@@ -6,82 +6,11 @@ use crate::par::ExecConfig;
 use crate::physical;
 use crate::star::StarDb;
 use ifaq_query::ViewPlan;
-use std::fmt;
 
-/// A physical execution layout for aggregate batches.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Layout {
-    /// Materialize the join, then aggregate (the conventional pipeline).
-    Materialized,
-    /// Per-aggregate pushed-down views, repeated scans (Fig. 7a start).
-    Pushdown,
-    /// Boxed records in ordered dictionaries (Fig. 7b "Scala" point).
-    BoxedRecords,
-    /// Boxed keys, unboxed payload vectors (Fig. 7b "Record Removal").
-    BoxedScalars,
-    /// Native hash views, fused multi-aggregate scan (Fig. 7a "Merged
-    /// Views + Multi Aggregate", Fig. 7b "C++ and Mem Mgt").
-    MergedHash,
-    /// Fact-trie grouping with per-group view lookups (Fig. 7a
-    /// "Dictionary to Trie").
-    Trie,
-    /// Dense key-indexed view arrays (Fig. 7b "Dictionary to Array").
-    Array,
-    /// Sorted fact + merge-pointer lookups (Fig. 7b "Sorted Trie").
-    SortedTrie,
-}
-
-impl Layout {
-    /// All layouts, in ladder order.
-    pub fn all() -> &'static [Layout] {
-        &[
-            Layout::Materialized,
-            Layout::Pushdown,
-            Layout::BoxedRecords,
-            Layout::BoxedScalars,
-            Layout::MergedHash,
-            Layout::Trie,
-            Layout::Array,
-            Layout::SortedTrie,
-        ]
-    }
-
-    /// The Figure 7a ladder.
-    pub fn fig7a() -> &'static [Layout] {
-        &[Layout::Pushdown, Layout::MergedHash, Layout::Trie]
-    }
-
-    /// The Figure 7b ladder.
-    pub fn fig7b() -> &'static [Layout] {
-        &[
-            Layout::BoxedRecords,
-            Layout::BoxedScalars,
-            Layout::MergedHash,
-            Layout::Array,
-            Layout::SortedTrie,
-        ]
-    }
-
-    /// Human-readable label matching the paper's legend.
-    pub fn label(self) -> &'static str {
-        match self {
-            Layout::Materialized => "materialize join + aggregate",
-            Layout::Pushdown => "pushed down aggregates",
-            Layout::BoxedRecords => "optimized aggregates, boxed (Scala-like)",
-            Layout::BoxedScalars => "record removal",
-            Layout::MergedHash => "merged views + multi-aggregate (native)",
-            Layout::Trie => "dictionary to trie",
-            Layout::Array => "dictionary to array",
-            Layout::SortedTrie => "sorted trie",
-        }
-    }
-}
-
-impl fmt::Display for Layout {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
+/// The [`Layout`] enum lives in `ifaq_query::analysis` (the shared cost
+/// oracle both this engine and `ifaq_codegen` consult) and is re-exported
+/// here so engine callers keep their `ifaq_engine::Layout` spelling.
+pub use ifaq_query::analysis::Layout;
 
 /// All θ-free state a layout needs, built exactly once by [`prepare`]
 /// (outside the measured region, like the paper's assumption that

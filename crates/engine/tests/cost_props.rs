@@ -1,0 +1,169 @@
+//! Property tests for the static estimators in `ifaq_ir::cost`, checked
+//! against the interpreter's reference semantics:
+//!
+//! - `estimate_size` is an exact-or-upper bound of the interpreted
+//!   collection size on literal-backed expressions (set/dict literals
+//!   dedup at runtime, and `if` estimates take the larger branch, so the
+//!   static count can only overshoot — never undershoot);
+//! - `estimate_cost` is monotone under `Sum` and `Let` wrapping;
+//! - deeply nested unknown-size loops saturate instead of wrapping.
+
+use ifaq_engine::interp::eval_expr;
+use ifaq_ir::cost::{estimate_cost, estimate_size, DEFAULT_COLLECTION_SIZE};
+use ifaq_ir::{Catalog, Expr};
+use ifaq_storage::Value;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Literal-backed collection shapes: everything `estimate_size` claims to
+/// know, buildable without a catalog or an environment.
+#[derive(Clone, Debug)]
+enum Coll {
+    /// `[| … |]` of integer literals (duplicates collapse at runtime).
+    Set(Vec<i64>),
+    /// `{| k -> v |}` of integer literals (duplicate keys collapse, and
+    /// the sparse-tensor semantics drop zero-valued entries — values are
+    /// generated nonzero so only key collisions shrink the dict).
+    Dict(Vec<(i64, i64)>),
+    /// `dom({| … |})`.
+    DomOf(Vec<(i64, i64)>),
+    /// `if <bool-literal> then A else B`.
+    If(bool, Box<Coll>, Box<Coll>),
+    /// `let __unused = 0 in A`.
+    Let(Box<Coll>),
+}
+
+impl Coll {
+    fn expr(&self) -> Expr {
+        match self {
+            Coll::Set(xs) => Expr::set_lit(xs.iter().map(|&x| Expr::int(x)).collect()),
+            Coll::Dict(kvs) => Expr::dict_lit(
+                kvs.iter()
+                    .map(|&(k, v)| (Expr::int(k), Expr::int(v)))
+                    .collect(),
+            ),
+            Coll::DomOf(kvs) => Expr::dom(Coll::Dict(kvs.clone()).expr()),
+            Coll::If(c, a, b) => Expr::if_(Expr::bool(*c), a.expr(), b.expr()),
+            Coll::Let(inner) => Expr::let_("__unused", Expr::int(0), inner.expr()),
+        }
+    }
+
+    /// True when the static estimate must be *exact*: every literal
+    /// element (or key) distinct, and no `if` (whose estimate takes the
+    /// larger branch regardless of the literal condition).
+    fn exact(&self) -> bool {
+        fn uniq<T: Ord + Clone>(xs: Vec<T>) -> bool {
+            let n = xs.len();
+            let mut s = xs;
+            s.sort();
+            s.dedup();
+            s.len() == n
+        }
+        match self {
+            Coll::Set(xs) => uniq(xs.clone()),
+            Coll::Dict(kvs) | Coll::DomOf(kvs) => {
+                uniq(kvs.iter().map(|&(k, _)| k).collect::<Vec<_>>())
+            }
+            Coll::If(..) => false,
+            Coll::Let(inner) => inner.exact(),
+        }
+    }
+}
+
+fn value_len(v: &Value) -> usize {
+    match v {
+        Value::Set(s) => s.len(),
+        Value::Dict(d) => d.len(),
+        other => panic!("not a collection value: {other:?}"),
+    }
+}
+
+fn arb_coll() -> impl Strategy<Value = Coll> {
+    let set = proptest::collection::vec(0i64..6, 0..5).prop_map(Coll::Set);
+    let dict = proptest::collection::vec((0i64..6, 1i64..100), 0..5).prop_map(Coll::Dict);
+    let dom = proptest::collection::vec((0i64..6, 1i64..100), 0..5).prop_map(Coll::DomOf);
+    prop_oneof![set, dict, dom].prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (proptest::bool::ANY, inner.clone(), inner.clone()).prop_map(|(c, a, b)| Coll::If(
+                c,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.prop_map(|i| Coll::Let(Box::new(i))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn estimate_size_bounds_the_interpreted_size(spec in arb_coll()) {
+        let cat = Catalog::new();
+        let e = spec.expr();
+        let est = estimate_size(&e, &cat);
+        prop_assert!(est.is_some(), "no estimate for literal-backed {:?}", spec);
+        let est = est.unwrap();
+        let v = eval_expr(&BTreeMap::new(), &e).expect("literal-backed expression evaluates");
+        let actual = value_len(&v) as u64;
+        prop_assert!(
+            est >= actual,
+            "estimate {} undershoots interpreted size {} for {:?}",
+            est, actual, spec
+        );
+        if spec.exact() {
+            prop_assert_eq!(est, actual, "dedup-free spec should estimate exactly: {:?}", spec);
+        }
+    }
+
+    #[test]
+    fn sum_wrapping_is_monotone(spec in arb_coll(), k in 1i64..5) {
+        let cat = Catalog::new();
+        let coll = spec.expr();
+        let body = Expr::mul(Expr::var("x"), Expr::int(k));
+        let wrapped = Expr::sum("x", coll.clone(), body.clone());
+        let cost = estimate_cost(&wrapped, &cat);
+        prop_assert!(
+            cost >= estimate_cost(&coll, &cat),
+            "sum cheaper than evaluating its own collection: {:?}", spec
+        );
+        let n = estimate_size(&coll, &cat).expect("literal-backed");
+        prop_assert!(cost >= n, "loop cost {} below element count {}", cost, n);
+        if n >= 1 {
+            prop_assert!(
+                cost >= estimate_cost(&body, &cat),
+                "non-empty sum cheaper than one body evaluation: {:?}", spec
+            );
+        }
+    }
+
+    #[test]
+    fn let_wrapping_never_reduces_cost(spec in arb_coll(), v in 0i64..100) {
+        let cat = Catalog::new();
+        let e = spec.expr();
+        let base = estimate_cost(&e, &cat);
+        let wrapped = Expr::let_("y", Expr::int(v), e);
+        prop_assert!(
+            estimate_cost(&wrapped, &cat) >= base,
+            "let-wrapping reduced cost for {:?}", spec
+        );
+    }
+
+    #[test]
+    fn nested_unknown_sums_saturate(depth in 1usize..12) {
+        // Each level multiplies by DEFAULT_COLLECTION_SIZE (the unknown-
+        // collection fallback); by depth 4 the product exceeds u64, so
+        // this is the saturating-arithmetic path: cost must stay monotone
+        // in depth and never wrap around.
+        let cat = Catalog::new();
+        let mut e = Expr::int(1);
+        let mut prev = 0u64;
+        for level in 0..depth {
+            e = Expr::sum("x", Expr::var(format!("mystery{level}")), e);
+            let cost = estimate_cost(&e, &cat);
+            prop_assert!(cost >= prev, "cost wrapped at nesting depth {}", level + 1);
+            prop_assert!(cost >= DEFAULT_COLLECTION_SIZE);
+            prev = cost;
+        }
+    }
+}

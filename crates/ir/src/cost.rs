@@ -46,7 +46,7 @@ pub fn estimate_cost(e: &Expr, catalog: &Catalog) -> u64 {
         } => {
             let n = estimate_size(coll, catalog).unwrap_or(DEFAULT_COLLECTION_SIZE);
             let inner = estimate_cost(body, catalog).max(1);
-            estimate_cost(coll, catalog) + n.saturating_mul(inner)
+            estimate_cost(coll, catalog).saturating_add(n.saturating_mul(inner))
         }
         Expr::Let { val, body, .. } => {
             estimate_cost(val, catalog).saturating_add(estimate_cost(body, catalog))
@@ -62,6 +62,26 @@ pub fn estimate_cost(e: &Expr, catalog: &Catalog) -> u64 {
 /// that scheduling prefers moving unknown (likely data-dependent) loops
 /// inward only when the other loop is *known* small.
 pub const DEFAULT_COLLECTION_SIZE: u64 = 1 << 20;
+
+/// Estimates the node count of a trie grouping `rows` tuples by the
+/// given per-level key attributes, from each level's distinct estimate:
+/// level `k` holds at most `Π_{j≤k} distinct_j` nodes (every key-prefix
+/// combination), and never more than `rows` (each tuple contributes one
+/// path). The total is the sum over levels — the resident-size input of
+/// the trie-family layouts in the §4.4 cost model.
+///
+/// Saturating throughout; zero distinct estimates are treated as 1 (a
+/// level always exists once any row does).
+pub fn trie_node_estimate(rows: u64, level_distincts: &[u64]) -> u64 {
+    let cap = rows.max(1);
+    let mut prefix = 1u64;
+    let mut nodes = 0u64;
+    for &d in level_distincts {
+        prefix = prefix.saturating_mul(d.max(1)).min(cap);
+        nodes = nodes.saturating_add(prefix);
+    }
+    nodes
+}
 
 #[cfg(test)]
 mod tests {
@@ -134,5 +154,20 @@ mod tests {
         let c = Catalog::new();
         let e = parse_expr("sum(x in mystery) 1").unwrap();
         assert!(estimate_cost(&e, &c) >= DEFAULT_COLLECTION_SIZE);
+    }
+
+    #[test]
+    fn trie_nodes_cap_levels_at_the_row_count() {
+        // 3 levels of 10 distinct keys over plentiful rows: 10 + 100 +
+        // 1000 nodes.
+        assert_eq!(trie_node_estimate(1_000_000, &[10, 10, 10]), 1110);
+        // Rows bound every level: 10 + 50 + 50.
+        assert_eq!(trie_node_estimate(50, &[10, 10, 10]), 110);
+        // Degenerate inputs: no levels ⇒ no nodes; zero distincts act as 1.
+        assert_eq!(trie_node_estimate(100, &[]), 0);
+        assert_eq!(trie_node_estimate(100, &[0, 0]), 2);
+        // Saturation: enormous levels never wrap.
+        let huge = trie_node_estimate(u64::MAX, &[u64::MAX, u64::MAX]);
+        assert!(huge >= u64::MAX - 1);
     }
 }

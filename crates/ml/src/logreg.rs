@@ -34,7 +34,8 @@ use ifaq_engine::stable_sigmoid;
 use ifaq_engine::star::{StarDb, TrainMatrix};
 use ifaq_engine::{layout, ExecConfig, Layout};
 use ifaq_ir::Sym;
-use ifaq_query::batch::logistic_gradient_batch;
+use ifaq_query::analysis;
+use ifaq_query::batch::{covar_batch, logistic_gradient_batch, AggBatch, AggSpec};
 use ifaq_query::{JoinTree, ViewPlan};
 use ifaq_storage::{ColRelation, Column};
 use std::ops::Range;
@@ -504,6 +505,23 @@ pub fn fit_factorized_cfg(
     FactorizedTrainer::new(db, features, label, layout_choice, cfg).fit(learning_rate, iterations)
 }
 
+/// The cross-batch CSE fact the trainer's hoisting rests on: for each
+/// invariant gradient-side aggregate — `Σ y`, then `Σ y·f` per feature —
+/// the index of the canonically equal aggregate already computed by
+/// [`covar_batch`]`(features, label)`. The covar pass computes the whole
+/// `Σ y·x` side (as the `m_{label}` and `m_{f}_{label}` moments), so
+/// every entry is `Some` and [`FactorizedTrainer`] reads the side from
+/// [`Moments::xty`] instead of re-executing it each iteration —
+/// eliminated via [`ifaq_query::analysis::cross_batch_overlap`], not by
+/// naming convention.
+pub fn invariant_overlap(features: &[&str], label: &str) -> Vec<Option<usize>> {
+    let mut needed = AggBatch::new().with(AggSpec::new("y", &[label]));
+    for f in features {
+        needed = needed.with(AggSpec::new(format!("y_{f}"), &[label, f]));
+    }
+    analysis::cross_batch_overlap(&needed, &covar_batch(features, label))
+}
+
 /// The factorized logistic trainer with its θ-free state hoisted:
 /// [`FactorizedTrainer::new`] runs the one-time covar pass and builds —
 /// exactly once per training run — the gradient-batch view plan, the
@@ -544,6 +562,14 @@ impl FactorizedTrainer {
         layout_choice: Layout,
         cfg: &ExecConfig,
     ) -> FactorizedTrainer {
+        // Prove the cross-batch CSE before leaning on it: every
+        // invariant aggregate must be covered by the covar pass.
+        assert!(
+            invariant_overlap(features, label)
+                .iter()
+                .all(Option::is_some),
+            "covar batch does not cover the invariant `Σ y·x` gradient side"
+        );
         let moments = moments_factorized_cfg(db, features, label, layout_choice, cfg);
         FactorizedTrainer::with_moments(db, features, layout_choice, cfg, &moments)
     }
@@ -1020,6 +1046,118 @@ mod tests {
         let back = stdz.to_standardized(b, &w);
         for (a, t) in back.iter().zip(&theta) {
             assert!((a - t).abs() < 1e-12, "{a} vs {t}");
+        }
+    }
+
+    #[test]
+    fn invariant_side_overlaps_the_covar_batch() {
+        // Positive: `Σ y` and every `Σ y·f` land on a covar moment.
+        let features = ["city", "price"];
+        let covar = covar_batch(&features, "hot");
+        let overlap = invariant_overlap(&features, "hot");
+        assert_eq!(overlap.len(), 3);
+        let names: Vec<&str> = overlap
+            .iter()
+            .map(|i| covar.aggs[i.expect("covered")].name.as_str())
+            .collect();
+        assert_eq!(names, ["m_hot", "m_city_hot", "m_price_hot"]);
+        // Negative: an aggregate over a column the covar pass never saw
+        // has no home, and cross_batch_overlap says so instead of
+        // silently mapping it somewhere.
+        let needed = AggBatch::new().with(AggSpec::new("y_units", &["hot", "units"]));
+        let missed = analysis::cross_batch_overlap(&needed, &covar);
+        assert_eq!(missed, vec![None]);
+    }
+
+    /// The pre-CSE pipeline: the same descent as [`FactorizedTrainer`],
+    /// but the invariant `Σ y·x` side is appended to the per-iteration
+    /// gradient batch and re-executed every iteration instead of being
+    /// hoisted out of the loop via the covar-batch overlap.
+    fn fit_pre_cse(
+        db: &StarDb,
+        features: &[&str],
+        label: &str,
+        layout_choice: Layout,
+        learning_rate: f64,
+        iterations: usize,
+        cfg: &ExecConfig,
+    ) -> LogisticModel {
+        let moments = moments_factorized_cfg(db, features, label, layout_choice, cfg);
+        let stdz = Standardizer::from_moments(&moments);
+        let n = moments.count.max(1.0);
+        let d = features.len() + 1;
+        let mut aug = with_sigma_column(db);
+        let cat = aug.catalog();
+        let dim_names: Vec<&str> = aug.dims.iter().map(|dm| dm.rel.name.as_str()).collect();
+        let tree =
+            JoinTree::build_with_root(&cat, aug.fact.name.as_str(), &dim_names).expect("join tree");
+        let mut batch =
+            logistic_gradient_batch(features, SIGMA_COL).with(AggSpec::new("y", &[label]));
+        for f in features {
+            batch = batch.with(AggSpec::new(format!("y_{f}"), &[label, f]));
+        }
+        let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
+        let prep = layout::prepare(layout_choice, &plan, &aug);
+        let g0 = batch.index_of("g_sigma").unwrap();
+        let gi: Vec<usize> = features
+            .iter()
+            .map(|f| batch.index_of(&format!("g_sigma_{f}")).unwrap())
+            .collect();
+        let y0 = batch.index_of("y").unwrap();
+        let yi: Vec<usize> = features
+            .iter()
+            .map(|f| batch.index_of(&format!("y_{f}")).unwrap())
+            .collect();
+        let score_prep = prepare_scores(&aug, features);
+        let mut theta = vec![0.0; d];
+        for _ in 0..iterations {
+            let (bias, w) = stdz.to_raw(&theta);
+            let scores = fact_scores_prepared(&aug, features, &w, bias, &score_prep, cfg);
+            let sigma_col = aug.fact.columns.last_mut().expect("sigma column");
+            *sigma_col = Column::F64(scores.into_iter().map(stable_sigmoid).collect());
+            let g = layout::execute_with(layout_choice, &plan, &aug, &prep, cfg);
+            let s0 = g[g0];
+            let b0 = g[y0];
+            theta[0] -= learning_rate / n * (s0 - b0);
+            for j in 1..d {
+                let aj = (g[gi[j - 1]] - stdz.mean[j] * s0) / stdz.std[j];
+                let bj = (g[yi[j - 1]] - stdz.mean[j] * b0) / stdz.std[j];
+                theta[j] -= learning_rate / n * (aj - bj);
+            }
+        }
+        let (intercept, weights) = stdz.to_raw(&theta);
+        LogisticModel {
+            features: features.iter().map(|s| s.to_string()).collect(),
+            intercept,
+            weights,
+        }
+    }
+
+    #[test]
+    fn overlap_elimination_matches_per_iteration_recomputation() {
+        // The CSE gate: the production trainer (invariant side hoisted
+        // from the covar pass through the cross-batch overlap) against
+        // the pre-CSE pipeline that re-executes `Σ y` and `Σ y·f` inside
+        // every iteration's batch. Same descent, so the models must
+        // agree within 1e-6.
+        let db = binary_star();
+        let features = ["city", "price"];
+        let cfg = ExecConfig::serial();
+        for &layout_choice in Layout::all() {
+            let post = fit_factorized_cfg(&db, &features, "hot", layout_choice, 0.5, 120, &cfg);
+            let pre = fit_pre_cse(&db, &features, "hot", layout_choice, 0.5, 120, &cfg);
+            assert!(
+                (post.intercept - pre.intercept).abs() <= 1e-6 * pre.intercept.abs().max(1.0),
+                "{layout_choice}: intercept {} vs {}",
+                post.intercept,
+                pre.intercept
+            );
+            for (a, b) in post.weights.iter().zip(&pre.weights) {
+                assert!(
+                    (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+                    "{layout_choice}: weight {a} vs {b}"
+                );
+            }
         }
     }
 

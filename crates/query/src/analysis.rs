@@ -1,0 +1,1150 @@
+//! Static plan analysis: per-layout cost/memory modeling, batch
+//! canonicalization + CSE, and lint diagnostics (§4.3–§4.4).
+//!
+//! The paper's claim is that *data-layout decisions are a compiler
+//! problem*: dense arrays vs hash dictionaries vs tries should fall out
+//! of static knowledge of the schema and the workload. This module is
+//! that static knowledge, organized as three cooperating passes over a
+//! `(Catalog, ViewPlan, AggBatch, Layout)` tuple:
+//!
+//! 1. **Cost/memory model** — [`cost_table`] estimates, for each of the
+//!    eight physical [`Layout`]s, the one-time prepare cost, the
+//!    per-execute cost, and the resident bytes of prepared state, from
+//!    catalog statistics (cardinalities, key-domain extents, per-level
+//!    distinct counts for trie node estimates). [`choose_layout`] ranks
+//!    the table; the same model's [`key_layout`] drives the per-view
+//!    dense-array vs hash decision in `ifaq_codegen::layout::synthesize`
+//!    and the C++ emitter.
+//! 2. **Canonicalizer + CSE** — [`canonicalize`] normalizes an
+//!    [`AggSpec`] to its factor multiset and filter conjunction;
+//!    [`dedup_batch`] drops canonically duplicate aggregates and returns
+//!    an index remap so callers observe the original batch width;
+//!    [`cross_batch_overlap`] finds aggregates one batch already computes
+//!    for another (e.g. the logistic workload's `Σ y·fi` terms inside
+//!    the covar pass).
+//! 3. **Lints** — [`analyze`] emits structured [`Diagnostic`]s for
+//!    statically detectable anti-patterns; see the `DIAG_*` code
+//!    constants for the catalogue.
+//!
+//! The [`Layout`] enum itself lives here (rather than in `ifaq_engine`,
+//! which re-exports it) so both backends — the native engine and
+//! `ifaq_codegen` — can share one cost oracle without a dependency
+//! cycle.
+
+use crate::batch::{AggBatch, AggSpec, PredOp, Predicate};
+use crate::plan::ViewPlan;
+use ifaq_ir::analysis::{is_iteration_column, DeltaAnalysis, Maintenance};
+use ifaq_ir::cost::trie_node_estimate;
+use ifaq_ir::{Catalog, Sym};
+use std::fmt;
+
+/// A physical execution layout for aggregate batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Materialize the join, then aggregate (the conventional pipeline).
+    Materialized,
+    /// Per-aggregate pushed-down views, repeated scans (Fig. 7a start).
+    Pushdown,
+    /// Boxed records in ordered dictionaries (Fig. 7b "Scala" point).
+    BoxedRecords,
+    /// Boxed keys, unboxed payload vectors (Fig. 7b "Record Removal").
+    BoxedScalars,
+    /// Native hash views, fused multi-aggregate scan (Fig. 7a "Merged
+    /// Views + Multi Aggregate", Fig. 7b "C++ and Mem Mgt").
+    MergedHash,
+    /// Fact-trie grouping with per-group view lookups (Fig. 7a
+    /// "Dictionary to Trie").
+    Trie,
+    /// Dense key-indexed view arrays (Fig. 7b "Dictionary to Array").
+    Array,
+    /// Sorted fact + merge-pointer lookups (Fig. 7b "Sorted Trie").
+    SortedTrie,
+}
+
+impl Layout {
+    /// All layouts, in ladder order.
+    pub fn all() -> &'static [Layout] {
+        &[
+            Layout::Materialized,
+            Layout::Pushdown,
+            Layout::BoxedRecords,
+            Layout::BoxedScalars,
+            Layout::MergedHash,
+            Layout::Trie,
+            Layout::Array,
+            Layout::SortedTrie,
+        ]
+    }
+
+    /// The Figure 7a ladder.
+    pub fn fig7a() -> &'static [Layout] {
+        &[Layout::Pushdown, Layout::MergedHash, Layout::Trie]
+    }
+
+    /// The Figure 7b ladder.
+    pub fn fig7b() -> &'static [Layout] {
+        &[
+            Layout::BoxedRecords,
+            Layout::BoxedScalars,
+            Layout::MergedHash,
+            Layout::Array,
+            Layout::SortedTrie,
+        ]
+    }
+
+    /// Human-readable label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layout::Materialized => "materialize join + aggregate",
+            Layout::Pushdown => "pushed down aggregates",
+            Layout::BoxedRecords => "optimized aggregates, boxed (Scala-like)",
+            Layout::BoxedScalars => "record removal",
+            Layout::MergedHash => "merged views + multi-aggregate (native)",
+            Layout::Trie => "dictionary to trie",
+            Layout::Array => "dictionary to array",
+            Layout::SortedTrie => "sorted trie",
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: cost/memory model
+// ---------------------------------------------------------------------------
+
+/// Abstract cost of one hash probe, in sequential-word-access units.
+pub const COST_HASH_LOOKUP: u64 = 6;
+/// Abstract cost of one dense-array index.
+pub const COST_ARRAY_LOOKUP: u64 = 1;
+/// Multiplier for operating on boxed values (allocation, pointer chase).
+pub const COST_BOX_PENALTY: u64 = 4;
+/// Per-attribute penalty of assembling materialized rows (value gather,
+/// cache-hostile wide-row traversal).
+pub const COST_MAT_GATHER: u64 = 4;
+/// Resident-byte multiplier for hash dictionaries over their flat payload
+/// (buckets, per-entry metadata, capacity slack). Doubles as the density
+/// bound of the dense-array decision: a dense array is chosen when its
+/// span costs no more than this factor over the hash entries, i.e. when
+/// `key_space <= HASH_RESIDENT_OVERHEAD * entries`.
+pub const HASH_RESIDENT_OVERHEAD: u64 = 4;
+/// Approximate bytes per trie node (key, child pointer, payload slot).
+pub const TRIE_NODE_BYTES: u64 = 24;
+/// Accumulation discount of group-ordered scans (trie / sorted trie):
+/// within a group run the dimension-side factors are loop-invariant, so
+/// the per-row multiply-add work roughly halves — calibrated against the
+/// measured Figure 7 ladder (see the `explain` bench's Spearman gate).
+pub const GROUP_RUN_DISCOUNT: u64 = 2;
+
+fn log2_ceil(n: u64) -> u64 {
+    64 - n.max(2).saturating_sub(1).leading_zeros() as u64
+}
+
+/// The dense-array vs hash-dictionary decision for one keyed view, as
+/// resident-byte estimates. Both sides count `(payload_width + 1)`
+/// 8-byte words per slot (payload fields plus key/presence), so the
+/// boundary reduces to `key_space <= HASH_RESIDENT_OVERHEAD * entries`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyLayout {
+    /// True when the dense array is the cheaper resident choice.
+    pub dense: bool,
+    /// Bytes of a dense array spanning the whole key domain.
+    pub dense_bytes: u64,
+    /// Bytes of a hash dictionary holding only the live entries.
+    pub hash_bytes: u64,
+}
+
+/// Decides dense array vs hash dictionary for a view with `entries` live
+/// keys spanning a `key_space`-wide domain and `payload_width` payload
+/// fields.
+pub fn key_layout(entries: u64, key_space: u64, payload_width: usize) -> KeyLayout {
+    let per_slot = (payload_width as u64 + 1).saturating_mul(8);
+    let dense_bytes = key_space.saturating_mul(per_slot);
+    let hash_bytes = entries
+        .max(1)
+        .saturating_mul(per_slot)
+        .saturating_mul(HASH_RESIDENT_OVERHEAD);
+    KeyLayout {
+        dense: dense_bytes <= hash_bytes,
+        dense_bytes,
+        hash_bytes,
+    }
+}
+
+/// Statistics of one dimension view, pulled from the catalog.
+#[derive(Clone, Debug)]
+pub struct DimStats {
+    /// Dimension relation name.
+    pub relation: Sym,
+    /// Dimension cardinality (view entries; at most one per row).
+    pub entries: u64,
+    /// Key-domain extent (distinct estimate of the first key attribute),
+    /// when the catalog knows it.
+    pub key_space: Option<u64>,
+    /// Merged-view payload width.
+    pub payload_width: usize,
+}
+
+/// Plan-level statistics feeding the per-layout cost model.
+#[derive(Clone, Debug)]
+pub struct PlanStats {
+    /// Fact-table cardinality (the scan length).
+    pub fact_rows: u64,
+    /// Total attribute count across all plan relations (materialized row
+    /// width).
+    pub total_attrs: u64,
+    /// Per-dimension view statistics.
+    pub dims: Vec<DimStats>,
+    /// Per-row accumulation work of the fused scan: one add plus the
+    /// fact-side factors and filters of every term.
+    pub term_work: u64,
+    /// Estimated distinct join-key groups of the fact table (trie width).
+    pub groups: u64,
+}
+
+/// Derives [`PlanStats`] for a plan from catalog statistics. Unknown
+/// cardinalities fall back to [`ifaq_ir::cost::DEFAULT_COLLECTION_SIZE`],
+/// matching the expression-level estimator's pessimism.
+pub fn plan_stats(catalog: &Catalog, plan: &ViewPlan) -> PlanStats {
+    let fact_rows = catalog
+        .relation(plan.tree.root.relation.as_str())
+        .map(|r| r.cardinality)
+        .unwrap_or(ifaq_ir::cost::DEFAULT_COLLECTION_SIZE)
+        .max(1);
+    let mut total_attrs = catalog
+        .relation(plan.tree.root.relation.as_str())
+        .map(|r| r.attr_names().len() as u64)
+        .unwrap_or(4);
+    let mut dims = Vec::with_capacity(plan.dims.len());
+    let mut level_spans = Vec::with_capacity(plan.dims.len());
+    for dim in &plan.dims {
+        let rel = catalog.relation(dim.relation.as_str());
+        let entries = rel.map(|r| r.cardinality).unwrap_or(fact_rows).max(1);
+        let key_space = rel
+            .and_then(|r| dim.key_attrs.first().and_then(|k| r.attr(k.as_str())))
+            .map(|a| a.distinct)
+            .filter(|&d| d > 0);
+        total_attrs += rel.map(|r| r.attr_names().len() as u64).unwrap_or(2);
+        level_spans.push(key_space.unwrap_or(entries));
+        dims.push(DimStats {
+            relation: dim.relation.clone(),
+            entries,
+            key_space,
+            payload_width: dim.payloads.len(),
+        });
+    }
+    let term_work: u64 = plan
+        .terms
+        .iter()
+        .map(|t| 1 + t.fact_factors.len() as u64 + t.fact_filter.len() as u64)
+        .sum();
+    let groups = level_spans
+        .iter()
+        .fold(1u64, |acc, &s| acc.saturating_mul(s.max(1)))
+        .min(fact_rows);
+    PlanStats {
+        fact_rows,
+        total_attrs,
+        dims,
+        term_work,
+        groups,
+    }
+}
+
+/// Modeled cost of running one plan under one layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayoutCost {
+    /// The layout being modeled.
+    pub layout: Layout,
+    /// One-time preparation cost (view builds, index/trie/sort
+    /// construction), in abstract word-access units.
+    pub prepare: u64,
+    /// Per-execution cost of the θ-dependent scan, in the same units.
+    pub execute: u64,
+    /// Bytes of resident prepared state.
+    pub resident_bytes: u64,
+}
+
+/// Models all eight layouts for a plan, in ladder order.
+pub fn cost_table(catalog: &Catalog, plan: &ViewPlan) -> Vec<LayoutCost> {
+    let s = plan_stats(catalog, plan);
+    Layout::all()
+        .iter()
+        .map(|&l| layout_cost(l, &s, plan))
+        .collect()
+}
+
+fn view_bytes_hash(s: &PlanStats) -> u64 {
+    s.dims
+        .iter()
+        .map(|d| key_layout(d.entries, 0, d.payload_width).hash_bytes)
+        .fold(0u64, u64::saturating_add)
+}
+
+fn view_bytes_dense(s: &PlanStats) -> u64 {
+    s.dims
+        .iter()
+        .map(|d| {
+            let span = d.key_space.unwrap_or(d.entries);
+            key_layout(d.entries, span, d.payload_width).dense_bytes
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
+fn view_build_cost(s: &PlanStats, per_entry: u64) -> u64 {
+    s.dims
+        .iter()
+        .map(|d| d.entries.saturating_mul(per_entry))
+        .fold(0u64, u64::saturating_add)
+}
+
+fn layout_cost(layout: Layout, s: &PlanStats, plan: &ViewPlan) -> LayoutCost {
+    let f = s.fact_rows;
+    let d = s.dims.len() as u64;
+    let t = plan.terms.len() as u64;
+    let accum = f.saturating_mul(s.term_work);
+    let trie_levels: Vec<u64> = s
+        .dims
+        .iter()
+        .map(|dim| dim.key_space.unwrap_or(dim.entries))
+        .collect();
+    let trie_nodes = trie_node_estimate(f, &trie_levels);
+    let (prepare, execute, resident_bytes) = match layout {
+        Layout::Materialized => (
+            // Join resolution (one hash probe per row and dim) plus
+            // assembling the wide rows — the gather penalty is paid
+            // here, once, when the join materializes.
+            f.saturating_mul(d)
+                .saturating_mul(COST_HASH_LOOKUP)
+                .saturating_add(
+                    f.saturating_mul(s.total_attrs)
+                        .saturating_mul(COST_MAT_GATHER),
+                ),
+            // Execution is then a sequential scan of the wide rows.
+            f.saturating_mul(s.total_attrs).saturating_add(accum),
+            f.saturating_mul(s.total_attrs).saturating_mul(8),
+        ),
+        Layout::Pushdown => (
+            // One single-payload view per (aggregate, dimension).
+            view_build_cost(s, COST_HASH_LOOKUP).saturating_mul(t.max(1)),
+            // One full fact scan per aggregate, probing every dim view.
+            t.max(1)
+                .saturating_mul(f)
+                .saturating_mul(d.saturating_mul(COST_HASH_LOOKUP).saturating_add(2)),
+            view_bytes_hash(s).saturating_mul(t.max(1)),
+        ),
+        Layout::BoxedRecords => {
+            let probe = s
+                .dims
+                .iter()
+                .map(|dim| log2_ceil(dim.entries).saturating_mul(2).saturating_add(8))
+                .fold(0u64, u64::saturating_add);
+            (
+                view_build_cost(s, 8).saturating_mul(COST_BOX_PENALTY),
+                f.saturating_mul(probe)
+                    .saturating_add(accum.saturating_mul(COST_BOX_PENALTY)),
+                view_bytes_hash(s).saturating_mul(3),
+            )
+        }
+        Layout::BoxedScalars => {
+            let probe = s
+                .dims
+                .iter()
+                .map(|dim| log2_ceil(dim.entries).saturating_mul(2).saturating_add(8))
+                .fold(0u64, u64::saturating_add);
+            (
+                view_build_cost(s, 8).saturating_mul(2),
+                f.saturating_mul(probe).saturating_add(accum),
+                view_bytes_hash(s).saturating_mul(2),
+            )
+        }
+        Layout::MergedHash => (
+            view_build_cost(s, COST_HASH_LOOKUP),
+            f.saturating_mul(d)
+                .saturating_mul(COST_HASH_LOOKUP)
+                .saturating_add(accum),
+            view_bytes_hash(s),
+        ),
+        Layout::Trie => (
+            // Fact trie (group per distinct key combination) + views.
+            f.saturating_mul(d)
+                .saturating_mul(COST_HASH_LOOKUP)
+                .saturating_add(view_build_cost(s, COST_HASH_LOOKUP)),
+            // Traverse groups; view probes amortize over each group, and
+            // the group-run locality discounts the per-row accumulation.
+            f.saturating_mul(2)
+                .saturating_add(s.groups.saturating_mul(d).saturating_mul(COST_HASH_LOOKUP))
+                .saturating_add(accum / GROUP_RUN_DISCOUNT),
+            trie_nodes
+                .saturating_mul(TRIE_NODE_BYTES)
+                .saturating_add(view_bytes_hash(s)),
+        ),
+        Layout::Array => (
+            // Dense views: allocate + init the span, then fill.
+            view_bytes_dense(s)
+                .saturating_div(8)
+                .saturating_add(view_build_cost(s, COST_ARRAY_LOOKUP)),
+            f.saturating_mul(d)
+                .saturating_mul(COST_ARRAY_LOOKUP)
+                .saturating_add(accum),
+            view_bytes_dense(s),
+        ),
+        Layout::SortedTrie => (
+            // Sort the fact by join keys + build views.
+            f.saturating_mul(log2_ceil(f))
+                .saturating_add(view_build_cost(s, COST_HASH_LOOKUP)),
+            // Merge-pointer lookups: sequential, amortized per group,
+            // with the same group-run accumulation discount as the trie.
+            f.saturating_add(s.groups.saturating_mul(d))
+                .saturating_add(accum / GROUP_RUN_DISCOUNT),
+            f.saturating_mul(8).saturating_add(view_bytes_hash(s)),
+        ),
+    };
+    LayoutCost {
+        layout,
+        prepare,
+        execute,
+        resident_bytes,
+    }
+}
+
+/// The cost table sorted best-first: by per-execute cost, then prepare
+/// cost, then resident bytes, then ladder order (stable sort).
+pub fn rank_layouts(catalog: &Catalog, plan: &ViewPlan) -> Vec<LayoutCost> {
+    let mut table = cost_table(catalog, plan);
+    table.sort_by_key(|c| (c.execute, c.prepare, c.resident_bytes));
+    table
+}
+
+/// The layout the cost model ranks cheapest per execution.
+pub fn choose_layout(catalog: &Catalog, plan: &ViewPlan) -> Layout {
+    rank_layouts(catalog, plan)[0].layout
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: batch canonicalizer + CSE
+// ---------------------------------------------------------------------------
+
+/// The canonical form of one aggregate: its factor *multiset* (sorted)
+/// and its filter *conjunction* (sorted, exact duplicates removed). Two
+/// aggregates with equal canonical forms compute the same number:
+/// multiplication is commutative and a conjunction is order-insensitive
+/// and idempotent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CanonicalAgg {
+    /// Sorted factor multiset.
+    pub factors: Vec<Sym>,
+    /// Sorted, deduplicated filter conjunction.
+    pub filter: Vec<Predicate>,
+}
+
+fn pred_rank(op: PredOp) -> u8 {
+    match op {
+        PredOp::Le => 0,
+        PredOp::Gt => 1,
+        PredOp::Eq => 2,
+        PredOp::Ne => 3,
+    }
+}
+
+/// Canonicalizes an aggregate (name is not part of the canonical form).
+pub fn canonicalize(spec: &AggSpec) -> CanonicalAgg {
+    let mut factors = spec.factors.clone();
+    factors.sort();
+    let mut filter = spec.filter.clone();
+    filter.sort_by(|a, b| {
+        (a.attr.as_str(), pred_rank(a.op))
+            .cmp(&(b.attr.as_str(), pred_rank(b.op)))
+            .then(a.threshold.total_cmp(&b.threshold))
+    });
+    filter.dedup();
+    CanonicalAgg { factors, filter }
+}
+
+/// A deduplicated execution batch plus the remap back to the caller's
+/// original width, from [`dedup_batch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DedupBatch {
+    /// The canonically distinct aggregates, first occurrences in order
+    /// (so downstream view merging discovers payloads identically).
+    pub unique: AggBatch,
+    /// `remap[i]` = index into `unique` computing original aggregate `i`.
+    pub remap: Vec<usize>,
+}
+
+impl DedupBatch {
+    /// Number of aggregates eliminated.
+    pub fn savings(&self) -> usize {
+        self.remap.len() - self.unique.len()
+    }
+
+    /// Expands results of the unique batch back to the original width.
+    ///
+    /// # Panics
+    ///
+    /// If `unique_results` does not match the unique batch's width.
+    pub fn expand(&self, unique_results: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            unique_results.len(),
+            self.unique.len(),
+            "batch-result width mismatch: deduplicated batch has {} aggregates, results {}",
+            self.unique.len(),
+            unique_results.len()
+        );
+        self.remap.iter().map(|&i| unique_results[i]).collect()
+    }
+}
+
+/// Drops canonically duplicate aggregates, keeping first occurrences in
+/// order. Semantics-preserving by construction: kept specs are verbatim
+/// (planning is unchanged for them) and a dropped duplicate's value *is*
+/// its keeper's value.
+pub fn dedup_batch(batch: &AggBatch) -> DedupBatch {
+    let mut unique = AggBatch::new();
+    let mut canon: Vec<CanonicalAgg> = Vec::new();
+    let mut remap = Vec::with_capacity(batch.len());
+    for agg in &batch.aggs {
+        let c = canonicalize(agg);
+        match canon.iter().position(|u| *u == c) {
+            Some(i) => remap.push(i),
+            None => {
+                canon.push(c);
+                unique.aggs.push(agg.clone());
+                remap.push(unique.len() - 1);
+            }
+        }
+    }
+    DedupBatch { unique, remap }
+}
+
+/// For each aggregate of `needed`, the index of a canonically equal
+/// aggregate in `available`, if one exists — cross-batch common
+/// subexpression detection. The logistic workload's invariant gradient
+/// side (`Σ y` and `Σ y·fi`) maps entirely into the covar batch this
+/// way, so training never re-executes it.
+pub fn cross_batch_overlap(needed: &AggBatch, available: &AggBatch) -> Vec<Option<usize>> {
+    let avail: Vec<CanonicalAgg> = available.aggs.iter().map(canonicalize).collect();
+    needed
+        .aggs
+        .iter()
+        .map(|a| {
+            let c = canonicalize(a);
+            avail.iter().position(|u| *u == c)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: lint framework
+// ---------------------------------------------------------------------------
+
+/// Diagnostic severity. [`Severity::Error`] findings describe plans that
+/// are unsound to run as-is (wrong results or baked-stale state);
+/// warnings describe wasteful-but-correct plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational finding.
+    Info,
+    /// Correct but wasteful.
+    Warning,
+    /// Unsound to run as-is.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Duplicate aggregate *names* in a batch: results are addressed by
+/// name, so a duplicate silently shadows its twin.
+pub const DIAG_DUPLICATE_NAME: &str = "IFAQ-B001";
+/// Canonically redundant aggregates: two batch entries compute the same
+/// number (equal factor multisets and filter conjunctions).
+pub const DIAG_REDUNDANT_AGG: &str = "IFAQ-B002";
+/// Dense-array layout requested over a sparse key domain: the array
+/// spans the whole domain and mostly holds absent slots.
+pub const DIAG_SPARSE_DENSE: &str = "IFAQ-L001";
+/// A prepared view bakes values from a relation the declared delta set
+/// can change: incremental maintenance over it is unsound.
+pub const DIAG_NON_MAINTAINABLE: &str = "IFAQ-M001";
+/// A θ-dependent (per-iteration) column placed in a dimension payload:
+/// prepare-once caching would freeze iteration 0's values.
+pub const DIAG_THETA_PREPARED: &str = "IFAQ-T001";
+
+/// One structured lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-checkable code (`IFAQ-…`; see the `DIAG_*` consts).
+    pub code: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// What was found, naming the offending plan/batch element.
+    pub context: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} — {}",
+            self.code, self.severity, self.context, self.suggestion
+        )
+    }
+}
+
+/// Lints a batch: duplicate names ([`DIAG_DUPLICATE_NAME`], error) and
+/// canonically redundant aggregates ([`DIAG_REDUNDANT_AGG`], warning).
+pub fn lint_batch(batch: &AggBatch) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for name in batch.duplicate_names() {
+        out.push(Diagnostic {
+            code: DIAG_DUPLICATE_NAME,
+            severity: Severity::Error,
+            context: format!("aggregate name `{name}` appears more than once in the batch"),
+            suggestion: "results are addressed by name; rename or drop the duplicate so every \
+                         result column is uniquely addressable"
+                .into(),
+        });
+    }
+    let dedup = dedup_batch(batch);
+    for (i, &keeper) in dedup.remap.iter().enumerate() {
+        let keeper_orig = dedup
+            .remap
+            .iter()
+            .position(|&k| k == keeper)
+            .expect("keeper exists");
+        if keeper_orig != i {
+            out.push(Diagnostic {
+                code: DIAG_REDUNDANT_AGG,
+                severity: Severity::Warning,
+                context: format!(
+                    "aggregate `{}` is canonically identical to `{}` (same factor multiset \
+                     and filter conjunction)",
+                    batch.aggs[i].name, batch.aggs[keeper_orig].name
+                ),
+                suggestion: "execute the deduplicated batch from \
+                             ifaq_query::analysis::dedup_batch and expand results through \
+                             its remap"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Lints a `(plan, layout)` pair: [`DIAG_SPARSE_DENSE`] when a
+/// dense-array family layout spans a key domain the cost model says is
+/// too sparse.
+pub fn lint_layout(catalog: &Catalog, plan: &ViewPlan, layout: Layout) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if layout != Layout::Array {
+        return out;
+    }
+    for d in &plan_stats(catalog, plan).dims {
+        if let Some(ks) = d.key_space {
+            let kl = key_layout(d.entries, ks, d.payload_width);
+            if !kl.dense {
+                out.push(Diagnostic {
+                    code: DIAG_SPARSE_DENSE,
+                    severity: Severity::Warning,
+                    context: format!(
+                        "dense-array layout over view {}: key domain spans {ks} values for \
+                         {} entries ({} B dense vs {} B hash-resident)",
+                        d.relation, d.entries, kl.dense_bytes, kl.hash_bytes
+                    ),
+                    suggestion: format!(
+                        "use a hash or trie layout, or re-key the dimension onto a compact \
+                         domain (dense pays off only up to {HASH_RESIDENT_OVERHEAD}x the \
+                         entry count)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lints plan maintainability under a declared delta set
+/// ([`DIAG_NON_MAINTAINABLE`]): any prepared dimension view whose
+/// relation the deltas can change bakes values that would go stale.
+pub fn lint_maintenance(plan: &ViewPlan, delta: &DeltaAnalysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for dim in &plan.dims {
+        if delta.classify_deps([dim.relation.as_str()]) == Maintenance::DeltaAffected {
+            out.push(Diagnostic {
+                code: DIAG_NON_MAINTAINABLE,
+                severity: Severity::Error,
+                context: format!(
+                    "prepared view over `{}` bakes values from a relation the declared \
+                     delta set can change; incremental maintenance over it is unsound",
+                    dim.relation
+                ),
+                suggestion: "restrict deltas to the fact table, or rebuild the prepared \
+                             state whenever this dimension changes"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Lints θ-placement ([`DIAG_THETA_PREPARED`]): iteration columns
+/// (`__`-prefixed, rewritten per training iteration) must stay on the
+/// fact side where executors read values live; in a dimension payload
+/// they defeat prepare-once caching.
+pub fn lint_theta(plan: &ViewPlan) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for dim in &plan.dims {
+        for payload in &dim.payloads {
+            for attr in payload
+                .factors
+                .iter()
+                .map(|f| f.as_str())
+                .chain(payload.filter.iter().map(|p| p.attr.as_str()))
+            {
+                if is_iteration_column(attr) {
+                    out.push(Diagnostic {
+                        code: DIAG_THETA_PREPARED,
+                        severity: Severity::Error,
+                        context: format!(
+                            "dimension view `{}` owns iteration column `{attr}`, which \
+                             changes every training iteration; prepared views would bake \
+                             iteration 0's values",
+                            dim.relation
+                        ),
+                        suggestion: "store per-iteration columns on the fact table, where \
+                                     executors read values live across a cached preparation"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The combined analyzer
+// ---------------------------------------------------------------------------
+
+/// The result of [`analyze`]: the full cost table, the cost-driven
+/// layout choice, the CSE result, and every lint finding.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Per-layout cost model output, in ladder order.
+    pub costs: Vec<LayoutCost>,
+    /// The layout the model ranks cheapest per execution.
+    pub chosen: Layout,
+    /// Batch deduplication (unique batch + remap to original width).
+    pub dedup: DedupBatch,
+    /// All lint findings, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// The cost rows sorted best-first (see [`rank_layouts`]).
+    pub fn ranked(&self) -> Vec<LayoutCost> {
+        let mut t = self.costs.clone();
+        t.sort_by_key(|c| (c.execute, c.prepare, c.resident_bytes));
+        t
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    /// True if any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        !self.errors().is_empty()
+    }
+}
+
+/// Runs all three passes with the default delta assumption (fact-only
+/// deltas, the contract of the serving engine) and the cost-chosen
+/// layout as the lint subject.
+pub fn analyze(catalog: &Catalog, plan: &ViewPlan, batch: &AggBatch) -> Analysis {
+    let delta = DeltaAnalysis::fact_only(plan.tree.root.relation.clone());
+    analyze_with(catalog, plan, batch, &delta, None)
+}
+
+/// Runs all three passes. `requested` overrides the lint subject layout
+/// (e.g. a user-forced `Layout::Array` is linted even when the model
+/// would not choose it); `delta` declares which relations deltas may
+/// change.
+pub fn analyze_with(
+    catalog: &Catalog,
+    plan: &ViewPlan,
+    batch: &AggBatch,
+    delta: &DeltaAnalysis,
+    requested: Option<Layout>,
+) -> Analysis {
+    let costs = cost_table(catalog, plan);
+    let chosen = {
+        let mut t = costs.clone();
+        t.sort_by_key(|c| (c.execute, c.prepare, c.resident_bytes));
+        t[0].layout
+    };
+    let dedup = dedup_batch(batch);
+    let mut diagnostics = lint_batch(batch);
+    diagnostics.extend(lint_layout(catalog, plan, requested.unwrap_or(chosen)));
+    diagnostics.extend(lint_maintenance(plan, delta));
+    diagnostics.extend(lint_theta(plan));
+    diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    Analysis {
+        costs,
+        chosen,
+        dedup,
+        diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::covar_batch;
+    use crate::JoinTree;
+    use ifaq_ir::schema::running_example_catalog;
+    use ifaq_ir::{Attribute, RelSchema, ScalarType};
+
+    fn setup(batch: &AggBatch) -> (ViewPlan, Catalog) {
+        let cat = running_example_catalog(1000, 100, 10);
+        let tree = JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let plan = ViewPlan::plan(batch, &tree, &cat).unwrap();
+        (plan, cat)
+    }
+
+    /// A two-relation star with a tunable dimension key domain.
+    fn density_setup(entries: u64, key_space: u64) -> (ViewPlan, Catalog) {
+        let cat = Catalog::new()
+            .with_relation(RelSchema::new(
+                "F",
+                vec![
+                    Attribute::new("k", ScalarType::Int, key_space),
+                    Attribute::new("m", ScalarType::Real, 100),
+                ],
+                100_000,
+            ))
+            .with_relation(RelSchema::new(
+                "D",
+                vec![
+                    Attribute::new("k", ScalarType::Int, key_space),
+                    Attribute::new("v", ScalarType::Real, entries),
+                ],
+                entries,
+            ));
+        let tree = JoinTree::build_with_root(&cat, "F", &["D"]).unwrap();
+        let batch = AggBatch::new().with(AggSpec::new("m_v", &["v"]));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        (plan, cat)
+    }
+
+    #[test]
+    fn layout_ladders_are_subsets_of_all() {
+        for l in Layout::fig7a().iter().chain(Layout::fig7b()) {
+            assert!(Layout::all().contains(l));
+        }
+        let labels: std::collections::BTreeSet<_> =
+            Layout::all().iter().map(|l| l.label()).collect();
+        assert_eq!(labels.len(), Layout::all().len());
+    }
+
+    #[test]
+    fn key_layout_reproduces_the_density_boundary() {
+        // Dense at exactly HASH_RESIDENT_OVERHEAD × entries, hash past it —
+        // the ARRAY_DENSITY_LIMIT boundary the codegen tests pin.
+        for width in [1usize, 3, 7] {
+            assert!(key_layout(10, 10 * HASH_RESIDENT_OVERHEAD, width).dense);
+            assert!(!key_layout(10, 10 * HASH_RESIDENT_OVERHEAD + 1, width).dense);
+            assert!(key_layout(10, 10, width).dense);
+        }
+    }
+
+    #[test]
+    fn cost_table_covers_every_layout_in_ladder_order() {
+        let (plan, cat) = setup(&covar_batch(&["city", "price"], "units"));
+        let table = cost_table(&cat, &plan);
+        let order: Vec<Layout> = table.iter().map(|c| c.layout).collect();
+        assert_eq!(order, Layout::all());
+        for c in &table {
+            assert!(c.execute > 0, "{}: zero execute cost", c.layout);
+            assert!(c.resident_bytes > 0, "{}: zero resident", c.layout);
+        }
+    }
+
+    #[test]
+    fn cost_model_prefers_fused_over_repeated_scans() {
+        // Pushdown re-scans per aggregate; any fused layout must model
+        // cheaper on a multi-aggregate batch. Boxed dictionaries must not
+        // beat the native hash views.
+        let (plan, cat) = setup(&covar_batch(&["city", "price"], "units"));
+        let get = |l: Layout| {
+            cost_table(&cat, &plan)
+                .into_iter()
+                .find(|c| c.layout == l)
+                .unwrap()
+        };
+        assert!(get(Layout::MergedHash).execute < get(Layout::Pushdown).execute);
+        assert!(get(Layout::Array).execute <= get(Layout::MergedHash).execute);
+        assert!(get(Layout::MergedHash).execute < get(Layout::BoxedRecords).execute);
+    }
+
+    #[test]
+    fn chosen_layout_is_the_rank_one_row() {
+        let (plan, cat) = setup(&covar_batch(&["city", "price"], "units"));
+        let ranked = rank_layouts(&cat, &plan);
+        assert_eq!(choose_layout(&cat, &plan), ranked[0].layout);
+        for w in ranked.windows(2) {
+            assert!(
+                (w[0].execute, w[0].prepare, w[0].resident_bytes)
+                    <= (w[1].execute, w[1].prepare, w[1].resident_bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_domains_swell_dense_resident_bytes() {
+        let (sparse_plan, sparse_cat) = density_setup(10, 1_000_000);
+        let (dense_plan, dense_cat) = density_setup(10, 10);
+        let arr = |cat: &Catalog, plan: &ViewPlan| {
+            cost_table(cat, plan)
+                .into_iter()
+                .find(|c| c.layout == Layout::Array)
+                .unwrap()
+                .resident_bytes
+        };
+        assert!(arr(&sparse_cat, &sparse_plan) > 1000 * arr(&dense_cat, &dense_plan));
+    }
+
+    #[test]
+    fn canonicalize_sorts_factors_and_filters() {
+        let a = AggSpec::new("a", &["y", "x"])
+            .filtered(Predicate::new("q", PredOp::Gt, 1.0))
+            .filtered(Predicate::new("p", PredOp::Le, 2.0))
+            .filtered(Predicate::new("q", PredOp::Gt, 1.0));
+        let b = AggSpec::new("b", &["x", "y"])
+            .filtered(Predicate::new("p", PredOp::Le, 2.0))
+            .filtered(Predicate::new("q", PredOp::Gt, 1.0));
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        // Different multiset ⇒ different form.
+        let c = AggSpec::new("c", &["x", "x", "y"]);
+        assert_ne!(canonicalize(&b), canonicalize(&c));
+    }
+
+    #[test]
+    fn dedup_batch_keeps_first_occurrences_and_remaps() {
+        let batch = AggBatch::new()
+            .with(AggSpec::new("m_xy", &["x", "y"]))
+            .with(AggSpec::new("m_z", &["z"]))
+            .with(AggSpec::new("m_yx", &["y", "x"])) // dup of m_xy
+            .with(AggSpec::count("n"));
+        let d = dedup_batch(&batch);
+        assert_eq!(d.unique.len(), 3);
+        assert_eq!(d.savings(), 1);
+        assert_eq!(d.remap, vec![0, 1, 0, 2]);
+        // Kept specs are verbatim first occurrences.
+        assert_eq!(d.unique.aggs[0].name, "m_xy");
+        let expanded = d.expand(&[10.0, 20.0, 30.0]);
+        assert_eq!(expanded, vec![10.0, 20.0, 10.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn dedup_expand_rejects_wrong_width() {
+        let batch = AggBatch::new().with(AggSpec::count("n"));
+        dedup_batch(&batch).expand(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn covar_batch_is_already_deduplicated() {
+        let batch = covar_batch(&["a", "b", "c"], "y");
+        assert_eq!(dedup_batch(&batch).savings(), 0);
+    }
+
+    #[test]
+    fn cross_batch_overlap_finds_logistic_invariant_side_in_covar() {
+        // The logistic gradient's invariant side Σ y, Σ y·fi is exactly a
+        // subset of the covar batch (m_fi_y and m_y) — the cross-batch CSE
+        // the trainer exploits.
+        let covar = covar_batch(&["f1", "f2"], "y");
+        let needed = AggBatch::new()
+            .with(AggSpec::new("g_y", &["y"]))
+            .with(AggSpec::new("g_y_f1", &["y", "f1"]))
+            .with(AggSpec::new("g_y_f2", &["y", "f2"]));
+        let overlap = cross_batch_overlap(&needed, &covar);
+        assert!(overlap.iter().all(|o| o.is_some()), "{overlap:?}");
+        for (agg, idx) in needed.aggs.iter().zip(&overlap) {
+            assert_eq!(canonicalize(agg), canonicalize(&covar.aggs[idx.unwrap()]));
+        }
+        // A genuinely new aggregate has no source.
+        let fresh = AggBatch::new().with(AggSpec::new("g", &["f1", "f1", "y"]));
+        assert_eq!(cross_batch_overlap(&fresh, &covar), vec![None]);
+    }
+
+    // ---- lint positives and negatives, one pair per code ----
+
+    #[test]
+    fn b001_duplicate_names_are_an_error() {
+        let bad = AggBatch::new()
+            .with(AggSpec::new("m", &["x"]))
+            .with(AggSpec::new("m", &["y"]));
+        let diags = lint_batch(&bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DIAG_DUPLICATE_NAME && d.severity == Severity::Error));
+        // Negative: the bundled covar batch is clean.
+        assert!(lint_batch(&covar_batch(&["a", "b"], "y"))
+            .iter()
+            .all(|d| d.code != DIAG_DUPLICATE_NAME));
+    }
+
+    #[test]
+    fn b002_redundant_aggregates_warn_naming_both() {
+        let bad = AggBatch::new()
+            .with(AggSpec::new("m_xy", &["x", "y"]))
+            .with(AggSpec::new("m_yx", &["y", "x"]));
+        let diags = lint_batch(&bad);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DIAG_REDUNDANT_AGG)
+            .expect("redundancy warning");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(
+            d.context.contains("m_yx") && d.context.contains("m_xy"),
+            "{}",
+            d.context
+        );
+        assert!(lint_batch(&covar_batch(&["a", "b"], "y")).is_empty());
+    }
+
+    #[test]
+    fn l001_dense_over_sparse_domain_warns() {
+        let (plan, cat) = density_setup(10, 10 * HASH_RESIDENT_OVERHEAD + 1);
+        let diags = lint_layout(&cat, &plan, Layout::Array);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DIAG_SPARSE_DENSE && d.severity == Severity::Warning));
+        // Negative: a compact domain is clean, and non-array layouts are
+        // never the subject.
+        let (plan2, cat2) = density_setup(10, 10);
+        assert!(lint_layout(&cat2, &plan2, Layout::Array).is_empty());
+        assert!(lint_layout(&cat, &plan, Layout::MergedHash).is_empty());
+    }
+
+    #[test]
+    fn m001_views_over_delta_changed_relations_error() {
+        let (plan, _) = setup(&covar_batch(&["city", "price"], "units"));
+        let dim_deltas = DeltaAnalysis::new([Sym::new("R")]);
+        let diags = lint_maintenance(&plan, &dim_deltas);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DIAG_NON_MAINTAINABLE)
+            .expect("maintenance error");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.context.contains("`R`"), "{}", d.context);
+        // Negative: fact-only deltas (the serving contract) are clean.
+        let fact_only = DeltaAnalysis::fact_only("S");
+        assert!(lint_maintenance(&plan, &fact_only).is_empty());
+    }
+
+    #[test]
+    fn t001_iteration_column_in_dimension_payload_errors() {
+        let cat = Catalog::new()
+            .with_relation(RelSchema::new(
+                "F",
+                vec![
+                    Attribute::new("k", ScalarType::Int, 10),
+                    Attribute::new("m", ScalarType::Real, 100),
+                ],
+                100,
+            ))
+            .with_relation(RelSchema::new(
+                "D",
+                vec![
+                    Attribute::new("k", ScalarType::Int, 10),
+                    Attribute::new("__sigma", ScalarType::Real, 10),
+                ],
+                10,
+            ));
+        let tree = JoinTree::build_with_root(&cat, "F", &["D"]).unwrap();
+        let batch = AggBatch::new().with(AggSpec::new("g", &["__sigma"]));
+        let plan = ViewPlan::plan(&batch, &tree, &cat).unwrap();
+        let diags = lint_theta(&plan);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DIAG_THETA_PREPARED)
+            .expect("theta error");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.context.contains("__sigma"), "{}", d.context);
+        // Negative: fact-owned iteration columns are the supported shape.
+        let (clean_plan, _) = setup(&covar_batch(&["city", "price"], "units"));
+        assert!(lint_theta(&clean_plan).is_empty());
+    }
+
+    #[test]
+    fn analyze_bundles_passes_and_sorts_errors_first() {
+        let batch = covar_batch(&["city", "price"], "units");
+        let (plan, cat) = setup(&batch);
+        let a = analyze(&cat, &plan, &batch);
+        assert_eq!(a.costs.len(), Layout::all().len());
+        assert_eq!(a.chosen, choose_layout(&cat, &plan));
+        assert_eq!(a.dedup.savings(), 0);
+        assert!(!a.has_errors(), "{:?}", a.diagnostics);
+        assert_eq!(a.ranked()[0].layout, a.chosen);
+        // A dirty plan: θ-in-dimension (error) + canonical redundancy
+        // (warning); errors must sort first.
+        let cat2 = Catalog::new()
+            .with_relation(RelSchema::new(
+                "F",
+                vec![
+                    Attribute::new("k", ScalarType::Int, 10),
+                    Attribute::new("m", ScalarType::Real, 100),
+                ],
+                100,
+            ))
+            .with_relation(RelSchema::new(
+                "D",
+                vec![
+                    Attribute::new("k", ScalarType::Int, 10),
+                    Attribute::new("__sigma", ScalarType::Real, 10),
+                ],
+                10,
+            ));
+        let tree2 = JoinTree::build_with_root(&cat2, "F", &["D"]).unwrap();
+        let bad = AggBatch::new()
+            .with(AggSpec::new("g1", &["__sigma", "m"]))
+            .with(AggSpec::new("g2", &["m", "__sigma"]));
+        let plan_bad = ViewPlan::plan(&bad, &tree2, &cat2).unwrap();
+        let a2 = analyze(&cat2, &plan_bad, &bad);
+        assert!(a2.has_errors());
+        assert_eq!(a2.diagnostics[0].severity, Severity::Error);
+        assert!(a2.diagnostics.iter().any(|d| d.code == DIAG_REDUNDANT_AGG));
+        assert_eq!(a2.dedup.savings(), 1);
+    }
+
+    #[test]
+    fn diagnostics_display_code_severity_and_context() {
+        let bad = AggBatch::new()
+            .with(AggSpec::new("m", &["x"]))
+            .with(AggSpec::new("m", &["x"]));
+        let text = lint_batch(&bad)[0].to_string();
+        assert!(text.contains("IFAQ-B001"), "{text}");
+        assert!(text.contains("error"), "{text}");
+        assert!(text.contains('`'), "{text}");
+    }
+}

@@ -186,6 +186,23 @@ impl AggBatch {
         self.aggs.iter().position(|a| a.name == name)
     }
 
+    /// Names that appear on more than one aggregate, each reported once
+    /// in first-occurrence order. Results are addressed by name
+    /// ([`AggBatch::index_of`] and the pipeline's result binding), so a
+    /// duplicate silently shadows its twin — `ViewPlan::plan` rejects
+    /// such batches, and `ifaq_query::analysis::lint_batch` reports them
+    /// as the `IFAQ-B001` diagnostic.
+    pub fn duplicate_names(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut dups = Vec::new();
+        for a in &self.aggs {
+            if !seen.insert(a.name.as_str()) && !dups.contains(&a.name) {
+                dups.push(a.name.clone());
+            }
+        }
+        dups
+    }
+
     /// Applies a δ condition to *every* aggregate of the batch — how CART
     /// derives a child node's batch from its parent's.
     pub fn filtered(&self, pred: &Predicate) -> AggBatch {
@@ -387,6 +404,38 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn results_sub_rejects_width_mismatch() {
         sub_results(&mut [1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn duplicate_names_are_detected_once_in_order() {
+        let b = AggBatch::new()
+            .with(AggSpec::new("m", &["a"]))
+            .with(AggSpec::new("n", &["b"]))
+            .with(AggSpec::new("m", &["c"]))
+            .with(AggSpec::new("n", &["d"]))
+            .with(AggSpec::new("m", &["e"]));
+        assert_eq!(b.duplicate_names(), vec!["m".to_string(), "n".to_string()]);
+        assert!(covar_batch(&["a", "b"], "y").duplicate_names().is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_are_a_structured_plan_error() {
+        // Regression for silently coexisting duplicate names: planning a
+        // batch with a duplicate must fail with the B001 diagnostic code,
+        // and the lint must carry the same finding as an error.
+        let cat = ifaq_ir::schema::running_example_catalog(1000, 100, 10);
+        let tree = crate::JoinTree::build(&cat, &["S", "R", "I"]).unwrap();
+        let bad = AggBatch::new()
+            .with(AggSpec::new("m", &["city"]))
+            .with(AggSpec::new("m", &["price"]));
+        let err = crate::ViewPlan::plan(&bad, &tree, &cat).unwrap_err();
+        assert!(err.message.contains("IFAQ-B001"), "{}", err.message);
+        assert!(err.message.contains("`m`"), "{}", err.message);
+        let diags = crate::analysis::lint_batch(&bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == crate::analysis::DIAG_DUPLICATE_NAME
+                && d.severity == crate::analysis::Severity::Error));
     }
 
     #[test]

@@ -16,12 +16,17 @@
 //!   iteration (Examples 4.9–4.10): produces a [`plan::ViewPlan`] with one
 //!   merged view per join-tree edge and one fused fact scan, which the
 //!   `ifaq-engine` crate executes under different physical layouts.
+//! * [`analysis`] — static plan analysis (§4.4): the [`analysis::Layout`]
+//!   enum shared by both backends, the per-layout cost/memory model, the
+//!   batch canonicalizer + CSE pass, and the lint diagnostics framework.
 
+pub mod analysis;
 pub mod batch;
 pub mod extract;
 pub mod jointree;
 pub mod plan;
 
+pub use analysis::{Analysis, Diagnostic, Layout, LayoutCost, Severity};
 pub use batch::{AggBatch, AggSpec, PredOp, Predicate};
 pub use extract::{extract_aggregates, Extraction};
 pub use jointree::JoinTree;

@@ -105,6 +105,15 @@ impl ViewPlan {
                     .into(),
             });
         }
+        if let Some(dup) = batch.duplicate_names().first() {
+            return Err(PlanError {
+                message: format!(
+                    "[IFAQ-B001] duplicate aggregate name `{dup}` in batch: results are \
+                     addressed by name, so a duplicate silently shadows its twin — rename \
+                     or deduplicate (see ifaq_query::analysis::lint_batch)"
+                ),
+            });
+        }
         let fact = catalog
             .relation(tree.root.relation.as_str())
             .ok_or_else(|| PlanError {

@@ -69,6 +69,7 @@ use ifaq_engine::{ExecConfig, Layout};
 use ifaq_ir::analysis::{DeltaAnalysis, Maintenance};
 use ifaq_ml::linreg::{fit_bgd, moments_from_batch, LinearModel};
 use ifaq_ml::logreg::{FactorizedTrainer, LogisticModel};
+use ifaq_query::analysis::{self, Diagnostic};
 use ifaq_query::batch::{add_results, covar_batch, sub_results, AggBatch};
 use ifaq_query::{JoinTree, ViewPlan};
 use ifaq_storage::columnar::ColRelationBuilder;
@@ -308,6 +309,9 @@ pub struct ServeEngine {
     log_batch: Option<(AggBatch, ViewPlan)>,
     /// Per-fact-column integer flags (delta validation).
     int_cols: Vec<bool>,
+    /// Static-analyzer findings from construction (warnings and infos;
+    /// error findings refuse construction).
+    diagnostics: Vec<Diagnostic>,
     state: RwLock<State>,
 }
 
@@ -371,10 +375,10 @@ impl ServeEngine {
         // The additivity argument assumes fact-only deltas leave every
         // dimension view reusable and touch only the fact scan. Check
         // that against the actual plan rather than assuming it.
-        let analysis = DeltaAnalysis::fact_only(db.fact.name.clone());
+        let delta = DeltaAnalysis::fact_only(db.fact.name.clone());
         for v in &plan.dims {
             assert_eq!(
-                analysis.classify_deps([v.relation.as_str()]),
+                delta.classify_deps([v.relation.as_str()]),
                 Maintenance::Reusable,
                 "dimension view over `{}` classified delta-affected; \
                  incremental maintenance would be unsound",
@@ -382,10 +386,29 @@ impl ServeEngine {
             );
         }
         assert_eq!(
-            analysis.classify_deps([db.fact.name.as_str()]),
+            delta.classify_deps([db.fact.name.as_str()]),
             Maintenance::DeltaAffected,
             "fact scan classified reusable under a fact delta"
         );
+
+        // Static plan analysis at construction, under the same fact-only
+        // delta premise and the layout this engine will actually run:
+        // error findings mean the resident totals would go wrong or
+        // stale, so they refuse construction; warnings (e.g. a sparse
+        // key domain under a forced dense layout, redundant aggregates)
+        // are kept and exposed via [`ServeEngine::diagnostics`].
+        let report = analysis::analyze_with(&cat, &plan, &batch, &delta, Some(cfg.layout));
+        assert!(
+            !report.has_errors(),
+            "plan analysis found error diagnostics: {}",
+            report
+                .errors()
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        let diagnostics = report.diagnostics;
 
         let log_batch = cfg.logistic_label.as_ref().map(|ll| {
             let b = covar_batch(features, ll);
@@ -426,6 +449,7 @@ impl ServeEngine {
             plan,
             log_batch,
             int_cols,
+            diagnostics,
             state: RwLock::new(State {
                 db,
                 tpl,
@@ -440,6 +464,13 @@ impl ServeEngine {
     /// The covar batch whose aggregate order `totals` follows.
     pub fn batch(&self) -> &AggBatch {
         &self.batch
+    }
+
+    /// Static-analyzer findings recorded at construction (sorted errors
+    /// first — though error findings never reach a built engine, which
+    /// refuses them). See `ifaq_query::analysis` for the codes.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
     }
 
     /// Feature attribute names, in model order.
@@ -773,6 +804,18 @@ mod tests {
         let direct =
             layout::execute_with(Layout::MergedHash, &plan, &db, &prep, &ExecConfig::serial());
         assert_eq!(e.totals(), direct);
+    }
+
+    #[test]
+    fn construction_records_clean_diagnostics() {
+        // The running-example covar workload is clean: the analyzer ran
+        // at construction (an error would have panicked) and whatever it
+        // recorded carries no error findings.
+        let e = engine();
+        assert!(e
+            .diagnostics()
+            .iter()
+            .all(|d| d.severity < analysis::Severity::Error));
     }
 
     #[test]

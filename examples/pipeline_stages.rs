@@ -91,6 +91,7 @@ fn main() {
             alpha: 0.000001,
             iterations: 50,
         },
+        &catalog,
     );
     for line in cpp.source.lines().take(60) {
         println!("{line}");

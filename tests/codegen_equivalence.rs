@@ -116,6 +116,7 @@ fn linreg_gate(ds: &Dataset, features: &[&str], alpha: f64, iters: usize, tag: &
             alpha,
             iterations: iters,
         },
+        &db.catalog(),
     );
     let run = run_generated(db, &cpp, &cxx, tag);
     assert_eq!(run.rows as usize, db.fact_rows(), "{tag}: row count");
@@ -245,6 +246,7 @@ fn logistic_gate(ds: &Dataset, features: &[&str], alpha: f64, iters: usize, tag:
             alpha,
             iterations: iters,
         },
+        &aug.catalog(),
     );
     // The generated program computes σ itself: export the *un-augmented*
     // database shape, minus nothing — the σ column must not be in the

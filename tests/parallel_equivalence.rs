@@ -14,6 +14,7 @@ use ifaq_datagen::{favorita, retailer, Dataset};
 use ifaq_engine::layout::{execute_with, prepare, Prepared};
 use ifaq_engine::{ExecConfig, Layout};
 use ifaq_ml::logreg;
+use ifaq_query::analysis;
 use ifaq_query::batch::{covar_batch, variance_batch, AggBatch, PredOp, Predicate};
 use ifaq_query::{JoinTree, ViewPlan};
 
@@ -238,6 +239,53 @@ fn logistic_training_is_thread_count_invariant() {
         let base = run(1);
         for threads in [2, 3, 8] {
             assert_eq!(run(threads), base, "{layout} at {threads} threads");
+        }
+    }
+}
+
+/// The cost decision may pick *any* rung of the layout ladder without
+/// changing answers: whatever `analysis::choose_layout` selects for a
+/// bundled schema × workload pair, its results must match every other
+/// layout within 1e-6 at 1 and 4 threads.
+#[test]
+fn cost_chosen_layout_matches_every_other_layout() {
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()));
+    for ds in [favorita(3_000, 21), retailer(2_500, 22)] {
+        let features = if ds.name.starts_with("retailer") {
+            retailer_features(&ds)
+        } else {
+            ds.feature_refs()
+        };
+        let workloads: Vec<(&str, AggBatch)> = vec![
+            ("covar", covar_batch(&features, &ds.label)),
+            (
+                "variance",
+                variance_batch(&ds.label, &[Predicate::new(features[0], PredOp::Le, 1.0)]),
+            ),
+        ];
+        for (wname, batch) in workloads {
+            let cat = ds.db.catalog();
+            let tree = JoinTree::build(&cat, &ds.relation_names()).expect("join tree");
+            let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
+            let chosen = analysis::choose_layout(&cat, &plan);
+            let chosen_prep = prepare(chosen, &plan, &ds.db);
+            for threads in [1usize, 4] {
+                let cfg = ExecConfig::with_threads(threads);
+                let want = execute_with(chosen, &plan, &ds.db, &chosen_prep, &cfg);
+                for &other in Layout::all() {
+                    let prep = prepare(other, &plan, &ds.db);
+                    let got = execute_with(other, &plan, &ds.db, &prep, &cfg);
+                    assert_eq!(want.len(), got.len());
+                    for (i, (x, y)) in want.iter().zip(&got).enumerate() {
+                        assert!(
+                            close(*x, *y),
+                            "{} {wname} t{threads}: chosen {chosen} vs {other}, term {i}: \
+                             {x} vs {y}",
+                            ds.name
+                        );
+                    }
+                }
+            }
         }
     }
 }
