@@ -75,6 +75,11 @@ pub enum PipelineError {
     Analysis(String),
     /// Runtime evaluation failed.
     Eval(String),
+    /// A streaming execution failed at the storage layer (bad or
+    /// truncated `IFAQTBL1` file, short read, file changed mid-stream);
+    /// the message carries the structured
+    /// [`ifaq_storage::stream::ExportError`].
+    Stream(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -86,6 +91,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Plan(m) => write!(f, "plan: {m}"),
             PipelineError::Analysis(m) => write!(f, "analysis: {m}"),
             PipelineError::Eval(m) => write!(f, "evaluation: {m}"),
+            PipelineError::Stream(m) => write!(f, "streaming: {m}"),
         }
     }
 }
@@ -533,6 +539,58 @@ impl Compiled {
         cfg: &ExecConfig,
     ) -> Result<Value, PipelineError> {
         let results = self.run_batch_prepared(db, prepared, cfg);
+        let mut env = Env::new();
+        for (i, v) in results.iter().enumerate() {
+            env.insert(Extraction::agg_var(i), Value::real(*v));
+        }
+        Interpreter::with_max_iterations(1_000_000)
+            .run(&env, &self.program)
+            .map_err(|e| PipelineError::Eval(e.to_string()))
+    }
+
+    /// Runs the aggregate batch out of core, streaming the fact table of
+    /// an on-disk `IFAQTBL1` star export through `layout_choice`'s
+    /// executor with dimensions resident. Planning and the analysis gate
+    /// are identical to [`Compiled::prepare`] — both run against the
+    /// export's schema database, and the plan shape is statistics-free —
+    /// so for any fixed `cfg.chunk_rows` the results are bit-identical
+    /// to [`Compiled::run_batch_with`] over the resident database at any
+    /// thread count.
+    pub fn run_batch_streamed(
+        &self,
+        src: &ifaq_engine::stream::StreamSource,
+        layout_choice: Layout,
+        cfg: &ExecConfig,
+    ) -> Result<Vec<f64>, PipelineError> {
+        let Some((catalog, plan)) = self.plan_for(src.schema_db())? else {
+            return Ok(vec![]);
+        };
+        let report = analysis::analyze(&catalog, &plan, &self.batch);
+        if report.has_errors() {
+            let msgs: Vec<String> = report.errors().iter().map(|d| d.to_string()).collect();
+            return Err(PipelineError::Analysis(msgs.join("; ")));
+        }
+        let prep = ifaq_engine::stream::prepare_streaming(
+            layout_choice,
+            &plan,
+            src.schema_db(),
+            src.fact_rows(),
+        );
+        let (results, _stats) = ifaq_engine::stream::execute_streaming(&plan, src, &prep, cfg)
+            .map_err(|e| PipelineError::Stream(e.to_string()))?;
+        Ok(results)
+    }
+
+    /// [`Compiled::execute_with`] out of core: streamed batch scan, bind
+    /// results, interpret the residual program (which never touches the
+    /// data).
+    pub fn execute_streamed(
+        &self,
+        src: &ifaq_engine::stream::StreamSource,
+        layout_choice: Layout,
+        cfg: &ExecConfig,
+    ) -> Result<Value, PipelineError> {
+        let results = self.run_batch_streamed(src, layout_choice, cfg)?;
         let mut env = Env::new();
         for (i, v) in results.iter().enumerate() {
             env.insert(Extraction::agg_var(i), Value::real(*v));

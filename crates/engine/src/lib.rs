@@ -56,14 +56,24 @@
 //! **Picking `chunk_rows`:** leave the default (2 Ki rows) unless chunks
 //! are scarcer than threads on your workload; see [`par`] for the
 //! trade-off.
+//!
+//! ## Out-of-core streaming
+//!
+//! [`stream`] executes the same prepared batches over an on-disk
+//! `IFAQTBL1` star export with dimensions resident and the fact table
+//! flowing through a bounded chunk buffer — the same fixed-chunk layout
+//! as the sharded scan, so streamed results are bit-identical to the
+//! in-memory path at any thread count.
 
 pub mod interp;
 pub mod layout;
 pub mod par;
 pub mod physical;
 pub mod star;
+pub mod stream;
 
 pub use interp::{eval_expr, eval_program, stable_sigmoid, Env, Interpreter};
 pub use layout::Layout;
 pub use par::ExecConfig;
 pub use star::{Dim, JoinIndex, StarDb, TrainMatrix};
+pub use stream::{execute_streaming, prepare_streaming, StreamPrep, StreamSource, StreamStats};

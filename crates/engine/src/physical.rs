@@ -39,13 +39,13 @@ use std::ops::Range;
 
 /// Resolved references binding a planned dimension view to the physical
 /// dimension relation and the fact table's key column.
-struct BoundDim<'a> {
-    dim: &'a Dim,
-    view: &'a DimView,
-    fact_keys: &'a [i64],
+pub(crate) struct BoundDim<'a> {
+    pub(crate) dim: &'a Dim,
+    pub(crate) view: &'a DimView,
+    pub(crate) fact_keys: &'a [i64],
 }
 
-fn bind_dims<'a>(plan: &'a ViewPlan, db: &'a StarDb) -> Vec<BoundDim<'a>> {
+pub(crate) fn bind_dims<'a>(plan: &'a ViewPlan, db: &'a StarDb) -> Vec<BoundDim<'a>> {
     plan.dims
         .iter()
         .map(|view| {
@@ -75,7 +75,7 @@ fn bind_dims<'a>(plan: &'a ViewPlan, db: &'a StarDb) -> Vec<BoundDim<'a>> {
 }
 
 /// Evaluates one payload for dimension row `j`.
-fn payload_value(dim: &Dim, payload: &Payload, j: usize) -> f64 {
+pub(crate) fn payload_value(dim: &Dim, payload: &Payload, j: usize) -> f64 {
     for p in &payload.filter {
         let col = dim.rel.column(p.attr.as_str()).expect("filter column");
         if !p.eval(col.get_f64(j)) {
@@ -91,7 +91,7 @@ fn payload_value(dim: &Dim, payload: &Payload, j: usize) -> f64 {
 }
 
 /// Builds the merged view of one dimension: key → payload vector.
-fn build_merged_view(b: &BoundDim) -> HashMap<i64, Vec<f64>> {
+pub(crate) fn build_merged_view(b: &BoundDim) -> HashMap<i64, Vec<f64>> {
     let keys = b
         .dim
         .rel
@@ -113,13 +113,13 @@ fn build_merged_view(b: &BoundDim) -> HashMap<i64, Vec<f64>> {
 
 /// Per-row fact factor product with δ filters, shared by all executors.
 #[derive(Clone)]
-struct FactAccess<'a> {
+pub(crate) struct FactAccess<'a> {
     factor_cols: Vec<&'a Column>,
     filter_cols: Vec<(&'a Column, &'a Predicate)>,
 }
 
 impl<'a> FactAccess<'a> {
-    fn bind(plan: &'a ViewPlan, db: &'a StarDb) -> Vec<FactAccess<'a>> {
+    pub(crate) fn bind(plan: &'a ViewPlan, db: &'a StarDb) -> Vec<FactAccess<'a>> {
         plan.terms
             .iter()
             .map(|t| FactAccess {
@@ -143,7 +143,7 @@ impl<'a> FactAccess<'a> {
     }
 
     #[inline]
-    fn eval(&self, i: usize) -> f64 {
+    pub(crate) fn eval(&self, i: usize) -> f64 {
         for (col, p) in &self.filter_cols {
             if !p.eval(col.get_f64(i)) {
                 return 0.0;
@@ -161,7 +161,7 @@ impl<'a> FactAccess<'a> {
 /// filters) evaluate it once per row. In wide covar batches most
 /// aggregates touch only dimension attributes, so their fact-local value
 /// is the constant 1 — deduplication shrinks per-row work dramatically.
-fn signature_map(plan: &ViewPlan) -> (Vec<usize>, Vec<usize>) {
+pub(crate) fn signature_map(plan: &ViewPlan) -> (Vec<usize>, Vec<usize>) {
     // Returns (term → signature index, representative term per signature).
     let mut sig_of = Vec::with_capacity(plan.terms.len());
     let mut reps: Vec<usize> = Vec::new();
@@ -326,7 +326,7 @@ pub fn exec_pushdown_cfg(plan: &ViewPlan, db: &StarDb, cfg: &ExecConfig) -> Vec<
 #[derive(Clone, Debug)]
 pub struct PushdownPrep {
     /// `views[term][dim]`: key → the term's payload at that dimension.
-    views: Vec<Vec<HashMap<i64, f64>>>,
+    pub(crate) views: Vec<Vec<HashMap<i64, f64>>>,
 }
 
 /// Builds every term's private view set.
@@ -481,28 +481,39 @@ pub fn exec_merged_prepared(
 /// count stays well below the row count, so per-group work amortizes —
 /// and a per-row *remainder*.
 #[derive(Debug)]
-struct KeyPlan {
+pub(crate) struct KeyPlan {
     /// Prefix levels: (fact key column name, dims served by this level).
-    prefix: Vec<(ifaq_ir::Sym, Vec<usize>)>,
+    pub(crate) prefix: Vec<(ifaq_ir::Sym, Vec<usize>)>,
     /// Dims looked up per row (high-cardinality keys).
-    remainder: Vec<usize>,
+    pub(crate) remainder: Vec<usize>,
     /// Representative term per signature.
-    sig_reps: Vec<usize>,
+    pub(crate) sig_reps: Vec<usize>,
     /// Term → row-program index. A *row program* is the per-row part of a
     /// term: its fact-local signature plus its payload choices at the
     /// per-row (remainder) dimensions. In wide covar batches most terms
     /// differ only in group-constant payloads and share a row program, so
     /// the per-row inner loop shrinks from |batch| to a few dozen entries
     /// — this is the factorized computation structure of Example 4.11.
-    rowprog_of: Vec<usize>,
+    pub(crate) rowprog_of: Vec<usize>,
     /// Distinct row programs: (signature index, remainder payload choices
     /// parallel to `remainder`).
-    rowprogs: Vec<(usize, Vec<usize>)>,
+    pub(crate) rowprogs: Vec<(usize, Vec<usize>)>,
 }
 
 fn key_plan(plan: &ViewPlan, db: &StarDb) -> KeyPlan {
+    key_plan_with_rows(plan, db, db.fact.len().max(1))
+}
+
+/// [`key_plan`] with the fact row count supplied explicitly instead of
+/// taken from `db.fact`. The streaming path plans against a schema-only
+/// database whose fact table is empty — the real row count comes from
+/// the on-disk export's header — and the prefix/remainder split depends
+/// on that count (the `groups ≤ rows/2` hoisting threshold), so it must
+/// see the *full-table* count or the streamed level analysis would
+/// diverge from the in-memory one.
+pub(crate) fn key_plan_with_rows(plan: &ViewPlan, db: &StarDb, rows: usize) -> KeyPlan {
     let bounds = bind_dims(plan, db);
-    let rows = db.fact.len().max(1);
+    let rows = rows.max(1);
     // Group dims by fact key column.
     let mut columns: Vec<(ifaq_ir::Sym, usize, Vec<usize>)> = Vec::new(); // (col, card, dims)
     for (di, b) in bounds.iter().enumerate() {
@@ -878,16 +889,16 @@ fn exec_trie_inner(
 /// Array" layout; valid because the generators produce compact
 /// non-negative integer keys).
 #[derive(Clone, Debug)]
-struct DenseView {
-    width: usize,
-    data: Vec<f64>,
+pub(crate) struct DenseView {
+    pub(crate) width: usize,
+    pub(crate) data: Vec<f64>,
     present: Vec<bool>,
 }
 
 impl DenseView {
     /// Base offset of `key`'s payload row, or `None` when absent.
     #[inline]
-    fn base_of(&self, key: i64) -> Option<usize> {
+    pub(crate) fn base_of(&self, key: i64) -> Option<usize> {
         if key < 0 || key as usize >= self.present.len() || !self.present[key as usize] {
             None
         } else {
@@ -896,7 +907,7 @@ impl DenseView {
     }
 }
 
-fn build_dense_view(b: &BoundDim) -> DenseView {
+pub(crate) fn build_dense_view(b: &BoundDim) -> DenseView {
     let keys = b
         .dim
         .rel

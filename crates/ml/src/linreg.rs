@@ -9,9 +9,11 @@
 //! solves the normal equations in closed form.
 
 use ifaq_engine::star::{StarDb, TrainMatrix};
+use ifaq_engine::stream::{execute_streaming, prepare_streaming, StreamSource};
 use ifaq_engine::{layout, ExecConfig, Layout};
 use ifaq_query::batch::covar_batch;
 use ifaq_query::{JoinTree, ViewPlan};
+use ifaq_storage::stream::ExportError;
 
 /// A trained linear model: `predict(x) = intercept + Σ weights[i]·x[fi]`.
 #[derive(Clone, Debug, PartialEq)]
@@ -242,6 +244,50 @@ pub fn moments_factorized_prepared(db: &StarDb, mp: &MomentsPrep, cfg: &ExecConf
     let results = layout::execute_with(mp.layout, &mp.plan, db, &mp.prep, cfg);
     let features: Vec<&str> = mp.features.iter().map(|s| s.as_str()).collect();
     moments_from_batch(&features, &mp.label, &results)
+}
+
+/// Computes [`Moments`] by streaming the fact table of an on-disk
+/// `IFAQTBL1` star export through `layout_choice`'s executor — the
+/// out-of-core path. Dimensions stay resident; the fact table flows
+/// through a bounded chunk buffer, so the peak footprint is
+/// `cfg.chunk_rows` × projected columns × the reader-pool depth instead
+/// of the full table. For any fixed `cfg.chunk_rows` the moments are
+/// bit-identical to [`moments_factorized_cfg`] over the resident
+/// database, so [`fit_streamed`] trains the *same* model.
+pub fn moments_streamed(
+    src: &StreamSource,
+    features: &[&str],
+    label: &str,
+    layout_choice: Layout,
+    cfg: &ExecConfig,
+) -> Result<Moments, ExportError> {
+    let db = src.schema_db();
+    let cat = db.catalog();
+    let dim_names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
+    let tree =
+        JoinTree::build_with_root(&cat, db.fact.name.as_str(), &dim_names).expect("join tree");
+    let batch = covar_batch(features, label);
+    let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
+    let prep = prepare_streaming(layout_choice, &plan, db, src.fact_rows());
+    let (results, _stats) = execute_streaming(&plan, src, &prep, cfg)?;
+    Ok(moments_from_batch(features, label, &results))
+}
+
+/// The out-of-core end-to-end path: streamed moments + BGD. Bit-identical
+/// to [`fit_factorized_cfg`] at the same `cfg.chunk_rows` because the
+/// moments are.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_streamed(
+    src: &StreamSource,
+    features: &[&str],
+    label: &str,
+    layout_choice: Layout,
+    learning_rate: f64,
+    iterations: usize,
+    cfg: &ExecConfig,
+) -> Result<LinearModel, ExportError> {
+    let moments = moments_streamed(src, features, label, layout_choice, cfg)?;
+    Ok(fit_bgd(&moments, learning_rate, iterations))
 }
 
 /// Computes [`Moments`] from a materialized training matrix — the

@@ -28,15 +28,17 @@
 //! computed from scores via [`log1p_exp`] (`ln(1+eˣ)` without overflow),
 //! so ±1e3 scores are exact.
 
-use crate::linreg::{moments_factorized_cfg, Moments};
+use crate::linreg::{moments_factorized_cfg, moments_streamed, Moments};
 use ifaq_engine::par::run_chunked;
 use ifaq_engine::stable_sigmoid;
 use ifaq_engine::star::{StarDb, TrainMatrix};
+use ifaq_engine::stream::{execute_streaming_map, prepare_streaming, StreamSource};
 use ifaq_engine::{layout, ExecConfig, Layout};
 use ifaq_ir::Sym;
 use ifaq_query::analysis;
 use ifaq_query::batch::{covar_batch, logistic_gradient_batch, AggBatch, AggSpec};
 use ifaq_query::{JoinTree, ViewPlan};
+use ifaq_storage::stream::ExportError;
 use ifaq_storage::{ColRelation, Column};
 use std::ops::Range;
 
@@ -705,6 +707,180 @@ impl FactorizedTrainer {
             weights,
         }
     }
+}
+
+/// The out-of-core logistic path: the same descent as
+/// [`fit_factorized_cfg`], with every data pass streaming the fact table
+/// of an on-disk `IFAQTBL1` star export instead of scanning resident
+/// columns. Dimensions stay in memory (the score pass needs their key
+/// indexes and weighted payload sums anyway); the per-iteration `__sigma`
+/// column is computed chunk by chunk inside the stream — scoring each
+/// chunk's rows through the resident dimension views and appending the
+/// sigmoid column before the gradient executors see it — so neither the
+/// scores nor the fact table ever materialize in full. For any fixed
+/// `cfg.chunk_rows` the per-row scores, the gradient batch results, and
+/// hence the trained model are bit-identical to the in-memory
+/// [`fit_factorized_cfg`] at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_streamed(
+    src: &StreamSource,
+    features: &[&str],
+    label: &str,
+    layout_choice: Layout,
+    learning_rate: f64,
+    iterations: usize,
+    cfg: &ExecConfig,
+) -> Result<LogisticModel, ExportError> {
+    assert!(
+        invariant_overlap(features, label)
+            .iter()
+            .all(Option::is_some),
+        "covar batch does not cover the invariant `Σ y·x` gradient side"
+    );
+    // Loop-invariant pass: streamed covar moments give standardization
+    // and the `Σ y·x` side, exactly as in the resident trainer.
+    let moments = moments_streamed(src, features, label, layout_choice, cfg)?;
+    let d = features.len() + 1;
+    let n = moments.count.max(1.0);
+    let stdz = Standardizer::from_moments(&moments);
+    let mut b = vec![0.0; d];
+    b[0] = moments.xty[0];
+    for (j, bj) in b.iter_mut().enumerate().skip(1) {
+        *bj = (moments.xty[j] - stdz.mean[j] * moments.xty[0]) / stdz.std[j];
+    }
+    // Plan the gradient batch over the `__sigma`-augmented schema; the
+    // prepared state is θ-free and dimension-only, so it streams.
+    let aug = with_sigma_column(src.schema_db());
+    let cat = aug.catalog();
+    let dim_names: Vec<&str> = aug.dims.iter().map(|dm| dm.rel.name.as_str()).collect();
+    let tree =
+        JoinTree::build_with_root(&cat, aug.fact.name.as_str(), &dim_names).expect("join tree");
+    let batch = logistic_gradient_batch(features, SIGMA_COL);
+    let plan = ViewPlan::plan(&batch, &tree, &cat).expect("view plan");
+    let sprep = prepare_streaming(layout_choice, &plan, &aug, src.fact_rows());
+    let g0 = batch.index_of("g_sigma").expect("g_sigma");
+    let gi: Vec<usize> = features
+        .iter()
+        .map(|f| batch.index_of(&format!("g_sigma_{f}")).expect("g_sigma_f"))
+        .collect();
+    // Featured dimensions in ascending index order with resident key
+    // indexes, and fact-owned features in feature order — the same
+    // resolution order as `fact_scores_prepared`, so per-row score
+    // arithmetic associates identically.
+    let mut featured: Vec<usize> = features
+        .iter()
+        .filter_map(|f| match owner_of(&aug, f) {
+            Some(Owner::Fact) => None,
+            Some(Owner::Dim(di)) => Some(di),
+            None => panic!("no relation stores attribute `{f}`"),
+        })
+        .collect();
+    featured.sort_unstable();
+    featured.dedup();
+    let key_indexes: Vec<std::collections::HashMap<i64, usize>> = featured
+        .iter()
+        .map(|&di| aug.dims[di].key_index())
+        .collect();
+    let fact_features: Vec<&str> = features
+        .iter()
+        .filter(|f| matches!(owner_of(&aug, f), Some(Owner::Fact)))
+        .copied()
+        .collect();
+    let sigma_sym = Sym::new(SIGMA_COL);
+    let virtual_cols = [sigma_sym.clone()];
+    let mut theta = vec![0.0; d];
+    for _ in 0..iterations {
+        let (bias, w) = stdz.to_raw(&theta);
+        // Per featured dimension: the weighted per-row payload sums for
+        // this θ (summed in feature order, as `fact_scores_prepared`).
+        let dim_views: Vec<(Sym, &std::collections::HashMap<i64, usize>, Vec<f64>)> = featured
+            .iter()
+            .zip(&key_indexes)
+            .map(|(&di, index)| {
+                let feats: Vec<(&Column, f64)> = features
+                    .iter()
+                    .zip(&w)
+                    .filter_map(|(f, &wf)| {
+                        aug.dims[di].rel.column(f).map(|c| (c, wf)).filter(
+                            |_| matches!(owner_of(&aug, f), Some(Owner::Dim(dj)) if dj == di),
+                        )
+                    })
+                    .collect();
+                let len = aug.dims[di].rel.len();
+                let wsum: Vec<f64> = (0..len)
+                    .map(|j| feats.iter().map(|(c, wf)| wf * c.get_f64(j)).sum())
+                    .collect();
+                (aug.dims[di].key.clone(), index, wsum)
+            })
+            .collect();
+        let fact_weighted: Vec<(&str, f64)> = fact_features
+            .iter()
+            .map(|f| {
+                let wf = features
+                    .iter()
+                    .zip(&w)
+                    .find(|(g, _)| ***g == **f)
+                    .expect("fact feature weight")
+                    .1;
+                (*f, *wf)
+            })
+            .collect();
+        let mut score_chunk = |_start: usize, rel: ColRelation| -> ColRelation {
+            let rows = rel.len();
+            let key_cols: Vec<&[i64]> = dim_views
+                .iter()
+                .map(|(key, _, _)| {
+                    rel.column(key.as_str())
+                        .expect("featured dimension key column")
+                        .as_i64()
+                        .expect("fact join key must be integer")
+                })
+                .collect();
+            let fcols: Vec<(&Column, f64)> = fact_weighted
+                .iter()
+                .map(|(f, wf)| (rel.column(f).expect("fact feature column"), *wf))
+                .collect();
+            let mut sig = Vec::with_capacity(rows);
+            'row: for i in 0..rows {
+                let mut s = bias;
+                for ((_, index, wsum), ks) in dim_views.iter().zip(&key_cols) {
+                    match index.get(&ks[i]) {
+                        Some(&j) => s += wsum[j],
+                        // A dangling key scores 0.0 (then σ(0)), as in
+                        // `fact_scores_prepared`; the inner join drops
+                        // the row in every aggregate anyway.
+                        None => {
+                            sig.push(stable_sigmoid(0.0));
+                            continue 'row;
+                        }
+                    }
+                }
+                for (col, wf) in &fcols {
+                    s += wf * col.get_f64(i);
+                }
+                sig.push(stable_sigmoid(s));
+            }
+            let mut attrs = rel.attrs.clone();
+            attrs.push(sigma_sym.clone());
+            let mut cols = rel.columns;
+            cols.push(Column::F64(sig));
+            ColRelation::new(rel.name.clone(), attrs, cols)
+        };
+        let (g, _stats) =
+            execute_streaming_map(&plan, src, &sprep, cfg, &virtual_cols, &mut score_chunk)?;
+        let s0 = g[g0];
+        theta[0] -= learning_rate / n * (s0 - b[0]);
+        for j in 1..d {
+            let aj = (g[gi[j - 1]] - stdz.mean[j] * s0) / stdz.std[j];
+            theta[j] -= learning_rate / n * (aj - b[j]);
+        }
+    }
+    let (intercept, weights) = stdz.to_raw(&theta);
+    Ok(LogisticModel {
+        features: features.iter().map(|s| s.to_string()).collect(),
+        intercept,
+        weights,
+    })
 }
 
 /// The exact semantics of

@@ -21,11 +21,14 @@
 //!   (§4.3 "Dictionary to Trie").
 //! * [`export`] — the `IFAQTBL1` on-disk column format shared by the
 //!   native engine and the generated C++ programs of `ifaq-codegen`.
+//! * [`stream`] — chunked, projection-pushdown reads over the same
+//!   format, the scan side of out-of-core streaming execution.
 
 pub mod columnar;
 pub mod dict;
 pub mod export;
 pub mod relation;
+pub mod stream;
 pub mod trie;
 pub mod value;
 

@@ -1,0 +1,632 @@
+//! Chunked, projected reads over the `IFAQTBL1` format — the scan side
+//! of out-of-core execution.
+//!
+//! [`export::read_relation`](crate::export::read_relation) decodes a
+//! whole file into resident `Vec`s; this module instead parses the
+//! header once ([`ChunkedReader::open`]), records where each column's
+//! inline data starts, and then serves fixed-size **row ranges** of any
+//! **column subset** by seeking straight to the bytes — projection
+//! pushdown at the scan boundary, in the style of a parquet reader.
+//! Nothing row-sized is ever allocated beyond the requested chunk, so a
+//! fact table far larger than RAM streams through a bounded buffer.
+//!
+//! Every failure mode is a structured [`ExportError`], never a panic:
+//! the compute side of a streaming pipeline must be able to observe
+//! "the disk lied" (truncation, bad magic, a header row count the file
+//! length contradicts, a mid-stream short read) and shut down cleanly
+//! with no partial aggregate state escaping.
+
+use crate::columnar::{ColRelation, Column};
+use crate::export::MAGIC;
+use ifaq_ir::Sym;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Structured failure of an `IFAQTBL1` read. Unlike the flat
+/// `io::Error` of [`crate::export::read_relation`], every variant
+/// carries enough context for the engine to report *which* invariant
+/// the file broke — and for fault-injection tests to assert the exact
+/// failure class.
+#[derive(Debug)]
+pub enum ExportError {
+    /// An underlying I/O failure (open, seek, read) other than EOF.
+    Io { path: PathBuf, source: io::Error },
+    /// The first 8 bytes were not `IFAQTBL1`.
+    BadMagic { path: PathBuf, found: [u8; 8] },
+    /// The file ended inside the header (name/rows/kind fields).
+    TruncatedHeader { path: PathBuf, detail: String },
+    /// The file is shorter than the header's row count requires.
+    Truncated {
+        path: PathBuf,
+        expected_len: u64,
+        actual_len: u64,
+    },
+    /// The file is *longer* than the header's row count accounts for:
+    /// the declared row count disagrees with the file length.
+    RowCountMismatch {
+        path: PathBuf,
+        expected_len: u64,
+        actual_len: u64,
+    },
+    /// A column header declared a kind byte other than 0 (i64) / 1 (f64).
+    BadKind {
+        path: PathBuf,
+        column: String,
+        kind: u8,
+    },
+    /// A name field held non-UTF-8 bytes.
+    BadName { path: PathBuf, detail: String },
+    /// A projection requested a column the file does not have.
+    UnknownColumn { path: PathBuf, column: String },
+    /// A chunk read came up short: the file passed validation at open
+    /// but delivered fewer bytes than the header promised (e.g. it was
+    /// truncated *after* the reader opened it).
+    ShortRead {
+        path: PathBuf,
+        column: String,
+        start_row: usize,
+        rows: usize,
+    },
+    /// A manifest (or other directory-level metadata) was malformed or
+    /// inconsistent with the files it names.
+    Manifest { path: PathBuf, detail: String },
+    /// A file's header changed between when a streaming source captured
+    /// it and when a reader pass reopened it (row count, column set).
+    Changed { path: PathBuf, detail: String },
+}
+
+impl ExportError {
+    fn io(path: &Path, source: io::Error) -> ExportError {
+        ExportError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Io { path, source } => {
+                write!(f, "{}: i/o error: {source}", path.display())
+            }
+            ExportError::BadMagic { path, found } => write!(
+                f,
+                "{}: bad magic {:?} (expected IFAQTBL1)",
+                path.display(),
+                found
+            ),
+            ExportError::TruncatedHeader { path, detail } => {
+                write!(f, "{}: truncated header: {detail}", path.display())
+            }
+            ExportError::Truncated {
+                path,
+                expected_len,
+                actual_len,
+            } => write!(
+                f,
+                "{}: truncated: header promises {expected_len} bytes, file has {actual_len}",
+                path.display()
+            ),
+            ExportError::RowCountMismatch {
+                path,
+                expected_len,
+                actual_len,
+            } => write!(
+                f,
+                "{}: row count mismatch: header accounts for {expected_len} bytes, \
+                 file has {actual_len}",
+                path.display()
+            ),
+            ExportError::BadKind { path, column, kind } => write!(
+                f,
+                "{}: column `{column}` has unknown kind {kind}",
+                path.display()
+            ),
+            ExportError::BadName { path, detail } => {
+                write!(f, "{}: bad name field: {detail}", path.display())
+            }
+            ExportError::UnknownColumn { path, column } => {
+                write!(f, "{}: no column named `{column}`", path.display())
+            }
+            ExportError::ShortRead {
+                path,
+                column,
+                start_row,
+                rows,
+            } => write!(
+                f,
+                "{}: short read of column `{column}` rows {start_row}..{}",
+                path.display(),
+                start_row + rows
+            ),
+            ExportError::Manifest { path, detail } => {
+                write!(f, "{}: bad manifest: {detail}", path.display())
+            }
+            ExportError::Changed { path, detail } => {
+                write!(f, "{}: file changed under reader: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The scalar kind of an exported column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColKind {
+    I64,
+    F64,
+}
+
+/// One column's header entry plus where its inline data starts.
+#[derive(Debug, Clone)]
+pub struct ColumnMeta {
+    pub name: String,
+    pub kind: ColKind,
+    /// Absolute file offset of the column's first data byte.
+    data_offset: u64,
+}
+
+/// The parsed `IFAQTBL1` header: everything about the file except the
+/// column data itself.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub relation: String,
+    pub rows: usize,
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl TableMeta {
+    /// Index of `name` among the columns, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column names in file order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+/// A decoded run of rows: `columns[k]` holds rows `start..start + rows`
+/// of the `k`-th *projected* column (projection order, not file order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    pub start: usize,
+    pub rows: usize,
+    pub columns: Vec<Column>,
+}
+
+/// Counted reads so header parsing knows each column's data offset
+/// without a seekable source per field.
+struct Counted<R> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> Counted<R> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)?;
+        self.pos += buf.len() as u64;
+        Ok(())
+    }
+}
+
+/// Seek-based chunked reader over one `IFAQTBL1` file.
+///
+/// [`ChunkedReader::open`] parses and validates the full header —
+/// including that the file length equals exactly what the header's row
+/// count requires — so per-chunk reads are bare seeks plus one
+/// contiguous read per projected column.
+pub struct ChunkedReader {
+    file: File,
+    path: PathBuf,
+    meta: TableMeta,
+}
+
+impl ChunkedReader {
+    /// Opens `path`, parses the header, and validates the file length
+    /// against the declared row count.
+    pub fn open(path: &Path) -> Result<ChunkedReader, ExportError> {
+        let mut file = File::open(path).map_err(|e| ExportError::io(path, e))?;
+        let mut r = Counted {
+            inner: io::BufReader::new(&mut file),
+            pos: 0,
+        };
+        let trunc = |detail: &str| ExportError::TruncatedHeader {
+            path: path.to_path_buf(),
+            detail: detail.to_string(),
+        };
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic).map_err(|_| trunc("magic"))?;
+        if &magic != MAGIC {
+            return Err(ExportError::BadMagic {
+                path: path.to_path_buf(),
+                found: magic,
+            });
+        }
+        let read_str = |r: &mut Counted<_>, what: &str| -> Result<String, ExportError> {
+            let mut len = [0u8; 4];
+            r.read_exact(&mut len).map_err(|_| trunc(what))?;
+            let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+            r.read_exact(&mut buf).map_err(|_| trunc(what))?;
+            String::from_utf8(buf).map_err(|e| ExportError::BadName {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            })
+        };
+        let relation = read_str(&mut r, "relation name")?;
+        let mut rows8 = [0u8; 8];
+        r.read_exact(&mut rows8).map_err(|_| trunc("row count"))?;
+        let rows = u64::from_le_bytes(rows8);
+        let mut cols4 = [0u8; 4];
+        r.read_exact(&mut cols4)
+            .map_err(|_| trunc("column count"))?;
+        let ncols = u32::from_le_bytes(cols4) as usize;
+        let col_bytes = rows
+            .checked_mul(8)
+            .ok_or_else(|| trunc("row count overflows"))?;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let name = read_str(&mut r, "column name")?;
+            let mut kind = [0u8; 1];
+            r.read_exact(&mut kind).map_err(|_| trunc("column kind"))?;
+            let kind = match kind[0] {
+                0 => ColKind::I64,
+                1 => ColKind::F64,
+                k => {
+                    return Err(ExportError::BadKind {
+                        path: path.to_path_buf(),
+                        column: name,
+                        kind: k,
+                    })
+                }
+            };
+            let data_offset = r.pos;
+            columns.push(ColumnMeta {
+                name,
+                kind,
+                data_offset,
+            });
+            // Skip the inline data without reading it: advance the
+            // counter and re-seek the underlying file. BufReader's
+            // buffer is invalidated by seeking the inner File, so seek
+            // through the BufReader itself.
+            r.inner
+                .seek(SeekFrom::Current(col_bytes as i64))
+                .map_err(|e| ExportError::io(path, e))?;
+            r.pos += col_bytes;
+        }
+        let expected_len = r.pos;
+        drop(r);
+        let actual_len = file.metadata().map_err(|e| ExportError::io(path, e))?.len();
+        if actual_len < expected_len {
+            return Err(ExportError::Truncated {
+                path: path.to_path_buf(),
+                expected_len,
+                actual_len,
+            });
+        }
+        if actual_len > expected_len {
+            return Err(ExportError::RowCountMismatch {
+                path: path.to_path_buf(),
+                expected_len,
+                actual_len,
+            });
+        }
+        let rows = usize::try_from(rows).map_err(|_| ExportError::TruncatedHeader {
+            path: path.to_path_buf(),
+            detail: "row count exceeds usize".to_string(),
+        })?;
+        Ok(ChunkedReader {
+            file,
+            path: path.to_path_buf(),
+            meta: TableMeta {
+                relation,
+                rows,
+                columns,
+            },
+        })
+    }
+
+    /// The parsed header.
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// Resolves a projection by name to file-order column indices, in
+    /// the order given. Unknown names are an [`ExportError::UnknownColumn`].
+    pub fn projection(&self, names: &[&str]) -> Result<Vec<usize>, ExportError> {
+        names
+            .iter()
+            .map(|n| {
+                self.meta
+                    .column_index(n)
+                    .ok_or_else(|| ExportError::UnknownColumn {
+                        path: self.path.clone(),
+                        column: n.to_string(),
+                    })
+            })
+            .collect()
+    }
+
+    /// Reads rows `start..start + len` of the projected columns (file
+    /// indices, output in the given order). `start + len` must not
+    /// exceed the row count; ranges are the caller's chunk layout.
+    pub fn read_chunk(
+        &mut self,
+        start: usize,
+        len: usize,
+        proj: &[usize],
+    ) -> Result<Chunk, ExportError> {
+        assert!(
+            start.checked_add(len).is_some_and(|e| e <= self.meta.rows),
+            "chunk {start}..{} out of bounds for {} rows",
+            start as u128 + len as u128,
+            self.meta.rows
+        );
+        let mut columns = Vec::with_capacity(proj.len());
+        let mut raw = vec![0u8; len * 8];
+        for &ci in proj {
+            let cm = &self.meta.columns[ci];
+            let off = cm.data_offset + (start as u64) * 8;
+            self.file
+                .seek(SeekFrom::Start(off))
+                .map_err(|e| ExportError::io(&self.path, e))?;
+            self.file.read_exact(&mut raw).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    ExportError::ShortRead {
+                        path: self.path.clone(),
+                        column: cm.name.clone(),
+                        start_row: start,
+                        rows: len,
+                    }
+                } else {
+                    ExportError::io(&self.path, e)
+                }
+            })?;
+            let cells = raw.chunks_exact(8);
+            columns.push(match cm.kind {
+                ColKind::I64 => Column::I64(
+                    cells
+                        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                ),
+                ColKind::F64 => Column::F64(
+                    cells
+                        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                ),
+            });
+        }
+        Ok(Chunk {
+            start,
+            rows: len,
+            columns,
+        })
+    }
+
+    /// Iterator of fixed-size chunks covering all rows in order: every
+    /// chunk holds exactly `chunk_rows` rows except a shorter final
+    /// one. Zero rows yield zero chunks — the same chunk layout as the
+    /// engine's in-memory `ExecConfig` sharding, which is what makes
+    /// streamed partial merges bit-identical to resident ones.
+    pub fn chunks(&mut self, chunk_rows: usize, proj: Vec<usize>) -> ChunkIter<'_> {
+        ChunkIter {
+            reader: self,
+            chunk_rows: chunk_rows.max(1),
+            next_start: 0,
+            proj,
+        }
+    }
+
+    /// Decodes the whole file through the chunked path, reassembling a
+    /// resident [`ColRelation`] — the streaming-side equivalent of
+    /// [`crate::export::read_relation`], used by differential tests to
+    /// prove concatenated chunks bit-equal a whole-file read.
+    pub fn read_all(&mut self) -> Result<ColRelation, ExportError> {
+        let proj: Vec<usize> = (0..self.meta.columns.len()).collect();
+        let rows = self.meta.rows;
+        let chunk = self.read_chunk(0, rows, &proj)?;
+        debug_assert_eq!(chunk.rows, rows);
+        let attrs = self
+            .meta
+            .columns
+            .iter()
+            .map(|c| Sym::new(&c.name))
+            .collect();
+        Ok(ColRelation::new(
+            self.meta.relation.clone(),
+            attrs,
+            chunk.columns,
+        ))
+    }
+}
+
+/// See [`ChunkedReader::chunks`].
+pub struct ChunkIter<'a> {
+    reader: &'a mut ChunkedReader,
+    chunk_rows: usize,
+    next_start: usize,
+    proj: Vec<usize>,
+}
+
+impl Iterator for ChunkIter<'_> {
+    type Item = Result<Chunk, ExportError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let rows = self.reader.meta.rows;
+        if self.next_start >= rows {
+            return None;
+        }
+        let start = self.next_start;
+        let len = (rows - start).min(self.chunk_rows);
+        self.next_start = start + len;
+        Some(self.reader.read_chunk(start, len, &self.proj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::write_relation;
+
+    fn sample(rows: usize) -> ColRelation {
+        ColRelation::new(
+            "S",
+            vec![Sym::new("k"), Sym::new("v"), Sym::new("w")],
+            vec![
+                Column::I64((0..rows as i64).collect()),
+                Column::F64((0..rows).map(|i| i as f64 * 1.5 - 3.0).collect()),
+                Column::F64((0..rows).map(|i| (-0.25f64).powi(i as i32 % 7)).collect()),
+            ],
+        )
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ifaq_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn chunks_concatenate_to_the_whole_file() {
+        let rel = sample(103);
+        let path = tmp("concat.ifaqtbl");
+        write_relation(&rel, &path).unwrap();
+        let mut r = ChunkedReader::open(&path).unwrap();
+        assert_eq!(r.meta().relation, "S");
+        assert_eq!(r.meta().rows, 103);
+        for chunk_rows in [1usize, 7, 100, 103, 1000] {
+            let proj: Vec<usize> = (0..3).collect();
+            let mut cols = vec![
+                Column::I64(vec![]),
+                Column::F64(vec![]),
+                Column::F64(vec![]),
+            ];
+            let chunks: Vec<Chunk> = r
+                .chunks(chunk_rows, proj)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            for c in &chunks {
+                for (acc, got) in cols.iter_mut().zip(&c.columns) {
+                    match (acc, got) {
+                        (Column::I64(a), Column::I64(g)) => a.extend_from_slice(g),
+                        (Column::F64(a), Column::F64(g)) => a.extend_from_slice(g),
+                        _ => panic!("kind flip"),
+                    }
+                }
+            }
+            assert_eq!(cols, rel.columns, "chunk_rows {chunk_rows}");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn projection_decodes_only_requested_columns_in_order() {
+        let rel = sample(10);
+        let path = tmp("proj.ifaqtbl");
+        write_relation(&rel, &path).unwrap();
+        let mut r = ChunkedReader::open(&path).unwrap();
+        let proj = r.projection(&["w", "k"]).unwrap();
+        let chunk = r.read_chunk(2, 5, &proj).unwrap();
+        assert_eq!(chunk.columns.len(), 2);
+        match (&chunk.columns[0], &rel.columns[2]) {
+            (Column::F64(got), Column::F64(full)) => assert_eq!(got[..], full[2..7]),
+            _ => panic!("expected f64 w column"),
+        }
+        match (&chunk.columns[1], &rel.columns[0]) {
+            (Column::I64(got), Column::I64(full)) => assert_eq!(got[..], full[2..7]),
+            _ => panic!("expected i64 k column"),
+        }
+        assert!(matches!(
+            r.projection(&["nope"]),
+            Err(ExportError::UnknownColumn { .. })
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_relation_yields_no_chunks() {
+        let rel = ColRelation::new("E", vec![Sym::new("k")], vec![Column::I64(vec![])]);
+        let path = tmp("empty.ifaqtbl");
+        write_relation(&rel, &path).unwrap();
+        let mut r = ChunkedReader::open(&path).unwrap();
+        assert_eq!(r.meta().rows, 0);
+        assert_eq!(r.chunks(4, vec![0]).count(), 0);
+        assert_eq!(r.read_all().unwrap(), rel);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_bad_magic_truncation_and_trailing_bytes() {
+        let rel = sample(20);
+        let path = tmp("faults.ifaqtbl");
+        write_relation(&rel, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[..8].copy_from_slice(b"NOTATBL1");
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(
+            ChunkedReader::open(&path),
+            Err(ExportError::BadMagic { .. })
+        ));
+
+        std::fs::write(&path, &good[..good.len() - 9]).unwrap();
+        assert!(matches!(
+            ChunkedReader::open(&path),
+            Err(ExportError::Truncated { .. })
+        ));
+
+        let mut long = good.clone();
+        long.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &long).unwrap();
+        assert!(matches!(
+            ChunkedReader::open(&path),
+            Err(ExportError::RowCountMismatch { .. })
+        ));
+
+        std::fs::write(&path, &good[..11]).unwrap();
+        assert!(matches!(
+            ChunkedReader::open(&path),
+            Err(ExportError::TruncatedHeader { .. })
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mid_stream_truncation_is_a_short_read_not_a_panic() {
+        let rel = sample(50);
+        let path = tmp("midstream.ifaqtbl");
+        write_relation(&rel, &path).unwrap();
+        let mut r = ChunkedReader::open(&path).unwrap();
+        // Shrink the file *after* open validated it: the next chunk
+        // touching the missing tail must surface as ShortRead.
+        let good = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &good[..good.len() - 40]).unwrap();
+        // Reopen the handle so the truncation is visible to reads.
+        let mut r2 = ChunkedReader {
+            file: File::open(&path).unwrap(),
+            path: r.path.clone(),
+            meta: r.meta.clone(),
+        };
+        let proj = r2.projection(&["w"]).unwrap();
+        let err = r2.read_chunk(45, 5, &proj).unwrap_err();
+        assert!(matches!(err, ExportError::ShortRead { .. }), "{err}");
+        // The untruncated prefix still reads fine.
+        assert!(r2.read_chunk(0, 40, &proj).is_ok());
+        let _ = r.read_chunk(0, 1, &proj);
+        std::fs::remove_file(path).unwrap();
+    }
+}
