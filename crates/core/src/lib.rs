@@ -28,6 +28,11 @@
 //!                                      driven by the same cost model)
 //! ```
 //!
+//! `ARCHITECTURE.md` at the repo root maps these paper sections onto the
+//! workspace crates and documents the `ifaq_engine::exec` executor tree
+//! that the final stage — and every other execution path (prepared,
+//! parallel, delta, streaming) — routes through.
+//!
 //! The [`Pipeline`] type drives all stages and records per-stage
 //! [`snapshots`](Compiled::stages); [`Compiled::execute`] runs the result
 //! directly over a star database without materializing the join, and

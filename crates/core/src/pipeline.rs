@@ -415,6 +415,14 @@ impl PreparedBatch {
     pub fn plan(&self) -> Option<&ViewPlan> {
         self.planned.as_ref().map(|(plan, _)| plan)
     }
+
+    /// Renders the prepared executor tree this batch runs — one line per
+    /// plan node, with each node's prepared-state detail (see
+    /// [`ifaq_engine::exec::PlanTree::explain`]). `None` when the
+    /// compiled batch is empty.
+    pub fn explain_tree(&self) -> Option<String> {
+        self.planned.as_ref().map(|(_, prep)| prep.explain_tree())
+    }
 }
 
 impl Compiled {
@@ -498,6 +506,21 @@ impl Compiled {
             batch: self.batch.clone(),
             planned: Some((plan, prep)),
         })
+    }
+
+    /// Renders the executor tree the compiled batch would run over `db`
+    /// under `layout_choice`, without preparing any state (see
+    /// [`ifaq_engine::exec::explain_tree`]). `None` when the batch is
+    /// empty. For a rendering that includes prepared-state detail,
+    /// prepare first and use [`PreparedBatch::explain_tree`].
+    pub fn explain_tree(
+        &self,
+        db: &StarDb,
+        layout_choice: Layout,
+    ) -> Result<Option<String>, PipelineError> {
+        Ok(self.plan_for(db)?.map(|(_, plan)| {
+            ifaq_engine::exec::explain_tree(&plan, Some(&self.batch), layout_choice)
+        }))
     }
 
     /// Runs just the aggregate batch over prepared state (the θ-dependent

@@ -1,11 +1,23 @@
-//! Named physical layouts (§4.4 data-layout synthesis) and a uniform
-//! dispatcher, used by the benchmark harness to sweep the optimization
-//! ladders of Figures 7a and 7b.
+//! Named physical layouts (§4.4 data-layout synthesis) and the uniform
+//! prepare/execute front door over them, used by the benchmark harness
+//! to sweep the optimization ladders of Figures 7a and 7b.
+//!
+//! Since the executor-tree refactor this module is a *façade*: a
+//! [`Prepared`] wraps a prepared [`crate::exec::PlanTree`] (built by
+//! [`crate::exec::build_tree`], the single construction point for every
+//! execution path) and this module's job is the staleness contract —
+//! recording which layout, plan, database shape, and mutation epoch the
+//! state was built for, and panicking with a message naming both sides
+//! when [`execute_with`] is handed anything else. Callers that want the
+//! tree itself (node-level explain, prepared-subtree caching, streamed
+//! execution) can use [`crate::exec`] directly; nothing here is more
+//! than guards plus delegation.
 
+use crate::exec;
 use crate::par::ExecConfig;
-use crate::physical;
 use crate::star::StarDb;
 use ifaq_query::ViewPlan;
+use std::sync::Mutex;
 
 /// The [`Layout`] enum lives in `ifaq_query::analysis` (the shared cost
 /// oracle both this engine and `ifaq_codegen` consult) and is re-exported
@@ -60,7 +72,11 @@ pub struct Prepared {
     /// cannot: a delta that deletes and inserts equally many rows keeps
     /// the row counts but moves the data out from under row-index state.
     db_generation: u64,
-    state: PrepState,
+    /// The prepared executor tree. Behind a mutex because node execution
+    /// takes `&mut self` (nodes own their state and the streamed paths
+    /// record stats), while this module's API promises read-only reuse
+    /// of one `Prepared` from any number of `execute_with` calls.
+    tree: Mutex<exec::PlanTree>,
 }
 
 fn db_shape(db: &StarDb) -> Vec<usize> {
@@ -69,22 +85,16 @@ fn db_shape(db: &StarDb) -> Vec<usize> {
         .collect()
 }
 
-#[derive(Debug)]
-enum PrepState {
-    Materialized(physical::MatPrep),
-    Pushdown(physical::PushdownPrep),
-    BoxedRecords(physical::BoxedRecordsPrep),
-    BoxedScalars(physical::BoxedScalarsPrep),
-    MergedHash(physical::MergedPrep),
-    Trie(physical::TriePrep),
-    Array(physical::ArrayPrep),
-    SortedTrie(physical::SortedPrep),
-}
-
 impl Prepared {
     /// The layout this state was built for.
     pub fn layout(&self) -> Layout {
         self.layout
+    }
+
+    /// Renders the prepared executor tree, one node per line (see
+    /// [`crate::exec::PlanTree::explain`]).
+    pub fn explain_tree(&self) -> String {
+        self.tree.lock().expect("prepared tree lock").explain()
     }
 }
 
@@ -111,41 +121,49 @@ static PREPARE_CALLS: std::sync::atomic::AtomicUsize = std::sync::atomic::Atomic
 /// static half of the prepare/execute contract the differential suites
 /// check dynamically.
 pub fn prepare(layout: Layout, plan: &ViewPlan, db: &StarDb) -> Prepared {
-    for dim in &plan.dims {
-        for payload in &dim.payloads {
-            let theta_dependent = payload
-                .factors
-                .iter()
-                .map(|f| f.as_str())
-                .chain(payload.filter.iter().map(|p| p.attr.as_str()))
-                .find(|a| ifaq_ir::analysis::is_iteration_column(a));
-            if let Some(attr) = theta_dependent {
-                panic!(
-                    "cannot prepare layout state: dimension `{}` owns iteration column \
-                     `{attr}`, which changes per training iteration; prepared views would \
-                     bake stale values — iteration columns must live on the fact table",
-                    dim.relation
-                );
-            }
-        }
-    }
+    prepare_inner(layout, plan, db, None)
+}
+
+/// [`prepare`] through a [`crate::exec::PrepCache`]: dimension-side
+/// state (every hash/dense/boxed/pushdown view) is fetched from the
+/// cache by θ-free fingerprint instead of rebuilt, while fact-derived
+/// state (join index, fact trie, sort order) is always rebuilt. Safe
+/// across any number of *fact* deltas — the fingerprint covers the
+/// dimension tables and the plan, which is exactly what
+/// `ifaq_ir::analysis::DeltaAnalysis` classifies `Reusable` under a
+/// fact-only delta; a changed *dimension* table requires a fresh cache.
+pub fn prepare_cached(
+    layout: Layout,
+    plan: &ViewPlan,
+    db: &StarDb,
+    cache: &exec::PrepCache,
+) -> Prepared {
+    prepare_inner(layout, plan, db, Some(cache))
+}
+
+fn prepare_inner(
+    layout: Layout,
+    plan: &ViewPlan,
+    db: &StarDb,
+    cache: Option<&exec::PrepCache>,
+) -> Prepared {
+    // build_tree owns the iteration-column assertion (the static half of
+    // the prepare/execute contract), so a θ-dependent dimension payload
+    // still panics here with the long-standing message.
+    let mut tree = exec::build_tree(plan, None, layout, ExecConfig::global());
     PREPARE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let state = match layout {
-        Layout::Materialized => PrepState::Materialized(physical::prepare_materialized(db)),
-        Layout::Pushdown => PrepState::Pushdown(physical::prepare_pushdown(plan, db)),
-        Layout::BoxedRecords => PrepState::BoxedRecords(physical::prepare_boxed_records(plan, db)),
-        Layout::BoxedScalars => PrepState::BoxedScalars(physical::prepare_boxed_scalars(plan, db)),
-        Layout::MergedHash => PrepState::MergedHash(physical::prepare_merged(plan, db)),
-        Layout::Trie => PrepState::Trie(physical::prepare_trie(plan, db)),
-        Layout::Array => PrepState::Array(physical::prepare_array(plan, db)),
-        Layout::SortedTrie => PrepState::SortedTrie(physical::prepare_sorted(plan, db)),
-    };
+    let mut state = exec::ExecutionState::new(exec::Source::Resident(db));
+    if let Some(cache) = cache {
+        state = state.with_cache(cache);
+    }
+    tree.prepare_with(&mut state)
+        .expect("resident preparation is infallible");
     Prepared {
         layout,
         plan: plan.clone(),
         db_shape: db_shape(db),
         db_generation: db.generation(),
-        state,
+        tree: Mutex::new(tree),
     }
 }
 
@@ -218,16 +236,9 @@ pub fn execute_with(
             want_dims = plan.dims.len(),
         );
     }
-    match &prep.state {
-        PrepState::Materialized(p) => physical::exec_materialized_prepared(plan, db, p, cfg),
-        PrepState::Pushdown(p) => physical::exec_pushdown_prepared(plan, db, p, cfg),
-        PrepState::BoxedRecords(p) => physical::exec_boxed_records_prepared(plan, db, p, cfg),
-        PrepState::BoxedScalars(p) => physical::exec_boxed_scalars_prepared(plan, db, p, cfg),
-        PrepState::MergedHash(p) => physical::exec_merged_prepared(plan, db, p, cfg),
-        PrepState::Trie(p) => physical::exec_trie_prepared(plan, db, p, cfg),
-        PrepState::Array(p) => physical::exec_array_prepared(plan, db, p, cfg),
-        PrepState::SortedTrie(p) => physical::exec_sorted_prepared(plan, db, p, cfg),
-    }
+    let mut tree = prep.tree.lock().expect("prepared tree lock");
+    tree.execute_with(&mut exec::ExecutionState::new(exec::Source::Resident(db)).with_cfg(*cfg))
+        .expect("resident execution is infallible after prepare")
 }
 
 #[cfg(test)]

@@ -25,6 +25,19 @@
 //! All executors compute the same batch results; cross-engine equivalence
 //! is property-tested.
 //!
+//! ## The executor tree
+//!
+//! [`exec`] composes the physical kernels into trees of plan nodes
+//! (`Aggregate` → per-layout join/view node → `Scan`), the uniform
+//! prepare/execute architecture every higher layer routes through:
+//! [`layout::prepare`]/[`layout::execute_with`] for resident execution,
+//! [`stream`] for out-of-core, `ifaq_ml`'s trainers for model fitting,
+//! and `ifaq_serve` for incremental maintenance (with a
+//! [`exec::PrepCache`] reusing θ-free dimension-side state across
+//! deltas). [`exec::explain_tree`] renders the tree a plan × layout
+//! executes. See `ARCHITECTURE.md` at the repo root for the full map
+//! from paper sections to these modules.
+//!
 //! ## Sharded execution
 //!
 //! The aggregate batch over `dom(Q)` is embarrassingly parallel per fact
@@ -65,6 +78,7 @@
 //! as the sharded scan, so streamed results are bit-identical to the
 //! in-memory path at any thread count.
 
+pub mod exec;
 pub mod interp;
 pub mod layout;
 pub mod par;
@@ -72,6 +86,7 @@ pub mod physical;
 pub mod star;
 pub mod stream;
 
+pub use exec::{build_tree, explain_tree, ExecutionState, Executor, PlanTree, PrepCache, Source};
 pub use interp::{eval_expr, eval_program, stable_sigmoid, Env, Interpreter};
 pub use layout::Layout;
 pub use par::ExecConfig;

@@ -30,6 +30,12 @@
 //! the same chunked loop on the calling thread, so the differential
 //! tests compare the identical reduction at every parallelism level.
 //!
+//! The [`crate::exec`] executor tree's `AggregateNode` folds partials
+//! under exactly this discipline, which is how bit-identity across
+//! thread counts carries over to every execution path built on the tree
+//! (resident, prepared, delta, streamed) by construction rather than by
+//! per-path argument.
+//!
 //! # Picking `chunk_rows`
 //!
 //! Chunks are the unit of load balancing (threads pull the next unclaimed

@@ -15,8 +15,12 @@
 //! sorted order, and the level analysis — is built exactly once and then
 //! borrowed by any number of execute calls. The one-shot forms are thin
 //! wrappers over the split, so reuse is bit-identical to fresh
-//! prepare+execute by construction; [`crate::layout::prepare`] dispatches
-//! the split uniformly across layouts. Prepared state never captures fact
+//! prepare+execute by construction. The [`crate::exec`] executor tree
+//! composes these kernels into plan nodes — one join/view node per
+//! layout owning the matching `*Prep` — and is what
+//! [`crate::layout::prepare`] builds; this module stays the kernel
+//! library: loops, preps, and nothing that knows about trees or
+//! sources. Prepared state never captures fact
 //! *value* columns (executors read those live), so iterative training
 //! that rewrites a derived fact column (logistic's `__sigma`) can reuse
 //! one preparation across every iteration.
@@ -109,6 +113,13 @@ pub(crate) fn build_merged_view(b: &BoundDim) -> HashMap<i64, Vec<f64>> {
         }
     }
     out
+}
+
+/// Builds the merged view of every dimension — the dimension-side half
+/// of the trie state, split out so `exec` nodes can cache it separately
+/// from the fact-derived trie.
+pub(crate) fn build_merged_views(plan: &ViewPlan, db: &StarDb) -> Vec<HashMap<i64, Vec<f64>>> {
+    bind_dims(plan, db).iter().map(build_merged_view).collect()
 }
 
 /// Per-row fact factor product with δ filters, shared by all executors.
@@ -500,7 +511,7 @@ pub(crate) struct KeyPlan {
     pub(crate) rowprogs: Vec<(usize, Vec<usize>)>,
 }
 
-fn key_plan(plan: &ViewPlan, db: &StarDb) -> KeyPlan {
+pub(crate) fn key_plan(plan: &ViewPlan, db: &StarDb) -> KeyPlan {
     key_plan_with_rows(plan, db, db.fact.len().max(1))
 }
 
@@ -590,7 +601,7 @@ pub fn build_fact_trie(plan: &ViewPlan, db: &StarDb) -> FactTrie {
     build_fact_trie_from(&key_plan(plan, db), db)
 }
 
-fn build_fact_trie_from(kp: &KeyPlan, db: &StarDb) -> FactTrie {
+pub(crate) fn build_fact_trie_from(kp: &KeyPlan, db: &StarDb) -> FactTrie {
     let key_cols: Vec<&[i64]> = kp
         .prefix
         .iter()
@@ -674,6 +685,19 @@ pub fn exec_trie_prepared(
     cfg: &ExecConfig,
 ) -> Vec<f64> {
     exec_trie_inner(plan, db, &prep.trie, &prep.views, &prep.kp, cfg)
+}
+
+/// [`exec_trie_prepared`] over the state's individual parts, for `exec`
+/// nodes that cache the dimension views separately from the fact trie.
+pub(crate) fn exec_trie_parts(
+    plan: &ViewPlan,
+    db: &StarDb,
+    trie: &FactTrie,
+    views: &[HashMap<i64, Vec<f64>>],
+    kp: &KeyPlan,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    exec_trie_inner(plan, db, trie, views, kp, cfg)
 }
 
 fn exec_trie_inner(
@@ -951,6 +975,13 @@ pub struct ArrayPrep {
     views: Vec<DenseView>,
 }
 
+/// Builds the dense view of every dimension — the dimension-side half of
+/// the sorted-trie state, split out so `exec` nodes can cache it
+/// separately from the fact-derived sort order.
+pub(crate) fn build_dense_views(plan: &ViewPlan, db: &StarDb) -> Vec<DenseView> {
+    bind_dims(plan, db).iter().map(build_dense_view).collect()
+}
+
 /// Builds the dense view of every dimension.
 pub fn prepare_array(plan: &ViewPlan, db: &StarDb) -> ArrayPrep {
     let bounds = bind_dims(plan, db);
@@ -1011,7 +1042,7 @@ pub fn build_sorted(plan: &ViewPlan, db: &StarDb) -> SortedStar {
     build_sorted_from(&key_plan(plan, db), db)
 }
 
-fn build_sorted_from(kp: &KeyPlan, db: &StarDb) -> SortedStar {
+pub(crate) fn build_sorted_from(kp: &KeyPlan, db: &StarDb) -> SortedStar {
     let key_cols: Vec<&[i64]> = kp
         .prefix
         .iter()
@@ -1096,6 +1127,19 @@ pub fn exec_sorted_prepared(
     cfg: &ExecConfig,
 ) -> Vec<f64> {
     exec_sorted_inner(plan, db, &prep.sorted, &prep.views, &prep.kp, cfg)
+}
+
+/// [`exec_sorted_prepared`] over the state's individual parts, for `exec`
+/// nodes that cache the dense views separately from the sort order.
+pub(crate) fn exec_sorted_parts(
+    plan: &ViewPlan,
+    db: &StarDb,
+    sorted: &SortedStar,
+    views: &[DenseView],
+    kp: &KeyPlan,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    exec_sorted_inner(plan, db, sorted, views, kp, cfg)
 }
 
 fn exec_sorted_inner(

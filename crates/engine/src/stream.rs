@@ -37,6 +37,14 @@
 //! `tests/streaming_equivalence.rs` asserts `==` (not approximate
 //! equality) against the resident executors for every layout.
 //!
+//! Since the executor-tree refactor, [`prepare_streaming`] builds the
+//! same [`crate::exec`] tree as resident preparation — prepared against
+//! a [`crate::exec::Source::StreamSchema`] (resident dims, fact schema
+//! plus on-disk row count) — and [`execute_streaming`] runs it with a
+//! [`crate::exec::Source::Stream`]; the per-layout streaming drivers in
+//! this module are what the tree's nodes call. A [`StreamPrep`] can
+//! render the tree it will run via [`StreamPrep::explain_tree`].
+//!
 //! ## I/O–compute overlap and memory bound
 //!
 //! A dedicated reader thread decodes chunks and hands them over a
@@ -72,7 +80,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Bounded-channel depth of the reader thread: chunks decoded ahead of
 /// the compute side. Two is classic double buffering — one chunk in
@@ -215,39 +223,26 @@ fn empty_fact(meta: &TableMeta) -> ColRelation {
     )
 }
 
-/// θ-free prepared state for one streaming execution path: dimension-side
-/// views (always resident) plus, for the trie-family layouts, the level
+/// θ-free prepared state for one streaming execution path: a prepared
+/// [`crate::exec::PlanTree`] whose nodes hold the dimension-side views
+/// (always resident) plus, for the trie-family layouts, the level
 /// analysis pinned to the *full-table* row count. Built once by
 /// [`prepare_streaming`], reused across passes (training iterations).
 pub struct StreamPrep {
-    layout: Layout,
-    state: PrepState,
+    tree: Mutex<crate::exec::PlanTree>,
 }
 
 impl StreamPrep {
     /// The layout this state was prepared for.
     pub fn layout(&self) -> Layout {
-        self.layout
+        self.tree.lock().expect("stream prep lock").layout()
     }
-}
 
-enum PrepState {
-    /// Per-dimension key → row indexes for the streamed index join
-    /// (later duplicate rows win, matching [`crate::star::Dim::key_index`]).
-    Materialized(Vec<HashMap<i64, usize>>),
-    Pushdown(physical::PushdownPrep),
-    BoxedRecords(physical::BoxedRecordsPrep),
-    BoxedScalars(physical::BoxedScalarsPrep),
-    MergedHash(physical::MergedPrep),
-    Trie {
-        views: Vec<HashMap<i64, Vec<f64>>>,
-        kp: KeyPlan,
-    },
-    Array(physical::ArrayPrep),
-    SortedTrie {
-        views: Vec<physical::DenseView>,
-        kp: KeyPlan,
-    },
+    /// Renders the prepared executor tree (see
+    /// [`crate::exec::PlanTree::explain`]).
+    pub fn explain_tree(&self) -> String {
+        self.tree.lock().expect("stream prep lock").explain()
+    }
 }
 
 /// Builds the streaming-side θ-free state for `layout` over the schema
@@ -260,35 +255,12 @@ pub fn prepare_streaming(
     schema: &StarDb,
     fact_rows: usize,
 ) -> StreamPrep {
-    let state = match layout {
-        Layout::Materialized => {
-            PrepState::Materialized(schema.dims.iter().map(|d| d.key_index()).collect())
-        }
-        Layout::Pushdown => PrepState::Pushdown(physical::prepare_pushdown(plan, schema)),
-        Layout::BoxedRecords => {
-            PrepState::BoxedRecords(physical::prepare_boxed_records(plan, schema))
-        }
-        Layout::BoxedScalars => {
-            PrepState::BoxedScalars(physical::prepare_boxed_scalars(plan, schema))
-        }
-        Layout::MergedHash => PrepState::MergedHash(physical::prepare_merged(plan, schema)),
-        Layout::Trie => {
-            let bounds = physical::bind_dims(plan, schema);
-            PrepState::Trie {
-                views: bounds.iter().map(physical::build_merged_view).collect(),
-                kp: physical::key_plan_with_rows(plan, schema, fact_rows),
-            }
-        }
-        Layout::Array => PrepState::Array(physical::prepare_array(plan, schema)),
-        Layout::SortedTrie => {
-            let bounds = physical::bind_dims(plan, schema);
-            PrepState::SortedTrie {
-                views: bounds.iter().map(physical::build_dense_view).collect(),
-                kp: physical::key_plan_with_rows(plan, schema, fact_rows),
-            }
-        }
-    };
-    StreamPrep { layout, state }
+    let mut tree = crate::exec::build_tree(plan, None, layout, ExecConfig::global());
+    tree.prepare(crate::exec::Source::StreamSchema { schema, fact_rows })
+        .expect("schema-side streaming preparation does not touch the disk");
+    StreamPrep {
+        tree: Mutex::new(tree),
+    }
 }
 
 /// Observability of one streaming execution: how much was read and the
@@ -549,15 +521,120 @@ pub fn execute_streaming_map(
     virtual_cols: &[Sym],
     map_chunk: &mut dyn FnMut(usize, ColRelation) -> ColRelation,
 ) -> Result<(Vec<f64>, StreamStats), ExportError> {
+    let mut tree = prep.tree.lock().expect("stream prep lock");
+    if tree.plan() != plan {
+        panic!(
+            "stale StreamPrep: state was built for a different view plan ({built_terms} \
+             terms over {built_dims} dimension views, executing {want_terms} terms over \
+             {want_dims}); rebuild with prepare_streaming for this plan",
+            built_terms = tree.plan().terms.len(),
+            built_dims = tree.plan().dims.len(),
+            want_terms = plan.terms.len(),
+            want_dims = plan.dims.len(),
+        );
+    }
+    let mut state = crate::exec::ExecutionState::new(crate::exec::Source::Stream(src))
+        .with_cfg(*cfg)
+        .with_virtual_cols(virtual_cols)
+        .with_map_chunk(map_chunk);
+    let acc = tree.execute_with(&mut state).map_err(|e| match e {
+        crate::exec::ExecError::Stream(err) => err,
+        other => panic!("streaming execution failed outside the I/O layer: {other}"),
+    })?;
+    let stats = state
+        .take_stream_stats()
+        .expect("streamed execute records StreamStats");
+    Ok((acc, stats))
+}
+
+/// Finishes a streaming run's accounting: records the gauge's peak in
+/// `stats` and folds it into the process-wide high-water mark.
+fn finalize_stats(stats: &mut StreamStats, gauge: &LiveGauge) {
+    stats.peak_live_chunks = gauge.peak.load(Ordering::SeqCst);
+    GLOBAL_PEAK.fetch_max(stats.peak_live_chunks, Ordering::SeqCst);
+}
+
+/// The row-sharded streaming driver shared by the per-chunk layouts
+/// (merged hash, dense array, both boxed dicts) and pushdown: streams
+/// the fact table chunk by chunk into a work database (resident
+/// dimensions, fact swapped per chunk) and hands each chunk to
+/// `on_chunk` along with the running per-term accumulators. Per-chunk
+/// layouts fold a serial partial per chunk (each streamed chunk *is* one
+/// in-memory chunk, merged in ascending order exactly like
+/// `run_chunked_sums`); pushdown adds into the accumulators row by row,
+/// carrying them across chunk boundaries (in memory each term is one
+/// unbroken sequential fold).
+pub(crate) fn run_row_stream(
+    plan: &ViewPlan,
+    src: &StreamSource,
+    cfg: &ExecConfig,
+    virtual_cols: &[Sym],
+    map_chunk: &mut dyn FnMut(usize, ColRelation) -> ColRelation,
+    on_chunk: &mut dyn FnMut(&StarDb, &mut [f64]),
+) -> Result<(Vec<f64>, StreamStats), ExportError> {
     let mut stats = StreamStats {
         reader_depth: READER_DEPTH,
         ..StreamStats::default()
     };
-    let materialized = matches!(prep.state, PrepState::Materialized(_));
-    let proj = file_projection(plan, src, materialized, virtual_cols);
+    let proj = file_projection(plan, src, false, virtual_cols);
     let gauge = Arc::new(LiveGauge::default());
     // One `chunk_rows`-sized unit of the scan — the same chunk layout as
     // the in-memory sharding, which is what bit-identity rests on.
+    let chunk_rows = cfg.chunk_rows.max(1);
+    let rx = spawn_reader(
+        src,
+        proj.iter().map(|s| s.as_str().to_string()).collect(),
+        chunk_rows,
+        Arc::clone(&gauge),
+    );
+    let mut feed = Feed {
+        rx,
+        name: src.schema.fact.name.clone(),
+        attrs: proj.clone(),
+        map: Some(map_chunk),
+        stats: &mut stats,
+        current_guard: None,
+    };
+    // Work database: resident dimensions, fact swapped per chunk.
+    let mut work = src.schema.with_fact(empty_fact(&src.fact_meta));
+    let mut acc = vec![0.0; plan.terms.len()];
+    while let Some(item) = feed.next() {
+        let (_, rel) = item?;
+        work.fact = rel;
+        on_chunk(&work, &mut acc);
+    }
+    drop(feed);
+    finalize_stats(&mut stats, &gauge);
+    Ok((acc, stats))
+}
+
+macro_rules! driver_scaffold {
+    ($plan:expr, $src:expr, $cfg:expr, $virtual_cols:expr, $materialized:expr) => {{
+        let stats = StreamStats {
+            reader_depth: READER_DEPTH,
+            ..StreamStats::default()
+        };
+        let proj = file_projection($plan, $src, $materialized, $virtual_cols);
+        let gauge = Arc::new(LiveGauge::default());
+        let work = $src.schema.with_fact(empty_fact(&$src.fact_meta));
+        let acc = vec![0.0; $plan.terms.len()];
+        (stats, proj, gauge, work, acc)
+    }};
+}
+
+/// Streaming driver for the materialized layout: index join per row,
+/// matrix flush every `chunk_rows` *joined* rows (see
+/// [`stream_materialized`]).
+pub(crate) fn run_materialized_stream(
+    plan: &ViewPlan,
+    src: &StreamSource,
+    key_indexes: &[HashMap<i64, usize>],
+    cfg: &ExecConfig,
+    virtual_cols: &[Sym],
+    map_chunk: &mut dyn FnMut(usize, ColRelation) -> ColRelation,
+) -> Result<(Vec<f64>, StreamStats), ExportError> {
+    let (mut stats, proj, gauge, mut work, mut acc) =
+        driver_scaffold!(plan, src, cfg, virtual_cols, true);
     let chunk_rows = cfg.chunk_rows.max(1);
     let spawn = |names: &[Sym], gauge: &Arc<LiveGauge>| {
         spawn_reader(
@@ -567,131 +644,80 @@ pub fn execute_streaming_map(
             Arc::clone(gauge),
         )
     };
-    macro_rules! feed {
-        ($rx:expr, $map:expr, $stats:expr) => {
-            Feed {
-                rx: $rx,
-                name: src.schema.fact.name.clone(),
-                attrs: proj.clone(),
-                map: $map,
-                stats: $stats,
-                current_guard: None,
-            }
-        };
-    }
-    // Work database: resident dimensions, fact swapped per chunk.
-    let mut work = src.schema.with_fact(empty_fact(&src.fact_meta));
-    let serial = ExecConfig::serial();
-    let nterms = plan.terms.len();
-    let mut acc = vec![0.0; nterms];
+    stream_materialized(
+        plan,
+        src,
+        key_indexes,
+        cfg,
+        &proj,
+        &gauge,
+        &spawn,
+        map_chunk,
+        &mut work,
+        &mut stats,
+        &mut acc,
+    )?;
+    finalize_stats(&mut stats, &gauge);
+    Ok((acc, stats))
+}
 
-    match &prep.state {
-        // Row-sharded layouts: each streamed chunk *is* one in-memory
-        // chunk; run the prepared executor over it and merge partials in
-        // ascending chunk order, exactly like `run_chunked_sums`.
-        PrepState::MergedHash(p) => {
-            let mut f = feed!(spawn(&proj, &gauge), Some(map_chunk), &mut stats);
-            while let Some(item) = f.next() {
-                let (_, rel) = item?;
-                work.fact = rel;
-                let partial = physical::exec_merged_prepared(plan, &work, p, &serial);
-                for (a, v) in acc.iter_mut().zip(partial) {
-                    *a += v;
-                }
-            }
-        }
-        PrepState::Array(p) => {
-            let mut f = feed!(spawn(&proj, &gauge), Some(map_chunk), &mut stats);
-            while let Some(item) = f.next() {
-                let (_, rel) = item?;
-                work.fact = rel;
-                let partial = physical::exec_array_prepared(plan, &work, p, &serial);
-                for (a, v) in acc.iter_mut().zip(partial) {
-                    *a += v;
-                }
-            }
-        }
-        PrepState::BoxedRecords(p) => {
-            let mut f = feed!(spawn(&proj, &gauge), Some(map_chunk), &mut stats);
-            while let Some(item) = f.next() {
-                let (_, rel) = item?;
-                work.fact = rel;
-                let partial = physical::exec_boxed_records_prepared(plan, &work, p, &serial);
-                for (a, v) in acc.iter_mut().zip(partial) {
-                    *a += v;
-                }
-            }
-        }
-        PrepState::BoxedScalars(p) => {
-            let mut f = feed!(spawn(&proj, &gauge), Some(map_chunk), &mut stats);
-            while let Some(item) = f.next() {
-                let (_, rel) = item?;
-                work.fact = rel;
-                let partial = physical::exec_boxed_scalars_prepared(plan, &work, p, &serial);
-                for (a, v) in acc.iter_mut().zip(partial) {
-                    *a += v;
-                }
-            }
-        }
-        // Pushdown shards per *term*: in memory each term is one unbroken
-        // sequential fold over all rows, so the streamed accumulators
-        // carry across chunk boundaries (never reset per chunk). The
-        // result is independent of `chunk_rows` here, as in memory.
-        PrepState::Pushdown(p) => {
-            let mut f = feed!(spawn(&proj, &gauge), Some(map_chunk), &mut stats);
-            while let Some(item) = f.next() {
-                let (_, rel) = item?;
-                work.fact = rel;
-                let bounds = physical::bind_dims(plan, &work);
-                let fa = physical::FactAccess::bind(plan, &work);
-                let n = work.fact.len();
-                'row: for i in 0..n {
-                    for t in 0..nterms {
-                        let mut v = fa[t].eval(i);
-                        if v == 0.0 {
-                            continue;
-                        }
-                        for (b, view) in bounds.iter().zip(&p.views[t]) {
-                            match view.get(&b.fact_keys[i]) {
-                                Some(&pv) => v *= pv,
-                                None => continue 'row,
-                            }
-                        }
-                        acc[t] += v;
-                    }
-                }
-            }
-        }
-        PrepState::Materialized(key_indexes) => {
-            stream_materialized(
-                plan,
-                src,
-                key_indexes,
-                cfg,
-                &proj,
-                &gauge,
-                &spawn,
-                map_chunk,
-                &mut work,
-                &mut stats,
-                &mut acc,
-            )?;
-        }
-        PrepState::Trie { views, kp } => {
-            stream_trie(
-                plan, src, views, kp, cfg, &proj, &gauge, &spawn, map_chunk, &mut work, &mut stats,
-                &mut acc,
-            )?;
-        }
-        PrepState::SortedTrie { views, kp } => {
-            stream_sorted(
-                plan, src, views, kp, cfg, &proj, &gauge, &spawn, map_chunk, &mut work, &mut stats,
-                &mut acc,
-            )?;
-        }
-    }
-    stats.peak_live_chunks = gauge.peak.load(Ordering::SeqCst);
-    GLOBAL_PEAK.fetch_max(stats.peak_live_chunks, Ordering::SeqCst);
+/// Streaming driver for the trie layout: per-group row-program
+/// accumulation replayed under the in-memory group/chunk flush
+/// discipline (see [`stream_trie`]).
+pub(crate) fn run_trie_stream(
+    plan: &ViewPlan,
+    src: &StreamSource,
+    views: &[HashMap<i64, Vec<f64>>],
+    kp: &KeyPlan,
+    cfg: &ExecConfig,
+    virtual_cols: &[Sym],
+    map_chunk: &mut dyn FnMut(usize, ColRelation) -> ColRelation,
+) -> Result<(Vec<f64>, StreamStats), ExportError> {
+    let (mut stats, proj, gauge, mut work, mut acc) =
+        driver_scaffold!(plan, src, cfg, virtual_cols, false);
+    let chunk_rows = cfg.chunk_rows.max(1);
+    let spawn = |names: &[Sym], gauge: &Arc<LiveGauge>| {
+        spawn_reader(
+            src,
+            names.iter().map(|s| s.as_str().to_string()).collect(),
+            chunk_rows,
+            Arc::clone(gauge),
+        )
+    };
+    stream_trie(
+        plan, src, views, kp, cfg, &proj, &gauge, &spawn, map_chunk, &mut work, &mut stats,
+        &mut acc,
+    )?;
+    finalize_stats(&mut stats, &gauge);
+    Ok((acc, stats))
+}
+
+/// Streaming driver for the sorted-trie layout (see [`stream_sorted`]).
+pub(crate) fn run_sorted_stream(
+    plan: &ViewPlan,
+    src: &StreamSource,
+    views: &[physical::DenseView],
+    kp: &KeyPlan,
+    cfg: &ExecConfig,
+    virtual_cols: &[Sym],
+    map_chunk: &mut dyn FnMut(usize, ColRelation) -> ColRelation,
+) -> Result<(Vec<f64>, StreamStats), ExportError> {
+    let (mut stats, proj, gauge, mut work, mut acc) =
+        driver_scaffold!(plan, src, cfg, virtual_cols, false);
+    let chunk_rows = cfg.chunk_rows.max(1);
+    let spawn = |names: &[Sym], gauge: &Arc<LiveGauge>| {
+        spawn_reader(
+            src,
+            names.iter().map(|s| s.as_str().to_string()).collect(),
+            chunk_rows,
+            Arc::clone(gauge),
+        )
+    };
+    stream_sorted(
+        plan, src, views, kp, cfg, &proj, &gauge, &spawn, map_chunk, &mut work, &mut stats,
+        &mut acc,
+    )?;
+    finalize_stats(&mut stats, &gauge);
     Ok((acc, stats))
 }
 

@@ -7,6 +7,12 @@
 //! module assembles those moments (from any engine layout, or from a
 //! materialized matrix for baselines), standardizes them, and runs BGD or
 //! solves the normal equations in closed form.
+//!
+//! The factorized moment pass goes through [`ifaq_engine::layout`] (and
+//! [`ifaq_engine::stream`] for [`moments_streamed`]), which since the
+//! executor-tree refactor build and run an [`ifaq_engine::exec`] plan
+//! tree per layout — the numeric path is unchanged, so cached-prepare
+//! refits stay bit-identical to fresh fits.
 
 use ifaq_engine::star::{StarDb, TrainMatrix};
 use ifaq_engine::stream::{execute_streaming, prepare_streaming, StreamSource};

@@ -27,6 +27,12 @@
 //! interpreter's `UnOp::Sigmoid`) never overflows `exp`, and log-loss is
 //! computed from scores via [`log1p_exp`] (`ln(1+eˣ)` without overflow),
 //! so ±1e3 scores are exact.
+//!
+//! Per-iteration gradient scans route through
+//! [`ifaq_engine::layout::execute_with`] and therefore through the
+//! [`ifaq_engine::exec`] executor tree; the `__sigma` rewrite stays a
+//! fact-column substitution at execute time, so prepared θ-free state is
+//! reused across iterations exactly as before the refactor.
 
 use crate::linreg::{moments_factorized_cfg, moments_streamed, Moments};
 use ifaq_engine::par::run_chunked;

@@ -48,6 +48,16 @@
 //! by `execute_with` with a panic naming both generations, so resident
 //! deployments cannot silently aggregate over stale preparation.
 //!
+//! While preparations cannot outlive a delta, their θ-free
+//! *dimension-side* state can: the engine owns an
+//! [`ifaq_engine::exec::PrepCache`] and prepares through
+//! [`ifaq_engine::layout::prepare_cached`], so the hash views, dense
+//! arrays, and trie/sorted dimension state rebuilt per delta are cache
+//! hits — sound precisely because `apply_delta` only ever edits the fact
+//! table (the [`DeltaAnalysis`] premise), never the dimensions the
+//! fingerprints cover. [`ServeEngine::prep_cache_stats`] exposes the
+//! hit/miss counters.
+//!
 //! ## Concurrency
 //!
 //! The engine is `Sync`: state lives behind one [`RwLock`], so any
@@ -63,6 +73,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::RwLock;
 
+use ifaq_engine::exec::PrepCache;
 use ifaq_engine::layout;
 use ifaq_engine::star::StarDb;
 use ifaq_engine::{ExecConfig, Layout};
@@ -312,6 +323,14 @@ pub struct ServeEngine {
     /// Static-analyzer findings from construction (warnings and infos;
     /// error findings refuse construction).
     diagnostics: Vec<Diagnostic>,
+    /// Prepared-subtree cache threaded through every `layout::prepare`
+    /// this engine runs. Dimension-side view state is θ-free and — per
+    /// the `DeltaAnalysis` check at construction — untouched by fact
+    /// deltas, so each Δ scan re-prepares for the cost of a fingerprint
+    /// lookup instead of rebuilding every view. Sound because the
+    /// engine's dimensions never change after construction (the same
+    /// invariant `tpl` relies on).
+    prep_cache: PrepCache,
     state: RwLock<State>,
 }
 
@@ -423,11 +442,14 @@ impl ServeEngine {
             .map(|c| matches!(c, Column::I64(_)))
             .collect();
 
-        // The one full pass: seed the resident totals.
-        let prep = layout::prepare(cfg.layout, &plan, &db);
+        // The one full pass: seed the resident totals. The cache starts
+        // filling here; every Δ scan reuses the dimension-side state it
+        // captures.
+        let prep_cache = PrepCache::new();
+        let prep = layout::prepare_cached(cfg.layout, &plan, &db, &prep_cache);
         let totals = layout::execute_with(cfg.layout, &plan, &db, &prep, &cfg.exec);
         let log_totals = log_batch.as_ref().map(|(_, p)| {
-            let lp = layout::prepare(cfg.layout, p, &db);
+            let lp = layout::prepare_cached(cfg.layout, p, &db, &prep_cache);
             layout::execute_with(cfg.layout, p, &db, &lp, &cfg.exec)
         });
 
@@ -450,6 +472,7 @@ impl ServeEngine {
             log_batch,
             int_cols,
             diagnostics,
+            prep_cache,
             state: RwLock::new(State {
                 db,
                 tpl,
@@ -471,6 +494,14 @@ impl ServeEngine {
     /// refuses them). See `ifaq_query::analysis` for the codes.
     pub fn diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics
+    }
+
+    /// Prepared-subtree cache counters `(hits, misses)` — how many of
+    /// this engine's layout preparations (seeding plus every Δ scan)
+    /// reused cached dimension-side state versus building it. After the
+    /// first delta on each plan, further deltas should only hit.
+    pub fn prep_cache_stats(&self) -> (usize, usize) {
+        (self.prep_cache.hits(), self.prep_cache.misses())
     }
 
     /// Feature attribute names, in model order.
@@ -581,10 +612,11 @@ impl ServeEngine {
         let mut log_add = Vec::new();
         if !ins.is_empty() {
             st.tpl.fact = delta_fact(&st.db.fact, &self.int_cols, &ins);
-            let prep = layout::prepare(self.cfg.layout, &self.plan, &st.tpl);
+            let prep =
+                layout::prepare_cached(self.cfg.layout, &self.plan, &st.tpl, &self.prep_cache);
             add = layout::execute_with(self.cfg.layout, &self.plan, &st.tpl, &prep, &self.cfg.exec);
             if let Some((_, lp)) = &self.log_batch {
-                let lprep = layout::prepare(self.cfg.layout, lp, &st.tpl);
+                let lprep = layout::prepare_cached(self.cfg.layout, lp, &st.tpl, &self.prep_cache);
                 log_add =
                     layout::execute_with(self.cfg.layout, lp, &st.tpl, &lprep, &self.cfg.exec);
             }
@@ -593,10 +625,11 @@ impl ServeEngine {
         let mut log_sub = Vec::new();
         if !del.is_empty() {
             st.tpl.fact = delta_fact(&st.db.fact, &self.int_cols, &del);
-            let prep = layout::prepare(self.cfg.layout, &self.plan, &st.tpl);
+            let prep =
+                layout::prepare_cached(self.cfg.layout, &self.plan, &st.tpl, &self.prep_cache);
             sub = layout::execute_with(self.cfg.layout, &self.plan, &st.tpl, &prep, &self.cfg.exec);
             if let Some((_, lp)) = &self.log_batch {
-                let lprep = layout::prepare(self.cfg.layout, lp, &st.tpl);
+                let lprep = layout::prepare_cached(self.cfg.layout, lp, &st.tpl, &self.prep_cache);
                 log_sub =
                     layout::execute_with(self.cfg.layout, lp, &st.tpl, &lprep, &self.cfg.exec);
             }
@@ -840,6 +873,39 @@ mod tests {
         let report = e.apply_delta(&DeltaBatch::new()).unwrap();
         assert!(report.noop);
         assert_eq!(report.generation, e.generation());
+    }
+
+    #[test]
+    fn deltas_hit_the_prep_cache_without_changing_results() {
+        let e = engine();
+        let (_, misses_after_seed) = e.prep_cache_stats();
+        assert!(misses_after_seed > 0, "seeding must populate the cache");
+        e.apply_delta(&DeltaBatch::from_inserts([row(1.0, 1.0, 7.0)]))
+            .unwrap();
+        e.apply_delta(&DeltaBatch::new().delete(row(1.0, 1.0, 7.0)))
+            .unwrap();
+        let (hits, misses) = e.prep_cache_stats();
+        assert!(hits >= 2, "each Δ scan must reuse the seeded dim state");
+        assert_eq!(
+            misses, misses_after_seed,
+            "dims never change, so deltas must never rebuild dim-side state"
+        );
+        // Reusing cached state keeps the maintenance invariant: totals
+        // still equal a rebuild from scratch.
+        let db = e.db_snapshot();
+        let cat = db.catalog();
+        let names: Vec<&str> = db.dims.iter().map(|d| d.rel.name.as_str()).collect();
+        let tree = JoinTree::build_with_root(&cat, db.fact.name.as_str(), &names).unwrap();
+        let plan = ViewPlan::plan(e.batch(), &tree, &cat).unwrap();
+        let prep = layout::prepare(Layout::MergedHash, &plan, &db);
+        let direct =
+            layout::execute_with(Layout::MergedHash, &plan, &db, &prep, &ExecConfig::serial());
+        for (a, b) in e.totals().iter().zip(&direct) {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "cached-prep totals drifted: {a} vs {b}"
+            );
+        }
     }
 
     #[test]
